@@ -1,0 +1,129 @@
+// Strategic manipulation: matching is not strategyproof — unlike the
+// truthful double auctions it replaces (§VI), a buyer might gain by
+// misreporting her prices. This bench searches simple deviations (uniformly
+// scaling the reported vector; reporting only the favourite channel) and
+// measures the gain in TRUE utility, for both the two-stage matching and the
+// group double auction.
+#include <iostream>
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "auction/group_auction.hpp"
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "market/preferences.hpp"
+#include "matching/two_stage.hpp"
+
+namespace specmatch::bench {
+namespace {
+
+/// Rebuilds the market with buyer j's reported prices replaced.
+market::SpectrumMarket with_report(const market::SpectrumMarket& market,
+                                   BuyerId j,
+                                   const std::vector<double>& report) {
+  const int M = market.num_channels();
+  const int N = market.num_buyers();
+  std::vector<double> prices;
+  prices.reserve(static_cast<std::size_t>(M) * static_cast<std::size_t>(N));
+  std::vector<graph::InterferenceGraph> graphs;
+  graphs.reserve(static_cast<std::size_t>(M));
+  for (ChannelId i = 0; i < M; ++i) {
+    const auto row = market.channel_prices(i);
+    prices.insert(prices.end(), row.begin(), row.end());
+    prices[static_cast<std::size_t>(i) * static_cast<std::size_t>(N) +
+           static_cast<std::size_t>(j)] =
+        report[static_cast<std::size_t>(i)];
+    graphs.push_back(market.graph(i));
+  }
+  std::vector<double> reserves;
+  reserves.reserve(static_cast<std::size_t>(M));
+  for (ChannelId i = 0; i < M; ++i) reserves.push_back(market.reserve(i));
+  return market::SpectrumMarket(M, N, std::move(prices), std::move(graphs),
+                                {}, {}, std::move(reserves));
+}
+
+/// True utility of buyer j under a mechanism outcome computed on (possibly
+/// misreported) prices: the peer-effect utility evaluated with her TRUE
+/// prices and the TRUE interference graphs.
+double true_utility(const market::SpectrumMarket& truth,
+                    const matching::Matching& outcome, BuyerId j) {
+  const SellerId i = outcome.seller_of(j);
+  if (i == kUnmatched) return 0.0;
+  return market::buyer_utility_in(truth, j, i, outcome.members_of(i));
+}
+
+template <typename RunFn>
+void measure(const std::string& name, RunFn&& run, int trials, Table& table) {
+  Summary manipulable, best_gain;
+  for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(trials);
+       ++seed) {
+    Rng rng(seed * 2147483647ULL);
+    const auto market = workload::generate_market(paper_params(4, 8), rng);
+    for (BuyerId j = 0; j < market.num_buyers(); ++j) {
+      const double honest = true_utility(market, run(market), j);
+      double best = honest;
+      const auto truth_vector = market.buyer_utilities(j);
+      // Deviation family 1: scale the whole reported vector.
+      for (double scale : {0.25, 0.5, 2.0, 4.0}) {
+        auto report = truth_vector;
+        for (auto& r : report) r *= scale;
+        best = std::max(best,
+                        true_utility(market, run(with_report(market, j,
+                                                             report)),
+                                     j));
+      }
+      // Deviation family 2: report only the favourite channel.
+      {
+        auto report = truth_vector;
+        std::size_t fav = 0;
+        for (std::size_t i = 1; i < report.size(); ++i)
+          if (report[i] > report[fav]) fav = i;
+        for (std::size_t i = 0; i < report.size(); ++i)
+          if (i != fav) report[i] = 0.0;
+        best = std::max(best,
+                        true_utility(market, run(with_report(market, j,
+                                                             report)),
+                                     j));
+      }
+      manipulable.add(best > honest + 1e-9 ? 1.0 : 0.0);
+      best_gain.add(best - honest);
+    }
+  }
+  table.add_row({name, format_double(100.0 * manipulable.mean(), 1),
+                 format_double(best_gain.mean(), 4),
+                 format_double(best_gain.max(), 4)});
+}
+
+}  // namespace
+}  // namespace specmatch::bench
+
+int main() {
+  using namespace specmatch;
+  std::cout << "Strategic manipulation under simple deviations "
+               "(M = 4, N = 8, 25 markets x 8 buyers)\n\n";
+  Table table({"mechanism", "manipulable-buyers%", "mean-gain", "max-gain"});
+  bench::measure(
+      "two-stage matching",
+      [](const market::SpectrumMarket& m) {
+        return matching::run_two_stage(m).final_matching();
+      },
+      25, table);
+  bench::measure(
+      "group double auction",
+      [](const market::SpectrumMarket& m) {
+        return auction::run_group_double_auction(m).matching;
+      },
+      25, table);
+  table.print(std::cout);
+  std::cout
+      << "\nNeither allocator is strategyproof here: the matching is "
+         "manipulable by design\n(the paper never claims truthfulness), and "
+         "our simplified auction re-groups buyers\nafter every award — a "
+         "bid-dependent step, so it inherits manipulability that the\nfull "
+         "TRUST/TAHES constructions avoid with static, bid-independent "
+         "grouping.\nThe headline: dropping the auctioneer costs little "
+         "extra manipulability while\nrecovering the grouping welfare "
+         "losses (see baseline_auction).\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Seller-coalition-policy ablation (DESIGN.md design choice): the paper
+// mandates only "a linear-time greedy" MWIS (Sakai et al.); we compare GWMIN,
+// GWMIN2 and exact coalition selection both as raw MWIS solvers and embedded
+// in the full two-stage algorithm.
+#include <iostream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "graph/generators.hpp"
+#include "graph/mwis.hpp"
+#include "matching/two_stage.hpp"
+#include "optimal/exact.hpp"
+
+namespace specmatch::bench {
+namespace {
+
+void raw_mwis_panel() {
+  Table table({"density", "gwmin/exact", "gwmin2/exact", "exact-nodes"});
+  Rng rng(2024);
+  for (double density : {0.05, 0.1, 0.2, 0.4, 0.6, 0.8}) {
+    Summary gwmin_ratio, gwmin2_ratio, nodes;
+    for (int t = 0; t < 40; ++t) {
+      Rng graph_rng = rng.fork(static_cast<std::uint64_t>(t));
+      const auto g = graph::erdos_renyi(30, density, graph_rng);
+      std::vector<double> w(30);
+      for (auto& x : w) x = rng.uniform(0.01, 1.0);
+      DynamicBitset all(30);
+      for (std::size_t i = 0; i < 30; ++i) all.set(i);
+      graph::MwisStats stats;
+      const double exact = graph::set_weight(
+          w, graph::solve_mwis(g, w, all, graph::MwisAlgorithm::kExact,
+                               &stats));
+      const double gwmin = graph::set_weight(
+          w, graph::solve_mwis(g, w, all, graph::MwisAlgorithm::kGwmin));
+      const double gwmin2 = graph::set_weight(
+          w, graph::solve_mwis(g, w, all, graph::MwisAlgorithm::kGwmin2));
+      gwmin_ratio.add(gwmin / exact);
+      gwmin2_ratio.add(gwmin2 / exact);
+      nodes.add(static_cast<double>(stats.nodes_explored));
+    }
+    table.add_row({format_double(density, 2),
+                   format_double(gwmin_ratio.mean(), 4),
+                   format_double(gwmin2_ratio.mean(), 4),
+                   format_double(nodes.mean(), 0)});
+  }
+  print_panel("Raw MWIS quality on G(30, p), 40 graphs per density", table);
+}
+
+void embedded_panel(int sellers, int buyers, bool against_optimal) {
+  Table table(against_optimal
+                  ? std::vector<std::string>{"policy", "welfare",
+                                             "welfare/optimal"}
+                  : std::vector<std::string>{"policy", "welfare",
+                                             "welfare/gwmin"});
+  Summary reference_welfare;
+  for (auto policy :
+       {graph::MwisAlgorithm::kGwmin, graph::MwisAlgorithm::kGwmin2,
+        graph::MwisAlgorithm::kExact}) {
+    Summary welfare, ratio;
+    for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+      Rng rng(seed * 104729);
+      const auto market =
+          workload::generate_market(paper_params(sellers, buyers), rng);
+      matching::TwoStageConfig config;
+      config.coalition_policy = policy;
+      const double w = matching::run_two_stage(market, config).welfare_final;
+      welfare.add(w);
+      if (against_optimal)
+        ratio.add(w / optimal::solve_optimal(market).welfare);
+    }
+    if (policy == graph::MwisAlgorithm::kGwmin)
+      reference_welfare = welfare;
+    table.add_row(
+        {std::string(graph::to_string(policy)),
+         format_double(welfare.mean(), 4),
+         format_double(against_optimal
+                           ? ratio.mean()
+                           : welfare.mean() / reference_welfare.mean(),
+                       4)});
+  }
+  print_panel("Two-stage welfare by coalition policy, M = " +
+                  std::to_string(sellers) + ", N = " +
+                  std::to_string(buyers) + " (60 trials)",
+              table);
+}
+
+}  // namespace
+}  // namespace specmatch::bench
+
+int main() {
+  std::cout << "Ablation — seller coalition selection (MWIS policy)\n";
+  specmatch::bench::raw_mwis_panel();
+  specmatch::bench::embedded_panel(4, 8, /*against_optimal=*/true);
+  specmatch::bench::embedded_panel(8, 60, /*against_optimal=*/false);
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Topology ablation (extension beyond the paper's uniform placement):
+// how interference density — via transmission range and buyer clustering —
+// shapes welfare, the optimality gap, and the size of the Stage-II gain.
+// This probes the reproduction finding that Stage II contributes little on
+// the paper's uniform workload: congestion is what gives transfers and
+// invitations room to matter.
+#include <iostream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "matching/two_stage.hpp"
+#include "optimal/exact.hpp"
+
+namespace specmatch::bench {
+namespace {
+
+struct Point {
+  Summary welfare, ratio, stage2_gain, edges, matched;
+};
+
+Point measure(const workload::WorkloadParams& params, int trials,
+              bool with_optimal) {
+  Point point;
+  for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(trials);
+       ++seed) {
+    Rng rng(seed * 48611);
+    const auto market = workload::generate_market(params, rng);
+    const auto result = matching::run_two_stage(market);
+    point.welfare.add(result.welfare_final);
+    point.stage2_gain.add(
+        result.welfare_stage1 > 0.0
+            ? 100.0 * (result.welfare_final / result.welfare_stage1 - 1.0)
+            : 0.0);
+    double total_edges = 0.0;
+    for (ChannelId i = 0; i < market.num_channels(); ++i)
+      total_edges += static_cast<double>(market.graph(i).num_edges());
+    point.edges.add(total_edges /
+                    static_cast<double>(market.num_channels()));
+    point.matched.add(
+        static_cast<double>(result.final_matching().num_matched()));
+    if (with_optimal)
+      point.ratio.add(result.welfare_final /
+                      optimal::solve_optimal(market).welfare);
+  }
+  return point;
+}
+
+void range_panel() {
+  Table table({"max-range", "edges/chan", "welfare", "matched", "2stage/opt",
+               "stage2-gain%"});
+  for (double range : {1.0, 2.0, 3.0, 5.0, 7.0, 9.0}) {
+    auto params = paper_params(4, 10);
+    params.max_range = range;
+    const auto point = measure(params, 80, /*with_optimal=*/true);
+    table.add_row({format_double(range, 1),
+                   format_double(point.edges.mean(), 1),
+                   format_double(point.welfare.mean(), 3),
+                   format_double(point.matched.mean(), 2),
+                   format_double(point.ratio.mean(), 4),
+                   format_double(point.stage2_gain.mean(), 3)});
+  }
+  print_panel("Transmission-range sweep, M = 4, N = 10 (80 trials)", table);
+}
+
+void placement_panel() {
+  Table table({"placement", "edges/chan", "welfare", "matched",
+               "stage2-gain%"});
+  struct Setup {
+    std::string name;
+    workload::PlacementModel model;
+    int clusters;
+    double stddev;
+  };
+  for (const auto& setup :
+       {Setup{"uniform (paper)", workload::PlacementModel::kUniform, 1, 0.0},
+        Setup{"3 hotspots s=1.0", workload::PlacementModel::kClustered, 3,
+              1.0},
+        Setup{"2 hotspots s=0.5", workload::PlacementModel::kClustered, 2,
+              0.5},
+        Setup{"1 hotspot  s=0.5", workload::PlacementModel::kClustered, 1,
+              0.5}}) {
+    auto params = paper_params(6, 30);
+    params.placement = setup.model;
+    params.num_clusters = setup.clusters;
+    params.cluster_stddev = setup.stddev;
+    const auto point = measure(params, 60, /*with_optimal=*/false);
+    table.add_row({setup.name, format_double(point.edges.mean(), 1),
+                   format_double(point.welfare.mean(), 3),
+                   format_double(point.matched.mean(), 2),
+                   format_double(point.stage2_gain.mean(), 3)});
+  }
+  print_panel("Placement models, M = 6, N = 30 (60 trials)", table);
+}
+
+}  // namespace
+}  // namespace specmatch::bench
+
+int main() {
+  std::cout << "Ablation — interference topology (range density, buyer "
+               "clustering)\n";
+  specmatch::bench::range_panel();
+  specmatch::bench::placement_panel();
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Matching vs double auction (§VI related work): what does the trusted
+// auctioneer's truthfulness machinery (bid-independent grouping + McAfee
+// trade reduction) cost in social welfare, and what does the distributed
+// matching recover?
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "auction/group_auction.hpp"
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "matching/two_stage.hpp"
+#include "optimal/exact.hpp"
+
+namespace specmatch::bench {
+namespace {
+
+double buyer_fairness(const market::SpectrumMarket& market,
+                      const matching::Matching& m) {
+  std::vector<double> utilities;
+  utilities.reserve(static_cast<std::size_t>(market.num_buyers()));
+  for (BuyerId j = 0; j < market.num_buyers(); ++j)
+    utilities.push_back(m.buyer_utility(market, j));
+  return jain_fairness_index(utilities);
+}
+
+void small_panel() {
+  Table table({"market", "optimal", "matching", "auction", "auction-noMcAfee",
+               "match/opt", "auct/opt", "fair(match)", "fair(auct)"});
+  for (const auto& [sellers, buyers] :
+       {std::pair{4, 8}, std::pair{5, 10}, std::pair{6, 12}}) {
+    Summary opt, match, auct, auct_full, fair_match, fair_auct;
+    for (std::uint64_t seed = 1; seed <= 150; ++seed) {
+      Rng rng(seed * 65537);
+      const auto market =
+          workload::generate_market(paper_params(sellers, buyers), rng);
+      opt.add(optimal::solve_optimal(market).welfare);
+      const auto two_stage = matching::run_two_stage(market);
+      match.add(two_stage.welfare_final);
+      fair_match.add(buyer_fairness(market, two_stage.final_matching()));
+      const auto auction_result = auction::run_group_double_auction(market);
+      auct.add(auction_result.welfare);
+      fair_auct.add(buyer_fairness(market, auction_result.matching));
+      auction::AuctionConfig no_discard;
+      no_discard.mcafee_discard = false;
+      auct_full.add(
+          auction::run_group_double_auction(market, no_discard).welfare);
+    }
+    table.add_row(
+        {"M=" + std::to_string(sellers) + ",N=" + std::to_string(buyers),
+         format_double(opt.mean(), 3), format_double(match.mean(), 3),
+         format_double(auct.mean(), 3), format_double(auct_full.mean(), 3),
+         format_double(match.mean() / opt.mean(), 4),
+         format_double(auct.mean() / opt.mean(), 4),
+         format_double(fair_match.mean(), 3),
+         format_double(fair_auct.mean(), 3)});
+  }
+  print_panel("Small markets vs exact optimum (150 trials each; fair = "
+              "Jain index of buyer utilities)",
+              table);
+}
+
+void large_panel() {
+  Table table({"market", "matching", "auction", "auction-noMcAfee",
+               "auction/matching", "auction-revenue"});
+  for (const auto& [sellers, buyers] :
+       {std::pair{8, 60}, std::pair{10, 150}, std::pair{12, 300}}) {
+    Summary match, auct, auct_full, revenue;
+    for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+      Rng rng(seed * 524287);
+      const auto market =
+          workload::generate_market(paper_params(sellers, buyers), rng);
+      match.add(matching::run_two_stage(market).welfare_final);
+      const auto a = auction::run_group_double_auction(market);
+      auct.add(a.welfare);
+      revenue.add(a.seller_revenue);
+      auction::AuctionConfig no_discard;
+      no_discard.mcafee_discard = false;
+      auct_full.add(
+          auction::run_group_double_auction(market, no_discard).welfare);
+    }
+    table.add_row(
+        {"M=" + std::to_string(sellers) + ",N=" + std::to_string(buyers),
+         format_double(match.mean(), 3), format_double(auct.mean(), 3),
+         format_double(auct_full.mean(), 3),
+         format_double(auct.mean() / match.mean(), 4),
+         format_double(revenue.mean(), 3)});
+  }
+  print_panel("Larger markets (30 trials each)", table);
+}
+
+}  // namespace
+}  // namespace specmatch::bench
+
+int main() {
+  std::cout << "Baseline — group double auction (TRUST/TAHES family) vs "
+               "distributed matching\n";
+  specmatch::bench::small_panel();
+  specmatch::bench::large_panel();
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Shared helpers for the figure-regeneration harnesses in bench/.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "workload/generator.hpp"
+
+namespace specmatch::bench {
+
+/// Paper-style workload: one virtual channel per seller, one virtual buyer
+/// per buyer (the Section-V simulations sweep M and N directly).
+inline workload::WorkloadParams paper_params(int num_sellers, int num_buyers,
+                                             int similarity_permutation =
+                                                 workload::WorkloadParams::
+                                                     kIidUtilities) {
+  workload::WorkloadParams params;
+  params.num_sellers = num_sellers;
+  params.num_buyers = num_buyers;
+  params.similarity_permutation = similarity_permutation;
+  return params;
+}
+
+/// Prints a figure panel; set SPECMATCH_CSV=1 to additionally emit the rows
+/// as machine-readable CSV (for plotting scripts).
+inline void print_panel(const std::string& title, const Table& table) {
+  std::cout << "\n== " << title << " ==\n";
+  table.print(std::cout);
+  const char* csv = std::getenv("SPECMATCH_CSV");
+  if (csv != nullptr && csv[0] != '\0' && csv[0] != '0') {
+    std::cout << "-- csv --\n";
+    table.write_csv(std::cout);
+  }
+}
+
+}  // namespace specmatch::bench

@@ -1,0 +1,106 @@
+// Fig. 6: social welfare of the optimal (centralised, NP-hard) matching vs
+// the proposed two-stage distributed algorithm, plus the greedy and random
+// baselines for context.
+//   (a) M = 4, N = 6..10        — welfare grows with the number of buyers
+//   (b) N = 8, M = 2..6         — welfare grows with the number of sellers
+//   (c) M = 5, N = 8, SRCC sweep — diverse utilities help everyone
+// The paper's headline claim — the distributed matching attains > 90% of the
+// optimal social welfare — appears in the `ratio` column.
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "exp/experiment.hpp"
+#include "matching/two_stage.hpp"
+#include "optimal/exact.hpp"
+#include "optimal/greedy.hpp"
+#include "optimal/random_matcher.hpp"
+#include "workload/similarity.hpp"
+
+namespace specmatch::bench {
+namespace {
+
+constexpr int kTrials = 200;
+constexpr std::uint64_t kBaseSeed = 0xF16'0006;
+
+exp::Metrics trial(const workload::WorkloadParams& params, Rng& rng) {
+  const auto scenario = workload::generate_scenario(params, rng);
+  const auto market = market::build_market(scenario);
+  exp::Metrics metrics;
+  metrics["optimal"] = optimal::solve_optimal(market).welfare;
+  metrics["proposed"] = matching::run_two_stage(market).welfare_final;
+  metrics["greedy"] = optimal::solve_greedy(market).social_welfare(market);
+  Rng baseline_rng = rng.fork(1);
+  metrics["random"] =
+      optimal::solve_random_serial(market, baseline_rng)
+          .social_welfare(market);
+  metrics["srcc"] = workload::mean_similarity(
+      scenario.utilities, market.num_channels(), market.num_buyers());
+  metrics["ratio"] = metrics["proposed"] / metrics["optimal"];
+  return metrics;
+}
+
+void emit_point(Table& table, const std::string& x,
+                const workload::WorkloadParams& params,
+                std::uint64_t seed_salt) {
+  const auto agg = exp::run_trials(
+      kTrials, kBaseSeed + seed_salt,
+      [&](Rng& rng) { return trial(params, rng); });
+  table.add_row({x, format_double(agg.mean("optimal")),
+                 format_double(agg.mean("proposed")),
+                 format_double(agg.mean("ratio")),
+                 format_double(agg.mean("greedy")),
+                 format_double(agg.mean("random")),
+                 format_double(agg.stderror("proposed"))});
+}
+
+void panel_a() {
+  Table table({"buyers(N)", "optimal", "proposed", "ratio", "greedy",
+               "random", "stderr"});
+  for (int n = 6; n <= 10; ++n)
+    emit_point(table, std::to_string(n), paper_params(4, n),
+               static_cast<std::uint64_t>(n));
+  print_panel("Fig. 6(a): welfare vs number of buyers (M = 4)", table);
+}
+
+void panel_b() {
+  Table table({"sellers(M)", "optimal", "proposed", "ratio", "greedy",
+               "random", "stderr"});
+  for (int m = 2; m <= 6; ++m)
+    emit_point(table, std::to_string(m), paper_params(m, 8),
+               100 + static_cast<std::uint64_t>(m));
+  print_panel("Fig. 6(b): welfare vs number of sellers (N = 8)", table);
+}
+
+void panel_c() {
+  Table table({"perm(m)", "srcc", "optimal", "proposed", "ratio", "greedy",
+               "random"});
+  for (int m = 0; m <= 5; ++m) {
+    const auto params = paper_params(5, 8, m);
+    const auto agg = exp::run_trials(
+        kTrials, kBaseSeed + 200 + static_cast<std::uint64_t>(m),
+        [&](Rng& rng) { return trial(params, rng); });
+    table.add_row({std::to_string(m), format_double(agg.mean("srcc"), 3),
+                   format_double(agg.mean("optimal")),
+                   format_double(agg.mean("proposed")),
+                   format_double(agg.mean("ratio")),
+                   format_double(agg.mean("greedy")),
+                   format_double(agg.mean("random"))});
+  }
+  print_panel(
+      "Fig. 6(c): welfare vs price similarity (M = 5, N = 8; m-permutation)",
+      table);
+}
+
+}  // namespace
+}  // namespace specmatch::bench
+
+int main() {
+  std::cout << "Fig. 6 — optimal matching vs proposed distributed matching\n"
+            << "(" << specmatch::bench::kTrials
+            << " trials per point; Section V-A workload)\n";
+  specmatch::bench::panel_a();
+  specmatch::bench::panel_b();
+  specmatch::bench::panel_c();
+  return 0;
+}

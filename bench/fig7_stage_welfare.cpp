@@ -1,0 +1,85 @@
+// Fig. 7: cumulative social welfare after Stage I, Stage II Phase 1 and
+// Stage II Phase 2 of the two-stage distributed algorithm at scale.
+//   (a) M = 10, N = 200..320
+//   (b) N = 500, M = 4..16
+//   (c) M = 8, N = 300, similarity sweep
+// Expected shape: most of the Stage-II improvement comes from Phase 1;
+// Phase 2's contribution is marginal (but needed for stability).
+#include <iostream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "exp/experiment.hpp"
+#include "workload/similarity.hpp"
+
+namespace specmatch::bench {
+namespace {
+
+constexpr int kTrials = 20;
+constexpr int kSimilarityTrials = 40;  // panel (c) is noisier
+constexpr std::uint64_t kBaseSeed = 0xF16'0007;
+
+exp::Metrics trial(const workload::WorkloadParams& params, Rng& rng) {
+  const auto scenario = workload::generate_scenario(params, rng);
+  const auto market = market::build_market(scenario);
+  auto metrics = exp::two_stage_metrics(market);
+  metrics["srcc"] = workload::mean_similarity(
+      scenario.utilities, market.num_channels(), market.num_buyers());
+  return metrics;
+}
+
+void emit_point(Table& table, const std::string& x,
+                const workload::WorkloadParams& params,
+                std::uint64_t seed_salt, bool with_srcc = false) {
+  const auto agg = exp::run_trials(
+      with_srcc ? kSimilarityTrials : kTrials, kBaseSeed + seed_salt,
+      [&](Rng& rng) { return trial(params, rng); });
+  std::vector<std::string> row = {x};
+  if (with_srcc) row.push_back(format_double(agg.mean("srcc"), 3));
+  row.push_back(format_double(agg.mean("welfare_stage1"), 2));
+  row.push_back(format_double(agg.mean("welfare_phase1"), 2));
+  row.push_back(format_double(agg.mean("welfare_final"), 2));
+  row.push_back(format_double(agg.stderror("welfare_final"), 2));
+  table.add_row(std::move(row));
+}
+
+void panel_a() {
+  Table table(
+      {"buyers(N)", "stage1", "phase1", "phase2", "stderr"});
+  for (int n = 200; n <= 320; n += 20)
+    emit_point(table, std::to_string(n), paper_params(10, n),
+               static_cast<std::uint64_t>(n));
+  print_panel("Fig. 7(a): cumulative welfare per stage (M = 10)", table);
+}
+
+void panel_b() {
+  Table table(
+      {"sellers(M)", "stage1", "phase1", "phase2", "stderr"});
+  for (int m = 4; m <= 16; m += 2)
+    emit_point(table, std::to_string(m), paper_params(m, 500),
+               1000 + static_cast<std::uint64_t>(m));
+  print_panel("Fig. 7(b): cumulative welfare per stage (N = 500)", table);
+}
+
+void panel_c() {
+  Table table({"perm(m)", "srcc", "stage1", "phase1", "phase2", "stderr"});
+  for (int m = 0; m <= 8; m += 2)
+    emit_point(table, std::to_string(m), paper_params(8, 300, m),
+               2000 + static_cast<std::uint64_t>(m), /*with_srcc=*/true);
+  print_panel(
+      "Fig. 7(c): cumulative welfare vs price similarity (M = 8, N = 300)",
+      table);
+}
+
+}  // namespace
+}  // namespace specmatch::bench
+
+int main() {
+  std::cout << "Fig. 7 — social welfare accumulated per stage/phase\n"
+            << "(columns are cumulative: stage1 <= phase1 <= phase2; "
+            << specmatch::bench::kTrials << " trials per point)\n";
+  specmatch::bench::panel_a();
+  specmatch::bench::panel_b();
+  specmatch::bench::panel_c();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Fig. 8: running time (rounds) of each stage/phase of the two-stage
+// algorithm, counted separately per stage.
+//   (a) M = 10, N = 200..320
+//   (b) N = 500, M = 4..16
+//   (c) M = 8, N = 300, similarity sweep
+// Expected shape: with N >> M, Stage-I rounds track M rather than N;
+// Phase 1 rounds grow linearly in M (Proposition 2); Phase 2 runs only a
+// handful of rounds because invitation opportunities are rare.
+#include <iostream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "exp/experiment.hpp"
+#include "workload/similarity.hpp"
+
+namespace specmatch::bench {
+namespace {
+
+constexpr int kTrials = 20;
+constexpr int kSimilarityTrials = 40;  // panel (c) is noisier
+constexpr std::uint64_t kBaseSeed = 0xF16'0008;
+
+exp::Metrics trial(const workload::WorkloadParams& params, Rng& rng) {
+  const auto scenario = workload::generate_scenario(params, rng);
+  const auto market = market::build_market(scenario);
+  auto metrics = exp::two_stage_metrics(market);
+  metrics["srcc"] = workload::mean_similarity(
+      scenario.utilities, market.num_channels(), market.num_buyers());
+  return metrics;
+}
+
+void emit_point(Table& table, const std::string& x,
+                const workload::WorkloadParams& params,
+                std::uint64_t seed_salt, bool with_srcc = false) {
+  const auto agg = exp::run_trials(
+      with_srcc ? kSimilarityTrials : kTrials, kBaseSeed + seed_salt,
+      [&](Rng& rng) { return trial(params, rng); });
+  std::vector<std::string> row = {x};
+  if (with_srcc) row.push_back(format_double(agg.mean("srcc"), 3));
+  row.push_back(format_double(agg.mean("rounds_stage1"), 2));
+  row.push_back(format_double(agg.mean("rounds_phase1"), 2));
+  row.push_back(format_double(agg.mean("rounds_phase2"), 2));
+  table.add_row(std::move(row));
+}
+
+void panel_a() {
+  Table table({"buyers(N)", "stage1", "phase1", "phase2"});
+  for (int n = 200; n <= 320; n += 20)
+    emit_point(table, std::to_string(n), paper_params(10, n),
+               static_cast<std::uint64_t>(n));
+  print_panel("Fig. 8(a): rounds per stage (M = 10)", table);
+}
+
+void panel_b() {
+  Table table({"sellers(M)", "stage1", "phase1", "phase2"});
+  for (int m = 4; m <= 16; m += 2)
+    emit_point(table, std::to_string(m), paper_params(m, 500),
+               1000 + static_cast<std::uint64_t>(m));
+  print_panel("Fig. 8(b): rounds per stage (N = 500)", table);
+}
+
+void panel_c() {
+  Table table({"perm(m)", "srcc", "stage1", "phase1", "phase2"});
+  for (int m = 0; m <= 8; m += 2)
+    emit_point(table, std::to_string(m), paper_params(8, 300, m),
+               2000 + static_cast<std::uint64_t>(m), /*with_srcc=*/true);
+  print_panel("Fig. 8(c): rounds vs price similarity (M = 8, N = 300)",
+              table);
+}
+
+}  // namespace
+}  // namespace specmatch::bench
+
+int main() {
+  std::cout << "Fig. 8 — running time (rounds), counted per stage/phase\n"
+            << "(" << specmatch::bench::kTrials << " trials per point)\n";
+  specmatch::bench::panel_a();
+  specmatch::bench::panel_b();
+  specmatch::bench::panel_c();
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Micro-benchmarks (google-benchmark): hot-path costs of the library —
+// MWIS solvers, Stage I / Stage II, the full pipeline, the distributed
+// runtime, and the bitset primitives everything leans on.
+#include <benchmark/benchmark.h>
+
+#include "common/bitset.hpp"
+#include "dist/runtime.hpp"
+#include "graph/generators.hpp"
+#include "graph/mwis.hpp"
+#include "matching/deferred_acceptance.hpp"
+#include "matching/two_stage.hpp"
+#include "optimal/exact.hpp"
+#include "workload/generator.hpp"
+
+namespace specmatch {
+namespace {
+
+market::SpectrumMarket make_market(int sellers, int buyers,
+                                   std::uint64_t seed = 42) {
+  Rng rng(seed);
+  workload::WorkloadParams params;
+  params.num_sellers = sellers;
+  params.num_buyers = buyers;
+  return workload::generate_market(params, rng);
+}
+
+void BM_BitsetIntersects(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  DynamicBitset a(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) a.set(i);
+    if (rng.bernoulli(0.3)) b.set(i);
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(a.intersects(b));
+}
+BENCHMARK(BM_BitsetIntersects)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_GeometricGraph(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<graph::Point> pts(n);
+  for (auto& p : pts) p = {rng.uniform(0, 10), rng.uniform(0, 10)};
+  for (auto _ : state) {
+    auto g = graph::geometric(pts, 3.0);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_GeometricGraph)->Arg(100)->Arg(300)->Arg(500);
+
+template <graph::MwisAlgorithm Alg>
+void BM_Mwis(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const auto g = graph::erdos_renyi(n, 0.2, rng);
+  std::vector<double> w(n);
+  for (auto& x : w) x = rng.uniform(0.01, 1.0);
+  DynamicBitset all(n);
+  for (std::size_t i = 0; i < n; ++i) all.set(i);
+  for (auto _ : state) {
+    auto result = graph::solve_mwis(g, w, all, Alg);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK_TEMPLATE(BM_Mwis, graph::MwisAlgorithm::kGwmin)
+    ->Arg(50)
+    ->Arg(200)
+    ->Arg(500);
+BENCHMARK_TEMPLATE(BM_Mwis, graph::MwisAlgorithm::kGwmin2)
+    ->Arg(50)
+    ->Arg(200)
+    ->Arg(500);
+BENCHMARK_TEMPLATE(BM_Mwis, graph::MwisAlgorithm::kExact)->Arg(20)->Arg(30);
+
+void BM_StageI(benchmark::State& state) {
+  const auto market = make_market(static_cast<int>(state.range(0)),
+                                  static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto result = matching::run_deferred_acceptance(market);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_StageI)->Args({5, 50})->Args({10, 200})->Args({16, 500});
+
+void BM_TwoStage(benchmark::State& state) {
+  const auto market = make_market(static_cast<int>(state.range(0)),
+                                  static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto result = matching::run_two_stage(market);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_TwoStage)->Args({5, 50})->Args({10, 200})->Args({16, 500});
+
+void BM_OptimalBranchAndBound(benchmark::State& state) {
+  const auto market = make_market(4, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto result = optimal::solve_optimal(market);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_OptimalBranchAndBound)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_DistributedDefault(benchmark::State& state) {
+  const auto market = make_market(static_cast<int>(state.range(0)),
+                                  static_cast<int>(state.range(1)));
+  for (auto _ : state) {
+    auto result = dist::run_distributed(market);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DistributedDefault)->Args({5, 20})->Args({8, 60});
+
+void BM_DistributedQuiescence(benchmark::State& state) {
+  const auto market = make_market(static_cast<int>(state.range(0)),
+                                  static_cast<int>(state.range(1)));
+  const auto config = dist::DistConfig::quiescence();
+  for (auto _ : state) {
+    auto result = dist::run_distributed(market, config);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DistributedQuiescence)->Args({5, 20})->Args({8, 60});
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  workload::WorkloadParams params;
+  params.num_sellers = static_cast<int>(state.range(0));
+  params.num_buyers = static_cast<int>(state.range(1));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    Rng rng(++seed);
+    auto market = workload::generate_market(params, rng);
+    benchmark::DoNotOptimize(market);
+  }
+}
+BENCHMARK(BM_WorkloadGeneration)->Args({10, 200})->Args({16, 500});
+
+}  // namespace
+}  // namespace specmatch

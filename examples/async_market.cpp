@@ -1,0 +1,80 @@
+// The fully distributed runtime (§IV): buyers and sellers as message-passing
+// agents that decide locally when to move from Stage I to Stage II. Compares
+// the worst-case default schedule against the paper's probability-threshold
+// rules and the practical activity-timeout extension.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "dist/runtime.hpp"
+#include "matching/stability.hpp"
+#include "matching/two_stage.hpp"
+#include "workload/generator.hpp"
+
+int main() {
+  using namespace specmatch;
+
+  workload::WorkloadParams params;
+  params.num_sellers = 6;
+  params.num_buyers = 24;
+  Rng rng(2016);
+  const auto market = workload::generate_market(params, rng);
+  const int MN = market.num_channels() * market.num_buyers();
+
+  std::cout << "Asynchronous market: M = " << market.num_channels()
+            << ", N = " << market.num_buyers()
+            << " (worst-case schedule MN + M + N = "
+            << MN + market.num_channels() + market.num_buyers()
+            << " slots)\n\n";
+
+  const auto reference = matching::run_two_stage(market);
+  std::cout << "synchronous reference welfare: " << reference.welfare_final
+            << "\n\n";
+
+  struct Row {
+    std::string name;
+    dist::DistConfig config;
+  };
+  const std::vector<Row> rows = {
+      {"default rule (MN/M/N)", dist::DistConfig{}},
+      {"buyer rule II + seller Q-rule", dist::DistConfig::adaptive()},
+      {"quiescence timeout (w=3)", dist::DistConfig::quiescence(3)},
+      {"quiescence timeout (w=1)", dist::DistConfig::quiescence(1)},
+  };
+  for (const auto& row : rows) {
+    const auto result = dist::run_distributed(market, row.config);
+    std::cout << row.name << ":\n";
+    std::cout << "  slots: " << result.slots << "  (stage I spanned "
+              << result.last_stage1_slot + 1 << ")\n";
+    std::cout << "  messages: " << result.messages << " ("
+              << result.data_messages << " data)\n";
+    std::cout << "  welfare: " << result.matching.social_welfare(market)
+              << "  (reference " << reference.welfare_final << ")\n";
+    std::cout << "  Nash-stable: "
+              << matching::is_nash_stable(market, result.matching) << "\n\n";
+  }
+
+  std::cout << "The default-rule run reproduces the synchronous result "
+               "exactly: "
+            << (dist::run_distributed(market).matching ==
+                reference.final_matching())
+            << "\n\n";
+
+  // A hostile network: every message delayed up to 2 slots and 20% of
+  // transmissions lost. The reliable-delivery layer (acks + retransmission)
+  // keeps the agents oblivious — only the clock stretches.
+  dist::DistConfig hostile = dist::DistConfig::quiescence(4);
+  hostile.max_message_delay = 2;
+  hostile.message_loss_prob = 0.2;
+  const auto faulty = dist::run_distributed(market, hostile);
+  std::cout << "under delay<=2 + 20% loss (quiescence rule):\n";
+  std::cout << "  slots: " << faulty.slots << ", welfare: "
+            << faulty.matching.social_welfare(market) << " (reference "
+            << reference.welfare_final << ")\n";
+  std::cout << "  interference-free: "
+            << matching::is_interference_free(market, faulty.matching)
+            << ", individually rational: "
+            << matching::is_individual_rational(market, faulty.matching)
+            << "\n";
+  return 0;
+}

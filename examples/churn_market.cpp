@@ -1,0 +1,48 @@
+// A market that lives through time: providers' demand comes and goes, and
+// the operator must re-match every epoch. Demonstrates the dynamics module's
+// two policies — cold (rerun the full two-stage algorithm) and warm (carry
+// surviving assignments, run Stage II only) — and why warm is the one you
+// would deploy: same welfare, half the rounds, far fewer buyers shuffled.
+#include <iostream>
+
+#include "dynamics/epochs.hpp"
+#include "workload/generator.hpp"
+
+int main() {
+  using namespace specmatch;
+
+  Rng rng(77);
+  workload::WorkloadParams params;
+  params.num_sellers = 5;
+  params.num_buyers = 25;
+  const auto market = workload::generate_market(params, rng);
+
+  dynamics::DynamicsParams dyn;
+  dyn.epochs = 10;
+  dyn.leave_prob = 0.25;  // a quarter of active buyers leave each epoch
+  dyn.join_prob = 0.5;    // inactive ones return quickly
+  const auto result = dynamics::run_dynamic_market(market, dyn);
+
+  std::cout << "Churning spectrum market: M = " << market.num_channels()
+            << ", N = " << market.num_buyers() << ", " << dyn.epochs
+            << " epochs (leave " << dyn.leave_prob << ", join "
+            << dyn.join_prob << ")\n\n";
+  std::cout << "epoch  active  welfare(cold)  welfare(warm)  moved(cold)  "
+               "moved(warm)\n";
+  for (const auto& e : result.epochs) {
+    std::cout << "  " << e.epoch << "      " << e.active_buyers << "      "
+              << e.welfare_cold << "        " << e.welfare_warm
+              << "        " << e.disrupted_cold << "            "
+              << e.disrupted_warm << "\n";
+  }
+
+  std::cout << "\ntotals: warm kept "
+            << 100.0 * result.total_welfare_warm / result.total_welfare_cold
+            << "% of the cold welfare while moving "
+            << result.total_disrupted_warm << " continuing buyers vs "
+            << result.total_disrupted_cold << " under cold reruns.\n";
+  std::cout << "Warm re-matching is just Stage II on the inherited state: "
+               "departures free capacity,\narrivals apply as unmatched "
+               "buyers, and nobody who stayed can end up worse off.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// The paper's most interesting empirical finding (§V-B): when buyers value
+// channels *differently* (low price similarity), the market satisfies more
+// of them and total welfare rises; when everyone chases the same channels,
+// competition wastes utility. This example sweeps the similarity maneuver
+// and prints welfare plus how many buyers end up matched.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "exp/experiment.hpp"
+#include "matching/two_stage.hpp"
+#include "workload/generator.hpp"
+#include "workload/similarity.hpp"
+
+int main() {
+  using namespace specmatch;
+
+  const int M = 6, N = 18, trials = 50;
+  std::cout << "Price-similarity study: M = " << M << ", N = " << N << ", "
+            << trials << " trials per point\n"
+            << "(m = size of the random permutation applied to each buyer's "
+               "sorted utility vector)\n\n";
+
+  Table table({"m", "mean SRCC", "welfare", "matched buyers",
+               "welfare/buyer"});
+  for (int m = 0; m <= M; ++m) {
+    const auto agg = exp::run_trials(trials, 7000 + static_cast<std::uint64_t>(m), [&](Rng& rng) {
+      workload::WorkloadParams params;
+      params.num_sellers = M;
+      params.num_buyers = N;
+      params.similarity_permutation = m;
+      const auto scenario = workload::generate_scenario(params, rng);
+      const auto market = market::build_market(scenario);
+      auto metrics = exp::two_stage_metrics(market);
+      metrics["srcc"] = workload::mean_similarity(scenario.utilities, M, N);
+      return metrics;
+    });
+    table.add_row({std::to_string(m), format_double(agg.mean("srcc"), 3),
+                   format_double(agg.mean("welfare_final"), 3),
+                   format_double(agg.mean("matched_buyers"), 2),
+                   format_double(agg.mean("welfare_final") /
+                                     agg.mean("matched_buyers"),
+                                 3)});
+  }
+  table.print(std::cout);
+  std::cout << "\nDiverse utilities (m large, SRCC ~ 0) spread buyers across "
+               "channels;\nsimilar utilities (m = 0, SRCC = 1) make them "
+               "fight over the same ones.\n";
+  return 0;
+}

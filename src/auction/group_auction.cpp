@@ -1,0 +1,119 @@
+#include "auction/group_auction.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+#include "graph/coloring.hpp"
+
+namespace specmatch::auction {
+
+namespace {
+
+struct CandidateGroup {
+  DynamicBitset members;
+  double group_bid = 0.0;
+};
+
+/// Best group for `channel` among the remaining buyer pool, by group bid
+/// |g| * min bid over positive-bid members.
+CandidateGroup best_group(const market::SpectrumMarket& market,
+                          ChannelId channel, const DynamicBitset& pool) {
+  // Buyers below the channel's participation threshold (non-positive bid or
+  // under the seller's reserve) never help a group.
+  DynamicBitset bidders = pool;
+  pool.for_each_set([&](std::size_t j) {
+    if (!market.admissible(channel, static_cast<BuyerId>(j)))
+      bidders.reset(j);
+  });
+  CandidateGroup best;
+  best.members = DynamicBitset(static_cast<std::size_t>(market.num_buyers()));
+  for (auto& group : graph::greedy_independent_partition(
+           market.graph(channel), bidders)) {
+    double min_bid = std::numeric_limits<double>::infinity();
+    std::size_t size = 0;
+    group.for_each_set([&](std::size_t j) {
+      min_bid = std::min(min_bid,
+                         market.utility(channel, static_cast<BuyerId>(j)));
+      ++size;
+    });
+    if (size == 0) continue;
+    const double bid = static_cast<double>(size) * min_bid;
+    if (bid > best.group_bid) {
+      best.group_bid = bid;
+      best.members = std::move(group);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+AuctionResult run_group_double_auction(const market::SpectrumMarket& market,
+                                       const AuctionConfig& config) {
+  const int M = market.num_channels();
+  const int N = market.num_buyers();
+
+  AuctionResult result;
+  result.matching = matching::Matching(M, N);
+
+  DynamicBitset pool(static_cast<std::size_t>(N));
+  for (int j = 0; j < N; ++j) pool.set(static_cast<std::size_t>(j));
+  std::vector<bool> channel_used(static_cast<std::size_t>(M), false);
+
+  // Greedy channel allocation by descending group bid (heterogeneous
+  // channels: regroup the remaining pool after every award).
+  while (true) {
+    ChannelId best_channel = kUnmatched;
+    CandidateGroup best;
+    for (ChannelId i = 0; i < M; ++i) {
+      if (channel_used[static_cast<std::size_t>(i)]) continue;
+      auto candidate = best_group(market, i, pool);
+      if (candidate.group_bid > best.group_bid &&
+          candidate.group_bid > config.seller_ask) {
+        best = std::move(candidate);
+        best_channel = i;
+      }
+    }
+    if (best_channel == kUnmatched) break;
+
+    channel_used[static_cast<std::size_t>(best_channel)] = true;
+    pool -= best.members;
+    TradedGroup trade;
+    trade.channel = best_channel;
+    trade.group_bid = best.group_bid;
+    best.members.for_each_set([&](std::size_t j) {
+      trade.buyers.push_back(static_cast<BuyerId>(j));
+      trade.group_value += market.utility(best_channel,
+                                          static_cast<BuyerId>(j));
+    });
+    result.trades.push_back(std::move(trade));
+  }
+
+  // McAfee trade reduction: drop the cheapest winning trade; its group bid
+  // becomes the uniform clearing price for the survivors. (Regrouping after
+  // each award means awards are not produced in monotone bid order, so the
+  // cheapest trade is located explicitly.)
+  if (config.mcafee_discard && !result.trades.empty()) {
+    const auto cheapest = std::min_element(
+        result.trades.begin(), result.trades.end(),
+        [](const TradedGroup& a, const TradedGroup& b) {
+          return a.group_bid < b.group_bid;
+        });
+    result.clearing_price = cheapest->group_bid;
+    result.trades.erase(cheapest);
+  }
+
+  for (const auto& trade : result.trades) {
+    for (BuyerId j : trade.buyers) result.matching.match(j, trade.channel);
+    result.welfare += trade.group_value;
+    const double payment =
+        config.mcafee_discard ? result.clearing_price : trade.group_bid;
+    result.buyer_payments += payment;
+    result.seller_revenue += payment;  // budget balanced by construction
+  }
+  result.matching.check_consistent();
+  return result;
+}
+
+}  // namespace specmatch::auction

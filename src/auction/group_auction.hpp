@@ -1,0 +1,59 @@
+// A group-based double spectrum auction baseline (TRUST / TAHES family).
+//
+// The paper's §VI contrasts matching against double auctions, the dominant
+// prior DSA mechanism (Zhou & Zheng's TRUST, INFOCOM'09; Feng et al.'s
+// TAHES, TWC'12, which adds per-channel heterogeneous interference). This
+// module implements the allocative core of that family so the benches can
+// quantify what the auctioneer's truthfulness machinery costs in welfare:
+//
+//   1. per channel, buyers are partitioned into interference-free groups by
+//      a bid-independent greedy colouring of that channel's graph;
+//   2. a group bids |g| * min_{j in g} b_{i,j} (the classic group bid that
+//      makes misreporting pointless);
+//   3. channels are allocated to their best groups greedily by group bid,
+//      winners' buyers leaving the pool (heterogeneous channels mean a buyer
+//      may appear in candidate groups of several channels, but can win one);
+//   4. McAfee-style trade reduction: the least valuable winning trade is
+//      discarded, and every surviving group pays that discarded group bid
+//      (uniform, budget-balanced, individually rational pricing).
+//
+// We report allocation, social welfare, payments and revenue. Only the
+// allocative behaviour matters for the comparison; the full truthfulness
+// proof is in the cited papers.
+#pragma once
+
+#include <vector>
+
+#include "matching/matching.hpp"
+
+namespace specmatch::auction {
+
+struct AuctionConfig {
+  /// A uniform per-channel seller ask; trades below it never happen.
+  double seller_ask = 0.0;
+  /// McAfee trade reduction: sacrifice the cheapest winning trade to price
+  /// the others. Disable to measure the pure grouping loss.
+  bool mcafee_discard = true;
+};
+
+struct TradedGroup {
+  ChannelId channel = kUnmatched;
+  std::vector<BuyerId> buyers;
+  double group_bid = 0.0;   ///< |g| * min bid
+  double group_value = 0.0; ///< sum of members' true utilities
+};
+
+struct AuctionResult {
+  matching::Matching matching;
+  std::vector<TradedGroup> trades;
+  double welfare = 0.0;        ///< sum of winners' utilities
+  double buyer_payments = 0.0; ///< total charged to buyers
+  double seller_revenue = 0.0; ///< total paid to sellers (budget-balanced)
+  /// The McAfee-discarded group's bid (the uniform clearing price), or 0.
+  double clearing_price = 0.0;
+};
+
+AuctionResult run_group_double_auction(const market::SpectrumMarket& market,
+                                       const AuctionConfig& config = {});
+
+}  // namespace specmatch::auction

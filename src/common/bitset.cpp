@@ -1,0 +1,81 @@
+#include "common/bitset.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace specmatch {
+
+void DynamicBitset::clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+std::size_t DynamicBitset::count() const {
+  std::size_t total = 0;
+  for (std::uint64_t word : words_) total += std::popcount(word);
+  return total;
+}
+
+bool DynamicBitset::any() const {
+  for (std::uint64_t word : words_)
+    if (word != 0) return true;
+  return false;
+}
+
+bool DynamicBitset::intersects(const DynamicBitset& other) const {
+  check_same_size(other);
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    if ((words_[w] & other.words_[w]) != 0) return true;
+  return false;
+}
+
+bool DynamicBitset::is_subset_of(const DynamicBitset& other) const {
+  check_same_size(other);
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    if ((words_[w] & ~other.words_[w]) != 0) return false;
+  return true;
+}
+
+DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
+  check_same_size(other);
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
+  check_same_size(other);
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+  return *this;
+}
+
+DynamicBitset& DynamicBitset::operator-=(const DynamicBitset& other) {
+  check_same_size(other);
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= ~other.words_[w];
+  return *this;
+}
+
+std::size_t DynamicBitset::find_first() const {
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    if (words_[w] != 0)
+      return w * kBits + static_cast<std::size_t>(__builtin_ctzll(words_[w]));
+  return size_;
+}
+
+std::size_t DynamicBitset::find_next(std::size_t pos) const {
+  ++pos;
+  if (pos >= size_) return size_;
+  std::size_t w = pos / kBits;
+  std::uint64_t word = words_[w] & (~std::uint64_t{0} << (pos % kBits));
+  while (true) {
+    if (word != 0)
+      return w * kBits + static_cast<std::size_t>(__builtin_ctzll(word));
+    if (++w == words_.size()) return size_;
+    word = words_[w];
+  }
+}
+
+std::vector<std::size_t> DynamicBitset::to_indices() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for_each_set([&](std::size_t i) { out.push_back(i); });
+  return out;
+}
+
+}  // namespace specmatch

@@ -1,0 +1,119 @@
+// DynamicBitset: a fixed-size-at-construction bitset over 64-bit words.
+//
+// Interference graphs over N buyers store one DynamicBitset adjacency row per
+// vertex; seller coalition feasibility checks reduce to word-parallel
+// intersection tests, which keeps the N = 500 sweeps of Figs. 7-8 fast on a
+// single core. The interface is deliberately small and bounds-checked.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace specmatch {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  /// Creates a bitset of `size` bits, all clear.
+  explicit DynamicBitset(std::size_t size)
+      : size_(size), words_((size + kBits - 1) / kBits, 0) {}
+
+  std::size_t size() const { return size_; }
+
+  bool test(std::size_t pos) const {
+    SPECMATCH_DCHECK(pos < size_);
+    return (words_[pos / kBits] >> (pos % kBits)) & 1u;
+  }
+
+  void set(std::size_t pos) {
+    SPECMATCH_DCHECK(pos < size_);
+    words_[pos / kBits] |= std::uint64_t{1} << (pos % kBits);
+  }
+
+  void reset(std::size_t pos) {
+    SPECMATCH_DCHECK(pos < size_);
+    words_[pos / kBits] &= ~(std::uint64_t{1} << (pos % kBits));
+  }
+
+  void set(std::size_t pos, bool value) {
+    if (value)
+      set(pos);
+    else
+      reset(pos);
+  }
+
+  /// Clears every bit.
+  void clear();
+
+  /// Number of set bits.
+  std::size_t count() const;
+
+  bool any() const;
+  bool none() const { return !any(); }
+
+  /// True iff this bitset and `other` share at least one set bit.
+  bool intersects(const DynamicBitset& other) const;
+
+  /// True iff every set bit of this bitset is also set in `other`.
+  bool is_subset_of(const DynamicBitset& other) const;
+
+  DynamicBitset& operator|=(const DynamicBitset& other);
+  DynamicBitset& operator&=(const DynamicBitset& other);
+  /// Clears every bit that is set in `other` (set difference).
+  DynamicBitset& operator-=(const DynamicBitset& other);
+
+  friend DynamicBitset operator|(DynamicBitset a, const DynamicBitset& b) {
+    a |= b;
+    return a;
+  }
+  friend DynamicBitset operator&(DynamicBitset a, const DynamicBitset& b) {
+    a &= b;
+    return a;
+  }
+  friend DynamicBitset operator-(DynamicBitset a, const DynamicBitset& b) {
+    a -= b;
+    return a;
+  }
+
+  bool operator==(const DynamicBitset& other) const = default;
+
+  /// Index of the first set bit, or size() if none.
+  std::size_t find_first() const;
+
+  /// Index of the first set bit strictly after `pos`, or size() if none.
+  std::size_t find_next(std::size_t pos) const;
+
+  /// Calls `fn(index)` for every set bit in ascending order.
+  template <typename Fn>
+  void for_each_set(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(w * kBits + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Set-bit indices in ascending order (convenience for tests / tracing).
+  std::vector<std::size_t> to_indices() const;
+
+ private:
+  static constexpr std::size_t kBits = 64;
+
+  void check_same_size(const DynamicBitset& other) const {
+    SPECMATCH_CHECK_MSG(size_ == other.size_,
+                        "bitset size mismatch: " << size_ << " vs "
+                                                 << other.size_);
+  }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace specmatch

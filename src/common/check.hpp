@@ -1,0 +1,56 @@
+// Lightweight precondition / invariant checking.
+//
+// SPECMATCH_CHECK is always on (cheap comparisons guarding API misuse);
+// SPECMATCH_DCHECK compiles out in release builds and is used on hot paths.
+// Violations throw specmatch::CheckError so tests can assert on misuse and
+// long-running simulations fail loudly instead of silently corrupting state.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace specmatch {
+
+/// Thrown when a SPECMATCH_CHECK precondition or invariant is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace specmatch
+
+#define SPECMATCH_CHECK(expr)                                              \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::specmatch::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+  } while (false)
+
+#define SPECMATCH_CHECK_MSG(expr, msg)                                     \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream specmatch_check_os;                               \
+      specmatch_check_os << msg;                                           \
+      ::specmatch::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                        specmatch_check_os.str());         \
+    }                                                                      \
+  } while (false)
+
+#ifdef NDEBUG
+#define SPECMATCH_DCHECK(expr) \
+  do {                         \
+  } while (false)
+#else
+#define SPECMATCH_DCHECK(expr) SPECMATCH_CHECK(expr)
+#endif

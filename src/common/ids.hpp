@@ -1,0 +1,20 @@
+// Index types shared across the library.
+//
+// After dummy virtualisation (Section II-A of the paper) every virtual seller
+// owns exactly one channel, so a SellerId doubles as a ChannelId; both range
+// over [0, M). Virtual buyers range over [0, N).
+#pragma once
+
+#include <cstdint>
+
+namespace specmatch {
+
+using BuyerId = std::int32_t;
+using SellerId = std::int32_t;
+/// A virtual seller and her single channel share an index (paper §II-A).
+using ChannelId = SellerId;
+
+/// Sentinel for "buyer j is unmatched", i.e. µ(j) = {j}.
+inline constexpr SellerId kUnmatched = -1;
+
+}  // namespace specmatch

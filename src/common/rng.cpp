@@ -1,0 +1,74 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace specmatch {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  SPECMATCH_CHECK_MSG(lo <= hi, "empty interval [" << lo << ", " << hi << ")");
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  SPECMATCH_CHECK_MSG(lo <= hi, "empty range [" << lo << ", " << hi << "]");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next_u64());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % span;
+  std::uint64_t draw;
+  do {
+    draw = next_u64();
+  } while (draw >= limit);
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Rng::normal(double mean, double stddev) {
+  SPECMATCH_CHECK_MSG(stddev >= 0.0, "negative stddev " << stddev);
+  // Box-Muller; u1 is nudged away from 0 so log() stays finite.
+  const double u1 = uniform() + 0x1.0p-60;
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * radius * std::cos(2.0 * kPi * u2);
+}
+
+Rng Rng::fork(std::uint64_t stream) {
+  // Mix the stream index with fresh output so forks are independent.
+  SplitMix64 sm(next_u64() ^ (0xa0761d6478bd642fULL * (stream + 1)));
+  return Rng(sm.next());
+}
+
+}  // namespace specmatch

@@ -1,0 +1,82 @@
+// Deterministic random-number generation.
+//
+// All experiment randomness flows through Rng (xoshiro256** seeded via
+// SplitMix64), so every simulation point in EXPERIMENTS.md is reproducible
+// from its stated seed, independent of the standard library implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace specmatch {
+
+/// SplitMix64 — used to expand a single seed into xoshiro state, and handy as
+/// a tiny standalone generator for hashing-style use.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** generator with convenience samplers.
+///
+/// Satisfies UniformRandomBitGenerator, so it also works with <random>
+/// distributions and std::shuffle.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() { return next_u64(); }
+
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Normal deviate via Box-Muller (no state caching: one draw per call).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// A derived generator with an independent stream (for per-trial seeding).
+  Rng fork(std::uint64_t stream);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace specmatch

@@ -1,0 +1,126 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace specmatch {
+
+void Summary::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Summary::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double Summary::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Summary::stddev() const { return std::sqrt(variance()); }
+
+double Summary::stderror() const {
+  return n_ < 2 ? 0.0 : stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double Summary::confidence_halfwidth(double z) const {
+  SPECMATCH_CHECK_MSG(z > 0.0, "non-positive z-score " << z);
+  return z * stderror();
+}
+
+double Summary::min() const { return min_; }
+double Summary::max() const { return max_; }
+
+std::vector<double> fractional_ranks(std::span<const double> values) {
+  const std::size_t n = values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return values[a] < values[b]; });
+
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    // Positions i..j (0-based) share the average 1-based rank.
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+namespace {
+
+double pearson(std::span<const double> a, std::span<const double> b) {
+  const std::size_t n = a.size();
+  double mean_a = 0.0, mean_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mean_a += a[i];
+    mean_b += b[i];
+  }
+  mean_a /= static_cast<double>(n);
+  mean_b /= static_cast<double>(n);
+  double cov = 0.0, var_a = 0.0, var_b = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double da = a[i] - mean_a;
+    const double db = b[i] - mean_b;
+    cov += da * db;
+    var_a += da * da;
+    var_b += db * db;
+  }
+  if (var_a == 0.0 || var_b == 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+}  // namespace
+
+double spearman(std::span<const double> a, std::span<const double> b) {
+  SPECMATCH_CHECK_MSG(a.size() == b.size(),
+                      "spearman: length mismatch " << a.size() << " vs "
+                                                   << b.size());
+  if (a.size() < 2) return 0.0;
+  const auto ra = fractional_ranks(a);
+  const auto rb = fractional_ranks(b);
+  return pearson(ra, rb);
+}
+
+double mean_pairwise_spearman(std::span<const double> rows, std::size_t cols) {
+  SPECMATCH_CHECK(cols > 0);
+  SPECMATCH_CHECK(rows.size() % cols == 0);
+  const std::size_t n = rows.size() / cols;
+  if (n < 2) return 1.0;
+  Summary acc;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      acc.add(spearman(rows.subspan(i * cols, cols),
+                       rows.subspan(j * cols, cols)));
+    }
+  }
+  return acc.mean();
+}
+
+double jain_fairness_index(std::span<const double> values) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : values) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (values.empty() || sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(values.size()) * sum_sq);
+}
+
+}  // namespace specmatch

@@ -1,0 +1,61 @@
+// Descriptive statistics and rank correlation.
+//
+// Spearman's rank correlation coefficient (SRCC) quantifies the similarity of
+// buyers' utility vectors in Section V of the paper; Summary powers the
+// mean ± stderr aggregation of every replicated experiment point.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace specmatch {
+
+/// Streaming accumulator for mean / variance / extrema (Welford's method).
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Standard error of the mean; 0 for fewer than two samples.
+  double stderror() const;
+  /// Half-width of a normal-approximation confidence interval around the
+  /// mean (default 95%: 1.96 sigma/sqrt(n)); 0 for fewer than two samples.
+  double confidence_halfwidth(double z = 1.96) const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fractional ranks (ties get the average of the ranks they span), 1-based.
+std::vector<double> fractional_ranks(std::span<const double> values);
+
+/// Spearman's rank correlation coefficient between two equal-length vectors.
+/// Computed as the Pearson correlation of fractional ranks, so ties are
+/// handled correctly. Returns 0 for vectors shorter than 2 or with zero rank
+/// variance.
+double spearman(std::span<const double> a, std::span<const double> b);
+
+/// Mean pairwise SRCC over the rows of a matrix (the paper's "price
+/// similarity" measure, §V-A). `rows` is row-major with `cols` columns.
+double mean_pairwise_spearman(std::span<const double> rows, std::size_t cols);
+
+/// Jain's fairness index (sum x)^2 / (n * sum x^2): 1 when all values are
+/// equal, 1/n when a single participant takes everything. Standard DSA
+/// fairness measure over buyers' realised utilities. Returns 1 for empty or
+/// all-zero input.
+double jain_fairness_index(std::span<const double> values);
+
+}  // namespace specmatch

@@ -1,0 +1,199 @@
+#include "dist/buyer_agent.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace specmatch::dist {
+
+BuyerAgent::BuyerAgent(BuyerId id, const market::SpectrumMarket& market,
+                       const BuyerConfig& config)
+    : id_(id),
+      market_(market),
+      config_(config),
+      pref_order_(market.buyer_preference_order(id)),
+      neighbors_seen_(static_cast<std::size_t>(market.num_buyers())),
+      applied_(static_cast<std::size_t>(market.num_channels())) {
+  SPECMATCH_CHECK(config_.stage1_deadline > 0);
+}
+
+AgentId BuyerAgent::seller_agent(ChannelId i) const {
+  return market_.num_buyers() + i;
+}
+
+double BuyerAgent::current_utility() const {
+  // Protocol invariant: a seller's waiting list is interference-free, so a
+  // matched buyer enjoys her full price.
+  return matched_to_ == kUnmatched ? 0.0 : market_.utility(matched_to_, id_);
+}
+
+void BuyerAgent::set_match(SellerId seller, int slot) {
+  if (matched_to_ != seller) {
+    neighbors_seen_.clear();
+    last_match_change_slot_ = slot;
+  }
+  matched_to_ = seller;
+}
+
+void BuyerAgent::rebuild_application_list() {
+  app_order_.clear();
+  next_app_ = 0;
+  const double now = current_utility();
+  for (ChannelId i : pref_order_) {
+    if (applied_.test(static_cast<std::size_t>(i))) continue;
+    if (i == matched_to_) continue;
+    if (market_.utility(i, id_) > now) app_order_.push_back(i);
+  }
+}
+
+void BuyerAgent::enter_stage2(int slot) {
+  if (stage_ == Stage::kStage2) return;
+  stage_ = Stage::kStage2;
+  transition_slot_ = slot;
+  rebuild_application_list();
+}
+
+bool BuyerAgent::transition_condition_met(int slot) const {
+  if (notice_received_) return true;                // rule III, always active
+  if (slot >= config_.stage1_deadline) return true; // worst-case fallback
+  switch (config_.rule) {
+    case BuyerRule::kDefault:
+      return false;
+    case BuyerRule::kRuleI: {
+      if (matched_to_ == kUnmatched) return next_pref_ >= pref_order_.size();
+      // All interfering neighbours on my channel have proposed to my seller.
+      return market_.graph(matched_to_)
+          .neighbors(id_)
+          .is_subset_of(neighbors_seen_);
+    }
+    case BuyerRule::kRuleII: {
+      if (matched_to_ == kUnmatched) return next_pref_ >= pref_order_.size();
+      const auto outstanding =
+          market_.graph(matched_to_).neighbors(id_) - neighbors_seen_;
+      const double risk = buyer_eviction_probability(
+          slot, market_.num_channels(), market_.num_buyers(),
+          static_cast<int>(outstanding.count()),
+          market_.utility(matched_to_, id_));
+      return risk < config_.eviction_threshold;
+    }
+    case BuyerRule::kQuiescence: {
+      if (matched_to_ == kUnmatched) return next_pref_ >= pref_order_.size();
+      return slot - last_match_change_slot_ >= config_.quiescence_window;
+    }
+  }
+  return false;
+}
+
+void BuyerAgent::step(int slot, Network& net) {
+  // ---- 1. Read the inbox in arrival order; batch invitations. -------------
+  std::vector<Message> invites;
+  for (Message& msg : net.drain(id_)) {
+    switch (msg.type) {
+      case MsgType::kAccept:
+        awaiting_proposal_ = false;
+        set_match(msg.from - market_.num_buyers(), slot);
+        break;
+      case MsgType::kReject:
+        // Stage-I rejection: simply move on to the next seller.
+        awaiting_proposal_ = false;
+        break;
+      case MsgType::kEvict: {
+        set_match(kUnmatched, slot);
+        // Being evicted mid-Stage-II reopens sellers that were no better
+        // than the (now lost) match.
+        if (stage_ == Stage::kStage2) rebuild_application_list();
+        break;
+      }
+      case MsgType::kTransferAccept: {
+        const SellerId seller = msg.from - market_.num_buyers();
+        awaiting_reply_ = false;
+        if (seller == matched_to_) {
+          // Delay race: the seller accepted an application from a buyer she
+          // already holds (e.g. a proposal overtook the application). Keep.
+          break;
+        }
+        if (market_.utility(seller, id_) > current_utility()) {
+          const SellerId old = matched_to_;
+          set_match(seller, slot);
+          if (old != kUnmatched)
+            net.send({MsgType::kWithdraw, id_, seller_agent(old), 0.0, {}});
+        } else {
+          // A race (e.g. an invitation accepted meanwhile) made this
+          // transfer stale; bow out immediately.
+          net.send({MsgType::kWithdraw, id_, msg.from, 0.0, {}});
+        }
+        break;
+      }
+      case MsgType::kTransferReject:
+        awaiting_reply_ = false;
+        break;
+      case MsgType::kTransitionNotice:
+        notice_received_ = true;
+        break;
+      case MsgType::kProposerReport: {
+        const SellerId seller = msg.from - market_.num_buyers();
+        if (seller == matched_to_) {
+          for (BuyerId proposer : msg.buyers)
+            if (proposer != id_)
+              neighbors_seen_.set(static_cast<std::size_t>(proposer));
+        }
+        break;
+      }
+      case MsgType::kInvite:
+        invites.push_back(std::move(msg));
+        break;
+      default:
+        SPECMATCH_CHECK_MSG(false, "buyer " << id_ << " got unexpected "
+                                            << to_string(msg.type));
+    }
+  }
+
+  // ---- 2. Answer invitations (lowest seller index first, mirroring the
+  // sequential seller loop of Algorithm 2 Phase 2). ------------------------
+  std::sort(invites.begin(), invites.end(),
+            [](const Message& a, const Message& b) { return a.from < b.from; });
+  for (const Message& invite : invites) {
+    const SellerId seller = invite.from - market_.num_buyers();
+    if (market_.utility(seller, id_) > current_utility()) {
+      const SellerId old = matched_to_;
+      set_match(seller, slot);
+      net.send({MsgType::kInviteAccept, id_, invite.from, 0.0, {}});
+      if (old != kUnmatched)
+        net.send({MsgType::kWithdraw, id_, seller_agent(old), 0.0, {}});
+    } else {
+      net.send({MsgType::kInviteDecline, id_, invite.from, 0.0, {}});
+    }
+  }
+
+  // ---- 3. Stage transition & acting. --------------------------------------
+  if (stage_ == Stage::kStage1 && transition_condition_met(slot))
+    enter_stage2(slot);
+
+  if (stage_ == Stage::kStage1) {
+    if (matched_to_ == kUnmatched && !awaiting_proposal_ &&
+        next_pref_ < pref_order_.size()) {
+      const ChannelId i = pref_order_[next_pref_++];
+      awaiting_proposal_ = true;
+      net.send({MsgType::kPropose, id_, seller_agent(i),
+                market_.utility(i, id_), {}});
+    }
+    return;
+  }
+
+  // Stage II: one transfer application per slot, best remaining seller first,
+  // never while a previous application is unanswered.
+  if (awaiting_reply_) return;
+  const double now = current_utility();
+  while (next_app_ < app_order_.size() &&
+         market_.utility(app_order_[next_app_], id_) <= now)
+    ++next_app_;
+  if (next_app_ < app_order_.size()) {
+    const ChannelId i = app_order_[next_app_++];
+    applied_.set(static_cast<std::size_t>(i));
+    awaiting_reply_ = true;
+    net.send({MsgType::kTransferApply, id_, seller_agent(i),
+              market_.utility(i, id_), {}});
+  }
+}
+
+}  // namespace specmatch::dist

@@ -1,0 +1,85 @@
+// A buyer as a message-driven agent (§IV).
+//
+// She sees only her own utilities, her own interference neighbourhoods, the
+// market dimensions (M, N) and the messages she receives; everything else —
+// including whether she is still matched — she learns through the protocol.
+// Stage-transition rules decide locally when she stops proposing (Stage I)
+// and starts sending transfer applications (Stage II).
+#pragma once
+
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "common/ids.hpp"
+#include "dist/message.hpp"
+#include "dist/network.hpp"
+#include "dist/transition.hpp"
+#include "market/market.hpp"
+
+namespace specmatch::dist {
+
+struct BuyerConfig {
+  BuyerRule rule = BuyerRule::kDefault;
+  /// P^k threshold for rule II.
+  double eviction_threshold = 0.05;
+  /// kQuiescence: transition after holding the same match for this many
+  /// consecutive slots.
+  int quiescence_window = 3;
+  /// Worst-case Stage-I bound MN: every policy transitions here at the latest
+  /// (this is the *whole* policy for kDefault).
+  int stage1_deadline = 0;
+};
+
+class BuyerAgent {
+ public:
+  BuyerAgent(BuyerId id, const market::SpectrumMarket& market,
+             const BuyerConfig& config);
+
+  /// One time slot: read inbox, maybe transition, act (propose / apply /
+  /// answer invitations).
+  void step(int slot, Network& net);
+
+  enum class Stage : std::uint8_t { kStage1, kStage2 };
+  Stage stage() const { return stage_; }
+  SellerId matched_to() const { return matched_to_; }
+  /// Slot at which the buyer entered Stage II, or -1 while in Stage I.
+  int transition_slot() const { return transition_slot_; }
+
+ private:
+  AgentId seller_agent(ChannelId i) const;
+  double current_utility() const;
+  void set_match(SellerId seller, int slot);
+  void enter_stage2(int slot);
+  void rebuild_application_list();
+  bool transition_condition_met(int slot) const;
+
+  const BuyerId id_;
+  const market::SpectrumMarket& market_;
+  const BuyerConfig config_;
+
+  Stage stage_ = Stage::kStage1;
+  int transition_slot_ = -1;
+  SellerId matched_to_ = kUnmatched;
+
+  // Stage I: proposal order and cursor (A_j).
+  std::vector<ChannelId> pref_order_;
+  std::size_t next_pref_ = 0;
+
+  // Interfering neighbours observed proposing to the *current* seller
+  // (rule I / rule II bookkeeping; reset when the match changes).
+  DynamicBitset neighbors_seen_;
+
+  // Stage II: application order, cursor, and the once-per-seller guard T_j.
+  std::vector<ChannelId> app_order_;
+  std::size_t next_app_ = 0;
+  DynamicBitset applied_;
+  bool awaiting_reply_ = false;
+  /// A Stage-I proposal is in flight (matters once the network delays
+  /// messages: never issue the next proposal before the verdict arrives).
+  bool awaiting_proposal_ = false;
+  bool notice_received_ = false;
+  /// Slot of the last match change (kQuiescence bookkeeping).
+  int last_match_change_slot_ = 0;
+};
+
+}  // namespace specmatch::dist

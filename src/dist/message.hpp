@@ -1,0 +1,44 @@
+// Protocol messages exchanged by buyer and seller agents (§IV).
+//
+// Agent ids: buyer j has id j, seller i has id N + i. Prices ride on
+// proposals and transfer applications — a seller only ever learns the prices
+// of buyers who contacted her, exactly the information a free market leaks.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.hpp"
+
+namespace specmatch::dist {
+
+using AgentId = std::int32_t;
+
+enum class MsgType : std::uint8_t {
+  kPropose,         ///< buyer -> seller, Stage I (carries price)
+  kAccept,          ///< seller -> buyer: admitted to the waiting list
+  kReject,          ///< seller -> buyer: proposal rejected
+  kEvict,           ///< seller -> buyer: removed from the waiting list
+  kTransferApply,   ///< buyer -> seller, Stage II Phase 1 (carries price)
+  kTransferAccept,  ///< seller -> buyer
+  kTransferReject,  ///< seller -> buyer
+  kInvite,          ///< seller -> buyer, Stage II Phase 2
+  kInviteAccept,    ///< buyer -> seller
+  kInviteDecline,   ///< buyer -> seller
+  kWithdraw,        ///< buyer -> old seller: I moved elsewhere
+  kTransitionNotice,///< seller -> matched buyers: I entered Stage II (rule III)
+  kProposerReport,  ///< seller -> matched buyers: who proposed this slot
+};
+
+std::string_view to_string(MsgType type);
+
+struct Message {
+  MsgType type{};
+  AgentId from = -1;
+  AgentId to = -1;
+  double price = 0.0;            ///< kPropose / kTransferApply / kInvite
+  std::vector<BuyerId> buyers;   ///< kProposerReport payload
+};
+
+}  // namespace specmatch::dist

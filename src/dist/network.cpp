@@ -1,0 +1,232 @@
+#include "dist/network.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace specmatch::dist {
+
+std::string_view to_string(MsgType type) {
+  switch (type) {
+    case MsgType::kPropose: return "propose";
+    case MsgType::kAccept: return "accept";
+    case MsgType::kReject: return "reject";
+    case MsgType::kEvict: return "evict";
+    case MsgType::kTransferApply: return "transfer_apply";
+    case MsgType::kTransferAccept: return "transfer_accept";
+    case MsgType::kTransferReject: return "transfer_reject";
+    case MsgType::kInvite: return "invite";
+    case MsgType::kInviteAccept: return "invite_accept";
+    case MsgType::kInviteDecline: return "invite_decline";
+    case MsgType::kWithdraw: return "withdraw";
+    case MsgType::kTransitionNotice: return "transition_notice";
+    case MsgType::kProposerReport: return "proposer_report";
+  }
+  return "unknown";
+}
+
+namespace {
+constexpr int kNumMsgTypes = 13;
+}
+
+Network::Network(int num_agents, const NetworkConfig& config)
+    : config_(config),
+      delay_rng_(config.seed),
+      inboxes_(static_cast<std::size_t>(num_agents)),
+      channel_floor_(static_cast<std::size_t>(num_agents) *
+                         static_cast<std::size_t>(num_agents),
+                     0),
+      num_agents_(num_agents),
+      per_type_(kNumMsgTypes, 0) {
+  SPECMATCH_CHECK(num_agents > 0);
+  SPECMATCH_CHECK(config.min_delay >= 0);
+  SPECMATCH_CHECK(config.min_delay <= config.max_delay);
+  SPECMATCH_CHECK(config.loss_prob >= 0.0 && config.loss_prob < 1.0);
+  SPECMATCH_CHECK(config.retransmit_every >= 1);
+  if (config_.loss_prob > 0.0) {
+    const auto channels = static_cast<std::size_t>(num_agents) *
+                          static_cast<std::size_t>(num_agents);
+    next_seq_.assign(channels, 0);
+    next_expected_.assign(channels, 0);
+    unacked_.resize(channels);
+    reorder_.resize(channels);
+  }
+}
+
+std::size_t Network::channel_index(AgentId from, AgentId to) const {
+  return static_cast<std::size_t>(from) *
+             static_cast<std::size_t>(num_agents_) +
+         static_cast<std::size_t>(to);
+}
+
+int Network::draw_delay() {
+  if (config_.max_delay == 0) return 0;
+  return static_cast<int>(
+      delay_rng_.uniform_int(config_.min_delay, config_.max_delay));
+}
+
+void Network::transmit(Frame frame) {
+  ++transmissions_;
+  if (delay_rng_.bernoulli(config_.loss_prob)) {
+    ++losses_;
+    return;
+  }
+  frame.arrives_at = current_slot_ + draw_delay();
+  in_flight_.push_back(std::move(frame));
+}
+
+void Network::deliver_in_order(std::size_t channel, AgentId to) {
+  auto& buffer = reorder_[channel];
+  bool advanced = true;
+  while (advanced) {
+    advanced = false;
+    for (std::size_t k = 0; k < buffer.size(); ++k) {
+      if (buffer[k].first == next_expected_[channel]) {
+        inboxes_[static_cast<std::size_t>(to)].push_back(
+            {current_slot_, std::move(buffer[k].second)});
+        buffer.erase(buffer.begin() + static_cast<std::ptrdiff_t>(k));
+        ++next_expected_[channel];
+        advanced = true;
+        break;
+      }
+    }
+  }
+}
+
+void Network::begin_slot(int slot) {
+  current_slot_ = slot;
+  if (config_.loss_prob == 0.0) return;
+
+  // 1. Deliver due frames (snapshot first: processing generates acks).
+  std::vector<Frame> due;
+  std::vector<Frame> later;
+  for (auto& frame : in_flight_) {
+    if (frame.arrives_at <= slot)
+      due.push_back(std::move(frame));
+    else
+      later.push_back(std::move(frame));
+  }
+  in_flight_ = std::move(later);
+
+  for (auto& frame : due) {
+    const auto channel = static_cast<std::size_t>(frame.channel);
+    if (frame.is_ack) {
+      auto& outbox = unacked_[channel];
+      outbox.erase(std::remove_if(outbox.begin(), outbox.end(),
+                                  [&](const Unacked& u) {
+                                    return u.seq == frame.seq;
+                                  }),
+                   outbox.end());
+      continue;
+    }
+    // Data frame: always (re-)acknowledge, deliver at most once, in order.
+    const AgentId sender = frame.message.from;
+    Frame ack;
+    ack.is_ack = true;
+    ack.seq = frame.seq;
+    ack.channel = frame.channel;
+    ack.to = sender;
+    transmit(std::move(ack));
+
+    if (frame.seq < next_expected_[channel]) continue;  // duplicate
+    auto& buffer = reorder_[channel];
+    const bool already_buffered =
+        std::any_of(buffer.begin(), buffer.end(),
+                    [&](const auto& entry) { return entry.first == frame.seq; });
+    if (!already_buffered)
+      buffer.emplace_back(frame.seq, std::move(frame.message));
+    deliver_in_order(channel, frame.to);
+  }
+
+  // 2. Retransmit stale unacked messages.
+  for (std::size_t channel = 0; channel < unacked_.size(); ++channel) {
+    for (auto& entry : unacked_[channel]) {
+      if (entry.last_sent + config_.retransmit_every > slot) continue;
+      entry.last_sent = slot;
+      Frame frame;
+      frame.seq = entry.seq;
+      frame.channel = static_cast<int>(channel);
+      frame.to = entry.message.to;
+      frame.message = entry.message;
+      transmit(std::move(frame));
+    }
+  }
+}
+
+void Network::send(Message message) {
+  SPECMATCH_CHECK_MSG(message.to >= 0 && message.to < num_agents_,
+                      "bad recipient " << message.to);
+  SPECMATCH_CHECK_MSG(message.from >= 0 && message.from < num_agents_,
+                      "bad sender " << message.from);
+  ++total_messages_;
+  ++per_type_[static_cast<std::size_t>(message.type)];
+
+  if (config_.loss_prob > 0.0) {
+    const std::size_t channel = channel_index(message.from, message.to);
+    Unacked entry;
+    entry.seq = next_seq_[channel]++;
+    entry.last_sent = current_slot_;
+    entry.message = message;
+    Frame frame;
+    frame.seq = entry.seq;
+    frame.channel = static_cast<int>(channel);
+    frame.to = message.to;
+    frame.message = std::move(message);
+    unacked_[channel].push_back(std::move(entry));
+    transmit(std::move(frame));
+    return;
+  }
+
+  ++transmissions_;
+  int visible_at = current_slot_;
+  if (config_.max_delay > 0) {
+    visible_at += draw_delay();
+    // Keep each (sender, receiver) channel FIFO: never schedule a message
+    // ahead of one sent earlier on the same channel.
+    const std::size_t channel = channel_index(message.from, message.to);
+    visible_at = std::max(visible_at, channel_floor_[channel]);
+    channel_floor_[channel] = visible_at;
+  }
+  inboxes_[static_cast<std::size_t>(message.to)].push_back(
+      {visible_at, std::move(message)});
+}
+
+std::vector<Message> Network::drain(AgentId agent) {
+  SPECMATCH_CHECK(agent >= 0 && agent < num_agents_);
+  auto& inbox = inboxes_[static_cast<std::size_t>(agent)];
+  std::vector<Message> out;
+  if (config_.max_delay == 0 || config_.loss_prob > 0.0) {
+    // Reliable mode releases messages into the inbox only when due, so the
+    // whole inbox is always visible.
+    out.reserve(inbox.size());
+    for (auto& pending : inbox) out.push_back(std::move(pending.message));
+    inbox.clear();
+    return out;
+  }
+  std::vector<Pending> keep;
+  for (auto& pending : inbox) {
+    if (pending.visible_at <= current_slot_)
+      out.push_back(std::move(pending.message));
+    else
+      keep.push_back(std::move(pending));
+  }
+  inbox = std::move(keep);
+  return out;
+}
+
+bool Network::has_pending() const {
+  for (const auto& inbox : inboxes_)
+    if (!inbox.empty()) return true;
+  if (!in_flight_.empty()) return true;
+  for (const auto& outbox : unacked_)
+    if (!outbox.empty()) return true;
+  for (const auto& buffer : reorder_)
+    if (!buffer.empty()) return true;
+  return false;
+}
+
+std::int64_t Network::messages_of(MsgType type) const {
+  return per_type_[static_cast<std::size_t>(type)];
+}
+
+}  // namespace specmatch::dist

@@ -1,0 +1,110 @@
+// A slotted network connecting the agents.
+//
+// Default (zero-delay) semantics: buyers step before sellers within a slot;
+// a message is visible to the recipient the next time they step. This
+// realises the paper's "each round takes one time slot" abstraction: a
+// buyer's proposal is decided by the seller in the same slot, and the
+// seller's verdict reaches the buyer at the start of the next slot.
+//
+// With a delay model configured, each message additionally waits a random
+// number of whole slots drawn uniformly from [min_delay, max_delay] before
+// becoming visible. Delivery stays FIFO per (sender, receiver) pair —
+// per-channel ordering, as TCP would give — because the agent protocol
+// relies on e.g. an InviteAccept preceding the Withdraw that supersedes it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dist/message.hpp"
+
+namespace specmatch::dist {
+
+struct NetworkConfig {
+  int min_delay = 0;  ///< extra slots before a message becomes visible
+  int max_delay = 0;
+  std::uint64_t seed = 0x5107;  ///< delay/loss-model randomness
+
+  /// Probability that any single transmission attempt (including acks and
+  /// retransmissions) is lost. With loss_prob > 0 the network switches to a
+  /// reliable-delivery mode: per-channel sequence numbers, positive acks,
+  /// periodic retransmission, duplicate suppression and in-order release —
+  /// agents still observe exactly-once FIFO delivery, just later.
+  double loss_prob = 0.0;
+  /// Retransmit an unacknowledged message every this-many slots.
+  int retransmit_every = 2;
+};
+
+class Network {
+ public:
+  explicit Network(int num_agents, const NetworkConfig& config = {});
+
+  /// Advances the network clock; call once at the start of each slot.
+  /// In reliable mode this also drives retransmission of unacked messages.
+  void begin_slot(int slot);
+
+  void send(Message message);
+
+  /// Moves the recipient's *visible* messages out, oldest first.
+  std::vector<Message> drain(AgentId agent);
+
+  /// Any message not yet drained (visible or still in flight)?
+  bool has_pending() const;
+
+  std::int64_t total_messages() const { return total_messages_; }
+  std::int64_t messages_of(MsgType type) const;
+  int max_delay() const { return config_.max_delay; }
+  /// Physical transmission attempts, incl. retransmissions and acks
+  /// (reliable mode only; equals total_messages() otherwise).
+  std::int64_t transmissions() const { return transmissions_; }
+  std::int64_t losses() const { return losses_; }
+
+ private:
+  struct Pending {
+    int visible_at;
+    Message message;
+  };
+  /// Reliable mode: an application message awaiting its ack.
+  struct Unacked {
+    std::uint64_t seq = 0;
+    int last_sent = 0;
+    Message message;
+  };
+  /// Reliable mode: an in-flight frame (data or ack).
+  struct Frame {
+    bool is_ack = false;
+    std::uint64_t seq = 0;
+    int channel = 0;  ///< data: sender->receiver id; ack: the data channel
+    int arrives_at = 0;
+    AgentId to = -1;
+    Message message;  ///< valid for data frames
+  };
+
+  std::size_t channel_index(AgentId from, AgentId to) const;
+  int draw_delay();
+  void transmit(Frame frame);
+  void deliver_in_order(std::size_t channel, AgentId to);
+
+  NetworkConfig config_;
+  Rng delay_rng_;
+  int current_slot_ = 0;
+  std::vector<std::vector<Pending>> inboxes_;
+  /// FIFO guard: earliest visible_at allowed per (sender, receiver) pair.
+  std::vector<int> channel_floor_;
+  int num_agents_ = 0;
+  std::int64_t total_messages_ = 0;
+  std::int64_t transmissions_ = 0;
+  std::int64_t losses_ = 0;
+  std::vector<std::int64_t> per_type_;
+
+  // Reliable mode state, all indexed by channel = from * num_agents + to.
+  std::vector<std::uint64_t> next_seq_;
+  std::vector<std::uint64_t> next_expected_;
+  std::vector<std::vector<Unacked>> unacked_;
+  /// Received-but-out-of-order data, per channel: (seq, message).
+  std::vector<std::vector<std::pair<std::uint64_t, Message>>> reorder_;
+  std::vector<Frame> in_flight_;
+};
+
+}  // namespace specmatch::dist

@@ -1,0 +1,168 @@
+#include "dist/runtime.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace specmatch::dist {
+
+DistResult run_distributed(const market::SpectrumMarket& market,
+                           const DistConfig& config) {
+  const int M = market.num_channels();
+  const int N = market.num_buyers();
+  SPECMATCH_CHECK(config.min_message_delay >= 0 &&
+                  config.min_message_delay <= config.max_message_delay);
+  SPECMATCH_CHECK(config.message_loss_prob >= 0.0 &&
+                  config.message_loss_prob < 1.0);
+  // With delayed delivery one logical round (request out, verdict back)
+  // spans up to 2 * max_delay + 1 slots; reliable mode adds one slot of
+  // staging latency plus an expected-retransmission factor. Worst-case
+  // bounds scale with the resulting round span.
+  const bool reliable = config.message_loss_prob > 0.0;
+  const int effective_delay =
+      config.max_message_delay + (reliable ? 1 : 0);
+  int round_span = 2 * effective_delay + 1;
+  if (reliable) {
+    const double p = config.message_loss_prob;
+    round_span = static_cast<int>(
+                     static_cast<double>(round_span) * (1.0 + 4.0 * p) /
+                     (1.0 - p)) +
+                 config.retransmit_every;
+  }
+  const int stage1_deadline = M * N * round_span;
+  const int max_slots = config.max_slots > 0
+                            ? config.max_slots
+                            : (M * N + M + N + 8) * round_span;
+
+  BuyerConfig buyer_config;
+  buyer_config.rule = config.buyer_rule;
+  buyer_config.eviction_threshold = config.buyer_threshold;
+  buyer_config.quiescence_window = config.quiescence_window;
+  buyer_config.stage1_deadline = stage1_deadline;
+
+  SellerConfig seller_config;
+  seller_config.rule = config.seller_rule;
+  seller_config.better_proposal_threshold = config.seller_threshold;
+  seller_config.quiescence_window = config.quiescence_window;
+  seller_config.stage1_deadline = stage1_deadline;
+  seller_config.phase1_duration = M * round_span;
+  seller_config.coalition_policy = config.coalition_policy;
+  seller_config.invite_timeout = 3 * round_span + 5;
+  seller_config.broadcast_proposers =
+      config.buyer_rule == BuyerRule::kRuleI ||
+      config.buyer_rule == BuyerRule::kRuleII;
+
+  std::vector<BuyerAgent> buyers;
+  buyers.reserve(static_cast<std::size_t>(N));
+  for (BuyerId j = 0; j < N; ++j)
+    buyers.emplace_back(j, market, buyer_config);
+  std::vector<SellerAgent> sellers;
+  sellers.reserve(static_cast<std::size_t>(M));
+  for (ChannelId i = 0; i < M; ++i)
+    sellers.emplace_back(i, market, seller_config);
+
+  NetworkConfig net_config;
+  net_config.min_delay = config.min_message_delay;
+  net_config.max_delay = config.max_message_delay;
+  net_config.seed = config.network_seed;
+  net_config.loss_prob = config.message_loss_prob;
+  net_config.retransmit_every = config.retransmit_every;
+  Network net(N + M, net_config);
+  DistResult result;
+  result.matching = matching::Matching(M, N);
+
+  // Crash schedule: each buyer independently crash-stops at a uniform slot
+  // of the Stage-I window with probability buyer_crash_prob.
+  SPECMATCH_CHECK(config.buyer_crash_prob >= 0.0 &&
+                  config.buyer_crash_prob <= 1.0);
+  result.crashed.assign(static_cast<std::size_t>(N), false);
+  std::vector<int> crash_slot(static_cast<std::size_t>(N), -1);
+  if (config.buyer_crash_prob > 0.0) {
+    Rng crash_rng(config.network_seed ^ 0xdeadULL);
+    for (BuyerId j = 0; j < N; ++j) {
+      if (crash_rng.bernoulli(config.buyer_crash_prob))
+        crash_slot[static_cast<std::size_t>(j)] = static_cast<int>(
+            crash_rng.uniform_int(0, stage1_deadline - 1));
+    }
+  }
+
+  int slot = 0;
+  bool finished = false;
+  for (; slot < max_slots; ++slot) {
+    net.begin_slot(slot);
+    for (BuyerId j = 0; j < N; ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      if (crash_slot[ju] >= 0 && slot >= crash_slot[ju]) {
+        if (!result.crashed[ju]) {
+          result.crashed[ju] = true;
+          ++result.crashed_buyers;
+        }
+        // Dead-letter: a crashed buyer consumes messages without acting, so
+        // pending traffic to her cannot block termination.
+        (void)net.drain(j);
+        continue;
+      }
+      buyers[ju].step(slot, net);
+    }
+    for (auto& seller : sellers) seller.step(slot, net);
+
+    bool stage1_active = false;
+    bool all_done = true;
+    for (const auto& seller : sellers) {
+      if (seller.stage() == SellerAgent::Stage::kStage1) stage1_active = true;
+      if (!seller.done()) all_done = false;
+    }
+    if (stage1_active) result.last_stage1_slot = slot;
+    if (all_done && !net.has_pending()) {
+      ++slot;  // this slot completed
+      finished = true;
+      break;
+    }
+  }
+  result.slots = slot;
+  result.hit_slot_cap = !finished;
+  result.messages = net.total_messages();
+  result.data_messages =
+      net.total_messages() - net.messages_of(MsgType::kProposerReport);
+  result.transmissions = net.transmissions();
+  result.losses = net.losses();
+  for (int t = 0; t <= static_cast<int>(MsgType::kProposerReport); ++t)
+    result.messages_by_type.push_back(
+        net.messages_of(static_cast<MsgType>(t)));
+
+  // Sellers hold the authoritative membership view. A buyer who crashed
+  // mid-transfer can be on two sellers' books (her confirming Withdraw never
+  // went out); keep the first claim and count the conflict.
+  for (ChannelId i = 0; i < M; ++i) {
+    sellers[static_cast<std::size_t>(i)].members().for_each_set(
+        [&](std::size_t j) {
+          if (result.matching.is_matched(static_cast<BuyerId>(j))) {
+            SPECMATCH_CHECK_MSG(result.crashed[j],
+                                "live buyer " << j
+                                              << " on two sellers' books");
+            ++result.stale_conflicts;
+            return;
+          }
+          result.matching.match(static_cast<BuyerId>(j), i);
+        });
+  }
+  result.matching.check_consistent();
+  for (BuyerId j = 0; j < N; ++j)
+    if (!result.crashed[static_cast<std::size_t>(j)])
+      result.alive_welfare += result.matching.buyer_utility(market, j);
+
+  // Buyers must agree with the sellers' books — a disagreement means the
+  // protocol leaked state, which we'd rather surface than average away.
+  // (Crashed buyers hold stale views by definition.)
+  for (BuyerId j = 0; j < N; ++j) {
+    if (result.crashed[static_cast<std::size_t>(j)]) continue;
+    SPECMATCH_CHECK_MSG(
+        buyers[static_cast<std::size_t>(j)].matched_to() ==
+            result.matching.seller_of(j),
+        "buyer " << j << " believes " << buyers[static_cast<std::size_t>(j)].matched_to()
+                 << " but sellers say " << result.matching.seller_of(j));
+  }
+  return result;
+}
+
+}  // namespace specmatch::dist

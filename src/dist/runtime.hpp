@@ -1,0 +1,101 @@
+// Driver for the fully distributed realisation of the two-stage matching.
+//
+// Hosts N BuyerAgents and M SellerAgents on a slotted Network and runs slots
+// until every seller has terminated (her invitation list ran dry, §IV-C) and
+// no message is in flight. Under the default transition rule this reproduces
+// the synchronous reference algorithm exactly; under the adaptive rules
+// (buyer rules I/II + notification, seller Q-rule) it finishes in far fewer
+// slots — the §IV trade-off quantified by bench/ablation_transition_rules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dist/buyer_agent.hpp"
+#include "dist/seller_agent.hpp"
+#include "matching/matching.hpp"
+
+namespace specmatch::dist {
+
+struct DistConfig {
+  BuyerRule buyer_rule = BuyerRule::kDefault;
+  SellerRule seller_rule = SellerRule::kDefault;
+  double buyer_threshold = 0.05;   ///< P^k threshold (rule II)
+  double seller_threshold = 0.05;  ///< Q^k threshold
+  int quiescence_window = 3;       ///< activity timeout for kQuiescence
+  graph::MwisAlgorithm coalition_policy = graph::MwisAlgorithm::kGwmin;
+  /// Safety cap; 0 = derive (MN + M + N + 8) x round-span from the market
+  /// (the default rule's worst case plus slack for in-flight drain).
+  int max_slots = 0;
+
+  /// Per-message delivery delay, uniform in [min, max] whole slots (FIFO per
+  /// sender-receiver channel). 0/0 reproduces the paper's one-round-per-slot
+  /// model; larger values exercise the protocol under asynchrony. Worst-case
+  /// deadlines scale by the round span 2 * max_message_delay + 1.
+  int min_message_delay = 0;
+  int max_message_delay = 0;
+  std::uint64_t network_seed = 0x5107;
+
+  /// Per-transmission loss probability. Non-zero switches the network into
+  /// reliable-delivery mode (acks + retransmission + in-order release);
+  /// agents are oblivious, runs just take longer. Worst-case deadlines are
+  /// scaled by an expected-retransmission factor.
+  double message_loss_prob = 0.0;
+  int retransmit_every = 2;
+
+  /// Probability that a given BUYER crash-stops at a uniformly random slot
+  /// of the Stage-I window (sellers are infrastructure and stay up). A
+  /// crashed buyer goes silent: sellers time out her unanswered invitation,
+  /// and any assignment she held persists as a stale lease. Her in-flight
+  /// state can leave her on two sellers' books; extraction keeps the first
+  /// and reports the conflict.
+  double buyer_crash_prob = 0.0;
+
+  /// The paper's fully adaptive configuration (buyer rule II + seller
+  /// Q-rule). On U[0,1] workloads the estimates are conservative and fire
+  /// near the deadline; see the note in dist/transition.hpp.
+  static DistConfig adaptive() {
+    DistConfig config;
+    config.buyer_rule = BuyerRule::kRuleII;
+    config.seller_rule = SellerRule::kQRule;
+    return config;
+  }
+
+  /// Our practical extension: activity-timeout transitions on both sides.
+  static DistConfig quiescence(int window = 3) {
+    DistConfig config;
+    config.buyer_rule = BuyerRule::kQuiescence;
+    config.seller_rule = SellerRule::kQuiescence;
+    config.quiescence_window = window;
+    return config;
+  }
+};
+
+struct DistResult {
+  matching::Matching matching;
+  int slots = 0;                   ///< slots until global termination
+  bool hit_slot_cap = false;       ///< true if max_slots stopped the run
+  std::int64_t messages = 0;
+  std::int64_t data_messages = 0;  ///< excludes kProposerReport overhead
+  /// Physical transmission attempts (= messages unless loss_prob > 0, where
+  /// acks and retransmissions inflate it) and how many were dropped.
+  std::int64_t transmissions = 0;
+  std::int64_t losses = 0;
+  /// Application messages by type, indexed by MsgType.
+  std::vector<std::int64_t> messages_by_type;
+  /// Last slot at which some seller was still in Stage I (+1 = stage-I span).
+  int last_stage1_slot = 0;
+
+  /// Crash-fault accounting (zero unless buyer_crash_prob > 0).
+  std::vector<bool> crashed;       ///< per-buyer crash flags
+  int crashed_buyers = 0;
+  int stale_conflicts = 0;         ///< dead buyer claimed by two sellers
+  /// Welfare counting only surviving buyers (crashed members still block
+  /// their neighbours — a stale lease until some out-of-band expiry).
+  double alive_welfare = 0.0;
+};
+
+DistResult run_distributed(const market::SpectrumMarket& market,
+                           const DistConfig& config = {});
+
+}  // namespace specmatch::dist

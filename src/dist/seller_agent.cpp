@@ -1,0 +1,307 @@
+#include "dist/seller_agent.hpp"
+
+#include "common/check.hpp"
+
+namespace specmatch::dist {
+
+SellerAgent::SellerAgent(ChannelId id, const market::SpectrumMarket& market,
+                         const SellerConfig& config)
+    : id_(id),
+      market_(market),
+      config_(config),
+      members_(static_cast<std::size_t>(market.num_buyers())),
+      known_price_(static_cast<std::size_t>(market.num_buyers()), 0.0),
+      ever_proposed_(static_cast<std::size_t>(market.num_buyers())),
+      pending_applications_(static_cast<std::size_t>(market.num_buyers())),
+      rejected_ever_(static_cast<std::size_t>(market.num_buyers())),
+      invite_list_(static_cast<std::size_t>(market.num_buyers())),
+      invited_(static_cast<std::size_t>(market.num_buyers())) {
+  SPECMATCH_CHECK(config_.stage1_deadline > 0);
+  SPECMATCH_CHECK(config_.phase1_duration > 0);
+}
+
+double SellerAgent::theta_estimate(BuyerId cheapest) const {
+  // θ: the chance a not-yet-proposed buyer fits next to every member except
+  // the cheapest one (eq. 9's "does not interfere with anyone in µ(i) except
+  // buyer j"). Computed exactly from the seller's own channel graph.
+  DynamicBitset core = members_;
+  if (cheapest != kUnmatched) core.reset(static_cast<std::size_t>(cheapest));
+  int eligible = 0;
+  int compatible = 0;
+  for (BuyerId j = 0; j < market_.num_buyers(); ++j) {
+    if (ever_proposed_.test(static_cast<std::size_t>(j))) continue;
+    ++eligible;
+    if (market_.graph(id_).is_compatible(j, core)) ++compatible;
+  }
+  if (eligible == 0) return 1.0;
+  return static_cast<double>(compatible) / static_cast<double>(eligible);
+}
+
+bool SellerAgent::q_rule_met(int slot, bool had_proposals) const {
+  // The paper: a seller considers transitioning when a slot brings transfer
+  // applications but no proposals.
+  if (had_proposals || !pending_applications_.any()) return false;
+  BuyerId cheapest = kUnmatched;
+  double b_min = 0.0;
+  members_.for_each_set([&](std::size_t j) {
+    const double p = known_price_[j];
+    if (cheapest == kUnmatched || p < b_min) {
+      cheapest = static_cast<BuyerId>(j);
+      b_min = p;
+    }
+  });
+  const int outstanding =
+      market_.num_buyers() - static_cast<int>(ever_proposed_.count());
+  const double q = seller_better_proposal_probability(
+      slot, market_.num_channels(), market_.num_buyers(), outstanding, b_min,
+      theta_estimate(cheapest));
+  return q < config_.better_proposal_threshold;
+}
+
+void SellerAgent::enter_stage2(int slot, Network& net) {
+  if (stage_ != Stage::kStage1) return;
+  stage_ = Stage::kPhase1;
+  transition_slot_ = slot;
+  // Rule III for buyers: my members may stop proposing — I will not evict.
+  members_.for_each_set([&](std::size_t j) {
+    net.send({MsgType::kTransitionNotice, my_agent_id(),
+              static_cast<AgentId>(j), 0.0, {}});
+  });
+}
+
+void SellerAgent::enter_phase2() {
+  if (stage_ != Stage::kPhase1) return;
+  stage_ = Stage::kPhase2;
+  // Screen the invitation list against final Phase-1 members (Alg. 2 l.20).
+  DynamicBitset screened(static_cast<std::size_t>(market_.num_buyers()));
+  rejected_ever_.for_each_set([&](std::size_t j) {
+    const auto buyer = static_cast<BuyerId>(j);
+    if (members_.test(j)) return;
+    if (invited_.test(j)) return;
+    if (market_.graph(id_).is_compatible(buyer, members_)) screened.set(j);
+  });
+  invite_list_ = std::move(screened);
+}
+
+void SellerAgent::process_applications(Network& net) {
+  if (!pending_applications_.any()) return;
+  // Delay race: an applicant may already be a member (her earlier proposal
+  // overtook the transfer application). Acknowledge and drop her from the
+  // batch so she is neither double-counted nor rejected.
+  const DynamicBitset already_members = pending_applications_ & members_;
+  already_members.for_each_set([&](std::size_t j) {
+    net.send({MsgType::kTransferAccept, my_agent_id(),
+              static_cast<AgentId>(j), 0.0, {}});
+  });
+  pending_applications_ -= already_members;
+  if (!pending_applications_.any()) return;
+  // Admissible applicants must fit next to every current member (no
+  // evictions in Stage II); among those, take the best coalition. A
+  // still-unanswered invitee is reserved as a tentative member so a delayed
+  // InviteAccept can never create interference with a freshly admitted
+  // applicant.
+  DynamicBitset effective_members = members_;
+  if (pending_invite_ != kUnmatched)
+    effective_members.set(static_cast<std::size_t>(pending_invite_));
+  DynamicBitset admissible(static_cast<std::size_t>(market_.num_buyers()));
+  pending_applications_.for_each_set([&](std::size_t j) {
+    if (market_.graph(id_).is_compatible(static_cast<BuyerId>(j),
+                                         effective_members))
+      admissible.set(j);
+  });
+  const DynamicBitset chosen =
+      graph::solve_mwis(market_.graph(id_), known_price_, admissible,
+                        config_.coalition_policy);
+  chosen.for_each_set([&](std::size_t j) {
+    members_.set(j);
+    // A Phase-2 admission invalidates invitations to her neighbours.
+    invite_list_ -= market_.graph(id_).neighbors(static_cast<BuyerId>(j));
+    net.send({MsgType::kTransferAccept, my_agent_id(),
+              static_cast<AgentId>(j), 0.0, {}});
+  });
+  const DynamicBitset rejected = pending_applications_ - chosen;
+  rejected.for_each_set([&](std::size_t j) {
+    rejected_ever_.set(j);
+    net.send({MsgType::kTransferReject, my_agent_id(),
+              static_cast<AgentId>(j), 0.0, {}});
+  });
+  pending_applications_.clear();
+}
+
+void SellerAgent::step(int slot, Network& net) {
+  // ---- 1. Inbox, in arrival order. ----------------------------------------
+  DynamicBitset proposers(static_cast<std::size_t>(market_.num_buyers()));
+  bool had_proposals = false;
+  for (Message& msg : net.drain(my_agent_id())) {
+    switch (msg.type) {
+      case MsgType::kPropose:
+        known_price_[static_cast<std::size_t>(msg.from)] = msg.price;
+        ever_proposed_.set(static_cast<std::size_t>(msg.from));
+        if (stage_ == Stage::kStage1) {
+          proposers.set(static_cast<std::size_t>(msg.from));
+          had_proposals = true;
+        } else {
+          // Late proposal to a Stage-II seller: she no longer runs deferred
+          // acceptance (§IV-B) — reject so the buyer moves on.
+          net.send({MsgType::kReject, my_agent_id(), msg.from, 0.0, {}});
+        }
+        break;
+      case MsgType::kTransferApply:
+        known_price_[static_cast<std::size_t>(msg.from)] = msg.price;
+        pending_applications_.set(static_cast<std::size_t>(msg.from));
+        break;
+      case MsgType::kWithdraw:
+        members_.reset(static_cast<std::size_t>(msg.from));
+        break;
+      case MsgType::kInviteAccept:
+        // A very late acceptance (the invite timed out and someone else was
+        // invited meanwhile) may no longer fit; evict rather than violate
+        // interference-freedom. Impossible under zero delay/loss.
+        if (market_.graph(id_).is_compatible(msg.from, members_)) {
+          members_.set(static_cast<std::size_t>(msg.from));
+          // Line 29: the new member's neighbours can no longer be invited.
+          invite_list_ -= market_.graph(id_).neighbors(msg.from);
+        } else {
+          net.send({MsgType::kEvict, my_agent_id(), msg.from, 0.0, {}});
+        }
+        if (msg.from == pending_invite_) pending_invite_ = kUnmatched;
+        break;
+      case MsgType::kInviteDecline:
+        if (msg.from == pending_invite_) pending_invite_ = kUnmatched;
+        break;
+      default:
+        SPECMATCH_CHECK_MSG(false, "seller " << id_ << " got unexpected "
+                                             << to_string(msg.type));
+    }
+  }
+
+  // ---- 2. Stage transitions. ----------------------------------------------
+  if (had_proposals) last_proposal_slot_ = slot;
+  if (stage_ == Stage::kStage1) {
+    const bool deadline = slot >= config_.stage1_deadline;
+    bool adaptive = false;
+    switch (config_.rule) {
+      case SellerRule::kDefault:
+        break;
+      case SellerRule::kQRule:
+        adaptive = q_rule_met(slot, had_proposals);
+        break;
+      case SellerRule::kQuiescence:
+        adaptive = !had_proposals &&
+                   slot - last_proposal_slot_ >= config_.quiescence_window;
+        break;
+    }
+    if (deadline || adaptive) {
+      enter_stage2(slot, net);
+      // Proposals that arrived in the very transition slot are honoured as
+      // Stage-I business first (paper: the seller decides *after* seeing no
+      // proposals), so with `adaptive` there are none by construction; with
+      // `deadline` any stragglers are rejected below by the Phase-1 branch.
+      if (had_proposals) {
+        proposers.for_each_set([&](std::size_t j) {
+          net.send({MsgType::kReject, my_agent_id(), static_cast<AgentId>(j),
+                    0.0, {}});
+        });
+        proposers.clear();
+      }
+    }
+  }
+
+  // ---- 3. Act per stage. ---------------------------------------------------
+  switch (stage_) {
+    case Stage::kStage1: {
+      if (had_proposals) {
+        const DynamicBitset candidates = members_ | proposers;
+        DynamicBitset chosen =
+            graph::solve_mwis(market_.graph(id_), known_price_, candidates,
+                              config_.coalition_policy);
+        // Same monotonicity guard as the reference implementation: never
+        // trade the current coalition for a (greedy-found) worse one.
+        auto value = [&](const DynamicBitset& set) {
+          double total = 0.0;
+          set.for_each_set([&](std::size_t j) { total += known_price_[j]; });
+          return total;
+        };
+        if (!market_.graph(id_).is_independent(chosen) ||
+            value(chosen) <= value(members_))
+          chosen = members_;
+
+        const DynamicBitset evicted = members_ - chosen;
+        evicted.for_each_set([&](std::size_t j) {
+          net.send({MsgType::kEvict, my_agent_id(), static_cast<AgentId>(j),
+                    0.0, {}});
+        });
+        const DynamicBitset admitted = chosen - members_;
+        admitted.for_each_set([&](std::size_t j) {
+          net.send({MsgType::kAccept, my_agent_id(), static_cast<AgentId>(j),
+                    0.0, {}});
+        });
+        const DynamicBitset rejected = proposers - chosen;
+        rejected.for_each_set([&](std::size_t j) {
+          net.send({MsgType::kReject, my_agent_id(), static_cast<AgentId>(j),
+                    0.0, {}});
+        });
+        members_ = chosen;
+
+        if (config_.broadcast_proposers) {
+          Message report{MsgType::kProposerReport, my_agent_id(), 0, 0.0, {}};
+          proposers.for_each_set([&](std::size_t j) {
+            report.buyers.push_back(static_cast<BuyerId>(j));
+          });
+          members_.for_each_set([&](std::size_t j) {
+            Message copy = report;
+            copy.to = static_cast<AgentId>(j);
+            net.send(std::move(copy));
+          });
+        }
+      }
+      break;
+    }
+    case Stage::kPhase1: {
+      process_applications(net);
+      if (slot - transition_slot_ + 1 >= config_.phase1_duration)
+        enter_phase2();
+      break;
+    }
+    case Stage::kPhase2: {
+      // Late transfer applications (from buyers that transitioned after us):
+      // admit them when compatible, else reject for good.
+      process_applications(net);
+      // Liveness guard: a crashed (or partitioned-away) invitee would stall
+      // Phase 2 forever; treat a long-unanswered invitation as a decline.
+      if (pending_invite_ != kUnmatched && config_.invite_timeout > 0 &&
+          slot - invite_sent_slot_ >= config_.invite_timeout) {
+        pending_invite_ = kUnmatched;
+      }
+      if (pending_invite_ == kUnmatched) {
+        // Invite the highest-priced listed buyer, one at a time.
+        BuyerId best = kUnmatched;
+        double best_price = -1.0;
+        invite_list_.for_each_set([&](std::size_t j) {
+          if (known_price_[j] > best_price) {
+            best_price = known_price_[j];
+            best = static_cast<BuyerId>(j);
+          }
+        });
+        if (best != kUnmatched) {
+          invite_list_.reset(static_cast<std::size_t>(best));
+          invited_.set(static_cast<std::size_t>(best));
+          pending_invite_ = best;
+          invite_sent_slot_ = slot;
+          net.send({MsgType::kInvite, my_agent_id(),
+                    static_cast<AgentId>(best), best_price, {}});
+        } else {
+          stage_ = Stage::kDone;  // nothing left to invite (§IV-C)
+        }
+      }
+      break;
+    }
+    case Stage::kDone:
+      // Stray messages (withdrawals, late responses) were handled above;
+      // a late application still deserves an answer.
+      process_applications(net);
+      break;
+  }
+}
+
+}  // namespace specmatch::dist

@@ -1,0 +1,88 @@
+// A seller as a message-driven agent (§IV).
+//
+// She knows her own channel's interference graph (spectrum sensing), the
+// market dimensions, and the prices of exactly the buyers who have contacted
+// her. Stage I: keep the best interference-free coalition among waiting list
+// plus proposers. Stage II Phase 1: admit compatible transfer applicants
+// without evicting. Phase 2: invite previously rejected, now compatible
+// buyers, one at a time. She terminates when her invitation list runs dry.
+#pragma once
+
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "common/ids.hpp"
+#include "dist/message.hpp"
+#include "dist/network.hpp"
+#include "dist/transition.hpp"
+#include "graph/mwis.hpp"
+#include "market/market.hpp"
+
+namespace specmatch::dist {
+
+struct SellerConfig {
+  SellerRule rule = SellerRule::kDefault;
+  /// Q^k threshold for the adaptive rule.
+  double better_proposal_threshold = 0.05;
+  /// kQuiescence: transition after this many consecutive proposal-free slots.
+  int quiescence_window = 3;
+  /// Worst-case Stage-I bound MN; every policy transitions here at latest.
+  int stage1_deadline = 0;
+  /// Phase 1 duration after Stage-II entry — the paper's default phase rule
+  /// uses the Proposition-2 bound M.
+  int phase1_duration = 0;
+  graph::MwisAlgorithm coalition_policy = graph::MwisAlgorithm::kGwmin;
+  /// Broadcast each slot's proposer list to waiting-list members (needed by
+  /// buyer rules I and II; off under the default rule to keep message counts
+  /// honest).
+  bool broadcast_proposers = false;
+  /// Give up on an unanswered Phase-2 invitation after this many slots and
+  /// treat it as a decline — the liveness guard against crashed buyers.
+  /// Must exceed the network round-trip (the runtime scales it); 0 disables.
+  int invite_timeout = 8;
+};
+
+class SellerAgent {
+ public:
+  SellerAgent(ChannelId id, const market::SpectrumMarket& market,
+              const SellerConfig& config);
+
+  void step(int slot, Network& net);
+
+  enum class Stage : std::uint8_t { kStage1, kPhase1, kPhase2, kDone };
+  Stage stage() const { return stage_; }
+  bool done() const { return stage_ == Stage::kDone; }
+  const DynamicBitset& members() const { return members_; }
+  /// Slot at which the seller entered Stage II, or -1 while in Stage I.
+  int transition_slot() const { return transition_slot_; }
+
+ private:
+  AgentId my_agent_id() const { return market_.num_buyers() + id_; }
+  void enter_stage2(int slot, Network& net);
+  void enter_phase2();
+  void process_applications(Network& net);
+  double theta_estimate(BuyerId cheapest) const;
+  bool q_rule_met(int slot, bool had_proposals) const;
+
+  const ChannelId id_;
+  const market::SpectrumMarket& market_;
+  const SellerConfig config_;
+
+  Stage stage_ = Stage::kStage1;
+  int transition_slot_ = -1;
+
+  DynamicBitset members_;
+  std::vector<double> known_price_;  ///< prices learned from contacts
+  DynamicBitset ever_proposed_;      ///< distinct Stage-I proposers (Q rule)
+
+  DynamicBitset pending_applications_;  ///< held + this-slot applicants
+  DynamicBitset rejected_ever_;         ///< feeds the invitation list
+  DynamicBitset invite_list_;
+  DynamicBitset invited_;
+  BuyerId pending_invite_ = kUnmatched;
+  int invite_sent_slot_ = 0;
+  /// Slot of the last received proposal (kQuiescence bookkeeping).
+  int last_proposal_slot_ = -1;
+};
+
+}  // namespace specmatch::dist

@@ -1,0 +1,89 @@
+#include "dist/transition.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace specmatch::dist {
+
+std::string_view to_string(BuyerRule rule) {
+  switch (rule) {
+    case BuyerRule::kDefault: return "default";
+    case BuyerRule::kRuleI: return "rule1";
+    case BuyerRule::kRuleII: return "rule2";
+    case BuyerRule::kQuiescence: return "quiescence";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(SellerRule rule) {
+  switch (rule) {
+    case SellerRule::kDefault: return "default";
+    case SellerRule::kQRule: return "q_rule";
+    case SellerRule::kQuiescence: return "quiescence";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// U[0,1] CDF.
+double uniform_cdf(double b) { return std::clamp(b, 0.0, 1.0); }
+
+/// Binomial tail sum: sum over x=1..n of C(n,x) p^x (1-p)^(n-x) * (1 - g^x),
+/// computed iteratively to stay stable for n up to a few hundred.
+double binomial_weighted_tail(int n, double p, double g) {
+  // Term for x follows from x-1 via the ratio C(n,x)/C(n,x-1) * p/(1-p).
+  if (n <= 0) return 0.0;
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0 - std::pow(g, n);
+  double total = 0.0;
+  // coeff = C(n,x) p^x (1-p)^(n-x), starting at x = 0.
+  double coeff = std::pow(1.0 - p, n);
+  double g_pow = 1.0;  // g^x at x = 0
+  for (int x = 1; x <= n; ++x) {
+    coeff *= (static_cast<double>(n - x + 1) / static_cast<double>(x)) *
+             (p / (1.0 - p));
+    g_pow *= g;
+    total += coeff * (1.0 - g_pow);
+  }
+  return std::clamp(total, 0.0, 1.0);
+}
+
+/// 1 - (1 - p)^(MN - k + 1): the chance the per-round event of probability p
+/// fires at least once between round k and round MN (eq. 8).
+double tail_over_remaining_rounds(double p, int k, int M, int N) {
+  const int remaining = M * N - k + 1;
+  if (remaining <= 0) return 0.0;
+  return 1.0 - std::pow(1.0 - p, remaining);
+}
+
+}  // namespace
+
+double buyer_eviction_probability(int k, int M, int N, int n, double b) {
+  SPECMATCH_CHECK(M > 0 && N > 0);
+  SPECMATCH_CHECK(n >= 0 && k >= 0);
+  // Eq. (7): x of the n outstanding neighbours propose to my seller this
+  // round (each picks her with prob 1/M) and at least one outbids me.
+  const double p_round = binomial_weighted_tail(
+      n, 1.0 / static_cast<double>(M), uniform_cdf(b));
+  return tail_over_remaining_rounds(p_round, k, M, N);
+}
+
+double seller_better_proposal_probability(int k, int M, int N, int n,
+                                          double b_min, double theta) {
+  SPECMATCH_CHECK(M > 0 && N > 0);
+  SPECMATCH_CHECK(n >= 0 && k >= 0);
+  SPECMATCH_CHECK(theta >= 0.0 && theta <= 1.0);
+  // Eq. (9): a proposal only helps if it beats b_min AND the proposer fits
+  // into the coalition (probability theta); g is the per-proposal chance of
+  // NOT helping.
+  const double g =
+      uniform_cdf(b_min) + (1.0 - theta) * (1.0 - uniform_cdf(b_min));
+  const double q_round =
+      binomial_weighted_tail(n, 1.0 / static_cast<double>(M), g);
+  return tail_over_remaining_rounds(q_round, k, M, N);
+}
+
+}  // namespace specmatch::dist

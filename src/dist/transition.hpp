@@ -1,0 +1,54 @@
+// Stage-transition rules (§IV) and the probability estimates behind them.
+//
+// Agents cannot observe a global round counter, so each decides locally when
+// to leave Stage I. Buyers weigh the risk of being evicted after they stop
+// proposing (eqs. 7-8); sellers weigh the chance of a better proposal still
+// arriving (eq. 9). The default rule simply waits out the worst-case bounds
+// MN / M / N of Propositions 1-2.
+//
+// Reproduction note: with the paper's i.i.d. U[0,1] prices the estimates
+// P^k and Q^k stay close to 1 until k approaches MN (each outstanding
+// neighbour is modelled as proposing with probability 1/M in *every* future
+// round, although a buyer can propose to a given seller at most once), so
+// the threshold rules fire near the worst-case deadline on the Section-V
+// workloads. They do fire early when prices saturate F (e.g. the toy
+// example's prices > 1). The kQuiescence rules are our practical extension —
+// a plain activity timeout — quantified against the paper's rules by
+// bench/ablation_transition_rules.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace specmatch::dist {
+
+enum class BuyerRule : std::uint8_t {
+  kDefault,     ///< wait MN slots (worst-case bound of Proposition 1)
+  kRuleI,       ///< all interfering neighbours have proposed to my seller
+  kRuleII,      ///< eviction-probability estimate P^k below a threshold
+  kQuiescence,  ///< extension: stably matched for a window of slots
+};
+
+enum class SellerRule : std::uint8_t {
+  kDefault,     ///< wait MN slots
+  kQRule,       ///< better-proposal probability Q^k below a threshold
+  kQuiescence,  ///< extension: no proposal received for a window of slots
+};
+
+std::string_view to_string(BuyerRule rule);
+std::string_view to_string(SellerRule rule);
+
+/// Eq. (7)-(8): probability that buyer j, matched with price b on a market of
+/// M channels, is evicted at some round in [k, MN] given n interfering
+/// neighbours have not yet proposed to her seller. F is the U[0,1] CDF (the
+/// paper's i.i.d. price assumption).
+double buyer_eviction_probability(int k, int M, int N, int n, double b);
+
+/// Eq. (9) and its tail: probability that seller i still receives, in rounds
+/// [k, MN], a proposal beating her cheapest member (price b_min) from one of
+/// n not-yet-proposed buyers, of whom a fraction theta would fit into the
+/// coalition without displacing anyone but that cheapest member.
+double seller_better_proposal_probability(int k, int M, int N, int n,
+                                          double b_min, double theta);
+
+}  // namespace specmatch::dist

@@ -1,0 +1,129 @@
+#include "dynamics/epochs.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "matching/stability.hpp"
+#include "matching/transfer_invitation.hpp"
+
+namespace specmatch::dynamics {
+
+namespace {
+
+/// A copy of `market` where inactive buyers' prices are zeroed.
+market::SpectrumMarket masked_market(const market::SpectrumMarket& market,
+                                     const std::vector<bool>& active) {
+  const int M = market.num_channels();
+  const int N = market.num_buyers();
+  std::vector<double> prices;
+  prices.reserve(static_cast<std::size_t>(M) * static_cast<std::size_t>(N));
+  std::vector<graph::InterferenceGraph> graphs;
+  graphs.reserve(static_cast<std::size_t>(M));
+  for (ChannelId i = 0; i < M; ++i) {
+    const auto row = market.channel_prices(i);
+    for (BuyerId j = 0; j < N; ++j)
+      prices.push_back(active[static_cast<std::size_t>(j)]
+                           ? row[static_cast<std::size_t>(j)]
+                           : 0.0);
+    graphs.push_back(market.graph(i));
+  }
+  return market::SpectrumMarket(M, N, std::move(prices), std::move(graphs));
+}
+
+int count_disrupted(const matching::Matching& previous,
+                    const matching::Matching& current,
+                    const std::vector<bool>& active_before,
+                    const std::vector<bool>& active_now) {
+  int disrupted = 0;
+  for (BuyerId j = 0; j < current.num_buyers(); ++j) {
+    if (!active_before[static_cast<std::size_t>(j)] ||
+        !active_now[static_cast<std::size_t>(j)])
+      continue;
+    if (previous.is_matched(j) && current.is_matched(j) &&
+        previous.seller_of(j) != current.seller_of(j))
+      ++disrupted;
+  }
+  return disrupted;
+}
+
+}  // namespace
+
+DynamicsResult run_dynamic_market(const market::SpectrumMarket& market,
+                                  const DynamicsParams& params) {
+  SPECMATCH_CHECK(params.epochs > 0);
+  SPECMATCH_CHECK(params.leave_prob >= 0.0 && params.leave_prob <= 1.0);
+  SPECMATCH_CHECK(params.join_prob >= 0.0 && params.join_prob <= 1.0);
+
+  Rng rng(params.seed);
+  const int N = market.num_buyers();
+  std::vector<bool> active(static_cast<std::size_t>(N), true);
+
+  matching::TwoStageConfig two_stage_config;
+  two_stage_config.coalition_policy = params.coalition_policy;
+  matching::StageIIConfig stage2_config;
+  stage2_config.coalition_policy = params.coalition_policy;
+
+  DynamicsResult result;
+  matching::Matching prev_cold(market.num_channels(), N);
+  matching::Matching prev_warm(market.num_channels(), N);
+  std::vector<bool> active_before = active;
+
+  for (int epoch = 0; epoch < params.epochs; ++epoch) {
+    EpochStats stats;
+    stats.epoch = epoch;
+
+    // Churn (skipped in epoch 0 so both policies start from the same state).
+    active_before = active;
+    if (epoch > 0) {
+      for (std::size_t j = 0; j < active.size(); ++j) {
+        if (active[j] && rng.bernoulli(params.leave_prob)) {
+          active[j] = false;
+          ++stats.departures;
+        } else if (!active[j] && rng.bernoulli(params.join_prob)) {
+          active[j] = true;
+          ++stats.arrivals;
+        }
+      }
+    }
+    for (bool a : active)
+      if (a) ++stats.active_buyers;
+
+    const auto epoch_market = masked_market(market, active);
+
+    // Cold: full two-stage rerun.
+    const auto cold = matching::run_two_stage(epoch_market, two_stage_config);
+    stats.welfare_cold = cold.welfare_final;
+    stats.rounds_cold = cold.stage1.rounds + cold.stage2.phase1_rounds +
+                        cold.stage2.phase2_rounds;
+
+    // Warm: carry over surviving assignments, run Stage II only.
+    matching::Matching carried = prev_warm;
+    for (BuyerId j = 0; j < N; ++j)
+      if (!active[static_cast<std::size_t>(j)]) carried.unmatch(j);
+    const auto warm =
+        matching::run_transfer_invitation(epoch_market, carried,
+                                          stage2_config);
+    stats.welfare_warm = warm.matching.social_welfare(epoch_market);
+    stats.rounds_warm = warm.phase1_rounds + warm.phase2_rounds;
+
+    SPECMATCH_CHECK(
+        matching::is_interference_free(epoch_market, warm.matching));
+
+    stats.disrupted_cold = count_disrupted(prev_cold, cold.final_matching(),
+                                           active_before, active);
+    stats.disrupted_warm =
+        count_disrupted(prev_warm, warm.matching, active_before, active);
+
+    prev_cold = cold.final_matching();
+    prev_warm = warm.matching;
+
+    result.total_welfare_cold += stats.welfare_cold;
+    result.total_welfare_warm += stats.welfare_warm;
+    result.total_disrupted_cold += stats.disrupted_cold;
+    result.total_disrupted_warm += stats.disrupted_warm;
+    result.epochs.push_back(stats);
+  }
+  return result;
+}
+
+}  // namespace specmatch::dynamics

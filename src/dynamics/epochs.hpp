@@ -1,0 +1,64 @@
+// Temporal market dynamics (extension; the paper's §VI cites online double
+// auctions TODA / LOTUS as the dynamic-spectrum state of the art).
+//
+// The market runs in epochs: buyers leave with probability `leave_prob` and
+// re-join with probability `join_prob`; inactive buyers are modelled by
+// zeroing their prices, which makes them invisible to every algorithm (they
+// never propose and are never invited). Two re-matching policies compete:
+//
+//   cold — rerun the full two-stage algorithm from scratch each epoch;
+//   warm — keep the surviving assignments and run only Stage II (transfer &
+//          invitation) on top: departures free capacity, arrivals enter as
+//          unmatched applicants. Legal because a surviving assignment is
+//          still interference-free, and no buyer can end up worse than her
+//          carried-over match (Stage II never evicts).
+//
+// bench/dynamic_market reports welfare, disruption (matched survivors whose
+// channel changed), and rounds for both policies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "matching/two_stage.hpp"
+
+namespace specmatch::dynamics {
+
+struct DynamicsParams {
+  int epochs = 20;
+  double leave_prob = 0.2;  ///< per-epoch chance an active buyer departs
+  double join_prob = 0.4;   ///< per-epoch chance an inactive buyer returns
+  std::uint64_t seed = 2016;
+  graph::MwisAlgorithm coalition_policy = graph::MwisAlgorithm::kGwmin;
+};
+
+struct EpochStats {
+  int epoch = 0;
+  int active_buyers = 0;
+  int arrivals = 0;
+  int departures = 0;
+  double welfare_cold = 0.0;
+  double welfare_warm = 0.0;
+  /// Among buyers active and matched in both this and the previous epoch:
+  /// how many sit on a different channel now.
+  int disrupted_cold = 0;
+  int disrupted_warm = 0;
+  int rounds_cold = 0;  ///< stage-1 + stage-2 rounds of the cold rerun
+  int rounds_warm = 0;  ///< stage-2 rounds of the warm update
+};
+
+struct DynamicsResult {
+  std::vector<EpochStats> epochs;
+  double total_welfare_cold = 0.0;
+  double total_welfare_warm = 0.0;
+  int total_disrupted_cold = 0;
+  int total_disrupted_warm = 0;
+};
+
+/// Simulates `params.epochs` epochs of churn over `market` (all buyers start
+/// active). Deterministic in params.seed.
+DynamicsResult run_dynamic_market(const market::SpectrumMarket& market,
+                                  const DynamicsParams& params);
+
+}  // namespace specmatch::dynamics

@@ -1,0 +1,68 @@
+#include "exp/experiment.hpp"
+
+#include "common/check.hpp"
+
+namespace specmatch::exp {
+
+void TrialAggregator::add(const Metrics& metrics) {
+  ++trials_;
+  for (const auto& [name, value] : metrics) summaries_[name].add(value);
+}
+
+std::vector<std::string> TrialAggregator::metric_names() const {
+  std::vector<std::string> names;
+  names.reserve(summaries_.size());
+  for (const auto& [name, summary] : summaries_) names.push_back(name);
+  return names;
+}
+
+bool TrialAggregator::has(const std::string& name) const {
+  return summaries_.contains(name);
+}
+
+const Summary& TrialAggregator::summary(const std::string& name) const {
+  const auto it = summaries_.find(name);
+  SPECMATCH_CHECK_MSG(it != summaries_.end(), "unknown metric " << name);
+  return it->second;
+}
+
+double TrialAggregator::mean(const std::string& name) const {
+  return summary(name).mean();
+}
+
+double TrialAggregator::stderror(const std::string& name) const {
+  return summary(name).stderror();
+}
+
+TrialAggregator run_trials(int trials, std::uint64_t base_seed,
+                           const std::function<Metrics(Rng&)>& trial) {
+  SPECMATCH_CHECK(trials > 0);
+  TrialAggregator aggregator;
+  for (int t = 0; t < trials; ++t) {
+    Rng rng(base_seed + static_cast<std::uint64_t>(t) * 0x9e3779b9ULL);
+    aggregator.add(trial(rng));
+  }
+  return aggregator;
+}
+
+Metrics two_stage_metrics(const market::SpectrumMarket& market,
+                          const matching::TwoStageConfig& config) {
+  const auto result = matching::run_two_stage(market, config);
+  Metrics metrics;
+  metrics["welfare_stage1"] = result.welfare_stage1;
+  metrics["welfare_phase1"] = result.welfare_phase1;
+  metrics["welfare_final"] = result.welfare_final;
+  metrics["rounds_stage1"] = static_cast<double>(result.stage1.rounds);
+  metrics["rounds_phase1"] = static_cast<double>(result.stage2.phase1_rounds);
+  metrics["rounds_phase2"] = static_cast<double>(result.stage2.phase2_rounds);
+  metrics["matched_buyers"] =
+      static_cast<double>(result.final_matching().num_matched());
+  metrics["proposals"] = static_cast<double>(result.stage1.total_proposals);
+  metrics["transfers"] =
+      static_cast<double>(result.stage2.transfers_accepted);
+  metrics["invitations_accepted"] =
+      static_cast<double>(result.stage2.invitations_accepted);
+  return metrics;
+}
+
+}  // namespace specmatch::exp

@@ -1,0 +1,53 @@
+// Replicated-trial experiment harness shared by the bench/ binaries.
+//
+// Each figure point is an average over independently seeded trials; a trial
+// returns named metrics, the aggregator folds them into mean ± stderr, and
+// the harness prints one table per figure panel in the same shape the paper
+// reports.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "matching/two_stage.hpp"
+
+namespace specmatch::exp {
+
+/// Named metrics produced by one trial.
+using Metrics = std::map<std::string, double>;
+
+class TrialAggregator {
+ public:
+  void add(const Metrics& metrics);
+
+  std::size_t num_trials() const { return trials_; }
+  /// Names in lexicographic order.
+  std::vector<std::string> metric_names() const;
+  bool has(const std::string& name) const;
+  double mean(const std::string& name) const;
+  double stderror(const std::string& name) const;
+  const Summary& summary(const std::string& name) const;
+
+ private:
+  std::size_t trials_ = 0;
+  std::map<std::string, Summary> summaries_;
+};
+
+/// Runs `trials` independent trials, each with a deterministically derived
+/// Rng (base_seed + trial index), and aggregates the metrics.
+TrialAggregator run_trials(
+    int trials, std::uint64_t base_seed,
+    const std::function<Metrics(Rng&)>& trial);
+
+/// Standard metric bundle for the proposed algorithm on one market:
+/// cumulative welfare after Stage I / Phase 1 / Phase 2 (Fig. 7), per-stage
+/// rounds (Fig. 8), matched-buyer count, and message-free algorithm stats.
+Metrics two_stage_metrics(const market::SpectrumMarket& market,
+                          const matching::TwoStageConfig& config = {});
+
+}  // namespace specmatch::exp

@@ -1,0 +1,58 @@
+#include "graph/coloring.hpp"
+
+#include "common/check.hpp"
+
+namespace specmatch::graph {
+
+std::vector<DynamicBitset> greedy_independent_partition(
+    const InterferenceGraph& graph, const DynamicBitset& pool) {
+  SPECMATCH_CHECK(pool.size() == graph.num_vertices());
+  std::vector<DynamicBitset> classes;
+  DynamicBitset unassigned = pool;
+  while (unassigned.any()) {
+    DynamicBitset group(graph.num_vertices());
+    for (std::size_t v = unassigned.find_first(); v < unassigned.size();
+         v = unassigned.find_next(v)) {
+      if (graph.is_compatible(static_cast<BuyerId>(v), group)) group.set(v);
+    }
+    unassigned -= group;
+    classes.push_back(std::move(group));
+  }
+  return classes;
+}
+
+std::vector<DynamicBitset> greedy_independent_partition(
+    const InterferenceGraph& graph) {
+  DynamicBitset all(graph.num_vertices());
+  for (std::size_t v = 0; v < graph.num_vertices(); ++v) all.set(v);
+  return greedy_independent_partition(graph, all);
+}
+
+std::vector<DynamicBitset> connected_components(
+    const InterferenceGraph& graph) {
+  const std::size_t n = graph.num_vertices();
+  std::vector<DynamicBitset> components;
+  DynamicBitset unseen(n);
+  for (std::size_t v = 0; v < n; ++v) unseen.set(v);
+
+  while (unseen.any()) {
+    const std::size_t seed = unseen.find_first();
+    DynamicBitset component(n);
+    DynamicBitset frontier(n);
+    frontier.set(seed);
+    while (frontier.any()) {
+      component |= frontier;
+      DynamicBitset next(n);
+      frontier.for_each_set([&](std::size_t v) {
+        next |= graph.neighbors(static_cast<BuyerId>(v));
+      });
+      next -= component;
+      frontier = std::move(next);
+    }
+    unseen -= component;
+    components.push_back(std::move(component));
+  }
+  return components;
+}
+
+}  // namespace specmatch::graph

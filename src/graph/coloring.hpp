@@ -1,0 +1,31 @@
+// Greedy partition of a vertex set into independent groups (colour classes).
+//
+// Used by the double-auction baseline to form interference-free buyer groups
+// bid-independently (TRUST/TAHES), and generally useful for reuse analysis:
+// the number of classes upper-bounds how many "rounds" of exclusive use a
+// channel needs to serve every buyer.
+#pragma once
+
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "graph/interference_graph.hpp"
+
+namespace specmatch::graph {
+
+/// Partitions the set bits of `pool` into independent sets: repeatedly seed
+/// a class with the lowest-index unassigned vertex and extend it greedily in
+/// index order. Deterministic and weight-independent. Every vertex of `pool`
+/// appears in exactly one returned class; classes are non-empty.
+std::vector<DynamicBitset> greedy_independent_partition(
+    const InterferenceGraph& graph, const DynamicBitset& pool);
+
+/// Convenience: partition over all vertices.
+std::vector<DynamicBitset> greedy_independent_partition(
+    const InterferenceGraph& graph);
+
+/// Connected components of the graph (each as a bitset), ascending by their
+/// smallest vertex. Useful for decomposing MWIS instances and diagnostics.
+std::vector<DynamicBitset> connected_components(const InterferenceGraph& graph);
+
+}  // namespace specmatch::graph

@@ -1,0 +1,63 @@
+#include "graph/generators.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace specmatch::graph {
+
+double distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+InterferenceGraph geometric(std::span<const Point> positions, double range) {
+  SPECMATCH_CHECK_MSG(range >= 0.0, "negative transmission range " << range);
+  InterferenceGraph g(positions.size());
+  for (std::size_t a = 0; a < positions.size(); ++a) {
+    for (std::size_t b = a + 1; b < positions.size(); ++b) {
+      if (distance(positions[a], positions[b]) <= range)
+        g.add_edge(static_cast<BuyerId>(a), static_cast<BuyerId>(b));
+    }
+  }
+  return g;
+}
+
+InterferenceGraph erdos_renyi(std::size_t n, double p, Rng& rng) {
+  SPECMATCH_CHECK_MSG(p >= 0.0 && p <= 1.0, "probability " << p);
+  InterferenceGraph g(n);
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = a + 1; b < n; ++b)
+      if (rng.bernoulli(p))
+        g.add_edge(static_cast<BuyerId>(a), static_cast<BuyerId>(b));
+  return g;
+}
+
+InterferenceGraph complete(std::size_t n) {
+  InterferenceGraph g(n);
+  for (std::size_t a = 0; a < n; ++a)
+    for (std::size_t b = a + 1; b < n; ++b)
+      g.add_edge(static_cast<BuyerId>(a), static_cast<BuyerId>(b));
+  return g;
+}
+
+InterferenceGraph empty(std::size_t n) { return InterferenceGraph(n); }
+
+InterferenceGraph cycle(std::size_t n) {
+  InterferenceGraph g(n);
+  if (n < 2) return g;
+  for (std::size_t a = 0; a + 1 < n; ++a)
+    g.add_edge(static_cast<BuyerId>(a), static_cast<BuyerId>(a + 1));
+  if (n > 2) g.add_edge(static_cast<BuyerId>(n - 1), 0);
+  return g;
+}
+
+InterferenceGraph path(std::size_t n) {
+  InterferenceGraph g(n);
+  for (std::size_t a = 0; a + 1 < n; ++a)
+    g.add_edge(static_cast<BuyerId>(a), static_cast<BuyerId>(a + 1));
+  return g;
+}
+
+}  // namespace specmatch::graph

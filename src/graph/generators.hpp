@@ -1,0 +1,44 @@
+// Interference-graph generators.
+//
+// The paper's workload (§V-A) uses geometric disk graphs: buyers uniform in a
+// 10x10 area, one transmission range per channel drawn from (0, 5]. The other
+// generators support tests, property sweeps and the worst-case analysis in
+// Proposition 1 (complete graph -> one-to-one matching).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/rng.hpp"
+#include "graph/interference_graph.hpp"
+
+namespace specmatch::graph {
+
+/// A point in the deployment area.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double distance(const Point& a, const Point& b);
+
+/// Unit-disk interference: an edge wherever two buyers are within `range`.
+InterferenceGraph geometric(std::span<const Point> positions, double range);
+
+/// G(n, p) random graph.
+InterferenceGraph erdos_renyi(std::size_t n, double p, Rng& rng);
+
+/// K_n — every pair interferes (channel degenerates to quota 1).
+InterferenceGraph complete(std::size_t n);
+
+/// No edges — unlimited reuse.
+InterferenceGraph empty(std::size_t n);
+
+/// Cycle 0-1-...-(n-1)-0; the smallest graphs with odd-cycle structure,
+/// useful for exercising MWIS solvers.
+InterferenceGraph cycle(std::size_t n);
+
+/// Path 0-1-...-(n-1).
+InterferenceGraph path(std::size_t n);
+
+}  // namespace specmatch::graph

@@ -1,0 +1,74 @@
+#include "graph/interference_graph.hpp"
+
+#include "common/check.hpp"
+
+namespace specmatch::graph {
+
+InterferenceGraph::InterferenceGraph(std::size_t num_vertices)
+    : adjacency_(num_vertices, DynamicBitset(num_vertices)) {}
+
+void InterferenceGraph::check_vertex(BuyerId v) const {
+  SPECMATCH_CHECK_MSG(
+      v >= 0 && static_cast<std::size_t>(v) < adjacency_.size(),
+      "vertex " << v << " out of range [0, " << adjacency_.size() << ")");
+}
+
+void InterferenceGraph::add_edge(BuyerId a, BuyerId b) {
+  check_vertex(a);
+  check_vertex(b);
+  SPECMATCH_CHECK_MSG(a != b, "self-loop at vertex " << a);
+  const auto ua = static_cast<std::size_t>(a);
+  const auto ub = static_cast<std::size_t>(b);
+  if (adjacency_[ua].test(ub)) return;  // already present
+  adjacency_[ua].set(ub);
+  adjacency_[ub].set(ua);
+  ++num_edges_;
+}
+
+bool InterferenceGraph::has_edge(BuyerId a, BuyerId b) const {
+  check_vertex(a);
+  check_vertex(b);
+  return adjacency_[static_cast<std::size_t>(a)].test(
+      static_cast<std::size_t>(b));
+}
+
+const DynamicBitset& InterferenceGraph::neighbors(BuyerId v) const {
+  check_vertex(v);
+  return adjacency_[static_cast<std::size_t>(v)];
+}
+
+bool InterferenceGraph::is_independent(const DynamicBitset& members) const {
+  SPECMATCH_CHECK(members.size() == adjacency_.size());
+  bool independent = true;
+  members.for_each_set([&](std::size_t v) {
+    if (independent && adjacency_[v].intersects(members)) independent = false;
+  });
+  return independent;
+}
+
+bool InterferenceGraph::is_compatible(BuyerId v,
+                                      const DynamicBitset& members) const {
+  check_vertex(v);
+  SPECMATCH_CHECK(members.size() == adjacency_.size());
+  return !adjacency_[static_cast<std::size_t>(v)].intersects(members);
+}
+
+std::vector<std::pair<BuyerId, BuyerId>> InterferenceGraph::edges() const {
+  std::vector<std::pair<BuyerId, BuyerId>> out;
+  out.reserve(num_edges_);
+  for (std::size_t a = 0; a < adjacency_.size(); ++a) {
+    adjacency_[a].for_each_set([&](std::size_t b) {
+      if (a < b)
+        out.emplace_back(static_cast<BuyerId>(a), static_cast<BuyerId>(b));
+    });
+  }
+  return out;
+}
+
+double InterferenceGraph::average_degree() const {
+  if (adjacency_.empty()) return 0.0;
+  return 2.0 * static_cast<double>(num_edges_) /
+         static_cast<double>(adjacency_.size());
+}
+
+}  // namespace specmatch::graph

@@ -1,0 +1,60 @@
+// Per-channel interference graph G_i = (V, E_i) over the virtual buyers.
+//
+// Vertices are BuyerIds; an edge (j, j') means buyers j and j' may not reuse
+// this channel simultaneously (paper §II-A). Adjacency rows are DynamicBitsets
+// so "does buyer j interfere with anyone in coalition C" is a word-parallel
+// intersection test.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "common/ids.hpp"
+
+namespace specmatch::graph {
+
+class InterferenceGraph {
+ public:
+  InterferenceGraph() = default;
+
+  /// An edgeless graph over `num_vertices` buyers.
+  explicit InterferenceGraph(std::size_t num_vertices);
+
+  std::size_t num_vertices() const { return adjacency_.size(); }
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Adds the undirected edge (a, b). Self-loops are rejected; duplicate
+  /// insertions are idempotent.
+  void add_edge(BuyerId a, BuyerId b);
+
+  bool has_edge(BuyerId a, BuyerId b) const;
+
+  /// Adjacency row of `v`: bit j set iff (v, j) is an edge.
+  const DynamicBitset& neighbors(BuyerId v) const;
+
+  std::size_t degree(BuyerId v) const { return neighbors(v).count(); }
+
+  /// True iff no two set bits in `members` are adjacent.
+  bool is_independent(const DynamicBitset& members) const;
+
+  /// True iff `v` has no neighbour inside `members` (v itself may be in it).
+  bool is_compatible(BuyerId v, const DynamicBitset& members) const;
+
+  /// All edges (a < b), ascending — handy for tests and serialisation.
+  std::vector<std::pair<BuyerId, BuyerId>> edges() const;
+
+  /// Mean vertex degree; 0 for the empty graph.
+  double average_degree() const;
+
+  bool operator==(const InterferenceGraph& other) const = default;
+
+ private:
+  void check_vertex(BuyerId v) const;
+
+  std::vector<DynamicBitset> adjacency_;
+  std::size_t num_edges_ = 0;
+};
+
+}  // namespace specmatch::graph

@@ -1,0 +1,156 @@
+#include "graph/mwis.hpp"
+
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace specmatch::graph {
+
+std::string_view to_string(MwisAlgorithm algorithm) {
+  switch (algorithm) {
+    case MwisAlgorithm::kGwmin:
+      return "gwmin";
+    case MwisAlgorithm::kGwmin2:
+      return "gwmin2";
+    case MwisAlgorithm::kExact:
+      return "exact";
+  }
+  return "unknown";
+}
+
+double set_weight(std::span<const double> weights,
+                  const DynamicBitset& members) {
+  double total = 0.0;
+  members.for_each_set([&](std::size_t v) { total += weights[v]; });
+  return total;
+}
+
+namespace {
+
+/// Shared greedy skeleton: repeatedly pick the remaining candidate with the
+/// highest score, add it, and remove its closed neighbourhood.
+template <typename ScoreFn>
+DynamicBitset greedy(const InterferenceGraph& graph,
+                     std::span<const double> weights, DynamicBitset remaining,
+                     ScoreFn&& score) {
+  DynamicBitset chosen(graph.num_vertices());
+  while (remaining.any()) {
+    double best_score = -std::numeric_limits<double>::infinity();
+    std::size_t best_v = remaining.size();
+    remaining.for_each_set([&](std::size_t v) {
+      const double s = score(v, remaining);
+      if (s > best_score) {  // strict: ties resolve to the lowest index
+        best_score = s;
+        best_v = v;
+      }
+    });
+    chosen.set(best_v);
+    remaining.reset(best_v);
+    remaining -= graph.neighbors(static_cast<BuyerId>(best_v));
+    (void)weights;
+  }
+  return chosen;
+}
+
+struct ExactSearch {
+  const InterferenceGraph& graph;
+  std::span<const double> weights;
+  std::uint64_t nodes = 0;
+  double best_weight = 0.0;
+  DynamicBitset best;
+
+  void run(DynamicBitset remaining, DynamicBitset chosen, double weight) {
+    ++nodes;
+    if (weight > best_weight) {
+      best_weight = weight;
+      best = chosen;
+    }
+    // Admissible bound: take every remaining vertex.
+    double bound = weight;
+    remaining.for_each_set([&](std::size_t v) { bound += weights[v]; });
+    if (bound <= best_weight) return;
+
+    // Branch on the remaining vertex with the highest degree inside
+    // `remaining` (fail-first: it prunes the most).
+    std::size_t pivot = remaining.size();
+    std::size_t pivot_degree = 0;
+    bool have_pivot = false;
+    remaining.for_each_set([&](std::size_t v) {
+      const std::size_t d =
+          (graph.neighbors(static_cast<BuyerId>(v)) & remaining).count();
+      if (!have_pivot || d > pivot_degree) {
+        have_pivot = true;
+        pivot = v;
+        pivot_degree = d;
+      }
+    });
+    if (!have_pivot) return;
+
+    // Include pivot.
+    {
+      DynamicBitset next = remaining;
+      next.reset(pivot);
+      next -= graph.neighbors(static_cast<BuyerId>(pivot));
+      DynamicBitset with = chosen;
+      with.set(pivot);
+      run(std::move(next), std::move(with), weight + weights[pivot]);
+    }
+    // Exclude pivot.
+    {
+      DynamicBitset next = remaining;
+      next.reset(pivot);
+      run(std::move(next), std::move(chosen), weight);
+    }
+  }
+};
+
+}  // namespace
+
+DynamicBitset solve_mwis(const InterferenceGraph& graph,
+                         std::span<const double> weights,
+                         const DynamicBitset& candidates,
+                         MwisAlgorithm algorithm, MwisStats* stats) {
+  SPECMATCH_CHECK_MSG(weights.size() == graph.num_vertices(),
+                      "weights size " << weights.size() << " != vertices "
+                                      << graph.num_vertices());
+  SPECMATCH_CHECK(candidates.size() == graph.num_vertices());
+
+  // Drop non-positive-weight vertices: they can only dilute a coalition.
+  DynamicBitset viable = candidates;
+  candidates.for_each_set([&](std::size_t v) {
+    if (weights[v] <= 0.0) viable.reset(v);
+  });
+
+  switch (algorithm) {
+    case MwisAlgorithm::kGwmin: {
+      auto score = [&](std::size_t v, const DynamicBitset& remaining) {
+        const double deg =
+            static_cast<double>((graph.neighbors(static_cast<BuyerId>(v)) &
+                                 remaining)
+                                    .count());
+        return weights[v] / (deg + 1.0);
+      };
+      return greedy(graph, weights, std::move(viable), score);
+    }
+    case MwisAlgorithm::kGwmin2: {
+      auto score = [&](std::size_t v, const DynamicBitset& remaining) {
+        double nbr_weight = 0.0;
+        (graph.neighbors(static_cast<BuyerId>(v)) & remaining)
+            .for_each_set([&](std::size_t u) { nbr_weight += weights[u]; });
+        return weights[v] / (weights[v] + nbr_weight);
+      };
+      return greedy(graph, weights, std::move(viable), score);
+    }
+    case MwisAlgorithm::kExact: {
+      ExactSearch search{graph, weights, 0, 0.0,
+                         DynamicBitset(graph.num_vertices())};
+      search.run(std::move(viable), DynamicBitset(graph.num_vertices()), 0.0);
+      if (stats != nullptr) stats->nodes_explored = search.nodes;
+      return search.best;
+    }
+  }
+  SPECMATCH_CHECK_MSG(false, "unreachable MWIS algorithm");
+  return DynamicBitset(graph.num_vertices());
+}
+
+}  // namespace specmatch::graph

@@ -1,0 +1,49 @@
+// Maximum-weight independent set (MWIS) solvers.
+//
+// A seller's "most-preferred coalition" (Algorithm 1, line 12) is the MWIS of
+// her candidate buyers on her channel's interference graph, weighted by
+// offered prices. The paper adopts the linear-time greedy algorithms of
+// Sakai, Togasaki & Yamazaki (Discrete Applied Mathematics 126, 2003); we
+// implement GWMIN and GWMIN2 plus an exact branch-and-bound solver used for
+// cross-checks and the seller-policy ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "common/bitset.hpp"
+#include "graph/interference_graph.hpp"
+
+namespace specmatch::graph {
+
+enum class MwisAlgorithm : std::uint8_t {
+  kGwmin,   ///< greedily pick argmax w(v) / (deg_R(v) + 1)
+  kGwmin2,  ///< greedily pick argmax w(v) / (w(v) + w(N_R(v)))
+  kExact,   ///< branch & bound (exponential worst case; ablation only)
+};
+
+std::string_view to_string(MwisAlgorithm algorithm);
+
+/// Statistics of one solver invocation (exact solver reports search size).
+struct MwisStats {
+  std::uint64_t nodes_explored = 0;
+};
+
+/// Returns an independent subset of `candidates` (bit j set iff vertex j may
+/// be chosen) with large total weight. Ties between equal scores break toward
+/// the lowest vertex index, which makes every caller deterministic.
+///
+/// `weights` must have one entry per graph vertex; non-candidate entries are
+/// ignored. Vertices with weight <= 0 are never selected by the greedy
+/// algorithms and never improve the exact objective, so they are dropped.
+DynamicBitset solve_mwis(const InterferenceGraph& graph,
+                         std::span<const double> weights,
+                         const DynamicBitset& candidates,
+                         MwisAlgorithm algorithm, MwisStats* stats = nullptr);
+
+/// Total weight of the set bits of `members`.
+double set_weight(std::span<const double> weights,
+                  const DynamicBitset& members);
+
+}  // namespace specmatch::graph

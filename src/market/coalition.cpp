@@ -1,0 +1,24 @@
+#include "market/coalition.hpp"
+
+#include "graph/mwis.hpp"
+
+namespace specmatch::market {
+
+double total_price(const SpectrumMarket& market, ChannelId channel,
+                   const DynamicBitset& members) {
+  return graph::set_weight(market.channel_prices(channel), members);
+}
+
+bool interference_free(const SpectrumMarket& market, ChannelId channel,
+                       const DynamicBitset& members) {
+  return market.graph(channel).is_independent(members);
+}
+
+std::optional<double> coalition_value(const SpectrumMarket& market,
+                                      ChannelId channel,
+                                      const DynamicBitset& members) {
+  if (!interference_free(market, channel, members)) return std::nullopt;
+  return total_price(market, channel, members);
+}
+
+}  // namespace specmatch::market

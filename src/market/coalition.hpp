@@ -1,0 +1,34 @@
+// Spectrum coalitions (§III-A): a seller plus the buyers matched to her.
+#pragma once
+
+#include <optional>
+
+#include "common/bitset.hpp"
+#include "common/ids.hpp"
+#include "market/market.hpp"
+
+namespace specmatch::market {
+
+/// A seller's coalition: the set of buyers matched to channel `channel`.
+struct Coalition {
+  ChannelId channel = kUnmatched;
+  DynamicBitset members;
+};
+
+/// Sum of offered prices of `members` on `channel` (the seller's utility if
+/// the coalition is interference-free).
+double total_price(const SpectrumMarket& market, ChannelId channel,
+                   const DynamicBitset& members);
+
+/// True iff no two members interfere on `channel`.
+bool interference_free(const SpectrumMarket& market, ChannelId channel,
+                       const DynamicBitset& members);
+
+/// The seller's utility of the coalition: total price if interference-free,
+/// otherwise nullopt (an interfering coalition ranks below every
+/// interference-free one and ties with "unmatched", eq. 6).
+std::optional<double> coalition_value(const SpectrumMarket& market,
+                                      ChannelId channel,
+                                      const DynamicBitset& members);
+
+}  // namespace specmatch::market

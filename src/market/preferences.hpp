@@ -1,0 +1,38 @@
+// The peer-effect preference relations of eqs. (5) and (6).
+//
+// A buyer matched next to an interfering neighbour gets zero utility; a
+// seller whose coalition contains interference ranks it with "unmatched".
+// These small pure functions are the single source of truth used by the
+// synchronous algorithms, the distributed agents, and the stability
+// analysers, so the protocol cannot drift from the model.
+#pragma once
+
+#include "common/bitset.hpp"
+#include "common/ids.hpp"
+#include "market/market.hpp"
+
+namespace specmatch::market {
+
+/// Buyer j's utility inside coalition (channel, members): b_{channel,j} if no
+/// interfering neighbour of j is a member, else 0 (peer effect, §III-A).
+/// j itself may or may not be included in `members`; only *other* members
+/// count as neighbours. channel == kUnmatched means "unmatched" and yields 0.
+double buyer_utility_in(const SpectrumMarket& market, BuyerId j,
+                        ChannelId channel, const DynamicBitset& members);
+
+/// Eq. (5): does buyer j strictly prefer coalition 1 to coalition 2?
+/// Under the zero-utility-on-interference assumption this reduces to
+/// comparing buyer_utility_in values; equal utilities are indifference.
+bool buyer_prefers(const SpectrumMarket& market, BuyerId j, ChannelId channel1,
+                   const DynamicBitset& members1, ChannelId channel2,
+                   const DynamicBitset& members2);
+
+/// Eq. (6): does seller of `channel` strictly prefer member set A to B?
+/// Interference-free beats interfering; among interference-free sets, higher
+/// total offered price wins; interfering sets tie with each other and with
+/// the empty set.
+bool seller_prefers(const SpectrumMarket& market, ChannelId channel,
+                    const DynamicBitset& members_a,
+                    const DynamicBitset& members_b);
+
+}  // namespace specmatch::market

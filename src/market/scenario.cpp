@@ -1,0 +1,98 @@
+#include "market/scenario.hpp"
+
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace specmatch::market {
+
+int Scenario::num_channels() const {
+  return std::accumulate(seller_channel_counts.begin(),
+                         seller_channel_counts.end(), 0);
+}
+
+int Scenario::num_virtual_buyers() const {
+  return std::accumulate(buyer_demands.begin(), buyer_demands.end(), 0);
+}
+
+std::vector<int> Scenario::virtual_buyer_parents() const {
+  std::vector<int> parents;
+  parents.reserve(static_cast<std::size_t>(num_virtual_buyers()));
+  for (std::size_t p = 0; p < buyer_demands.size(); ++p)
+    for (int d = 0; d < buyer_demands[p]; ++d)
+      parents.push_back(static_cast<int>(p));
+  return parents;
+}
+
+std::vector<int> Scenario::virtual_seller_parents() const {
+  std::vector<int> parents;
+  parents.reserve(static_cast<std::size_t>(num_channels()));
+  for (std::size_t p = 0; p < seller_channel_counts.size(); ++p)
+    for (int c = 0; c < seller_channel_counts[p]; ++c)
+      parents.push_back(static_cast<int>(p));
+  return parents;
+}
+
+void Scenario::validate() const {
+  SPECMATCH_CHECK_MSG(!seller_channel_counts.empty(), "no sellers");
+  SPECMATCH_CHECK_MSG(!buyer_demands.empty(), "no buyers");
+  for (int m : seller_channel_counts)
+    SPECMATCH_CHECK_MSG(m >= 1, "seller must offer at least one channel");
+  for (int n : buyer_demands)
+    SPECMATCH_CHECK_MSG(n >= 1, "buyer must demand at least one channel");
+  SPECMATCH_CHECK_MSG(buyer_locations.size() == buyer_demands.size(),
+                      "one location per parent buyer");
+  const auto M = static_cast<std::size_t>(num_channels());
+  const auto N = static_cast<std::size_t>(num_virtual_buyers());
+  SPECMATCH_CHECK_MSG(channel_ranges.size() == M,
+                      "one transmission range per virtual channel");
+  SPECMATCH_CHECK_MSG(utilities.size() == M * N,
+                      "utility matrix must be M x N = " << M * N
+                                                        << " entries, got "
+                                                        << utilities.size());
+  for (double r : channel_ranges)
+    SPECMATCH_CHECK_MSG(r > 0.0, "transmission range must be positive");
+  if (!channel_reserves.empty()) {
+    SPECMATCH_CHECK_MSG(channel_reserves.size() == M,
+                        "one reserve price per virtual channel");
+    for (double r : channel_reserves)
+      SPECMATCH_CHECK_MSG(r >= 0.0, "reserve prices must be non-negative");
+  }
+}
+
+SpectrumMarket build_market(const Scenario& scenario) {
+  scenario.validate();
+  const int M = scenario.num_channels();
+  const int N = scenario.num_virtual_buyers();
+  const auto buyer_parents = scenario.virtual_buyer_parents();
+
+  // Every dummy sits at its parent's location.
+  std::vector<graph::Point> positions;
+  positions.reserve(static_cast<std::size_t>(N));
+  for (int j = 0; j < N; ++j)
+    positions.push_back(
+        scenario.buyer_locations[static_cast<std::size_t>(
+            buyer_parents[static_cast<std::size_t>(j)])]);
+
+  std::vector<graph::InterferenceGraph> graphs;
+  graphs.reserve(static_cast<std::size_t>(M));
+  for (int i = 0; i < M; ++i) {
+    auto g = graph::geometric(positions,
+                              scenario.channel_ranges[static_cast<std::size_t>(i)]);
+    // Dummies of the same parent must never share a channel (§II-A). Their
+    // distance is zero so the geometric pass already links them, but we add
+    // the edges explicitly so the invariant survives any generator change.
+    for (int a = 0; a < N; ++a)
+      for (int b = a + 1; b < N; ++b)
+        if (buyer_parents[static_cast<std::size_t>(a)] ==
+            buyer_parents[static_cast<std::size_t>(b)])
+          g.add_edge(a, b);
+    graphs.push_back(std::move(g));
+  }
+
+  return SpectrumMarket(M, N, scenario.utilities, std::move(graphs),
+                        buyer_parents, scenario.virtual_seller_parents(),
+                        scenario.channel_reserves);
+}
+
+}  // namespace specmatch::market

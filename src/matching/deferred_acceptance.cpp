@@ -1,0 +1,93 @@
+#include "matching/deferred_acceptance.hpp"
+
+#include "common/check.hpp"
+#include "market/preferences.hpp"
+
+namespace specmatch::matching {
+
+StageIResult run_deferred_acceptance(const market::SpectrumMarket& market,
+                                     const StageIConfig& config) {
+  const int M = market.num_channels();
+  const int N = market.num_buyers();
+
+  StageIResult result;
+  result.matching = Matching(M, N);
+
+  // A_j: unproposed sellers, materialised as a preference-ordered list plus a
+  // cursor (proposals never revisit a seller, Algorithm 1 line 9).
+  std::vector<std::vector<ChannelId>> pref_order(static_cast<std::size_t>(N));
+  std::vector<std::size_t> next_pref(static_cast<std::size_t>(N), 0);
+  for (BuyerId j = 0; j < N; ++j)
+    pref_order[static_cast<std::size_t>(j)] = market.buyer_preference_order(j);
+
+  // P_i: this round's proposers per seller.
+  std::vector<DynamicBitset> proposers(
+      static_cast<std::size_t>(M),
+      DynamicBitset(static_cast<std::size_t>(N)));
+
+  while (true) {
+    // Proposal phase: every unmatched buyer with a non-empty unproposed list
+    // proposes to her most-preferred remaining seller.
+    bool any_proposal = false;
+    StageIRound round_trace;
+    for (BuyerId j = 0; j < N; ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      if (result.matching.is_matched(j)) continue;
+      if (next_pref[ju] >= pref_order[ju].size()) continue;
+      const ChannelId i = pref_order[ju][next_pref[ju]++];
+      proposers[static_cast<std::size_t>(i)].set(ju);
+      ++result.total_proposals;
+      any_proposal = true;
+      if (config.record_trace) round_trace.proposals.emplace_back(j, i);
+    }
+    if (!any_proposal) break;
+    ++result.rounds;
+
+    // Selection phase: each seller with proposers forms her most-preferred
+    // coalition from waiting list plus proposers.
+    for (ChannelId i = 0; i < M; ++i) {
+      const auto iu = static_cast<std::size_t>(i);
+      if (!proposers[iu].any()) continue;
+      const DynamicBitset& waiting = result.matching.members_of(i);
+      const DynamicBitset candidates = waiting | proposers[iu];
+      DynamicBitset chosen = graph::solve_mwis(market.graph(i),
+                                               market.channel_prices(i),
+                                               candidates,
+                                               config.coalition_policy);
+      // A greedy MWIS can return a coalition *worse* than the current
+      // waiting list; adopting it would let a seller's value oscillate.
+      // Only switch when the seller strictly prefers the new coalition
+      // (eq. 6), otherwise keep the waiting list and reject all proposers.
+      if (!market::seller_prefers(market, i, chosen, waiting)) chosen = waiting;
+
+      // Evict waiting-list buyers not selected, then admit new members.
+      const DynamicBitset evicted = waiting - chosen;
+      evicted.for_each_set([&](std::size_t j) {
+        result.matching.unmatch(static_cast<BuyerId>(j));
+        ++result.total_evictions;
+      });
+      const DynamicBitset admitted = chosen - result.matching.members_of(i);
+      admitted.for_each_set([&](std::size_t j) {
+        result.matching.match(static_cast<BuyerId>(j), i);
+      });
+      proposers[iu].clear();
+    }
+
+    if (config.record_trace) {
+      round_trace.round = result.rounds;
+      round_trace.waiting_lists.resize(static_cast<std::size_t>(M));
+      for (ChannelId i = 0; i < M; ++i) {
+        result.matching.members_of(i).for_each_set([&](std::size_t j) {
+          round_trace.waiting_lists[static_cast<std::size_t>(i)].push_back(
+              static_cast<BuyerId>(j));
+        });
+      }
+      result.trace.push_back(std::move(round_trace));
+    }
+  }
+
+  result.matching.check_consistent();
+  return result;
+}
+
+}  // namespace specmatch::matching

@@ -1,0 +1,73 @@
+#include "matching/export_dot.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace specmatch::matching {
+
+namespace {
+
+/// A small qualitative palette; channels cycle through it.
+const char* channel_color(ChannelId i) {
+  static const char* kColors[] = {"#4e79a7", "#f28e2b", "#59a14f", "#e15759",
+                                  "#76b7b2", "#edc948", "#b07aa1", "#9c755f"};
+  return kColors[static_cast<std::size_t>(i) % 8];
+}
+
+}  // namespace
+
+void write_channel_dot(std::ostream& os, const market::SpectrumMarket& market,
+                       ChannelId channel) {
+  SPECMATCH_CHECK(channel >= 0 && channel < market.num_channels());
+  os << "graph channel_" << channel << " {\n";
+  os << "  label=\"channel " << channel << " interference\";\n";
+  os << "  node [shape=circle];\n";
+  os << std::fixed << std::setprecision(2);
+  for (BuyerId j = 0; j < market.num_buyers(); ++j) {
+    os << "  b" << j << " [label=\"" << j << "\\n"
+       << market.utility(channel, j) << "\"];\n";
+  }
+  for (const auto& [a, b] : market.graph(channel).edges())
+    os << "  b" << a << " -- b" << b << ";\n";
+  os << "}\n";
+}
+
+void write_matching_dot(std::ostream& os, const market::SpectrumMarket& market,
+                        const Matching& matching) {
+  SPECMATCH_CHECK(matching.num_buyers() == market.num_buyers());
+  os << "graph matching {\n";
+  os << "  node [shape=circle, style=filled];\n";
+  os << std::fixed << std::setprecision(2);
+
+  // Matched buyers grouped under their seller.
+  for (ChannelId i = 0; i < market.num_channels(); ++i) {
+    os << "  subgraph cluster_seller_" << i << " {\n";
+    os << "    label=\"seller " << i << "\";\n";
+    os << "    color=\"" << channel_color(i) << "\";\n";
+    matching.members_of(i).for_each_set([&](std::size_t j) {
+      os << "    b" << j << " [fillcolor=\"" << channel_color(i)
+         << "\", label=\"" << j << "\\n"
+         << market.utility(i, static_cast<BuyerId>(j)) << "\"];\n";
+    });
+    os << "  }\n";
+  }
+  for (BuyerId j = 0; j < market.num_buyers(); ++j) {
+    if (!matching.is_matched(j))
+      os << "  b" << j << " [fillcolor=\"#bab0ac\", label=\"" << j
+         << "\\nunmatched\"];\n";
+  }
+
+  // Interference edges, one style per channel (only between co-channel
+  // buyers they are binding for... draw all, lightly, per channel).
+  for (ChannelId i = 0; i < market.num_channels(); ++i) {
+    for (const auto& [a, b] : market.graph(i).edges()) {
+      os << "  b" << a << " -- b" << b << " [color=\"" << channel_color(i)
+         << "40\"];\n";
+    }
+  }
+  os << "}\n";
+}
+
+}  // namespace specmatch::matching

@@ -1,0 +1,23 @@
+// Graphviz (DOT) export of interference graphs and matchings — visual
+// inspection and debugging aid ("why did buyer 7 not get channel 2?").
+#pragma once
+
+#include <iosfwd>
+
+#include "market/market.hpp"
+#include "matching/matching.hpp"
+
+namespace specmatch::matching {
+
+/// One channel's interference graph as an undirected DOT graph. Vertex
+/// labels carry the buyer id and her price on this channel.
+void write_channel_dot(std::ostream& os, const market::SpectrumMarket& market,
+                       ChannelId channel);
+
+/// The whole market with a matching: buyers coloured by assigned channel,
+/// interference edges of each channel styled per channel, matched buyers
+/// clustered under their seller.
+void write_matching_dot(std::ostream& os, const market::SpectrumMarket& market,
+                        const Matching& matching);
+
+}  // namespace specmatch::matching

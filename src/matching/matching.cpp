@@ -1,0 +1,91 @@
+#include "matching/matching.hpp"
+
+#include "common/check.hpp"
+#include "market/preferences.hpp"
+
+namespace specmatch::matching {
+
+Matching::Matching(int num_channels, int num_buyers)
+    : num_channels_(num_channels),
+      num_buyers_(num_buyers),
+      buyer_to_seller_(static_cast<std::size_t>(num_buyers), kUnmatched),
+      seller_members_(static_cast<std::size_t>(num_channels),
+                      DynamicBitset(static_cast<std::size_t>(num_buyers))) {
+  SPECMATCH_CHECK(num_channels > 0);
+  SPECMATCH_CHECK(num_buyers > 0);
+}
+
+SellerId Matching::seller_of(BuyerId j) const {
+  SPECMATCH_CHECK_MSG(j >= 0 && j < num_buyers_, "buyer " << j);
+  return buyer_to_seller_[static_cast<std::size_t>(j)];
+}
+
+const DynamicBitset& Matching::members_of(SellerId i) const {
+  SPECMATCH_CHECK_MSG(i >= 0 && i < num_channels_, "seller " << i);
+  return seller_members_[static_cast<std::size_t>(i)];
+}
+
+void Matching::match(BuyerId j, SellerId i) {
+  SPECMATCH_CHECK_MSG(seller_of(j) == kUnmatched,
+                      "buyer " << j << " is already matched to "
+                               << seller_of(j));
+  SPECMATCH_CHECK_MSG(i >= 0 && i < num_channels_, "seller " << i);
+  buyer_to_seller_[static_cast<std::size_t>(j)] = i;
+  seller_members_[static_cast<std::size_t>(i)].set(
+      static_cast<std::size_t>(j));
+}
+
+void Matching::unmatch(BuyerId j) {
+  const SellerId i = seller_of(j);
+  if (i == kUnmatched) return;
+  buyer_to_seller_[static_cast<std::size_t>(j)] = kUnmatched;
+  seller_members_[static_cast<std::size_t>(i)].reset(
+      static_cast<std::size_t>(j));
+}
+
+void Matching::rematch(BuyerId j, SellerId i) {
+  unmatch(j);
+  match(j, i);
+}
+
+int Matching::num_matched() const {
+  int count = 0;
+  for (SellerId i : buyer_to_seller_)
+    if (i != kUnmatched) ++count;
+  return count;
+}
+
+double Matching::social_welfare(const market::SpectrumMarket& market) const {
+  double total = 0.0;
+  for (BuyerId j = 0; j < num_buyers_; ++j) total += buyer_utility(market, j);
+  return total;
+}
+
+double Matching::buyer_utility(const market::SpectrumMarket& market,
+                               BuyerId j) const {
+  const SellerId i = seller_of(j);
+  if (i == kUnmatched) return 0.0;
+  return market::buyer_utility_in(market, j, i, members_of(i));
+}
+
+void Matching::check_consistent() const {
+  for (BuyerId j = 0; j < num_buyers_; ++j) {
+    const SellerId i = buyer_to_seller_[static_cast<std::size_t>(j)];
+    if (i != kUnmatched) {
+      SPECMATCH_CHECK_MSG(
+          seller_members_[static_cast<std::size_t>(i)].test(
+              static_cast<std::size_t>(j)),
+          "buyer " << j << " claims seller " << i << " but is not a member");
+    }
+  }
+  for (SellerId i = 0; i < num_channels_; ++i) {
+    seller_members_[static_cast<std::size_t>(i)].for_each_set(
+        [&](std::size_t j) {
+          SPECMATCH_CHECK_MSG(buyer_to_seller_[j] == i,
+                              "seller " << i << " lists buyer " << j
+                                        << " matched elsewhere");
+        });
+  }
+}
+
+}  // namespace specmatch::matching

@@ -1,0 +1,64 @@
+// The matching function µ (Definition 1) with both views kept in sync:
+// buyer -> seller and seller -> member set. All algorithm outputs and
+// stability analyses are expressed over this type.
+#pragma once
+
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "common/ids.hpp"
+#include "market/market.hpp"
+
+namespace specmatch::matching {
+
+class Matching {
+ public:
+  Matching() = default;
+
+  /// An everyone-unmatched µ over M sellers and N buyers.
+  Matching(int num_channels, int num_buyers);
+
+  int num_channels() const { return num_channels_; }
+  int num_buyers() const { return num_buyers_; }
+
+  /// µ(j): the seller buyer j is matched to, or kUnmatched.
+  SellerId seller_of(BuyerId j) const;
+
+  bool is_matched(BuyerId j) const { return seller_of(j) != kUnmatched; }
+
+  /// µ(i): the buyers matched to seller i.
+  const DynamicBitset& members_of(SellerId i) const;
+
+  /// Matches buyer j to seller i; j must currently be unmatched.
+  void match(BuyerId j, SellerId i);
+
+  /// Unmatches buyer j (no-op if already unmatched).
+  void unmatch(BuyerId j);
+
+  /// Moves buyer j to seller i, leaving her current seller if any.
+  void rematch(BuyerId j, SellerId i);
+
+  /// Number of matched buyers.
+  int num_matched() const;
+
+  /// Social welfare under the paper's peer-effect utilities: the sum over
+  /// matched buyers of buyer_utility_in (zero if a neighbour shares the
+  /// channel, so an interference-free matching just sums b_{µ(j),j}).
+  double social_welfare(const market::SpectrumMarket& market) const;
+
+  /// Buyer j's utility in the current matching.
+  double buyer_utility(const market::SpectrumMarket& market, BuyerId j) const;
+
+  /// Throws CheckError if the two views disagree (defence for tests).
+  void check_consistent() const;
+
+  bool operator==(const Matching& other) const = default;
+
+ private:
+  int num_channels_ = 0;
+  int num_buyers_ = 0;
+  std::vector<SellerId> buyer_to_seller_;
+  std::vector<DynamicBitset> seller_members_;
+};
+
+}  // namespace specmatch::matching

@@ -1,0 +1,97 @@
+#include "matching/pricing.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace specmatch::matching {
+
+namespace {
+
+/// Rebuilds the market with buyer j's price on channel i replaced by `bid`.
+market::SpectrumMarket with_bid(const market::SpectrumMarket& market,
+                                ChannelId channel, BuyerId j, double bid) {
+  const int M = market.num_channels();
+  const int N = market.num_buyers();
+  std::vector<double> prices;
+  prices.reserve(static_cast<std::size_t>(M) * static_cast<std::size_t>(N));
+  std::vector<graph::InterferenceGraph> graphs;
+  graphs.reserve(static_cast<std::size_t>(M));
+  for (ChannelId i = 0; i < M; ++i) {
+    const auto row = market.channel_prices(i);
+    prices.insert(prices.end(), row.begin(), row.end());
+    graphs.push_back(market.graph(i));
+  }
+  prices[static_cast<std::size_t>(channel) * static_cast<std::size_t>(N) +
+         static_cast<std::size_t>(j)] = bid;
+  std::vector<double> reserves;
+  reserves.reserve(static_cast<std::size_t>(M));
+  for (ChannelId i = 0; i < M; ++i) reserves.push_back(market.reserve(i));
+  return market::SpectrumMarket(M, N, std::move(prices), std::move(graphs),
+                                {}, {}, std::move(reserves));
+}
+
+bool still_wins(const market::SpectrumMarket& market, ChannelId channel,
+                BuyerId j, double bid, const TwoStageConfig& config) {
+  const auto market_with_bid = with_bid(market, channel, j, bid);
+  const auto result = run_two_stage(market_with_bid, config);
+  return result.final_matching().seller_of(j) == channel;
+}
+
+}  // namespace
+
+PaymentReport pay_your_bid(const market::SpectrumMarket& market,
+                           const Matching& matching) {
+  PaymentReport report;
+  report.payments.assign(static_cast<std::size_t>(market.num_buyers()), 0.0);
+  for (BuyerId j = 0; j < market.num_buyers(); ++j) {
+    const double utility = matching.buyer_utility(market, j);
+    report.payments[static_cast<std::size_t>(j)] = utility;  // pays her bid
+    report.total_revenue += utility;
+  }
+  report.welfare = matching.social_welfare(market);
+  report.total_buyer_surplus = report.welfare - report.total_revenue;
+  return report;
+}
+
+PaymentReport critical_value_payments(const market::SpectrumMarket& market,
+                                      const PricingConfig& config) {
+  SPECMATCH_CHECK(config.tolerance > 0.0);
+  const auto base = run_two_stage(market, config.algorithm);
+  const auto& matching = base.final_matching();
+
+  PaymentReport report;
+  report.payments.assign(static_cast<std::size_t>(market.num_buyers()), 0.0);
+  report.welfare = matching.social_welfare(market);
+
+  for (BuyerId j = 0; j < market.num_buyers(); ++j) {
+    const ChannelId i = matching.seller_of(j);
+    if (i == kUnmatched) continue;
+
+    // Bisect the winning threshold in [0, b_{i,j}]. The allocation need not
+    // be monotone in the bid, so this is the *bisection* critical value: the
+    // boundary point found between a losing low probe and the winning bid.
+    double lo = 0.0;
+    double hi = market.utility(i, j);
+    if (still_wins(market, i, j, 0.0, config.algorithm)) {
+      // She wins the channel even reporting ~nothing (e.g. no contention).
+      report.payments[static_cast<std::size_t>(j)] = 0.0;
+      continue;
+    }
+    while (hi - lo > config.tolerance) {
+      const double mid = 0.5 * (lo + hi);
+      if (still_wins(market, i, j, mid, config.algorithm))
+        hi = mid;
+      else
+        lo = mid;
+    }
+    report.payments[static_cast<std::size_t>(j)] = hi;
+  }
+
+  for (BuyerId j = 0; j < market.num_buyers(); ++j)
+    report.total_revenue += report.payments[static_cast<std::size_t>(j)];
+  report.total_buyer_surplus = report.welfare - report.total_revenue;
+  return report;
+}
+
+}  // namespace specmatch::matching

@@ -1,0 +1,45 @@
+// Payment rules on top of the matching (extension).
+//
+// The paper prices implicitly: a buyer pays her offered price b_{i,j}
+// (pay-your-bid), so sellers capture the whole surplus. This module adds the
+// natural alternative from auction theory: a matched buyer's
+// *critical value* — the smallest report on her assigned channel that would
+// still win her that channel under the full two-stage algorithm, found by
+// bisection over re-runs. Charging critical values instead of bids returns
+// surplus to buyers; on a monotone allocation rule it would also be the
+// truthful (Myerson) payment — the two-stage matching is NOT monotone, and
+// bench/ablation_pricing measures how far that assumption bends.
+#pragma once
+
+#include <vector>
+
+#include "matching/two_stage.hpp"
+
+namespace specmatch::matching {
+
+struct PricingConfig {
+  /// Bisection tolerance on the critical value.
+  double tolerance = 1e-3;
+  TwoStageConfig algorithm;
+};
+
+struct PaymentReport {
+  /// Per-buyer payment; 0 for unmatched buyers.
+  std::vector<double> payments;
+  double total_revenue = 0.0;        ///< sum of payments (sellers' take)
+  double total_buyer_surplus = 0.0;  ///< sum of (utility - payment)
+  double welfare = 0.0;              ///< payments + surplus
+};
+
+/// Pay-your-bid (the paper's implicit rule): payment = b_{µ(j),j}.
+PaymentReport pay_your_bid(const market::SpectrumMarket& market,
+                           const Matching& matching);
+
+/// Critical-value payments: for every matched buyer, bisect the lowest
+/// report on her assigned channel that still wins it (all other reports
+/// fixed), re-running the two-stage algorithm per probe. O(N log(1/tol))
+/// full algorithm runs — intended for small/medium markets.
+PaymentReport critical_value_payments(const market::SpectrumMarket& market,
+                                      const PricingConfig& config = {});
+
+}  // namespace specmatch::matching

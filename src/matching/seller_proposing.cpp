@@ -1,0 +1,93 @@
+#include "matching/seller_proposing.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace specmatch::matching {
+
+SellerProposingResult run_seller_proposing(
+    const market::SpectrumMarket& market,
+    const SellerProposingConfig& config) {
+  const int M = market.num_channels();
+  const int N = market.num_buyers();
+
+  SellerProposingResult result;
+  result.matching = Matching(M, N);
+
+  // rejected[i]: buyers that turned seller i down (grows monotonically).
+  std::vector<DynamicBitset> rejected(
+      static_cast<std::size_t>(M),
+      DynamicBitset(static_cast<std::size_t>(N)));
+  // Buyers with a positive price per channel (static candidate mask).
+  std::vector<DynamicBitset> interested(
+      static_cast<std::size_t>(M),
+      DynamicBitset(static_cast<std::size_t>(N)));
+  for (ChannelId i = 0; i < M; ++i)
+    for (BuyerId j = 0; j < N; ++j)
+      if (market.admissible(i, j))
+        interested[static_cast<std::size_t>(i)].set(
+            static_cast<std::size_t>(j));
+
+  // held[j]: the seller whose offer buyer j currently holds.
+  std::vector<SellerId> held(static_cast<std::size_t>(N), kUnmatched);
+
+  while (true) {
+    ++result.rounds;
+
+    // Offer phase: each seller offers to her best independent set among the
+    // buyers that have not rejected her.
+    std::vector<DynamicBitset> offers;
+    offers.reserve(static_cast<std::size_t>(M));
+    for (ChannelId i = 0; i < M; ++i) {
+      const DynamicBitset candidates =
+          interested[static_cast<std::size_t>(i)] -
+          rejected[static_cast<std::size_t>(i)];
+      offers.push_back(graph::solve_mwis(market.graph(i),
+                                         market.channel_prices(i), candidates,
+                                         config.coalition_policy));
+      result.total_offers +=
+          static_cast<std::int64_t>(offers.back().count());
+    }
+
+    // Hold phase: every buyer keeps the best offer in hand; any previously
+    // held seller who no longer offers (or is beaten) gets a rejection.
+    bool any_rejection = false;
+    for (BuyerId j = 0; j < N; ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      SellerId best = kUnmatched;
+      for (ChannelId i = 0; i < M; ++i) {
+        if (!offers[static_cast<std::size_t>(i)].test(ju)) continue;
+        if (best == kUnmatched ||
+            market.utility(i, j) > market.utility(best, j))
+          best = i;
+      }
+      // Reject every offer not held. (A previously held seller who stopped
+      // offering simply loses the hold — no rejection; a held seller who is
+      // beaten by a better offer is rejected here like any other.)
+      for (ChannelId i = 0; i < M; ++i) {
+        if (i == best) continue;
+        if (offers[static_cast<std::size_t>(i)].test(ju) &&
+            !rejected[static_cast<std::size_t>(i)].test(ju)) {
+          rejected[static_cast<std::size_t>(i)].set(ju);
+          ++result.total_rejections;
+          any_rejection = true;
+        }
+      }
+      held[ju] = best;
+    }
+    if (!any_rejection) break;
+    SPECMATCH_CHECK_MSG(result.rounds <= M * N + 2,
+                        "seller-proposing DA failed to converge");
+  }
+
+  // Final matching: held offers become assignments. Each seller's holders
+  // are a subset of her (independent) final offer set.
+  for (BuyerId j = 0; j < N; ++j)
+    if (held[static_cast<std::size_t>(j)] != kUnmatched)
+      result.matching.match(j, held[static_cast<std::size_t>(j)]);
+  result.matching.check_consistent();
+  return result;
+}
+
+}  // namespace specmatch::matching

@@ -1,0 +1,42 @@
+// Seller-proposing Stage I (extension).
+//
+// Footnote 3 of the paper notes the classic deferred-acceptance asymmetry:
+// the proposing side gets its optimal stable outcome. The paper only runs
+// the buyer-proposing direction; this module implements the dual so the
+// bench can measure which side the asymmetry favours under peer effects:
+//
+//   repeat:
+//     every seller offers her channel to the maximum-weight independent set
+//     of buyers that have not rejected her;
+//     every buyer holds the best offer in hand (her current hold included)
+//     and rejects the rest;
+//   until a round produces no rejection.
+//
+// Rejection sets only grow (at most MN rejections), so this converges; every
+// offer set is an independent set, so the held coalition of each seller is
+// interference-free. Stage II can run on top unchanged.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/mwis.hpp"
+#include "matching/matching.hpp"
+
+namespace specmatch::matching {
+
+struct SellerProposingConfig {
+  graph::MwisAlgorithm coalition_policy = graph::MwisAlgorithm::kGwmin;
+};
+
+struct SellerProposingResult {
+  Matching matching;
+  int rounds = 0;
+  std::int64_t total_offers = 0;
+  std::int64_t total_rejections = 0;
+};
+
+SellerProposingResult run_seller_proposing(
+    const market::SpectrumMarket& market,
+    const SellerProposingConfig& config = {});
+
+}  // namespace specmatch::matching

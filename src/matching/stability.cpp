@@ -1,0 +1,91 @@
+#include "matching/stability.hpp"
+
+#include "market/coalition.hpp"
+#include "market/preferences.hpp"
+
+namespace specmatch::matching {
+
+bool is_interference_free(const market::SpectrumMarket& market,
+                          const Matching& matching) {
+  for (ChannelId i = 0; i < market.num_channels(); ++i)
+    if (!market::interference_free(market, i, matching.members_of(i)))
+      return false;
+  return true;
+}
+
+bool is_individual_rational(const market::SpectrumMarket& market,
+                            const Matching& matching) {
+  // Seller side: with an interference-free coalition and non-negative prices,
+  // shedding members can only lower her total; a blocking subset exists only
+  // where interference does. Buyer side: a matched buyer blocks iff her
+  // in-coalition utility is not positive.
+  if (!is_interference_free(market, matching)) return false;
+  for (BuyerId j = 0; j < market.num_buyers(); ++j) {
+    if (!matching.is_matched(j)) continue;
+    if (matching.buyer_utility(market, j) <= 0.0) return false;
+  }
+  return true;
+}
+
+std::optional<NashDeviation> find_nash_deviation(
+    const market::SpectrumMarket& market, const Matching& matching) {
+  for (BuyerId j = 0; j < market.num_buyers(); ++j) {
+    const double now = matching.buyer_utility(market, j);
+    for (ChannelId i = 0; i < market.num_channels(); ++i) {
+      if (i == matching.seller_of(j)) continue;
+      if (!market.admissible(i, j)) continue;  // reserve bars her entry
+      // Joining coalition i yields b_{i,j} if j fits without interference,
+      // 0 otherwise — the latter never beats a non-negative current utility.
+      if (!market.graph(i).is_compatible(j, matching.members_of(i))) continue;
+      const double there = market.utility(i, j);
+      if (there > now)
+        return NashDeviation{j, i, now, there};
+    }
+  }
+  return std::nullopt;
+}
+
+bool is_nash_stable(const market::SpectrumMarket& market,
+                    const Matching& matching) {
+  return !find_nash_deviation(market, matching).has_value();
+}
+
+std::optional<BlockingPair> find_blocking_pair(
+    const market::SpectrumMarket& market, const Matching& matching) {
+  for (ChannelId i = 0; i < market.num_channels(); ++i) {
+    const DynamicBitset& members = matching.members_of(i);
+    for (BuyerId j = 0; j < market.num_buyers(); ++j) {
+      if (matching.seller_of(j) == i) continue;
+      if (!market.admissible(i, j)) continue;
+      const double price = market.utility(i, j);
+
+      // The best retained set S drops exactly j's neighbours in µ(i):
+      // any smaller S only costs the seller more.
+      const DynamicBitset dropped = members & market.graph(i).neighbors(j);
+      const double dropped_value = market::total_price(market, i, dropped);
+
+      const double seller_gain = price - dropped_value;
+      const double buyer_gain = price - matching.buyer_utility(market, j);
+      if (seller_gain > 0.0 && buyer_gain > 0.0) {
+        BlockingPair pair;
+        pair.seller = i;
+        pair.buyer = j;
+        const DynamicBitset retained = members - dropped;
+        retained.for_each_set([&](std::size_t k) {
+          pair.retained.push_back(static_cast<BuyerId>(k));
+        });
+        pair.seller_gain = seller_gain;
+        pair.buyer_gain = buyer_gain;
+        return pair;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool is_pairwise_stable(const market::SpectrumMarket& market,
+                        const Matching& matching) {
+  return !find_blocking_pair(market, matching).has_value();
+}
+
+}  // namespace specmatch::matching

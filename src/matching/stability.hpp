@@ -1,0 +1,64 @@
+// Stability analysers for spectrum matchings (§III-C and §III-D).
+//
+// The algorithm guarantees interference-freedom, individual rationality
+// (Definition 2 / Proposition 3) and Nash stability (Definition 3 /
+// Proposition 4). It does NOT guarantee pairwise stability (Definition 4) or
+// buyer-optimality (Definition 5) — the blocking-pair finder below
+// demonstrates the paper's counter-example and powers the empirical
+// instability measurements in EXPERIMENTS.md.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "matching/matching.hpp"
+
+namespace specmatch::matching {
+
+/// True iff no seller's member set contains an interfering pair.
+bool is_interference_free(const market::SpectrumMarket& market,
+                          const Matching& matching);
+
+/// Definition 2: no seller wants to shed members, no matched buyer prefers
+/// being unmatched. For interference-free matchings with non-negative prices
+/// this reduces to checking interference-freedom plus positive utilities.
+bool is_individual_rational(const market::SpectrumMarket& market,
+                            const Matching& matching);
+
+/// A buyer's profitable unilateral deviation (Definition 3 violation).
+struct NashDeviation {
+  BuyerId buyer = kUnmatched;
+  ChannelId target = kUnmatched;   ///< the coalition she would rather join
+  double current_utility = 0.0;
+  double deviation_utility = 0.0;
+};
+
+/// Finds a buyer who strictly prefers joining another seller's current
+/// coalition (she must not interfere with its members), or nullopt if the
+/// matching is Nash-stable.
+std::optional<NashDeviation> find_nash_deviation(
+    const market::SpectrumMarket& market, const Matching& matching);
+
+bool is_nash_stable(const market::SpectrumMarket& market,
+                    const Matching& matching);
+
+/// A blocking pair in the sense of Definition 4: seller i and buyer j plus
+/// the retained subset S of µ(i) witnessing mutual improvement.
+struct BlockingPair {
+  ChannelId seller = kUnmatched;
+  BuyerId buyer = kUnmatched;
+  std::vector<BuyerId> retained;   ///< S ⊆ µ(i), non-interfering with j
+  double seller_gain = 0.0;        ///< new total price − old total price
+  double buyer_gain = 0.0;         ///< b_{i,j} − current utility
+};
+
+/// Finds a pairwise-blocking (seller, buyer) pair, or nullopt if the matching
+/// is pairwise stable. Uses the maximal retained set S = µ(i) minus j's
+/// neighbours, which dominates every other choice of S.
+std::optional<BlockingPair> find_blocking_pair(
+    const market::SpectrumMarket& market, const Matching& matching);
+
+bool is_pairwise_stable(const market::SpectrumMarket& market,
+                        const Matching& matching);
+
+}  // namespace specmatch::matching

@@ -1,0 +1,146 @@
+#include "matching/swap_resolution.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "common/check.hpp"
+#include "graph/mwis.hpp"
+#include "matching/stability.hpp"
+
+namespace specmatch::matching {
+
+namespace {
+
+/// One candidate operation: buyer `joiner` moves to `target`, the target's
+/// members interfering with her are dropped and greedily relocated.
+struct Operation {
+  ChannelId target = kUnmatched;
+  BuyerId joiner = kUnmatched;
+  double welfare_delta = 0.0;
+  /// (buyer, new channel or kUnmatched) for every dropped member.
+  std::vector<std::pair<BuyerId, ChannelId>> relocations;
+};
+
+/// Best compatible channel for buyer k in `matching`, ignoring channel
+/// `exclude` (the one she was just dropped from) — greedy relocation target.
+ChannelId best_relocation(const market::SpectrumMarket& market,
+                          const Matching& matching, BuyerId k,
+                          ChannelId exclude) {
+  for (ChannelId i : market.buyer_preference_order(k)) {
+    if (i == exclude) continue;
+    if (market.graph(i).is_compatible(k, matching.members_of(i))) return i;
+  }
+  return kUnmatched;
+}
+
+/// Simulates the operation for blocking pair (i, j) on a scratch copy and
+/// returns it if the *total welfare* strictly improves.
+std::optional<Operation> simulate(const market::SpectrumMarket& market,
+                                  const Matching& matching, ChannelId i,
+                                  BuyerId j) {
+  const double price = market.utility(i, j);
+  const DynamicBitset dropped =
+      matching.members_of(i) & market.graph(i).neighbors(j);
+
+  Operation op;
+  op.target = i;
+  op.joiner = j;
+  op.welfare_delta = price - matching.buyer_utility(market, j);
+
+  // Apply to a scratch matching: joiner in, interfering members out.
+  Matching scratch = matching;
+  dropped.for_each_set([&](std::size_t k) {
+    scratch.unmatch(static_cast<BuyerId>(k));
+    op.welfare_delta -= market.utility(i, static_cast<BuyerId>(k));
+  });
+  scratch.rematch(j, i);
+
+  // Greedy relocation of the dropped buyers, highest dropped price first so
+  // the most valuable displaced buyer picks her new channel first.
+  std::vector<BuyerId> displaced;
+  dropped.for_each_set(
+      [&](std::size_t k) { displaced.push_back(static_cast<BuyerId>(k)); });
+  std::sort(displaced.begin(), displaced.end(), [&](BuyerId a, BuyerId b) {
+    return market.utility(i, a) > market.utility(i, b);
+  });
+  for (BuyerId k : displaced) {
+    const ChannelId home = best_relocation(market, scratch, k, i);
+    op.relocations.emplace_back(k, home);
+    if (home != kUnmatched) {
+      scratch.match(k, home);
+      op.welfare_delta += market.utility(home, k);
+    }
+  }
+  if (op.welfare_delta <= 1e-12) return std::nullopt;
+  return op;
+}
+
+}  // namespace
+
+SwapResult resolve_blocking_pairs(const market::SpectrumMarket& market,
+                                  const Matching& input,
+                                  const SwapConfig& config) {
+  SPECMATCH_CHECK_MSG(is_interference_free(market, input),
+                      "swap resolution requires an interference-free input");
+  SwapResult result;
+  result.matching = input;
+  result.welfare_before = input.social_welfare(market);
+
+  for (int iteration = 0; iteration < config.max_swaps; ++iteration) {
+    // Scan every Definition-4 blocking pair; keep the best welfare delta.
+    std::optional<Operation> best;
+    for (ChannelId i = 0; i < market.num_channels(); ++i) {
+      const DynamicBitset& members = result.matching.members_of(i);
+      for (BuyerId j = 0; j < market.num_buyers(); ++j) {
+        if (result.matching.seller_of(j) == i) continue;
+        if (!market.admissible(i, j)) continue;
+        const double price = market.utility(i, j);
+        // Blocking-pair preconditions (seller and buyer both gain).
+        const DynamicBitset dropped = members & market.graph(i).neighbors(j);
+        const double dropped_value =
+            graph::set_weight(market.channel_prices(i), dropped);
+        if (price - dropped_value <= 0.0) continue;                // seller
+        if (price - result.matching.buyer_utility(market, j) <= 0.0)
+          continue;                                                // buyer
+        const auto op = simulate(market, result.matching, i, j);
+        if (op.has_value() &&
+            (!best.has_value() || op->welfare_delta > best->welfare_delta))
+          best = op;
+      }
+    }
+    if (!best.has_value()) break;
+
+    // Apply: drop, move the joiner, relocate.
+    const DynamicBitset dropped =
+        result.matching.members_of(best->target) &
+        market.graph(best->target).neighbors(best->joiner);
+    dropped.for_each_set([&](std::size_t k) {
+      result.matching.unmatch(static_cast<BuyerId>(k));
+    });
+    result.matching.rematch(best->joiner, best->target);
+    for (const auto& [buyer, home] : best->relocations) {
+      if (home != kUnmatched) {
+        result.matching.match(buyer, home);
+        ++result.relocations;
+      } else {
+        ++result.dropped_unmatched;
+      }
+    }
+    ++result.swaps_applied;
+  }
+
+  result.matching.check_consistent();
+  SPECMATCH_CHECK(is_interference_free(market, result.matching));
+  result.welfare_after = result.matching.social_welfare(market);
+  return result;
+}
+
+SwapResult run_two_stage_with_swaps(const market::SpectrumMarket& market,
+                                    const TwoStageConfig& two_stage,
+                                    const SwapConfig& swaps) {
+  const auto base = run_two_stage(market, two_stage);
+  return resolve_blocking_pairs(market, base.final_matching(), swaps);
+}
+
+}  // namespace specmatch::matching

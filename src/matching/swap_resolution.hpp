@@ -1,0 +1,60 @@
+// Stage III (extension): coordinated blocking-pair resolution.
+//
+// §III-D shows the two-stage result need not be pairwise stable or
+// buyer-optimal: seller b and buyer 2 would both gain if b dropped buyer 4 —
+// but only a *coordinated* move (buyer 4 simultaneously relocating to seller
+// c) realises the gain, and the paper leaves "how to enable such a swap" as
+// future work. This module implements that coordination as a centre-free
+// improvement protocol a market maker (or gossiping participants) could run
+// after Stage II:
+//
+//   repeat:
+//     for every Definition-4 blocking pair (seller i, buyer j):
+//       simulate: j joins i; i drops j's interfering members; each dropped
+//       buyer relocates greedily to her best compatible channel (possibly
+//       none);
+//     apply the simulated operation with the largest *total welfare* gain,
+//     if positive; otherwise stop.
+//
+// Total welfare strictly increases with every applied operation, so the
+// procedure terminates. On the paper's counter-example it performs exactly
+// the 2 <-> 4 swap the authors describe, reaching the dominating Nash-stable
+// matching of welfare 64.5. bench/ablation_swap quantifies the average gain
+// and the drop in pairwise-blocked runs.
+#pragma once
+
+#include <cstdint>
+
+#include "matching/matching.hpp"
+#include "matching/two_stage.hpp"
+
+namespace specmatch::matching {
+
+struct SwapConfig {
+  /// Safety valve; welfare strictly increases per swap so real runs stop
+  /// long before this.
+  int max_swaps = 100000;
+};
+
+struct SwapResult {
+  Matching matching;
+  int swaps_applied = 0;
+  /// Dropped buyers that found another channel during a swap.
+  std::int64_t relocations = 0;
+  /// Dropped buyers left unmatched by a swap.
+  std::int64_t dropped_unmatched = 0;
+  double welfare_before = 0.0;
+  double welfare_after = 0.0;
+};
+
+/// Runs blocking-pair resolution on top of an interference-free matching.
+SwapResult resolve_blocking_pairs(const market::SpectrumMarket& market,
+                                  const Matching& input,
+                                  const SwapConfig& config = {});
+
+/// Convenience: the full pipeline — two-stage algorithm, then Stage III.
+SwapResult run_two_stage_with_swaps(const market::SpectrumMarket& market,
+                                    const TwoStageConfig& two_stage = {},
+                                    const SwapConfig& swaps = {});
+
+}  // namespace specmatch::matching

@@ -1,0 +1,183 @@
+#include "matching/transfer_invitation.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+#include "market/coalition.hpp"
+#include "market/preferences.hpp"
+
+namespace specmatch::matching {
+
+namespace {
+
+/// Current utility of buyer j (the matching is interference-free throughout
+/// Stage II, so this is b_{µ(j),j} or 0).
+double current_utility(const market::SpectrumMarket& market,
+                       const Matching& matching, BuyerId j) {
+  return matching.buyer_utility(market, j);
+}
+
+}  // namespace
+
+StageIIResult run_transfer_invitation(const market::SpectrumMarket& market,
+                                      const Matching& stage1,
+                                      const StageIIConfig& config) {
+  const int M = market.num_channels();
+  const int N = market.num_buyers();
+  SPECMATCH_CHECK(stage1.num_channels() == M && stage1.num_buyers() == N);
+  for (ChannelId i = 0; i < M; ++i)
+    SPECMATCH_CHECK_MSG(
+        market::interference_free(market, i, stage1.members_of(i)),
+        "Stage II requires an interference-free input matching (channel "
+            << i << ")");
+
+  StageIIResult result;
+  result.matching = stage1;
+
+  // ---- Phase 1: Transfer -------------------------------------------------
+  // T_j: strictly-better sellers, in descending-utility order with a cursor.
+  std::vector<std::vector<ChannelId>> better(static_cast<std::size_t>(N));
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(N), 0);
+  for (BuyerId j = 0; j < N; ++j) {
+    const double now = current_utility(market, result.matching, j);
+    for (ChannelId i : market.buyer_preference_order(j)) {
+      if (market.utility(i, j) > now)
+        better[static_cast<std::size_t>(j)].push_back(i);
+    }
+  }
+
+  // D_i: this round's applicants; rejected-ever feeds the invitation lists.
+  std::vector<DynamicBitset> applicants(
+      static_cast<std::size_t>(M),
+      DynamicBitset(static_cast<std::size_t>(N)));
+  std::vector<DynamicBitset> rejected(
+      static_cast<std::size_t>(M),
+      DynamicBitset(static_cast<std::size_t>(N)));
+
+  while (true) {
+    bool any_application = false;
+    for (BuyerId j = 0; j < N; ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      auto& list = better[ju];
+      // Applications were queued best-first; once the head is no better than
+      // the current match (after a successful transfer), the rest never will
+      // be — the buyer is done.
+      const double now = current_utility(market, result.matching, j);
+      while (cursor[ju] < list.size() &&
+             market.utility(list[cursor[ju]], j) <= now)
+        ++cursor[ju];
+      if (cursor[ju] >= list.size()) continue;
+      const ChannelId i = list[cursor[ju]++];
+      applicants[static_cast<std::size_t>(i)].set(ju);
+      ++result.transfer_applications;
+      any_application = true;
+    }
+    if (!any_application) break;
+    ++result.phase1_rounds;
+
+    // Sellers decide simultaneously against a snapshot; moves are applied
+    // afterwards. Accepted sets stay feasible because µ(i) can only shrink
+    // between snapshot and application (no eviction in Stage II).
+    const Matching snapshot = result.matching;
+    std::vector<std::pair<BuyerId, ChannelId>> moves;
+    for (ChannelId i = 0; i < M; ++i) {
+      const auto iu = static_cast<std::size_t>(i);
+      if (!applicants[iu].any()) continue;
+      const DynamicBitset& members = snapshot.members_of(i);
+      // Only applicants compatible with every current member are admissible
+      // (the seller cannot evict, Algorithm 2 line 13).
+      DynamicBitset admissible(static_cast<std::size_t>(N));
+      applicants[iu].for_each_set([&](std::size_t j) {
+        if (market.graph(i).is_compatible(static_cast<BuyerId>(j), members))
+          admissible.set(j);
+      });
+      const DynamicBitset chosen =
+          graph::solve_mwis(market.graph(i), market.channel_prices(i),
+                            admissible, config.coalition_policy);
+      chosen.for_each_set([&](std::size_t j) {
+        moves.emplace_back(static_cast<BuyerId>(j), i);
+      });
+      rejected[iu] |= applicants[iu] - chosen;
+      applicants[iu].clear();
+    }
+    for (const auto& [j, i] : moves) {
+      result.matching.rematch(j, i);
+      ++result.transfers_accepted;
+    }
+  }
+
+  result.after_phase1 = result.matching;
+
+  // ---- Phase 2: Invitation -----------------------------------------------
+  // Screen invitation lists against the sellers' final Phase-1 members
+  // (Algorithm 2 line 20).
+  std::vector<DynamicBitset> invite_list(
+      static_cast<std::size_t>(M),
+      DynamicBitset(static_cast<std::size_t>(N)));
+  auto screen = [&](ChannelId i) {
+    const auto iu = static_cast<std::size_t>(i);
+    DynamicBitset screened(static_cast<std::size_t>(N));
+    invite_list[iu].for_each_set([&](std::size_t j) {
+      const auto buyer = static_cast<BuyerId>(j);
+      if (result.matching.seller_of(buyer) == i) return;
+      if (market.graph(i).is_compatible(buyer, result.matching.members_of(i)))
+        screened.set(j);
+    });
+    invite_list[iu] = std::move(screened);
+  };
+  for (ChannelId i = 0; i < M; ++i) {
+    invite_list[static_cast<std::size_t>(i)] =
+        rejected[static_cast<std::size_t>(i)];
+    screen(i);
+  }
+
+  while (true) {
+    bool any_invitation = false;
+    for (ChannelId i = 0; i < M; ++i) {
+      const auto iu = static_cast<std::size_t>(i);
+      if (!invite_list[iu].any()) continue;
+      // Invite the compatible buyer with the highest offered price.
+      BuyerId best = kUnmatched;
+      double best_price = -1.0;
+      invite_list[iu].for_each_set([&](std::size_t j) {
+        const double price = market.utility(i, static_cast<BuyerId>(j));
+        if (price > best_price) {
+          best_price = price;
+          best = static_cast<BuyerId>(j);
+        }
+      });
+      SPECMATCH_DCHECK(best != kUnmatched);
+      ++result.invitations_sent;
+      any_invitation = true;
+
+      const bool still_compatible = market.graph(i).is_compatible(
+          best, result.matching.members_of(i));
+      if (still_compatible &&
+          best_price > current_utility(market, result.matching, best)) {
+        const SellerId old_seller = result.matching.seller_of(best);
+        result.matching.rematch(best, i);
+        ++result.invitations_accepted;
+        // Drop the new member's interfering neighbours (line 29).
+        invite_list[iu] -= market.graph(i).neighbors(best);
+        if (config.rescreen_on_departure && old_seller != kUnmatched) {
+          // Extension: a departure may unblock buyers the one-shot screening
+          // removed; rebuild the old seller's list from everyone she ever
+          // rejected and screen again.
+          invite_list[static_cast<std::size_t>(old_seller)] |=
+              rejected[static_cast<std::size_t>(old_seller)];
+          screen(old_seller);
+        }
+      }
+      invite_list[iu].reset(static_cast<std::size_t>(best));
+      // An invitation is never repeated (line 31).
+      rejected[iu].reset(static_cast<std::size_t>(best));
+    }
+    if (!any_invitation) break;
+    ++result.phase2_rounds;
+  }
+
+  result.matching.check_consistent();
+  return result;
+}
+
+}  // namespace specmatch::matching

@@ -1,0 +1,48 @@
+// Stage II: transfer and invitation (Algorithm 2).
+//
+// Phase 1 — buyers apply to transfer to strictly-better sellers; a seller may
+// accept applicants that do not interfere with her current (un-evictable)
+// members, picking the best such subset; rejected applicants land on her
+// invitation list R_i. Phase 2 — sellers screen R_i against their final
+// members and invite the highest-priced compatible buyers; a buyer accepts
+// when the inviter beats her current coalition. The combined result is
+// individually rational and Nash-stable (Propositions 3-4).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/mwis.hpp"
+#include "matching/matching.hpp"
+
+namespace specmatch::matching {
+
+struct StageIIConfig {
+  /// How a seller chooses among simultaneous transfer applicants
+  /// (Algorithm 2 line 13).
+  graph::MwisAlgorithm coalition_policy = graph::MwisAlgorithm::kGwmin;
+  /// Faithful to the paper, sellers screen invitation lists once at Phase 2
+  /// entry (line 20). With this flag set, a seller re-screens whenever a
+  /// member departs, recovering invitations the literal algorithm misses —
+  /// an extension quantified by bench/ablation_rescreen.
+  bool rescreen_on_departure = false;
+};
+
+struct StageIIResult {
+  Matching matching;             ///< final matching after both phases
+  Matching after_phase1;         ///< snapshot between the phases
+  int phase1_rounds = 0;
+  int phase2_rounds = 0;
+  std::int64_t transfer_applications = 0;
+  std::int64_t transfers_accepted = 0;
+  std::int64_t invitations_sent = 0;
+  std::int64_t invitations_accepted = 0;
+};
+
+/// Runs Stage II on top of a Stage-I matching (which must be
+/// interference-free; checked).
+StageIIResult run_transfer_invitation(const market::SpectrumMarket& market,
+                                      const Matching& stage1,
+                                      const StageIIConfig& config = {});
+
+}  // namespace specmatch::matching

@@ -1,0 +1,26 @@
+#include "matching/two_stage.hpp"
+
+namespace specmatch::matching {
+
+TwoStageResult run_two_stage(const market::SpectrumMarket& market,
+                             const TwoStageConfig& config) {
+  TwoStageResult result;
+
+  StageIConfig stage1_config;
+  stage1_config.coalition_policy = config.coalition_policy;
+  stage1_config.record_trace = config.record_trace;
+  result.stage1 = run_deferred_acceptance(market, stage1_config);
+
+  StageIIConfig stage2_config;
+  stage2_config.coalition_policy = config.coalition_policy;
+  stage2_config.rescreen_on_departure = config.rescreen_on_departure;
+  result.stage2 =
+      run_transfer_invitation(market, result.stage1.matching, stage2_config);
+
+  result.welfare_stage1 = result.stage1.matching.social_welfare(market);
+  result.welfare_phase1 = result.stage2.after_phase1.social_welfare(market);
+  result.welfare_final = result.stage2.matching.social_welfare(market);
+  return result;
+}
+
+}  // namespace specmatch::matching

@@ -1,0 +1,118 @@
+#include "optimal/bundle_exact.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace specmatch::optimal {
+
+namespace {
+
+struct Search {
+  const market::SpectrumMarket& market;
+  const valuation::BundleValuation& valuation;
+
+  /// Virtual buyers grouped by parent.
+  std::vector<std::vector<BuyerId>> parents;
+  /// Admissible per-parent upper bound and its suffix sums.
+  std::vector<double> parent_bound;
+  std::vector<double> suffix_bound;
+
+  matching::Matching current;
+  matching::Matching best;
+  double best_welfare = -1.0;
+  double value_so_far = 0.0;
+  std::uint64_t nodes = 0;
+
+  explicit Search(const market::SpectrumMarket& m,
+                  const valuation::BundleValuation& v)
+      : market(m),
+        valuation(v),
+        current(m.num_channels(), m.num_buyers()),
+        best(m.num_channels(), m.num_buyers()) {
+    int max_parent = 0;
+    for (BuyerId j = 0; j < market.num_buyers(); ++j)
+      max_parent = std::max(max_parent, market.buyer_parent(j));
+    parents.resize(static_cast<std::size_t>(max_parent) + 1);
+    for (BuyerId j = 0; j < market.num_buyers(); ++j)
+      parents[static_cast<std::size_t>(market.buyer_parent(j))].push_back(j);
+
+    // U_p = max over k of (top-k per-dummy max unit values) * factor(k):
+    // no completion of parent p can beat it, with or without interference.
+    parent_bound.reserve(parents.size());
+    for (const auto& dummies : parents) {
+      std::vector<double> max_units;
+      for (BuyerId j : dummies) {
+        double top = 0.0;
+        for (ChannelId i = 0; i < market.num_channels(); ++i)
+          top = std::max(top, market.utility(i, j));
+        max_units.push_back(top);
+      }
+      std::sort(max_units.begin(), max_units.end(), std::greater<>());
+      double bound = 0.0;
+      double running = 0.0;
+      for (std::size_t k = 0; k < max_units.size(); ++k) {
+        running += max_units[k];
+        bound = std::max(bound,
+                         running * valuation.factor(static_cast<int>(k) + 1));
+      }
+      parent_bound.push_back(bound);
+    }
+    suffix_bound.assign(parents.size() + 1, 0.0);
+    for (std::size_t p = parents.size(); p-- > 0;)
+      suffix_bound[p] = suffix_bound[p + 1] + parent_bound[p];
+  }
+
+  void solve_parent(std::size_t p) {
+    ++nodes;
+    if (p == parents.size()) {
+      if (value_so_far > best_welfare) {
+        best_welfare = value_so_far;
+        best = current;
+      }
+      return;
+    }
+    if (value_so_far + suffix_bound[p] <= best_welfare) return;  // prune
+    assign_dummy(p, 0, 0.0, 0);
+  }
+
+  void assign_dummy(std::size_t p, std::size_t d, double unit_sum,
+                    int bundle_size) {
+    const auto& dummies = parents[p];
+    if (d == dummies.size()) {
+      const double bundle = unit_sum * valuation.factor(bundle_size);
+      value_so_far += bundle;
+      solve_parent(p + 1);
+      value_so_far -= bundle;
+      return;
+    }
+    const BuyerId j = dummies[d];
+    for (ChannelId i : market.buyer_preference_order(j)) {
+      if (!market.graph(i).is_compatible(j, current.members_of(i))) continue;
+      current.match(j, i);
+      assign_dummy(p, d + 1, unit_sum + market.utility(i, j),
+                   bundle_size + 1);
+      current.unmatch(j);
+    }
+    assign_dummy(p, d + 1, unit_sum, bundle_size);  // leave j unmatched
+  }
+};
+
+}  // namespace
+
+BundleOptimalResult solve_bundle_optimal(
+    const market::SpectrumMarket& market,
+    const valuation::BundleValuation& valuation) {
+  Search search(market, valuation);
+  search.solve_parent(0);
+  SPECMATCH_CHECK(search.best_welfare >= 0.0);
+  BundleOptimalResult result;
+  result.matching = search.best;
+  result.welfare = search.best_welfare;
+  result.nodes_explored = search.nodes;
+  result.matching.check_consistent();
+  return result;
+}
+
+}  // namespace specmatch::optimal

@@ -1,0 +1,26 @@
+// Bundle-aware exact optimum: maximises bundle welfare (valuation::*) over
+// all feasible assignments — the benchmark for footnote 1's complements /
+// substitutes extension. With gamma = 0 this coincides with solve_optimal.
+#pragma once
+
+#include <cstdint>
+
+#include "matching/matching.hpp"
+#include "valuation/bundle.hpp"
+
+namespace specmatch::optimal {
+
+struct BundleOptimalResult {
+  matching::Matching matching;
+  double welfare = 0.0;
+  std::uint64_t nodes_explored = 0;
+};
+
+/// Exact branch & bound over parents (each parent's dummies assigned as a
+/// block so the bundle factor is applied once). Exponential worst case —
+/// intended for small instances, like solve_optimal.
+BundleOptimalResult solve_bundle_optimal(
+    const market::SpectrumMarket& market,
+    const valuation::BundleValuation& valuation);
+
+}  // namespace specmatch::optimal

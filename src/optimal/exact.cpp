@@ -1,0 +1,140 @@
+#include "optimal/exact.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace specmatch::optimal {
+
+namespace {
+
+struct Search {
+  const market::SpectrumMarket& market;
+  /// Buyers in descending-max-utility order (good solutions found early).
+  std::vector<BuyerId> order;
+  /// suffix_max[k] = sum over order[k..] of each buyer's best utility —
+  /// an admissible bound on what the remaining buyers can still add.
+  std::vector<double> suffix_max;
+
+  matching::Matching current;
+  matching::Matching best;
+  double current_welfare = 0.0;
+  double best_welfare = -1.0;
+  std::uint64_t nodes = 0;
+
+  explicit Search(const market::SpectrumMarket& m)
+      : market(m),
+        current(m.num_channels(), m.num_buyers()),
+        best(m.num_channels(), m.num_buyers()) {
+    const int N = market.num_buyers();
+    order.resize(static_cast<std::size_t>(N));
+    std::iota(order.begin(), order.end(), 0);
+    auto best_utility = [&](BuyerId j) {
+      double top = 0.0;
+      for (ChannelId i = 0; i < market.num_channels(); ++i)
+        top = std::max(top, market.utility(i, j));
+      return top;
+    };
+    std::stable_sort(order.begin(), order.end(), [&](BuyerId a, BuyerId b) {
+      return best_utility(a) > best_utility(b);
+    });
+    suffix_max.assign(static_cast<std::size_t>(N) + 1, 0.0);
+    for (int k = N - 1; k >= 0; --k)
+      suffix_max[static_cast<std::size_t>(k)] =
+          suffix_max[static_cast<std::size_t>(k) + 1] +
+          best_utility(order[static_cast<std::size_t>(k)]);
+  }
+
+  void run(std::size_t depth) {
+    ++nodes;
+    if (depth == order.size()) {
+      if (current_welfare > best_welfare) {
+        best_welfare = current_welfare;
+        best = current;
+      }
+      return;
+    }
+    if (current_welfare + suffix_max[depth] <= best_welfare) return;  // prune
+
+    const BuyerId j = order[depth];
+    // Try channels in descending utility for buyer j, then "unmatched".
+    for (ChannelId i : market.buyer_preference_order(j)) {
+      if (!market.graph(i).is_compatible(j, current.members_of(i))) continue;
+      current.match(j, i);
+      current_welfare += market.utility(i, j);
+      run(depth + 1);
+      current_welfare -= market.utility(i, j);
+      current.unmatch(j);
+    }
+    run(depth + 1);  // leave j unmatched
+  }
+};
+
+}  // namespace
+
+OptimalResult solve_optimal(const market::SpectrumMarket& market) {
+  Search search(market);
+  search.run(0);
+  SPECMATCH_CHECK(search.best_welfare >= 0.0);
+  OptimalResult result;
+  result.matching = search.best;
+  result.welfare = search.best_welfare;
+  result.nodes_explored = search.nodes;
+  result.matching.check_consistent();
+  return result;
+}
+
+OptimalResult solve_optimal_exhaustive(const market::SpectrumMarket& market) {
+  const int M = market.num_channels();
+  const int N = market.num_buyers();
+  SPECMATCH_CHECK_MSG(
+      N <= 12, "exhaustive solver is for tiny cross-check instances");
+
+  // assignment[j] in [-1, M): channel of buyer j or unmatched.
+  std::vector<int> assignment(static_cast<std::size_t>(N), -1);
+  OptimalResult result;
+  result.matching = matching::Matching(M, N);
+  result.welfare = 0.0;
+
+  while (true) {
+    ++result.nodes_explored;
+    // Evaluate the current assignment if feasible.
+    double welfare = 0.0;
+    bool feasible = true;
+    for (BuyerId a = 0; a < N && feasible; ++a) {
+      const int ia = assignment[static_cast<std::size_t>(a)];
+      if (ia < 0) continue;
+      if (!market.admissible(ia, a)) {
+        feasible = false;
+        break;
+      }
+      welfare += market.utility(ia, a);
+      for (BuyerId b = a + 1; b < N && feasible; ++b) {
+        if (assignment[static_cast<std::size_t>(b)] == ia &&
+            market.interferes(ia, a, b))
+          feasible = false;
+      }
+    }
+    if (feasible && welfare > result.welfare) {
+      result.welfare = welfare;
+      matching::Matching m(M, N);
+      for (BuyerId j = 0; j < N; ++j)
+        if (assignment[static_cast<std::size_t>(j)] >= 0)
+          m.match(j, assignment[static_cast<std::size_t>(j)]);
+      result.matching = std::move(m);
+    }
+    // Next assignment in mixed-radix order.
+    int pos = 0;
+    while (pos < N) {
+      if (++assignment[static_cast<std::size_t>(pos)] < M) break;
+      assignment[static_cast<std::size_t>(pos)] = -1;
+      ++pos;
+    }
+    if (pos == N) break;
+  }
+  return result;
+}
+
+}  // namespace specmatch::optimal

@@ -1,0 +1,28 @@
+// The centralised optimal matching (§II-B): maximise social welfare subject
+// to one-channel-per-buyer and per-channel interference constraints. This is
+// the NP-hard benchmark of eq. (1)-(4); the paper derives it by brute force
+// on small markets, we use depth-first branch & bound with an admissible
+// remaining-max bound (identical answers, much faster) plus a plain
+// exhaustive enumerator used to cross-check the solver in tests.
+#pragma once
+
+#include <cstdint>
+
+#include "matching/matching.hpp"
+
+namespace specmatch::optimal {
+
+struct OptimalResult {
+  matching::Matching matching;
+  double welfare = 0.0;
+  std::uint64_t nodes_explored = 0;
+};
+
+/// Exact optimum via branch & bound. Exponential worst case — intended for
+/// paper-scale instances (M <= ~8, N <= ~16, as in Fig. 6).
+OptimalResult solve_optimal(const market::SpectrumMarket& market);
+
+/// Exact optimum by enumerating all (M+1)^N assignments. Tiny inputs only.
+OptimalResult solve_optimal_exhaustive(const market::SpectrumMarket& market);
+
+}  // namespace specmatch::optimal

@@ -1,0 +1,36 @@
+#include "optimal/greedy.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace specmatch::optimal {
+
+matching::Matching solve_greedy(const market::SpectrumMarket& market) {
+  struct Pair {
+    ChannelId channel;
+    BuyerId buyer;
+    double price;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(static_cast<std::size_t>(market.num_channels()) *
+                static_cast<std::size_t>(market.num_buyers()));
+  for (ChannelId i = 0; i < market.num_channels(); ++i)
+    for (BuyerId j = 0; j < market.num_buyers(); ++j)
+      if (market.admissible(i, j))
+        pairs.push_back({i, j, market.utility(i, j)});
+  std::stable_sort(pairs.begin(), pairs.end(), [](const Pair& a, const Pair& b) {
+    return a.price > b.price;
+  });
+
+  matching::Matching result(market.num_channels(), market.num_buyers());
+  for (const Pair& p : pairs) {
+    if (result.is_matched(p.buyer)) continue;
+    if (!market.graph(p.channel).is_compatible(p.buyer,
+                                               result.members_of(p.channel)))
+      continue;
+    result.match(p.buyer, p.channel);
+  }
+  return result;
+}
+
+}  // namespace specmatch::optimal

@@ -1,0 +1,13 @@
+// Centralised greedy baseline: scan all (channel, buyer) pairs in descending
+// price order and assign whenever feasible. A classic spectrum-auction
+// allocation heuristic; serves as a non-strategic upper-mid baseline between
+// random assignment and the exact optimum.
+#pragma once
+
+#include "matching/matching.hpp"
+
+namespace specmatch::optimal {
+
+matching::Matching solve_greedy(const market::SpectrumMarket& market);
+
+}  // namespace specmatch::optimal

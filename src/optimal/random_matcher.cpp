@@ -1,0 +1,26 @@
+#include "optimal/random_matcher.hpp"
+
+#include <numeric>
+#include <vector>
+
+namespace specmatch::optimal {
+
+matching::Matching solve_random_serial(const market::SpectrumMarket& market,
+                                       Rng& rng) {
+  std::vector<BuyerId> order(static_cast<std::size_t>(market.num_buyers()));
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+
+  matching::Matching result(market.num_channels(), market.num_buyers());
+  for (BuyerId j : order) {
+    for (ChannelId i : market.buyer_preference_order(j)) {
+      if (market.graph(i).is_compatible(j, result.members_of(i))) {
+        result.match(j, i);
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace specmatch::optimal

@@ -1,0 +1,14 @@
+// Random serial dictatorship baseline: buyers arrive in a random order and
+// each grabs her best still-feasible channel. Lower bound for the welfare
+// comparisons — any sensible mechanism should beat it.
+#pragma once
+
+#include "common/rng.hpp"
+#include "matching/matching.hpp"
+
+namespace specmatch::optimal {
+
+matching::Matching solve_random_serial(const market::SpectrumMarket& market,
+                                       Rng& rng);
+
+}  // namespace specmatch::optimal

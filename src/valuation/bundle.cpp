@@ -1,0 +1,45 @@
+#include "valuation/bundle.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+#include "market/preferences.hpp"
+
+namespace specmatch::valuation {
+
+double BundleValuation::factor(int bundle_size) const {
+  SPECMATCH_CHECK(bundle_size >= 0);
+  if (bundle_size == 0) return 0.0;
+  return std::max(0.0, 1.0 + gamma * static_cast<double>(bundle_size - 1));
+}
+
+double BundleValuation::value(std::span<const double> unit_values) const {
+  double sum = 0.0;
+  for (double v : unit_values) sum += v;
+  return sum * factor(static_cast<int>(unit_values.size()));
+}
+
+double bundle_welfare(const market::SpectrumMarket& market,
+                      const matching::Matching& matching,
+                      const BundleValuation& valuation) {
+  // Group the matched virtual buyers' realised unit values by parent.
+  int max_parent = 0;
+  for (BuyerId j = 0; j < market.num_buyers(); ++j)
+    max_parent = std::max(max_parent, market.buyer_parent(j));
+  std::vector<std::vector<double>> bundles(
+      static_cast<std::size_t>(max_parent) + 1);
+
+  for (BuyerId j = 0; j < market.num_buyers(); ++j) {
+    const SellerId i = matching.seller_of(j);
+    if (i == kUnmatched) continue;
+    bundles[static_cast<std::size_t>(market.buyer_parent(j))].push_back(
+        market::buyer_utility_in(market, j, i, matching.members_of(i)));
+  }
+
+  double welfare = 0.0;
+  for (const auto& bundle : bundles) welfare += valuation.value(bundle);
+  return welfare;
+}
+
+}  // namespace specmatch::valuation

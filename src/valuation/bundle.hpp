@@ -1,0 +1,49 @@
+// Bundle valuations for multi-channel buyers (footnote 1's future work).
+//
+// The paper assumes channels are independent goods: a parent buyer's value
+// for her acquired channels is the plain sum of per-channel utilities, which
+// is what dummy virtualisation (§II-A) silently encodes. This module models
+// the cases the authors defer — complementary and substitute channels — via
+// a per-extra-channel synergy factor:
+//
+//   v(S) = (sum of unit values) * (1 + gamma * (|S| - 1)),   |S| >= 1
+//
+// gamma > 0: complements (a bundle is worth more than its parts — e.g.
+//            channel bonding for contiguous wideband use);
+// gamma < 0: substitutes (diminishing returns — extra channels mostly add
+//            redundancy). The factor is floored at 0 so value never goes
+//            negative.
+//
+// bench/ablation_bundles quantifies how much welfare the paper's additive
+// matching loses against a bundle-aware optimum as gamma moves away from 0.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "market/market.hpp"
+#include "matching/matching.hpp"
+
+namespace specmatch::valuation {
+
+struct BundleValuation {
+  /// Synergy per additional channel; 0 reproduces the paper's additive model.
+  double gamma = 0.0;
+
+  /// Value of a bundle given the unit values of its channels.
+  double value(std::span<const double> unit_values) const;
+
+  /// Multiplier applied to a k-channel bundle's unit-value sum.
+  double factor(int bundle_size) const;
+};
+
+/// Social welfare of `matching` under bundle valuation: virtual buyers are
+/// grouped by parent (market.buyer_parent) and each parent's acquired
+/// channels are valued as one bundle. Interference still voids a channel's
+/// contribution (peer effect) — a voided channel contributes a unit value of
+/// zero but still counts toward the bundle size (the buyer *holds* it).
+double bundle_welfare(const market::SpectrumMarket& market,
+                      const matching::Matching& matching,
+                      const BundleValuation& valuation);
+
+}  // namespace specmatch::valuation

@@ -1,0 +1,103 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+#include "workload/similarity.hpp"
+
+namespace specmatch::workload {
+
+market::Scenario generate_scenario(const WorkloadParams& params, Rng& rng) {
+  SPECMATCH_CHECK(params.num_sellers > 0);
+  SPECMATCH_CHECK(params.num_buyers > 0);
+  SPECMATCH_CHECK(params.min_channels_per_seller >= 1 &&
+                  params.min_channels_per_seller <=
+                      params.max_channels_per_seller);
+  SPECMATCH_CHECK(params.min_demand_per_buyer >= 1 &&
+                  params.min_demand_per_buyer <= params.max_demand_per_buyer);
+  SPECMATCH_CHECK(params.area_size > 0.0);
+  SPECMATCH_CHECK(params.max_range > 0.0);
+  SPECMATCH_CHECK(params.min_range >= 0.0 &&
+                  params.min_range < params.max_range);
+  SPECMATCH_CHECK(params.num_clusters > 0);
+  SPECMATCH_CHECK(params.cluster_stddev >= 0.0);
+
+  // Hotspot centres for clustered placement (drawn up front so buyer
+  // positions are a pure function of the parameters and the stream).
+  std::vector<graph::Point> centres;
+  if (params.placement == PlacementModel::kClustered) {
+    centres.reserve(static_cast<std::size_t>(params.num_clusters));
+    for (int c = 0; c < params.num_clusters; ++c)
+      centres.push_back({rng.uniform(0.0, params.area_size),
+                         rng.uniform(0.0, params.area_size)});
+  }
+  auto draw_location = [&]() -> graph::Point {
+    if (params.placement == PlacementModel::kUniform) {
+      return {rng.uniform(0.0, params.area_size),
+              rng.uniform(0.0, params.area_size)};
+    }
+    const auto& centre = centres[static_cast<std::size_t>(rng.uniform_int(
+        0, params.num_clusters - 1))];
+    return {std::clamp(centre.x + rng.normal(0.0, params.cluster_stddev),
+                       0.0, params.area_size),
+            std::clamp(centre.y + rng.normal(0.0, params.cluster_stddev),
+                       0.0, params.area_size)};
+  };
+
+  market::Scenario scenario;
+  scenario.seller_channel_counts.reserve(
+      static_cast<std::size_t>(params.num_sellers));
+  for (int s = 0; s < params.num_sellers; ++s)
+    scenario.seller_channel_counts.push_back(
+        static_cast<int>(rng.uniform_int(params.min_channels_per_seller,
+                                         params.max_channels_per_seller)));
+  scenario.buyer_demands.reserve(static_cast<std::size_t>(params.num_buyers));
+  scenario.buyer_locations.reserve(
+      static_cast<std::size_t>(params.num_buyers));
+  for (int b = 0; b < params.num_buyers; ++b) {
+    scenario.buyer_demands.push_back(static_cast<int>(rng.uniform_int(
+        params.min_demand_per_buyer, params.max_demand_per_buyer)));
+    scenario.buyer_locations.push_back(draw_location());
+  }
+
+  const int M = scenario.num_channels();
+  const int N = scenario.num_virtual_buyers();
+
+  scenario.channel_ranges.reserve(static_cast<std::size_t>(M));
+  for (int i = 0; i < M; ++i) {
+    // uniform() is in [0, 1); mirror it so the range lands in (min, max].
+    scenario.channel_ranges.push_back(
+        params.min_range +
+        (params.max_range - params.min_range) * (1.0 - rng.uniform()));
+  }
+
+  SPECMATCH_CHECK(params.max_reserve >= 0.0);
+  if (params.max_reserve > 0.0) {
+    scenario.channel_reserves.reserve(static_cast<std::size_t>(M));
+    for (int i = 0; i < M; ++i)
+      scenario.channel_reserves.push_back(
+          rng.uniform(0.0, params.max_reserve));
+  }
+
+  scenario.utilities.resize(static_cast<std::size_t>(M) *
+                            static_cast<std::size_t>(N));
+  for (auto& u : scenario.utilities) u = rng.uniform();
+  if (params.similarity_permutation != WorkloadParams::kIidUtilities) {
+    SPECMATCH_CHECK_MSG(params.similarity_permutation <= M,
+                        "m-permutation " << params.similarity_permutation
+                                         << " exceeds M = " << M);
+    apply_similarity_maneuver(scenario.utilities, M, N,
+                              params.similarity_permutation, rng);
+  }
+
+  scenario.validate();
+  return scenario;
+}
+
+market::SpectrumMarket generate_market(const WorkloadParams& params,
+                                       Rng& rng) {
+  return market::build_market(generate_scenario(params, rng));
+}
+
+}  // namespace specmatch::workload

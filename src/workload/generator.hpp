@@ -1,0 +1,62 @@
+// Random market generation per the paper's simulation settings (§V-A):
+// buyers uniform in a 10 x 10 area, per-channel transmission range uniform in
+// (0, 5], geometric interference graphs, i.i.d. U[0, 1] utilities, optional
+// similarity maneuvering, and optional multi-channel supply / demand
+// (virtualised into dummies per §II-A).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "market/scenario.hpp"
+
+namespace specmatch::workload {
+
+/// How parent buyers are placed in the deployment area.
+enum class PlacementModel : std::uint8_t {
+  kUniform,    ///< the paper's setting: i.i.d. uniform over the area
+  kClustered,  ///< hotspots: Gaussian blobs around random cluster centres
+};
+
+struct WorkloadParams {
+  int num_sellers = 5;  ///< parent sellers
+  int num_buyers = 8;   ///< parent buyers
+
+  /// Channels per seller / demanded channels per buyer, uniform integers in
+  /// the inclusive range. Defaults give the paper's one-dummy-each markets
+  /// where M = num_sellers and N = num_buyers.
+  int min_channels_per_seller = 1;
+  int max_channels_per_seller = 1;
+  int min_demand_per_buyer = 1;
+  int max_demand_per_buyer = 1;
+
+  double area_size = 10.0;
+  double max_range = 5.0;  ///< ranges drawn uniform in (0, max_range]
+  /// Optional lower bound for the range draw (still exclusive at 0); the
+  /// paper uses (0, 5]. Raising it densifies every interference graph.
+  double min_range = 0.0;
+
+  /// Per-channel seller reserve prices drawn uniform in [0, max_reserve]
+  /// (extension; 0 = the paper's free participation).
+  double max_reserve = 0.0;
+
+  /// Buyer placement (extension; the paper is kUniform).
+  PlacementModel placement = PlacementModel::kUniform;
+  int num_clusters = 3;          ///< kClustered: number of hotspots
+  double cluster_stddev = 1.0;   ///< kClustered: spread around a hotspot
+
+  /// m of the similarity m-permutation (§V-A): 0 = perfectly similar
+  /// (SRCC 1), M = effectively independent. kIidUtilities (-1) skips the
+  /// maneuver entirely and keeps the raw i.i.d. draws.
+  int similarity_permutation = kIidUtilities;
+
+  static constexpr int kIidUtilities = -1;
+};
+
+/// Draws a full scenario (topology, ranges, utilities) from `params`.
+market::Scenario generate_scenario(const WorkloadParams& params, Rng& rng);
+
+/// Convenience: generate_scenario then build_market.
+market::SpectrumMarket generate_market(const WorkloadParams& params, Rng& rng);
+
+}  // namespace specmatch::workload

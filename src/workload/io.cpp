@@ -1,0 +1,157 @@
+#include "workload/io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace specmatch::workload {
+
+namespace {
+
+constexpr const char* kMagic = "specmatch-scenario v1";
+
+[[noreturn]] void fail(const std::string& message) {
+  throw ScenarioParseError("scenario parse error: " + message);
+}
+
+std::string expect_keyword_line(std::istream& is, const std::string& what) {
+  std::string line;
+  if (!std::getline(is, line)) fail("unexpected end of input, wanted " + what);
+  return line;
+}
+
+/// Reads "<keyword> <count>" and returns count.
+int expect_counted(std::istream& is, const std::string& keyword) {
+  std::istringstream line(expect_keyword_line(is, keyword));
+  std::string word;
+  int count = 0;
+  if (!(line >> word >> count) || word != keyword || count <= 0)
+    fail("expected '" + keyword + " <positive count>'");
+  return count;
+}
+
+}  // namespace
+
+void save_scenario(std::ostream& os, const market::Scenario& scenario) {
+  scenario.validate();
+  os << kMagic << '\n';
+  os << std::setprecision(std::numeric_limits<double>::max_digits10);
+
+  os << "sellers " << scenario.seller_channel_counts.size() << '\n';
+  for (std::size_t i = 0; i < scenario.seller_channel_counts.size(); ++i)
+    os << scenario.seller_channel_counts[i]
+       << (i + 1 < scenario.seller_channel_counts.size() ? ' ' : '\n');
+
+  os << "buyers " << scenario.buyer_demands.size() << '\n';
+  for (std::size_t i = 0; i < scenario.buyer_demands.size(); ++i)
+    os << scenario.buyer_demands[i]
+       << (i + 1 < scenario.buyer_demands.size() ? ' ' : '\n');
+
+  os << "locations\n";
+  for (const auto& loc : scenario.buyer_locations)
+    os << loc.x << ' ' << loc.y << '\n';
+
+  os << "ranges " << scenario.channel_ranges.size() << '\n';
+  for (std::size_t i = 0; i < scenario.channel_ranges.size(); ++i)
+    os << scenario.channel_ranges[i]
+       << (i + 1 < scenario.channel_ranges.size() ? ' ' : '\n');
+
+  if (!scenario.channel_reserves.empty()) {
+    os << "reserves " << scenario.channel_reserves.size() << '\n';
+    for (std::size_t i = 0; i < scenario.channel_reserves.size(); ++i)
+      os << scenario.channel_reserves[i]
+         << (i + 1 < scenario.channel_reserves.size() ? ' ' : '\n');
+  }
+
+  const auto M = static_cast<std::size_t>(scenario.num_channels());
+  const auto N = static_cast<std::size_t>(scenario.num_virtual_buyers());
+  os << "utilities " << M << ' ' << N << '\n';
+  for (std::size_t i = 0; i < M; ++i) {
+    for (std::size_t j = 0; j < N; ++j)
+      os << scenario.utilities[i * N + j] << (j + 1 < N ? ' ' : '\n');
+  }
+}
+
+market::Scenario load_scenario(std::istream& is) {
+  if (expect_keyword_line(is, "magic header") != kMagic)
+    fail(std::string("missing header '") + kMagic + "'");
+
+  market::Scenario scenario;
+
+  const int num_sellers = expect_counted(is, "sellers");
+  scenario.seller_channel_counts.resize(static_cast<std::size_t>(num_sellers));
+  for (auto& m : scenario.seller_channel_counts)
+    if (!(is >> m)) fail("truncated seller channel counts");
+
+  is >> std::ws;
+  const int num_buyers = expect_counted(is, "buyers");
+  scenario.buyer_demands.resize(static_cast<std::size_t>(num_buyers));
+  for (auto& n : scenario.buyer_demands)
+    if (!(is >> n)) fail("truncated buyer demands");
+
+  is >> std::ws;
+  if (expect_keyword_line(is, "locations") != "locations")
+    fail("expected 'locations'");
+  scenario.buyer_locations.resize(static_cast<std::size_t>(num_buyers));
+  for (auto& loc : scenario.buyer_locations)
+    if (!(is >> loc.x >> loc.y)) fail("truncated buyer locations");
+
+  is >> std::ws;
+  const int num_ranges = expect_counted(is, "ranges");
+  scenario.channel_ranges.resize(static_cast<std::size_t>(num_ranges));
+  for (auto& r : scenario.channel_ranges)
+    if (!(is >> r)) fail("truncated channel ranges");
+
+  is >> std::ws;
+  {
+    // Optional "reserves <M>" section (format extension; absent in files
+    // written before reserve prices existed).
+    std::string header = expect_keyword_line(is, "reserves or utilities");
+    if (header.rfind("reserves", 0) == 0) {
+      std::istringstream line(header);
+      std::string word;
+      std::size_t count = 0;
+      if (!(line >> word >> count) || count == 0)
+        fail("expected 'reserves <positive count>'");
+      scenario.channel_reserves.resize(count);
+      for (auto& r : scenario.channel_reserves)
+        if (!(is >> r)) fail("truncated channel reserves");
+      is >> std::ws;
+      header = expect_keyword_line(is, "utilities");
+    }
+    std::istringstream line(header);
+    std::string word;
+    std::size_t M = 0, N = 0;
+    if (!(line >> word >> M >> N) || word != "utilities" || M == 0 || N == 0)
+      fail("expected 'utilities <M> <N>'");
+    scenario.utilities.resize(M * N);
+    for (auto& u : scenario.utilities)
+      if (!(is >> u)) fail("truncated utility matrix");
+  }
+
+  try {
+    scenario.validate();
+  } catch (const CheckError& e) {
+    fail(std::string("inconsistent scenario: ") + e.what());
+  }
+  return scenario;
+}
+
+void save_scenario_file(const std::string& path,
+                        const market::Scenario& scenario) {
+  std::ofstream os(path);
+  SPECMATCH_CHECK_MSG(os.good(), "cannot open " << path << " for writing");
+  save_scenario(os, scenario);
+  SPECMATCH_CHECK_MSG(os.good(), "write to " << path << " failed");
+}
+
+market::Scenario load_scenario_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) fail("cannot open " + path);
+  return load_scenario(is);
+}
+
+}  // namespace specmatch::workload

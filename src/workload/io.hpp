@@ -1,0 +1,38 @@
+// Scenario (de)serialisation — a small line-oriented text format so
+// experiments can be archived, diffed and replayed bit-for-bit.
+//
+//   specmatch-scenario v1
+//   sellers <I>            followed by I channel counts m_i
+//   buyers <J>             followed by J demands n_j
+//   locations              followed by J "x y" lines
+//   ranges <M>             followed by M transmission ranges
+//   utilities <M> <N>      followed by M lines of N prices (channel-major)
+//
+// Doubles are emitted with max_digits10, so save -> load round-trips
+// exactly.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "market/scenario.hpp"
+
+namespace specmatch::workload {
+
+/// Thrown by load_scenario on malformed input (with a line-level message).
+class ScenarioParseError : public std::runtime_error {
+ public:
+  explicit ScenarioParseError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+void save_scenario(std::ostream& os, const market::Scenario& scenario);
+market::Scenario load_scenario(std::istream& is);
+
+/// Convenience file wrappers (throw on I/O failure).
+void save_scenario_file(const std::string& path,
+                        const market::Scenario& scenario);
+market::Scenario load_scenario_file(const std::string& path);
+
+}  // namespace specmatch::workload

@@ -1,0 +1,65 @@
+#include "workload/similarity.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+namespace specmatch::workload {
+
+void apply_similarity_maneuver(std::vector<double>& utilities, int M, int N,
+                               int m_permutation, Rng& rng) {
+  SPECMATCH_CHECK(M > 0 && N > 0);
+  SPECMATCH_CHECK(utilities.size() ==
+                  static_cast<std::size_t>(M) * static_cast<std::size_t>(N));
+  SPECMATCH_CHECK_MSG(m_permutation >= 0 && m_permutation <= M,
+                      "m-permutation size " << m_permutation
+                                            << " out of [0, " << M << "]");
+
+  std::vector<double> vec(static_cast<std::size_t>(M));
+  std::vector<int> positions(static_cast<std::size_t>(M));
+  for (int j = 0; j < N; ++j) {
+    // Gather buyer j's (strided) utility vector and sort ascending so all
+    // buyers agree on the channel order.
+    for (int i = 0; i < M; ++i)
+      vec[static_cast<std::size_t>(i)] =
+          utilities[static_cast<std::size_t>(i) * static_cast<std::size_t>(N) +
+                    static_cast<std::size_t>(j)];
+    std::sort(vec.begin(), vec.end());
+
+    // Pick m positions uniformly without replacement and cyclically rotate
+    // the values through a random shuffle.
+    for (int i = 0; i < M; ++i) positions[static_cast<std::size_t>(i)] = i;
+    rng.shuffle(positions);
+    std::vector<int> chosen(positions.begin(),
+                            positions.begin() + m_permutation);
+    std::vector<double> values;
+    values.reserve(chosen.size());
+    for (int p : chosen) values.push_back(vec[static_cast<std::size_t>(p)]);
+    rng.shuffle(values);
+    for (std::size_t k = 0; k < chosen.size(); ++k)
+      vec[static_cast<std::size_t>(chosen[k])] = values[k];
+
+    for (int i = 0; i < M; ++i)
+      utilities[static_cast<std::size_t>(i) * static_cast<std::size_t>(N) +
+                static_cast<std::size_t>(j)] =
+          vec[static_cast<std::size_t>(i)];
+  }
+}
+
+double mean_similarity(const std::vector<double>& utilities, int M, int N) {
+  SPECMATCH_CHECK(M > 0 && N > 0);
+  SPECMATCH_CHECK(utilities.size() ==
+                  static_cast<std::size_t>(M) * static_cast<std::size_t>(N));
+  // Re-lay out buyer-major for pairwise row comparisons.
+  std::vector<double> rows(utilities.size());
+  for (int j = 0; j < N; ++j)
+    for (int i = 0; i < M; ++i)
+      rows[static_cast<std::size_t>(j) * static_cast<std::size_t>(M) +
+           static_cast<std::size_t>(i)] =
+          utilities[static_cast<std::size_t>(i) * static_cast<std::size_t>(N) +
+                    static_cast<std::size_t>(j)];
+  return mean_pairwise_spearman(rows, static_cast<std::size_t>(M));
+}
+
+}  // namespace specmatch::workload

@@ -1,0 +1,27 @@
+// The paper's price-similarity maneuver (§V-A).
+//
+// To sweep similarity, every buyer's utility vector is first sorted into a
+// common (ascending) order — mean pairwise SRCC 1 — then m randomly chosen
+// entries are permuted. m = 0 keeps perfect similarity; m = M makes vectors
+// effectively independent (SRCC ≈ 0).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace specmatch::workload {
+
+/// In-place similarity maneuvering of a channel-major M x N utility matrix
+/// (utilities[i * N + j] = b_{i,j}): sorts each buyer's vector ascending,
+/// then applies an independent random m-permutation per buyer.
+/// Requires 0 <= m_permutation <= M.
+void apply_similarity_maneuver(std::vector<double>& utilities, int M, int N,
+                               int m_permutation, Rng& rng);
+
+/// Mean pairwise Spearman rank correlation over buyers' utility vectors
+/// (channel-major input, as above).
+double mean_similarity(const std::vector<double>& utilities, int M, int N);
+
+}  // namespace specmatch::workload

@@ -1,0 +1,272 @@
+// Step-level protocol tests for BuyerAgent and SellerAgent, driving them by
+// hand over a Network (no runtime driver involved).
+#include <gtest/gtest.h>
+
+#include "dist/buyer_agent.hpp"
+#include "dist/seller_agent.hpp"
+#include "matching/paper_examples.hpp"
+
+namespace specmatch::dist {
+namespace {
+
+// Toy-example geometry (see matching/paper_examples.hpp): 5 buyers, 3
+// sellers; buyer agent ids 0..4, seller agent ids 5..7.
+class AgentFixture : public ::testing::Test {
+ protected:
+  AgentFixture() : market_(matching::toy_example()), net_(8) {}
+
+  BuyerConfig buyer_config(BuyerRule rule = BuyerRule::kDefault) {
+    BuyerConfig config;
+    config.rule = rule;
+    config.stage1_deadline = market_.num_channels() * market_.num_buyers();
+    return config;
+  }
+
+  SellerConfig seller_config() {
+    SellerConfig config;
+    config.stage1_deadline = market_.num_channels() * market_.num_buyers();
+    config.phase1_duration = market_.num_channels();
+    return config;
+  }
+
+  AgentId seller_id(ChannelId i) const { return market_.num_buyers() + i; }
+
+  /// Drains and returns buyer j's inbox message types.
+  std::vector<MsgType> inbox_types(AgentId agent) {
+    std::vector<MsgType> types;
+    for (const auto& msg : net_.drain(agent)) types.push_back(msg.type);
+    return types;
+  }
+
+  market::SpectrumMarket market_;
+  Network net_;
+};
+
+TEST_F(AgentFixture, BuyerProposesInDescendingUtilityOrder) {
+  // Buyer 0 (paper buyer 1, utilities a:7 b:6 c:3).
+  BuyerAgent buyer(0, market_, buyer_config());
+  buyer.step(0, net_);
+  auto inbox_a = net_.drain(seller_id(0));
+  ASSERT_EQ(inbox_a.size(), 1u);
+  EXPECT_EQ(inbox_a[0].type, MsgType::kPropose);
+  EXPECT_DOUBLE_EQ(inbox_a[0].price, 7.0);
+
+  // Reject -> next slot she proposes to b.
+  net_.send({MsgType::kReject, seller_id(0), 0, 0.0, {}});
+  buyer.step(1, net_);
+  auto inbox_b = net_.drain(seller_id(1));
+  ASSERT_EQ(inbox_b.size(), 1u);
+  EXPECT_DOUBLE_EQ(inbox_b[0].price, 6.0);
+
+  // Reject again -> c; after that her list is exhausted, so silence.
+  net_.send({MsgType::kReject, seller_id(1), 0, 0.0, {}});
+  buyer.step(2, net_);
+  EXPECT_EQ(net_.drain(seller_id(2)).size(), 1u);
+  net_.send({MsgType::kReject, seller_id(2), 0, 0.0, {}});
+  buyer.step(3, net_);
+  EXPECT_FALSE(net_.has_pending());
+}
+
+TEST_F(AgentFixture, BuyerStopsWhileAcceptedAndResumesAfterEviction) {
+  BuyerAgent buyer(0, market_, buyer_config());
+  buyer.step(0, net_);
+  (void)net_.drain(seller_id(0));
+  net_.send({MsgType::kAccept, seller_id(0), 0, 0.0, {}});
+  buyer.step(1, net_);
+  EXPECT_EQ(buyer.matched_to(), 0);
+  EXPECT_FALSE(net_.has_pending());  // matched buyers do not propose
+
+  net_.send({MsgType::kEvict, seller_id(0), 0, 0.0, {}});
+  buyer.step(2, net_);
+  EXPECT_EQ(buyer.matched_to(), kUnmatched);
+  // She resumes with the next unproposed seller (b).
+  EXPECT_EQ(net_.drain(seller_id(1)).size(), 1u);
+}
+
+TEST_F(AgentFixture, BuyerTransitionsOnSellerNotice) {
+  BuyerAgent buyer(0, market_, buyer_config());
+  buyer.step(0, net_);
+  (void)net_.drain(seller_id(0));
+  net_.send({MsgType::kAccept, seller_id(0), 0, 0.0, {}});
+  net_.send({MsgType::kTransitionNotice, seller_id(0), 0, 0.0, {}});
+  buyer.step(1, net_);
+  EXPECT_EQ(buyer.stage(), BuyerAgent::Stage::kStage2);
+  EXPECT_EQ(buyer.transition_slot(), 1);
+  // Matched to a (her best channel): no strictly better seller, no traffic.
+  EXPECT_FALSE(net_.has_pending());
+}
+
+TEST_F(AgentFixture, BuyerInStageTwoAppliesOncePerBetterSeller) {
+  // Buyer 1 (utilities a:6 b:5 c:4) matched to c -> better sellers a, b.
+  BuyerAgent buyer(1, market_, buyer_config());
+  buyer.step(0, net_);
+  (void)net_.drain(seller_id(0));  // proposal to a
+  net_.send({MsgType::kReject, seller_id(0), 1, 0.0, {}});
+  buyer.step(1, net_);
+  (void)net_.drain(seller_id(1));  // proposal to b
+  net_.send({MsgType::kReject, seller_id(1), 1, 0.0, {}});
+  buyer.step(2, net_);
+  (void)net_.drain(seller_id(2));  // proposal to c
+  net_.send({MsgType::kAccept, seller_id(2), 1, 0.0, {}});
+  net_.send({MsgType::kTransitionNotice, seller_id(2), 1, 0.0, {}});
+
+  buyer.step(3, net_);  // enters Stage II, applies to a (6 > 4)
+  auto apply_a = net_.drain(seller_id(0));
+  ASSERT_EQ(apply_a.size(), 1u);
+  EXPECT_EQ(apply_a[0].type, MsgType::kTransferApply);
+
+  buyer.step(4, net_);  // awaiting reply: no second application
+  EXPECT_FALSE(net_.has_pending());
+
+  net_.send({MsgType::kTransferReject, seller_id(0), 1, 0.0, {}});
+  buyer.step(5, net_);  // now b (5 > 4)
+  auto apply_b = net_.drain(seller_id(1));
+  ASSERT_EQ(apply_b.size(), 1u);
+  EXPECT_EQ(apply_b[0].type, MsgType::kTransferApply);
+
+  net_.send({MsgType::kTransferReject, seller_id(1), 1, 0.0, {}});
+  buyer.step(6, net_);  // exhausted
+  EXPECT_FALSE(net_.has_pending());
+}
+
+TEST_F(AgentFixture, BuyerAcceptsStrictlyBetterInvitationsOnly) {
+  // Buyer 4 (utilities a:1 b:2 c:3): get her matched to b, then invite.
+  BuyerAgent buyer(4, market_, buyer_config());
+  buyer.step(0, net_);
+  (void)net_.drain(seller_id(2));  // favourite is c
+  net_.send({MsgType::kReject, seller_id(2), 4, 0.0, {}});
+  buyer.step(1, net_);
+  (void)net_.drain(seller_id(1));
+  net_.send({MsgType::kAccept, seller_id(1), 4, 0.0, {}});
+
+  // Invitation from a (1 < 2): declined.
+  net_.send({MsgType::kInvite, seller_id(0), 4, 1.0, {}});
+  buyer.step(2, net_);
+  {
+    auto replies = net_.drain(seller_id(0));
+    ASSERT_EQ(replies.size(), 1u);
+    EXPECT_EQ(replies[0].type, MsgType::kInviteDecline);
+    EXPECT_EQ(buyer.matched_to(), 1);
+  }
+
+  // Invitation from c (3 > 2): accepted + withdraw from b.
+  net_.send({MsgType::kInvite, seller_id(2), 4, 3.0, {}});
+  buyer.step(3, net_);
+  {
+    auto to_c = net_.drain(seller_id(2));
+    ASSERT_EQ(to_c.size(), 1u);
+    EXPECT_EQ(to_c[0].type, MsgType::kInviteAccept);
+    auto to_b = net_.drain(seller_id(1));
+    ASSERT_EQ(to_b.size(), 1u);
+    EXPECT_EQ(to_b[0].type, MsgType::kWithdraw);
+    EXPECT_EQ(buyer.matched_to(), 2);
+  }
+}
+
+TEST_F(AgentFixture, SellerKeepsBestCoalitionAndAnswersEveryProposer) {
+  // Seller a: buyers 0 and 1 interfere on a; 0 offers 7, 1 offers 6.
+  SellerAgent seller(0, market_, seller_config());
+  net_.send({MsgType::kPropose, 0, seller_id(0), 7.0, {}});
+  net_.send({MsgType::kPropose, 1, seller_id(0), 6.0, {}});
+  seller.step(0, net_);
+  EXPECT_EQ(inbox_types(0), (std::vector<MsgType>{MsgType::kAccept}));
+  EXPECT_EQ(inbox_types(1), (std::vector<MsgType>{MsgType::kReject}));
+  EXPECT_TRUE(seller.members().test(0));
+
+  // Buyer 3 (paper 4) offers 8 and also interferes with 0: eviction.
+  net_.send({MsgType::kPropose, 3, seller_id(0), 8.0, {}});
+  seller.step(1, net_);
+  EXPECT_EQ(inbox_types(0), (std::vector<MsgType>{MsgType::kEvict}));
+  EXPECT_EQ(inbox_types(3), (std::vector<MsgType>{MsgType::kAccept}));
+  EXPECT_TRUE(seller.members().test(3));
+  EXPECT_FALSE(seller.members().test(0));
+}
+
+TEST_F(AgentFixture, SellerNeverTradesDownOnEqualValue) {
+  // Seller c: buyer 4 offers 3; buyer 1 offers 4 but interferes with 4.
+  SellerAgent seller(2, market_, seller_config());
+  net_.send({MsgType::kPropose, 4, seller_id(2), 3.0, {}});
+  seller.step(0, net_);
+  (void)net_.drain(4);
+  net_.send({MsgType::kPropose, 1, seller_id(2), 4.0, {}});
+  seller.step(1, net_);
+  // 4 > 3: trade up, evict buyer 4.
+  EXPECT_TRUE(seller.members().test(1));
+  EXPECT_FALSE(seller.members().test(4));
+}
+
+TEST_F(AgentFixture, SellerHoldsTransferApplicationsUntilTransition) {
+  SellerAgent seller(0, market_, seller_config());
+  // A transfer application arrives while she is still in Stage I.
+  net_.send({MsgType::kTransferApply, 2, seller_id(0), 9.0, {}});
+  seller.step(0, net_);
+  EXPECT_EQ(seller.stage(), SellerAgent::Stage::kStage1);
+  EXPECT_TRUE(inbox_types(2).empty());  // held, not answered
+
+  // Force the deadline: she transitions and answers the held application.
+  const int deadline = market_.num_channels() * market_.num_buyers();
+  seller.step(deadline, net_);
+  EXPECT_EQ(seller.stage(), SellerAgent::Stage::kPhase1);
+  EXPECT_EQ(inbox_types(2),
+            (std::vector<MsgType>{MsgType::kTransferAccept}));
+  EXPECT_TRUE(seller.members().test(2));
+}
+
+TEST_F(AgentFixture, SellerPhase2InvitesByPriceAndPrunesOnAccept) {
+  SellerAgent seller(1, market_, seller_config());  // seller b
+  // Stage I: buyer 2 (price 10) wins; buyers 0 (6) and 3 (9) interfere with
+  // 2 on channel b and are rejected later in Phase 1.
+  net_.send({MsgType::kPropose, 2, seller_id(1), 10.0, {}});
+  seller.step(0, net_);
+  (void)net_.drain(2);
+  const int deadline = market_.num_channels() * market_.num_buyers();
+  // Phase 1: both apply, both interfere with member 2 -> rejected.
+  net_.send({MsgType::kTransferApply, 0, seller_id(1), 6.0, {}});
+  net_.send({MsgType::kTransferApply, 3, seller_id(1), 9.0, {}});
+  seller.step(deadline, net_);
+  EXPECT_EQ(inbox_types(0), (std::vector<MsgType>{MsgType::kTransferReject}));
+  EXPECT_EQ(inbox_types(3), (std::vector<MsgType>{MsgType::kTransferReject}));
+
+  // Member 2 withdraws; fast-forward to Phase 2 (screening now passes).
+  net_.send({MsgType::kWithdraw, 2, seller_id(1), 0.0, {}});
+  const int phase2_slot = deadline + market_.num_channels() - 1;
+  seller.step(phase2_slot, net_);
+  EXPECT_EQ(seller.stage(), SellerAgent::Stage::kPhase2);
+  seller.step(phase2_slot + 1, net_);
+  // Highest-priced rejected buyer is 3 (9 > 6).
+  auto invite = net_.drain(3);
+  ASSERT_EQ(invite.size(), 1u);
+  EXPECT_EQ(invite[0].type, MsgType::kInvite);
+
+  // 3 accepts. Buyers 0 and 3 are compatible on channel b (toy edges there
+  // are 1-3, 2-3, 3-4 in paper numbering), so the seller next invites 0.
+  net_.send({MsgType::kInviteAccept, 3, seller_id(1), 0.0, {}});
+  seller.step(phase2_slot + 2, net_);
+  EXPECT_TRUE(seller.members().test(3));
+  auto second = net_.drain(0);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].type, MsgType::kInvite);
+
+  // 0 declines; the list is empty, so the seller terminates.
+  net_.send({MsgType::kInviteDecline, 0, seller_id(1), 0.0, {}});
+  seller.step(phase2_slot + 3, net_);
+  EXPECT_TRUE(seller.done());
+  EXPECT_FALSE(seller.members().test(0));
+}
+
+TEST_F(AgentFixture, SellerBroadcastsProposerReportsWhenConfigured) {
+  auto config = seller_config();
+  config.broadcast_proposers = true;
+  SellerAgent seller(0, market_, config);
+  net_.send({MsgType::kPropose, 0, seller_id(0), 7.0, {}});
+  seller.step(0, net_);
+  // Buyer 0 gets Accept + a proposer report listing herself.
+  const auto inbox = net_.drain(0);
+  ASSERT_EQ(inbox.size(), 2u);
+  EXPECT_EQ(inbox[0].type, MsgType::kAccept);
+  EXPECT_EQ(inbox[1].type, MsgType::kProposerReport);
+  EXPECT_EQ(inbox[1].buyers, (std::vector<BuyerId>{0}));
+}
+
+}  // namespace
+}  // namespace specmatch::dist

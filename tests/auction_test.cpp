@@ -1,0 +1,135 @@
+#include "auction/group_auction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+#include "matching/paper_examples.hpp"
+#include "matching/stability.hpp"
+#include "matching/two_stage.hpp"
+#include "optimal/exact.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+
+namespace specmatch::auction {
+namespace {
+
+market::SpectrumMarket random_market(std::uint64_t seed, int sellers,
+                                     int buyers) {
+  Rng rng(seed);
+  workload::WorkloadParams params;
+  params.num_sellers = sellers;
+  params.num_buyers = buyers;
+  return workload::generate_market(params, rng);
+}
+
+TEST(GroupAuctionTest, AllocationIsFeasible) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto market = random_market(seed, 4, 14);
+    const auto result = run_group_double_auction(market);
+    result.matching.check_consistent();
+    EXPECT_TRUE(matching::is_interference_free(market, result.matching));
+  }
+}
+
+TEST(GroupAuctionTest, EachChannelTradesAtMostOnce) {
+  const auto market = random_market(3, 4, 16);
+  const auto result = run_group_double_auction(market);
+  std::vector<bool> seen(static_cast<std::size_t>(market.num_channels()),
+                         false);
+  for (const auto& trade : result.trades) {
+    EXPECT_FALSE(seen[static_cast<std::size_t>(trade.channel)]);
+    seen[static_cast<std::size_t>(trade.channel)] = true;
+    EXPECT_FALSE(trade.buyers.empty());
+  }
+}
+
+TEST(GroupAuctionTest, McAfeeDiscardDropsExactlyTheCheapestTrade) {
+  const auto market = random_market(5, 4, 14);
+  AuctionConfig with, without;
+  with.mcafee_discard = true;
+  without.mcafee_discard = false;
+  const auto a = run_group_double_auction(market, with);
+  const auto b = run_group_double_auction(market, without);
+  ASSERT_FALSE(b.trades.empty());
+  EXPECT_EQ(a.trades.size() + 1, b.trades.size());
+  EXPECT_LE(a.welfare, b.welfare + 1e-12);
+  double min_bid = b.trades.front().group_bid;
+  for (const auto& trade : b.trades)
+    min_bid = std::min(min_bid, trade.group_bid);
+  EXPECT_DOUBLE_EQ(a.clearing_price, min_bid);
+}
+
+TEST(GroupAuctionTest, UniformPricingIsIndividuallyRationalAndBalanced) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto market = random_market(seed * 3 + 1, 5, 18);
+    const auto result = run_group_double_auction(market);
+    // Budget balance.
+    EXPECT_DOUBLE_EQ(result.buyer_payments, result.seller_revenue);
+    // IR: every surviving group's bid weakly exceeds the clearing price,
+    // and each member's bid weakly exceeds her per-capita share.
+    for (const auto& trade : result.trades) {
+      EXPECT_GE(trade.group_bid, result.clearing_price - 1e-12);
+      const double share =
+          result.clearing_price / static_cast<double>(trade.buyers.size());
+      for (BuyerId j : trade.buyers)
+        EXPECT_GE(market.utility(trade.channel, j) + 1e-12, share);
+    }
+  }
+}
+
+TEST(GroupAuctionTest, SellerAskFiltersCheapTrades) {
+  const auto market = random_market(9, 4, 12);
+  AuctionConfig cheap, dear;
+  cheap.seller_ask = 0.0;
+  cheap.mcafee_discard = false;
+  dear.seller_ask = 1.5;  // group bids rarely exceed this on U[0,1] prices
+  dear.mcafee_discard = false;
+  const auto a = run_group_double_auction(market, cheap);
+  const auto b = run_group_double_auction(market, dear);
+  EXPECT_LE(b.trades.size(), a.trades.size());
+  for (const auto& trade : b.trades) EXPECT_GT(trade.group_bid, 1.5);
+}
+
+TEST(GroupAuctionTest, WelfareBoundedByOptimal) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto market = random_market(seed + 40, 4, 9);
+    const auto auction = run_group_double_auction(market);
+    const auto optimum = optimal::solve_optimal(market);
+    EXPECT_LE(auction.welfare, optimum.welfare + 1e-9);
+  }
+}
+
+TEST(GroupAuctionTest, MatchingBeatsAuctionOnAverage) {
+  // The economic story of the paper: matching foregoes truthful pricing and
+  // recovers the welfare auctions burn on grouping + trade reduction.
+  Summary auction_welfare, matching_welfare;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const auto market = random_market(seed * 11, 5, 15);
+    auction_welfare.add(run_group_double_auction(market).welfare);
+    matching_welfare.add(matching::run_two_stage(market).welfare_final);
+  }
+  EXPECT_GT(matching_welfare.mean(), auction_welfare.mean());
+}
+
+TEST(GroupAuctionTest, DeterministicGivenMarket) {
+  const auto market = random_market(12, 4, 12);
+  const auto a = run_group_double_auction(market);
+  const auto b = run_group_double_auction(market);
+  EXPECT_EQ(a.matching, b.matching);
+  EXPECT_DOUBLE_EQ(a.welfare, b.welfare);
+}
+
+TEST(GroupAuctionTest, ToyExampleProducesATrade) {
+  const auto market = matching::toy_example();
+  AuctionConfig config;
+  config.mcafee_discard = false;
+  const auto result = run_group_double_auction(market, config);
+  EXPECT_FALSE(result.trades.empty());
+  EXPECT_GT(result.welfare, 0.0);
+  EXPECT_TRUE(matching::is_interference_free(market, result.matching));
+}
+
+}  // namespace
+}  // namespace specmatch::auction

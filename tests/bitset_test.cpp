@@ -1,0 +1,164 @@
+#include "common/bitset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace specmatch {
+namespace {
+
+TEST(BitsetTest, StartsEmpty) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_FALSE(b.any());
+  EXPECT_TRUE(b.none());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(b.test(i));
+}
+
+TEST(BitsetTest, SetResetTest) {
+  DynamicBitset b(70);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(69);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(69));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(BitsetTest, SetWithValue) {
+  DynamicBitset b(10);
+  b.set(3, true);
+  EXPECT_TRUE(b.test(3));
+  b.set(3, false);
+  EXPECT_FALSE(b.test(3));
+}
+
+TEST(BitsetTest, Clear) {
+  DynamicBitset b(130);
+  for (std::size_t i = 0; i < 130; i += 7) b.set(i);
+  EXPECT_TRUE(b.any());
+  b.clear();
+  EXPECT_TRUE(b.none());
+  EXPECT_EQ(b.count(), 0u);
+}
+
+TEST(BitsetTest, Intersects) {
+  DynamicBitset a(128), b(128);
+  a.set(5);
+  a.set(100);
+  b.set(6);
+  b.set(101);
+  EXPECT_FALSE(a.intersects(b));
+  b.set(100);
+  EXPECT_TRUE(a.intersects(b));
+}
+
+TEST(BitsetTest, SubsetOf) {
+  DynamicBitset a(80), b(80);
+  a.set(3);
+  a.set(70);
+  b.set(3);
+  b.set(70);
+  b.set(10);
+  EXPECT_TRUE(a.is_subset_of(b));
+  EXPECT_FALSE(b.is_subset_of(a));
+  DynamicBitset empty(80);
+  EXPECT_TRUE(empty.is_subset_of(a));
+}
+
+TEST(BitsetTest, BitwiseOperators) {
+  DynamicBitset a(66), b(66);
+  a.set(1);
+  a.set(65);
+  b.set(1);
+  b.set(2);
+  const DynamicBitset u = a | b;
+  EXPECT_EQ(u.count(), 3u);
+  const DynamicBitset n = a & b;
+  EXPECT_EQ(n.count(), 1u);
+  EXPECT_TRUE(n.test(1));
+  const DynamicBitset d = a - b;
+  EXPECT_EQ(d.count(), 1u);
+  EXPECT_TRUE(d.test(65));
+}
+
+TEST(BitsetTest, Equality) {
+  DynamicBitset a(20), b(20);
+  a.set(7);
+  b.set(7);
+  EXPECT_EQ(a, b);
+  b.set(8);
+  EXPECT_NE(a, b);
+}
+
+TEST(BitsetTest, FindFirstAndNext) {
+  DynamicBitset b(200);
+  EXPECT_EQ(b.find_first(), 200u);
+  b.set(65);
+  b.set(130);
+  b.set(199);
+  EXPECT_EQ(b.find_first(), 65u);
+  EXPECT_EQ(b.find_next(65), 130u);
+  EXPECT_EQ(b.find_next(130), 199u);
+  EXPECT_EQ(b.find_next(199), 200u);
+  EXPECT_EQ(b.find_next(0), 65u);
+}
+
+TEST(BitsetTest, ForEachSetVisitsAscending) {
+  DynamicBitset b(150);
+  const std::vector<std::size_t> want = {0, 63, 64, 127, 128, 149};
+  for (std::size_t i : want) b.set(i);
+  EXPECT_EQ(b.to_indices(), want);
+}
+
+TEST(BitsetTest, SizeMismatchThrows) {
+  DynamicBitset a(10), b(11);
+  EXPECT_THROW((void)a.intersects(b), CheckError);
+  EXPECT_THROW(a |= b, CheckError);
+  EXPECT_THROW(a &= b, CheckError);
+  EXPECT_THROW(a -= b, CheckError);
+}
+
+TEST(BitsetTest, RandomizedAgainstReferenceSets) {
+  Rng rng(42);
+  for (int iter = 0; iter < 50; ++iter) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 300));
+    DynamicBitset a(n), b(n);
+    std::vector<bool> ra(n, false), rb(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.bernoulli(0.3)) {
+        a.set(i);
+        ra[i] = true;
+      }
+      if (rng.bernoulli(0.3)) {
+        b.set(i);
+        rb[i] = true;
+      }
+    }
+    std::size_t expect_count = 0;
+    bool expect_intersects = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ra[i]) ++expect_count;
+      if (ra[i] && rb[i]) expect_intersects = true;
+    }
+    EXPECT_EQ(a.count(), expect_count);
+    EXPECT_EQ(a.intersects(b), expect_intersects);
+    const DynamicBitset diff = a - b;
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_EQ(diff.test(i), ra[i] && !rb[i]);
+  }
+}
+
+}  // namespace
+}  // namespace specmatch

@@ -1,0 +1,136 @@
+#include "valuation/bundle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "matching/stability.hpp"
+#include "matching/two_stage.hpp"
+#include "optimal/bundle_exact.hpp"
+#include "optimal/exact.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+
+namespace specmatch::valuation {
+namespace {
+
+market::SpectrumMarket multi_demand_market(std::uint64_t seed) {
+  Rng rng(seed);
+  workload::WorkloadParams params;
+  params.num_sellers = 3;
+  params.num_buyers = 4;
+  params.min_channels_per_seller = 1;
+  params.max_channels_per_seller = 2;
+  params.min_demand_per_buyer = 1;
+  params.max_demand_per_buyer = 2;
+  return workload::generate_market(params, rng);
+}
+
+TEST(BundleValuationTest, FactorShapes) {
+  BundleValuation additive{0.0};
+  EXPECT_DOUBLE_EQ(additive.factor(1), 1.0);
+  EXPECT_DOUBLE_EQ(additive.factor(4), 1.0);
+  EXPECT_DOUBLE_EQ(additive.factor(0), 0.0);
+
+  BundleValuation complements{0.5};
+  EXPECT_DOUBLE_EQ(complements.factor(1), 1.0);
+  EXPECT_DOUBLE_EQ(complements.factor(3), 2.0);
+
+  BundleValuation substitutes{-0.3};
+  EXPECT_DOUBLE_EQ(substitutes.factor(1), 1.0);
+  EXPECT_DOUBLE_EQ(substitutes.factor(2), 0.7);
+  // Floored at zero, never negative.
+  EXPECT_DOUBLE_EQ(substitutes.factor(10), 0.0);
+}
+
+TEST(BundleValuationTest, ValueCombinesSumAndFactor) {
+  BundleValuation complements{0.25};
+  const std::vector<double> units = {0.4, 0.6};
+  EXPECT_DOUBLE_EQ(complements.value(units), 1.0 * 1.25);
+  EXPECT_DOUBLE_EQ(complements.value(std::vector<double>{}), 0.0);
+}
+
+TEST(BundleWelfareTest, AdditiveGammaMatchesPlainSocialWelfare) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto market = multi_demand_market(seed);
+    const auto result = matching::run_two_stage(market);
+    EXPECT_NEAR(bundle_welfare(market, result.final_matching(),
+                               BundleValuation{0.0}),
+                result.final_matching().social_welfare(market), 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(BundleWelfareTest, ComplementsRewardMultiChannelParents) {
+  // One parent holding two channels: gamma = 0.5 scales the sum by 1.5.
+  market::Scenario scenario;
+  scenario.seller_channel_counts = {2};
+  scenario.buyer_demands = {2};
+  scenario.buyer_locations = {{0, 0}};
+  scenario.channel_ranges = {1.0, 1.0};
+  // channel-major 2x2: dummy 0 and 1 of the same parent.
+  scenario.utilities = {0.8, 0.0, 0.0, 0.6};
+  const auto market = market::build_market(scenario);
+  auto m = matching::Matching(2, 2);
+  m.match(0, 0);
+  m.match(1, 1);
+  EXPECT_NEAR(bundle_welfare(market, m, BundleValuation{0.5}),
+              (0.8 + 0.6) * 1.5, 1e-12);
+  EXPECT_NEAR(bundle_welfare(market, m, BundleValuation{-0.5}),
+              (0.8 + 0.6) * 0.5, 1e-12);
+}
+
+TEST(BundleOptimalTest, GammaZeroMatchesAdditiveOptimum) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto market = multi_demand_market(seed);
+    const auto additive = optimal::solve_optimal(market);
+    const auto bundle =
+        optimal::solve_bundle_optimal(market, BundleValuation{0.0});
+    EXPECT_NEAR(bundle.welfare, additive.welfare, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(BundleOptimalTest, DominatesTheAdditiveMatchingUnderTrueValues) {
+  for (double gamma : {-0.4, -0.2, 0.2, 0.5}) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      const auto market = multi_demand_market(seed);
+      const BundleValuation valuation{gamma};
+      const auto bundle = optimal::solve_bundle_optimal(market, valuation);
+      const auto additive_matching = matching::run_two_stage(market);
+      const double realised = bundle_welfare(
+          market, additive_matching.final_matching(), valuation);
+      EXPECT_GE(bundle.welfare + 1e-9, realised)
+          << "gamma " << gamma << " seed " << seed;
+      EXPECT_TRUE(
+          matching::is_interference_free(market, bundle.matching));
+    }
+  }
+}
+
+TEST(BundleOptimalTest, OptimumGrowsWithGamma) {
+  const auto market = multi_demand_market(3);
+  double previous = -1.0;
+  for (double gamma : {-0.5, -0.25, 0.0, 0.25, 0.5}) {
+    const auto result =
+        optimal::solve_bundle_optimal(market, BundleValuation{gamma});
+    EXPECT_GE(result.welfare + 1e-12, previous);
+    previous = result.welfare;
+  }
+}
+
+TEST(BundleOptimalTest, StrongSubstitutesPreferSpreadingDemand) {
+  // With gamma = -1 a second channel adds nothing (factor(2) = 0!), so the
+  // optimum gives each parent at most one *valuable* channel.
+  const auto market = multi_demand_market(5);
+  const auto result =
+      optimal::solve_bundle_optimal(market, BundleValuation{-1.0});
+  // value = sum * factor(k); factor(2)=0 -> no parent should hold 2.
+  std::vector<int> held(16, 0);
+  for (BuyerId j = 0; j < market.num_buyers(); ++j)
+    if (result.matching.is_matched(j))
+      ++held[static_cast<std::size_t>(market.buyer_parent(j))];
+  for (int h : held) EXPECT_LE(h, 1);
+}
+
+}  // namespace
+}  // namespace specmatch::valuation

@@ -1,0 +1,119 @@
+// The §III-D counter-example (Figs. 4-5): the proposed algorithm's result is
+// Nash-stable but neither pairwise stable nor buyer-optimal.
+#include <gtest/gtest.h>
+
+#include "matching/deferred_acceptance.hpp"
+#include "matching/paper_examples.hpp"
+#include "matching/stability.hpp"
+#include "matching/transfer_invitation.hpp"
+#include "matching/two_stage.hpp"
+#include "test_util.hpp"
+
+namespace specmatch::matching {
+namespace {
+
+using testutil::make_matching;
+using testutil::members;
+
+TEST(CounterExampleStageI, ReproducesFigure4Trace) {
+  const auto market = counter_example();
+  StageIConfig config;
+  config.record_trace = true;
+  const auto result = run_deferred_acceptance(market, config);
+  ASSERT_EQ(result.rounds, 4);
+
+  // Fig. 4(b), after round 1: a:{9}, b:{2,7}, c:{3,8}.
+  EXPECT_EQ(result.trace[0].waiting_lists[0], (std::vector<BuyerId>{8}));
+  EXPECT_EQ(result.trace[0].waiting_lists[1], (std::vector<BuyerId>{1, 6}));
+  EXPECT_EQ(result.trace[0].waiting_lists[2], (std::vector<BuyerId>{2, 7}));
+
+  // Fig. 4(c), after round 2: a:{9}, b:{1,4,7}, c:{5,8}.
+  EXPECT_EQ(result.trace[1].waiting_lists[0], (std::vector<BuyerId>{8}));
+  EXPECT_EQ(result.trace[1].waiting_lists[1], (std::vector<BuyerId>{0, 3, 6}));
+  EXPECT_EQ(result.trace[1].waiting_lists[2], (std::vector<BuyerId>{4, 7}));
+
+  // Fig. 4(d), after round 3: a:{9}, b:{3,4,7}, c:{2,6,8}.
+  EXPECT_EQ(result.trace[2].waiting_lists[0], (std::vector<BuyerId>{8}));
+  EXPECT_EQ(result.trace[2].waiting_lists[1], (std::vector<BuyerId>{2, 3, 6}));
+  EXPECT_EQ(result.trace[2].waiting_lists[2], (std::vector<BuyerId>{1, 5, 7}));
+
+  // Fig. 4(e), final: a:{1,5,9}, b:{3,4,7}, c:{2,6,8}.
+  EXPECT_EQ(members(result.matching, 0), (std::vector<BuyerId>{0, 4, 8}));
+  EXPECT_EQ(members(result.matching, 1), (std::vector<BuyerId>{2, 3, 6}));
+  EXPECT_EQ(members(result.matching, 2), (std::vector<BuyerId>{1, 5, 7}));
+  EXPECT_DOUBLE_EQ(result.matching.social_welfare(market), 62.5);
+}
+
+TEST(CounterExampleStageII, MatchingDoesNotChange) {
+  // "We ignore Stage II since the matching result will not change."
+  const auto market = counter_example();
+  const auto stage1 = run_deferred_acceptance(market);
+  const auto stage2 = run_transfer_invitation(market, stage1.matching);
+  EXPECT_EQ(stage2.matching, stage1.matching);
+  EXPECT_EQ(stage2.transfers_accepted, 0);
+  EXPECT_EQ(stage2.invitations_accepted, 0);
+}
+
+TEST(CounterExample, ResultIsNashStableAndIndividuallyRational) {
+  const auto market = counter_example();
+  const auto result = run_two_stage(market);
+  EXPECT_TRUE(is_nash_stable(market, result.final_matching()));
+  EXPECT_TRUE(is_individual_rational(market, result.final_matching()));
+}
+
+TEST(CounterExample, ResultIsNotPairwiseStable) {
+  const auto market = counter_example();
+  const auto result = run_two_stage(market);
+  const auto blocking = find_blocking_pair(market, result.final_matching());
+  ASSERT_TRUE(blocking.has_value());
+  // The paper's blocking pair: seller b with buyer 2, retaining S = {3, 7}.
+  EXPECT_EQ(blocking->seller, 1);
+  EXPECT_EQ(blocking->buyer, 1);
+  EXPECT_EQ(blocking->retained, (std::vector<BuyerId>{2, 6}));
+  // Seller gain: b_{b,2} - b_{b,4} = 3 - 2 = 1; buyer gain: 3 - 2 = 1.
+  EXPECT_DOUBLE_EQ(blocking->seller_gain, 1.0);
+  EXPECT_DOUBLE_EQ(blocking->buyer_gain, 1.0);
+}
+
+TEST(CounterExample, SwapMatchingIsNashStableAndDominates) {
+  // §III-D: swapping buyers 2 and 4 between sellers b and c yields another
+  // Nash-stable matching in which nobody is worse off and four participants
+  // are strictly better off -> the algorithm's result is not buyer-optimal.
+  const auto market = counter_example();
+  const auto algo = run_two_stage(market);
+
+  const auto swapped = make_matching(
+      3, 9, {{0, 4, 8}, {1, 2, 6}, {3, 5, 7}});
+  EXPECT_TRUE(is_interference_free(market, swapped));
+  EXPECT_TRUE(is_nash_stable(market, swapped));
+
+  // Dominance: every buyer at least as well off, some strictly better.
+  int strictly_better = 0;
+  for (BuyerId j = 0; j < market.num_buyers(); ++j) {
+    const double before = algo.final_matching().buyer_utility(market, j);
+    const double after = swapped.buyer_utility(market, j);
+    EXPECT_GE(after + 1e-12, before) << "buyer " << j;
+    if (after > before + 1e-12) ++strictly_better;
+  }
+  EXPECT_EQ(strictly_better, 2);  // buyers 2 and 4 (paper numbering)
+  EXPECT_GT(swapped.social_welfare(market),
+            algo.final_matching().social_welfare(market));
+  EXPECT_DOUBLE_EQ(swapped.social_welfare(market), 64.5);
+}
+
+TEST(CounterExample, PairwiseStabilityCheckerAcceptsTheSwapMatching) {
+  // The swapped matching fixes the (b, 2) pair; the checker must not flag a
+  // matching where no mutually improving pair exists... the swap is still
+  // not necessarily pairwise stable globally, so only assert the specific
+  // pair (b, 2) is no longer blocking.
+  const auto market = counter_example();
+  const auto swapped = make_matching(
+      3, 9, {{0, 4, 8}, {1, 2, 6}, {3, 5, 7}});
+  const auto blocking = find_blocking_pair(market, swapped);
+  if (blocking.has_value()) {
+    EXPECT_FALSE(blocking->seller == 1 && blocking->buyer == 1);
+  }
+}
+
+}  // namespace
+}  // namespace specmatch::matching

@@ -1,0 +1,111 @@
+#include "dynamics/epochs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "workload/generator.hpp"
+
+namespace specmatch::dynamics {
+namespace {
+
+market::SpectrumMarket test_market(std::uint64_t seed = 5, int sellers = 5,
+                                   int buyers = 20) {
+  Rng rng(seed);
+  workload::WorkloadParams params;
+  params.num_sellers = sellers;
+  params.num_buyers = buyers;
+  return workload::generate_market(params, rng);
+}
+
+TEST(DynamicsTest, DeterministicInSeed) {
+  const auto market = test_market();
+  DynamicsParams params;
+  params.epochs = 8;
+  const auto a = run_dynamic_market(market, params);
+  const auto b = run_dynamic_market(market, params);
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  EXPECT_DOUBLE_EQ(a.total_welfare_cold, b.total_welfare_cold);
+  EXPECT_DOUBLE_EQ(a.total_welfare_warm, b.total_welfare_warm);
+}
+
+TEST(DynamicsTest, FirstEpochIsChurnFreeAndPoliciesAgree) {
+  const auto market = test_market();
+  DynamicsParams params;
+  params.epochs = 1;
+  const auto result = run_dynamic_market(market, params);
+  ASSERT_EQ(result.epochs.size(), 1u);
+  const auto& e0 = result.epochs[0];
+  EXPECT_EQ(e0.arrivals, 0);
+  EXPECT_EQ(e0.departures, 0);
+  EXPECT_EQ(e0.active_buyers, market.num_buyers());
+  // Warm with an empty carried matching is Stage II from scratch — it need
+  // not equal the full two-stage run, but both must be productive.
+  EXPECT_GT(e0.welfare_cold, 0.0);
+  EXPECT_GT(e0.welfare_warm, 0.0);
+}
+
+TEST(DynamicsTest, WelfareTracksActiveBuyerCount) {
+  const auto market = test_market(7, 4, 30);
+  DynamicsParams params;
+  params.epochs = 15;
+  params.leave_prob = 0.5;
+  params.join_prob = 0.1;  // strong net shrinkage
+  const auto result = run_dynamic_market(market, params);
+  // The market thins out; late epochs should be (weakly) poorer than epoch 0.
+  const auto& first = result.epochs.front();
+  const auto& last = result.epochs.back();
+  EXPECT_LT(last.active_buyers, first.active_buyers);
+  EXPECT_LT(last.welfare_cold, first.welfare_cold);
+}
+
+TEST(DynamicsTest, WarmPolicyStaysCompetitiveAndLessDisruptive) {
+  const auto market = test_market(11, 5, 30);
+  DynamicsParams params;
+  params.epochs = 25;
+  params.leave_prob = 0.15;
+  params.join_prob = 0.3;
+  const auto result = run_dynamic_market(market, params);
+  // Warm keeps most of the cold welfare...
+  EXPECT_GT(result.total_welfare_warm, 0.9 * result.total_welfare_cold);
+  // ...and never reshuffles more continuing buyers than cold does (it only
+  // ever improves a surviving buyer's own match voluntarily).
+  EXPECT_LE(result.total_disrupted_warm, result.total_disrupted_cold);
+}
+
+TEST(DynamicsTest, WarmUpdateRunsFewerRoundsThanColdRerun) {
+  const auto market = test_market(13, 6, 40);
+  DynamicsParams params;
+  params.epochs = 12;
+  const auto result = run_dynamic_market(market, params);
+  double cold_rounds = 0.0, warm_rounds = 0.0;
+  for (const auto& epoch : result.epochs) {
+    cold_rounds += epoch.rounds_cold;
+    warm_rounds += epoch.rounds_warm;
+  }
+  EXPECT_LT(warm_rounds, cold_rounds);
+}
+
+TEST(DynamicsTest, ExtremeChurnRatesAreHandled) {
+  const auto market = test_market(17, 3, 12);
+  DynamicsParams params;
+  params.epochs = 6;
+  params.leave_prob = 1.0;  // everyone leaves...
+  params.join_prob = 1.0;   // ...and instantly returns next epoch
+  const auto result = run_dynamic_market(market, params);
+  EXPECT_EQ(result.epochs.size(), 6u);
+  for (const auto& epoch : result.epochs)
+    EXPECT_GE(epoch.active_buyers, 0);
+}
+
+TEST(DynamicsTest, InvalidParamsThrow) {
+  const auto market = test_market();
+  DynamicsParams params;
+  params.epochs = 0;
+  EXPECT_THROW((void)run_dynamic_market(market, params), CheckError);
+  params = {};
+  params.leave_prob = 1.5;
+  EXPECT_THROW((void)run_dynamic_market(market, params), CheckError);
+}
+
+}  // namespace
+}  // namespace specmatch::dynamics

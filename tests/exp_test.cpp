@@ -1,0 +1,90 @@
+// Direct unit tests for the experiment harness (src/exp) and the Summary
+// confidence interval.
+#include "exp/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "matching/paper_examples.hpp"
+
+namespace specmatch::exp {
+namespace {
+
+TEST(SummaryCiTest, HalfwidthMatchesDefinition) {
+  Summary s;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) s.add(x);
+  EXPECT_NEAR(s.confidence_halfwidth(), 1.96 * s.stderror(), 1e-12);
+  EXPECT_NEAR(s.confidence_halfwidth(2.58), 2.58 * s.stderror(), 1e-12);
+  EXPECT_THROW((void)s.confidence_halfwidth(0.0), CheckError);
+  Summary empty;
+  EXPECT_EQ(empty.confidence_halfwidth(), 0.0);
+}
+
+TEST(SummaryCiTest, CoversTheTrueMeanMostOfTheTime) {
+  // 95% CI over repeated samples of U[0,1] (true mean 0.5).
+  Rng rng(99);
+  int covered = 0;
+  const int experiments = 200;
+  for (int e = 0; e < experiments; ++e) {
+    Summary s;
+    for (int k = 0; k < 40; ++k) s.add(rng.uniform());
+    const double half = s.confidence_halfwidth();
+    if (std::abs(s.mean() - 0.5) <= half) ++covered;
+  }
+  EXPECT_GT(covered, experiments * 85 / 100);
+}
+
+TEST(RunTrialsTest, EachTrialGetsADistinctDeterministicStream) {
+  std::vector<double> firsts;
+  (void)run_trials(4, 10, [&](Rng& rng) {
+    firsts.push_back(rng.uniform());
+    return Metrics{{"x", 0.0}};
+  });
+  ASSERT_EQ(firsts.size(), 4u);
+  for (std::size_t a = 0; a < firsts.size(); ++a)
+    for (std::size_t b = a + 1; b < firsts.size(); ++b)
+      EXPECT_NE(firsts[a], firsts[b]);
+
+  std::vector<double> again;
+  (void)run_trials(4, 10, [&](Rng& rng) {
+    again.push_back(rng.uniform());
+    return Metrics{{"x", 0.0}};
+  });
+  EXPECT_EQ(firsts, again);
+}
+
+TEST(RunTrialsTest, ZeroTrialsRejected) {
+  EXPECT_THROW(
+      (void)run_trials(0, 1, [](Rng&) { return Metrics{}; }),
+      CheckError);
+}
+
+TEST(RunTrialsTest, AggregatesAllMetrics) {
+  const auto agg = run_trials(3, 7, [](Rng& rng) {
+    return Metrics{{"a", rng.uniform()}, {"b", 2.0}};
+  });
+  EXPECT_EQ(agg.num_trials(), 3u);
+  EXPECT_DOUBLE_EQ(agg.mean("b"), 2.0);
+  EXPECT_EQ(agg.summary("a").count(), 3u);
+  EXPECT_GE(agg.mean("a"), 0.0);
+  EXPECT_LE(agg.mean("a"), 1.0);
+}
+
+TEST(TwoStageMetricsTest, ToyExampleValues) {
+  const auto market = matching::toy_example();
+  const auto metrics = two_stage_metrics(market);
+  EXPECT_DOUBLE_EQ(metrics.at("welfare_stage1"), 27.0);
+  EXPECT_DOUBLE_EQ(metrics.at("welfare_phase1"), 29.0);
+  EXPECT_DOUBLE_EQ(metrics.at("welfare_final"), 30.0);
+  EXPECT_DOUBLE_EQ(metrics.at("rounds_stage1"), 4.0);
+  EXPECT_DOUBLE_EQ(metrics.at("rounds_phase1"), 2.0);
+  EXPECT_DOUBLE_EQ(metrics.at("rounds_phase2"), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.at("matched_buyers"), 5.0);
+  EXPECT_DOUBLE_EQ(metrics.at("transfers"), 1.0);
+  EXPECT_DOUBLE_EQ(metrics.at("invitations_accepted"), 1.0);
+}
+
+}  // namespace
+}  // namespace specmatch::exp

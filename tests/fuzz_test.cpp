@@ -1,0 +1,174 @@
+// Randomised differential and stress tests across the stack.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "dist/runtime.hpp"
+#include "matching/stability.hpp"
+#include "matching/swap_resolution.hpp"
+#include "matching/two_stage.hpp"
+#include "optimal/exact.hpp"
+#include "workload/generator.hpp"
+
+namespace specmatch {
+namespace {
+
+TEST(MatchingFuzzTest, RandomOpsAgainstReferenceMap) {
+  Rng rng(1234);
+  const int M = 6, N = 24;
+  matching::Matching matching(M, N);
+  std::map<BuyerId, SellerId> reference;
+
+  for (int op = 0; op < 5000; ++op) {
+    const auto j = static_cast<BuyerId>(rng.uniform_int(0, N - 1));
+    const auto i = static_cast<SellerId>(rng.uniform_int(0, M - 1));
+    switch (rng.uniform_int(0, 2)) {
+      case 0:  // match if unmatched
+        if (!reference.contains(j)) {
+          matching.match(j, i);
+          reference[j] = i;
+        }
+        break;
+      case 1:  // unmatch
+        matching.unmatch(j);
+        reference.erase(j);
+        break;
+      case 2:  // rematch
+        matching.rematch(j, i);
+        reference[j] = i;
+        break;
+    }
+    if (op % 500 == 0) matching.check_consistent();
+  }
+  matching.check_consistent();
+  for (BuyerId j = 0; j < N; ++j) {
+    const auto it = reference.find(j);
+    EXPECT_EQ(matching.seller_of(j),
+              it == reference.end() ? kUnmatched : it->second);
+  }
+  int total = 0;
+  for (SellerId i = 0; i < M; ++i)
+    total += static_cast<int>(matching.members_of(i).count());
+  EXPECT_EQ(total, static_cast<int>(reference.size()));
+}
+
+TEST(OptimalFuzzTest, BranchAndBoundMatchesExhaustiveOnVariedShapes) {
+  for (std::uint64_t seed = 100; seed < 130; ++seed) {
+    Rng rng(seed);
+    workload::WorkloadParams params;
+    params.num_sellers = 1 + static_cast<int>(seed % 4);
+    params.num_buyers = 4 + static_cast<int>(seed % 5);
+    params.min_demand_per_buyer = 1;
+    params.max_demand_per_buyer = 2;
+    const auto market = workload::generate_market(params, rng);
+    if (market.num_buyers() > 11) continue;  // keep exhaustive tractable
+    const auto bb = optimal::solve_optimal(market);
+    const auto brute = optimal::solve_optimal_exhaustive(market);
+    EXPECT_NEAR(bb.welfare, brute.welfare, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(TwoStageFuzzTest, ExtremeUtilityPatterns) {
+  // All-equal utilities: massive ties everywhere; determinism + invariants.
+  {
+    const int M = 3, N = 9;
+    std::vector<double> prices(static_cast<std::size_t>(M * N), 0.5);
+    std::vector<graph::InterferenceGraph> graphs;
+    Rng rng(5);
+    for (int i = 0; i < M; ++i)
+      graphs.push_back(
+          graph::erdos_renyi(static_cast<std::size_t>(N), 0.4, rng));
+    const market::SpectrumMarket market(M, N, prices, std::move(graphs));
+    const auto a = matching::run_two_stage(market);
+    const auto b = matching::run_two_stage(market);
+    EXPECT_EQ(a.final_matching(), b.final_matching());
+    EXPECT_TRUE(matching::is_interference_free(market, a.final_matching()));
+    EXPECT_TRUE(matching::is_nash_stable(market, a.final_matching()));
+  }
+  // All-zero utilities: nobody proposes, empty (but valid) outcome.
+  {
+    const int M = 2, N = 4;
+    std::vector<double> prices(static_cast<std::size_t>(M * N), 0.0);
+    std::vector<graph::InterferenceGraph> graphs(
+        static_cast<std::size_t>(M),
+        graph::InterferenceGraph(static_cast<std::size_t>(N)));
+    const market::SpectrumMarket market(M, N, prices, std::move(graphs));
+    const auto result = matching::run_two_stage(market);
+    EXPECT_EQ(result.final_matching().num_matched(), 0);
+    EXPECT_EQ(result.stage1.rounds, 0);
+    EXPECT_DOUBLE_EQ(result.welfare_final, 0.0);
+    EXPECT_TRUE(matching::is_nash_stable(market, result.final_matching()));
+  }
+  // One buyer with zero utility on all but one channel.
+  {
+    const int M = 3, N = 1;
+    std::vector<double> prices = {0.0, 0.7, 0.0};
+    std::vector<graph::InterferenceGraph> graphs(
+        static_cast<std::size_t>(M), graph::InterferenceGraph(1));
+    const market::SpectrumMarket market(M, N, prices, std::move(graphs));
+    const auto result = matching::run_two_stage(market);
+    EXPECT_EQ(result.final_matching().seller_of(0), 1);
+  }
+}
+
+TEST(DistStressTest, RandomConfigsKeepEveryInvariant) {
+  Rng meta(777);
+  for (int trial = 0; trial < 40; ++trial) {
+    Rng rng(meta.next_u64());
+    workload::WorkloadParams params;
+    params.num_sellers = 2 + static_cast<int>(meta.uniform_int(0, 5));
+    params.num_buyers = 4 + static_cast<int>(meta.uniform_int(0, 20));
+    params.min_demand_per_buyer = 1;
+    params.max_demand_per_buyer = 1 + static_cast<int>(meta.uniform_int(0, 1));
+    const auto market = workload::generate_market(params, rng);
+
+    dist::DistConfig config;
+    switch (meta.uniform_int(0, 3)) {
+      case 0: break;  // default
+      case 1: config = dist::DistConfig::adaptive(); break;
+      case 2:
+        config = dist::DistConfig::quiescence(
+            1 + static_cast<int>(meta.uniform_int(0, 4)));
+        break;
+      case 3:
+        config.buyer_rule = dist::BuyerRule::kRuleI;
+        config.seller_rule = dist::SellerRule::kQRule;
+        break;
+    }
+    config.max_message_delay = static_cast<int>(meta.uniform_int(0, 3));
+    if (meta.bernoulli(0.4))
+      config.message_loss_prob = meta.uniform(0.02, 0.25);
+    if (meta.bernoulli(0.3))
+      config.buyer_crash_prob = meta.uniform(0.05, 0.4);
+    config.network_seed = meta.next_u64();
+
+    const auto result = dist::run_distributed(market, config);
+    ASSERT_FALSE(result.hit_slot_cap) << "trial " << trial;
+    result.matching.check_consistent();
+    EXPECT_TRUE(matching::is_interference_free(market, result.matching))
+        << "trial " << trial;
+    if (result.crashed_buyers == 0) {
+      EXPECT_TRUE(matching::is_individual_rational(market, result.matching))
+          << "trial " << trial;
+    }
+  }
+}
+
+TEST(SwapFuzzTest, ResolutionIsAFixedPointOperatorEverywhere) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed * 999);
+    workload::WorkloadParams params;
+    params.num_sellers = 3 + static_cast<int>(seed % 5);
+    params.num_buyers = 8 + static_cast<int>(seed % 12);
+    params.min_range = (seed % 2 == 0) ? 2.0 : 0.0;  // mix congestion levels
+    const auto market = workload::generate_market(params, rng);
+    const auto once = matching::run_two_stage_with_swaps(market);
+    const auto twice =
+        matching::resolve_blocking_pairs(market, once.matching);
+    EXPECT_EQ(twice.swaps_applied, 0) << "seed " << seed;
+    EXPECT_GE(once.welfare_after + 1e-12, once.welfare_before);
+  }
+}
+
+}  // namespace
+}  // namespace specmatch

@@ -1,0 +1,150 @@
+#include "graph/interference_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace specmatch::graph {
+namespace {
+
+using testutil::bits;
+
+TEST(InterferenceGraphTest, EmptyGraph) {
+  InterferenceGraph g(5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_EQ(g.average_degree(), 0.0);
+}
+
+TEST(InterferenceGraphTest, AddEdgeIsSymmetricAndIdempotent) {
+  InterferenceGraph g(4);
+  g.add_edge(1, 3);
+  EXPECT_TRUE(g.has_edge(1, 3));
+  EXPECT_TRUE(g.has_edge(3, 1));
+  EXPECT_EQ(g.num_edges(), 1u);
+  g.add_edge(3, 1);  // duplicate
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(3), 1u);
+}
+
+TEST(InterferenceGraphTest, SelfLoopRejected) {
+  InterferenceGraph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), CheckError);
+}
+
+TEST(InterferenceGraphTest, OutOfRangeRejected) {
+  InterferenceGraph g(3);
+  EXPECT_THROW(g.add_edge(0, 3), CheckError);
+  EXPECT_THROW(g.add_edge(-1, 0), CheckError);
+  EXPECT_THROW((void)g.has_edge(0, 5), CheckError);
+}
+
+TEST(InterferenceGraphTest, Neighbors) {
+  InterferenceGraph g(6);
+  g.add_edge(2, 0);
+  g.add_edge(2, 4);
+  g.add_edge(2, 5);
+  EXPECT_EQ(g.neighbors(2), bits(6, {0, 4, 5}));
+  EXPECT_EQ(g.degree(2), 3u);
+}
+
+TEST(InterferenceGraphTest, IsIndependent) {
+  InterferenceGraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_TRUE(g.is_independent(bits(5, {0, 2, 4})));
+  EXPECT_TRUE(g.is_independent(bits(5, {})));
+  EXPECT_TRUE(g.is_independent(bits(5, {1})));
+  EXPECT_FALSE(g.is_independent(bits(5, {0, 1})));
+  EXPECT_FALSE(g.is_independent(bits(5, {1, 2, 3})));
+}
+
+TEST(InterferenceGraphTest, IsCompatible) {
+  InterferenceGraph g(4);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(g.is_compatible(0, bits(4, {1, 2})));
+  EXPECT_TRUE(g.is_compatible(0, bits(4, {2, 3})));
+  // A vertex is always compatible with a set containing only itself.
+  EXPECT_TRUE(g.is_compatible(0, bits(4, {0})));
+}
+
+TEST(InterferenceGraphTest, EdgesListSortedUnique) {
+  InterferenceGraph g(4);
+  g.add_edge(2, 1);
+  g.add_edge(0, 3);
+  g.add_edge(1, 2);
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], std::make_pair(BuyerId{0}, BuyerId{3}));
+  EXPECT_EQ(edges[1], std::make_pair(BuyerId{1}, BuyerId{2}));
+}
+
+TEST(GeneratorsTest, GeometricUsesEuclideanDistance) {
+  const std::vector<Point> pts = {{0, 0}, {3, 4}, {0, 1}};
+  const auto g = geometric(pts, 5.0);
+  EXPECT_TRUE(g.has_edge(0, 1));  // distance exactly 5 <= 5
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(1, 2));  // distance sqrt(9+9) ~ 4.24
+  const auto g2 = geometric(pts, 1.0);
+  EXPECT_FALSE(g2.has_edge(0, 1));
+  EXPECT_TRUE(g2.has_edge(0, 2));
+}
+
+TEST(GeneratorsTest, GeometricZeroRangeOnlyLinksCoincidentPoints) {
+  const std::vector<Point> pts = {{1, 1}, {1, 1}, {2, 2}};
+  const auto g = geometric(pts, 0.0);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(GeneratorsTest, CompleteAndEmpty) {
+  const auto k = complete(6);
+  EXPECT_EQ(k.num_edges(), 15u);
+  EXPECT_EQ(k.average_degree(), 5.0);
+  const auto e = empty(6);
+  EXPECT_EQ(e.num_edges(), 0u);
+}
+
+TEST(GeneratorsTest, CycleAndPath) {
+  const auto c = cycle(5);
+  EXPECT_EQ(c.num_edges(), 5u);
+  for (BuyerId v = 0; v < 5; ++v) EXPECT_EQ(c.degree(v), 2u);
+  const auto p = path(5);
+  EXPECT_EQ(p.num_edges(), 4u);
+  EXPECT_EQ(p.degree(0), 1u);
+  EXPECT_EQ(p.degree(2), 2u);
+  // Degenerate sizes.
+  EXPECT_EQ(cycle(2).num_edges(), 1u);
+  EXPECT_EQ(cycle(1).num_edges(), 0u);
+  EXPECT_EQ(path(1).num_edges(), 0u);
+}
+
+TEST(GeneratorsTest, ErdosRenyiDensityMatchesProbability) {
+  Rng rng(3);
+  const auto g = erdos_renyi(60, 0.3, rng);
+  const double max_edges = 60.0 * 59.0 / 2.0;
+  const double density = static_cast<double>(g.num_edges()) / max_edges;
+  EXPECT_NEAR(density, 0.3, 0.05);
+  Rng rng2(4);
+  EXPECT_EQ(erdos_renyi(20, 0.0, rng2).num_edges(), 0u);
+  EXPECT_EQ(erdos_renyi(20, 1.0, rng2).num_edges(), 190u);
+}
+
+TEST(GeneratorsTest, ErdosRenyiInvalidProbabilityThrows) {
+  Rng rng(5);
+  EXPECT_THROW((void)erdos_renyi(5, -0.1, rng), CheckError);
+  EXPECT_THROW((void)erdos_renyi(5, 1.1, rng), CheckError);
+}
+
+TEST(GeneratorsTest, DistanceHelper) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+}  // namespace
+}  // namespace specmatch::graph

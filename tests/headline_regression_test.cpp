@@ -1,0 +1,154 @@
+// Headline regressions: every quantitative claim EXPERIMENTS.md makes is
+// re-checked here in miniature, so the documentation cannot silently rot.
+// Trial counts are reduced vs the bench binaries; bands are loose enough to
+// absorb the extra noise but tight enough to catch real regressions.
+#include <gtest/gtest.h>
+
+#include "auction/group_auction.hpp"
+#include "common/stats.hpp"
+#include "dist/runtime.hpp"
+#include "matching/paper_examples.hpp"
+#include "matching/stability.hpp"
+#include "matching/swap_resolution.hpp"
+#include "matching/two_stage.hpp"
+#include "optimal/bundle_exact.hpp"
+#include "optimal/exact.hpp"
+#include "valuation/bundle.hpp"
+#include "workload/generator.hpp"
+
+namespace specmatch {
+namespace {
+
+market::SpectrumMarket random_market(std::uint64_t seed, int sellers,
+                                     int buyers,
+                                     int similarity =
+                                         workload::WorkloadParams::
+                                             kIidUtilities) {
+  Rng rng(seed);
+  workload::WorkloadParams params;
+  params.num_sellers = sellers;
+  params.num_buyers = buyers;
+  params.similarity_permutation = similarity;
+  return workload::generate_market(params, rng);
+}
+
+TEST(HeadlineRegression, NinetyPercentOfOptimalWelfare) {
+  // EXPERIMENTS.md: "proposed/optimal ratio 0.97-0.99 across every Fig. 6
+  // point". Reduced trials -> assert > 0.93.
+  Summary ratio;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const auto market = random_market(seed * 3, 4, 8);
+    ratio.add(matching::run_two_stage(market).welfare_final /
+              optimal::solve_optimal(market).welfare);
+  }
+  EXPECT_GT(ratio.mean(), 0.93);
+}
+
+TEST(HeadlineRegression, DiverseUtilitiesBeatSimilarOnes) {
+  // Fig. 6(c) shape: SRCC 1 -> lower welfare than SRCC ~ 0.
+  Summary similar, diverse;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    similar.add(matching::run_two_stage(random_market(seed, 5, 8, 0))
+                    .welfare_final);
+    diverse.add(matching::run_two_stage(random_market(seed, 5, 8, 5))
+                    .welfare_final);
+  }
+  EXPECT_GT(diverse.mean(), similar.mean());
+}
+
+TEST(HeadlineRegression, StageOneRoundsTrackSellersNotBuyers) {
+  // Fig. 8 shape at N >> M.
+  auto mean_rounds = [](int sellers, int buyers) {
+    Summary rounds;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      const auto market = random_market(seed * 7, sellers, buyers);
+      rounds.add(static_cast<double>(
+          matching::run_deferred_acceptance(market).rounds));
+    }
+    return rounds.mean();
+  };
+  const double base = mean_rounds(6, 120);
+  EXPECT_LT(mean_rounds(6, 240), 2.0 * base);   // flat-ish in N
+  EXPECT_GT(mean_rounds(12, 120), 1.2 * base);  // grows with M
+}
+
+TEST(HeadlineRegression, QuiescenceBeatsDefaultScheduleByFarWithFullWelfare) {
+  Summary speedup, ratio;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto market = random_market(seed * 11, 5, 15);
+    const auto d = dist::run_distributed(market);
+    const auto q =
+        dist::run_distributed(market, dist::DistConfig::quiescence());
+    speedup.add(static_cast<double>(d.slots) /
+                static_cast<double>(q.slots));
+    ratio.add(q.matching.social_welfare(market) /
+              d.matching.social_welfare(market));
+  }
+  EXPECT_GT(speedup.mean(), 3.0);
+  EXPECT_GT(ratio.mean(), 0.99);
+}
+
+TEST(HeadlineRegression, MatchingDominatesGroupAuction) {
+  Summary matching_w, auction_w;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const auto market = random_market(seed * 13, 5, 15);
+    matching_w.add(matching::run_two_stage(market).welfare_final);
+    auction_w.add(auction::run_group_double_auction(market).welfare);
+  }
+  EXPECT_GT(matching_w.mean(), 1.3 * auction_w.mean());
+}
+
+TEST(HeadlineRegression, StrongSubstitutesHurtTheAdditiveAssumption) {
+  // ablation_bundles: gamma = -0.6 -> matching/bundle-opt well below the
+  // near-1 ratios of mild synergies.
+  const valuation::BundleValuation harsh{-0.6};
+  const valuation::BundleValuation mild{0.3};
+  Summary harsh_ratio, mild_ratio;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    Rng rng(seed * 17);
+    workload::WorkloadParams params;
+    params.num_sellers = 3;
+    params.num_buyers = 4;
+    params.max_channels_per_seller = 2;
+    params.max_demand_per_buyer = 2;
+    const auto market = workload::generate_market(params, rng);
+    const auto base = matching::run_two_stage(market);
+    harsh_ratio.add(
+        valuation::bundle_welfare(market, base.final_matching(), harsh) /
+        optimal::solve_bundle_optimal(market, harsh).welfare);
+    mild_ratio.add(
+        valuation::bundle_welfare(market, base.final_matching(), mild) /
+        optimal::solve_bundle_optimal(market, mild).welfare);
+  }
+  EXPECT_LT(harsh_ratio.mean(), mild_ratio.mean() - 0.05);
+}
+
+TEST(HeadlineRegression, PairwiseInstabilityGrowsWithMarketSize) {
+  auto blocked_share = [](int sellers, int buyers) {
+    Summary blocked;
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+      const auto market = random_market(seed * 19, sellers, buyers);
+      const auto result = matching::run_two_stage(market);
+      blocked.add(matching::is_pairwise_stable(market,
+                                               result.final_matching())
+                      ? 0.0
+                      : 1.0);
+    }
+    return blocked.mean();
+  };
+  EXPECT_LE(blocked_share(5, 15), blocked_share(10, 80) + 0.05);
+}
+
+TEST(HeadlineRegression, ToyExampleNumbersNeverDrift) {
+  const auto market = matching::toy_example();
+  const auto result = matching::run_two_stage(market);
+  EXPECT_DOUBLE_EQ(result.welfare_stage1, 27.0);
+  EXPECT_DOUBLE_EQ(result.welfare_final, 30.0);
+  const auto counter = matching::counter_example();
+  EXPECT_DOUBLE_EQ(matching::run_two_stage(counter).welfare_final, 62.5);
+  EXPECT_DOUBLE_EQ(matching::run_two_stage_with_swaps(counter).welfare_after,
+                   64.5);
+}
+
+}  // namespace
+}  // namespace specmatch

@@ -1,0 +1,152 @@
+// Cross-module integration tests: full pipeline from workload generation
+// through matching, baselines, distributed execution, and the experiment
+// harness.
+#include <gtest/gtest.h>
+
+#include "dist/runtime.hpp"
+#include "exp/experiment.hpp"
+#include "matching/stability.hpp"
+#include "matching/two_stage.hpp"
+#include "optimal/exact.hpp"
+#include "optimal/greedy.hpp"
+#include "workload/generator.hpp"
+#include "workload/similarity.hpp"
+
+namespace specmatch {
+namespace {
+
+TEST(IntegrationTest, MultiDemandMarketEndToEnd) {
+  // Parents with multi-channel supply and demand, per §II-A virtualisation.
+  Rng rng(11);
+  workload::WorkloadParams params;
+  params.num_sellers = 3;
+  params.num_buyers = 5;
+  params.min_channels_per_seller = 1;
+  params.max_channels_per_seller = 3;
+  params.min_demand_per_buyer = 1;
+  params.max_demand_per_buyer = 2;
+  const auto scenario = workload::generate_scenario(params, rng);
+  const auto market = market::build_market(scenario);
+
+  const auto result = matching::run_two_stage(market);
+  EXPECT_TRUE(matching::is_interference_free(market, result.final_matching()));
+  EXPECT_TRUE(matching::is_nash_stable(market, result.final_matching()));
+
+  // No parent buyer holds the same channel twice (dummy interference).
+  for (ChannelId i = 0; i < market.num_channels(); ++i) {
+    std::vector<int> parents;
+    result.final_matching().members_of(i).for_each_set([&](std::size_t j) {
+      parents.push_back(market.buyer_parent(static_cast<BuyerId>(j)));
+    });
+    std::sort(parents.begin(), parents.end());
+    EXPECT_TRUE(std::adjacent_find(parents.begin(), parents.end()) ==
+                parents.end())
+        << "a parent buyer was matched twice to channel " << i;
+  }
+}
+
+TEST(IntegrationTest, SimilarMarketsYieldLowerWelfareThanDiverse) {
+  // The paper's §V-B observation, averaged over seeds to dodge noise.
+  Summary similar, diverse;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    workload::WorkloadParams params;
+    params.num_sellers = 5;
+    params.num_buyers = 10;
+
+    params.similarity_permutation = 0;  // SRCC 1
+    Rng rng_similar(seed);
+    const auto m1 = workload::generate_market(params, rng_similar);
+    similar.add(matching::run_two_stage(m1).welfare_final);
+
+    params.similarity_permutation = 5;  // SRCC ~ 0
+    Rng rng_diverse(seed);
+    const auto m2 = workload::generate_market(params, rng_diverse);
+    diverse.add(matching::run_two_stage(m2).welfare_final);
+  }
+  EXPECT_GT(diverse.mean(), similar.mean());
+}
+
+TEST(IntegrationTest, WelfareGrowsWithMoreBuyersAndSellers) {
+  auto mean_welfare = [](int sellers, int buyers) {
+    Summary w;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      Rng rng(seed * 131);
+      workload::WorkloadParams params;
+      params.num_sellers = sellers;
+      params.num_buyers = buyers;
+      const auto market = workload::generate_market(params, rng);
+      w.add(matching::run_two_stage(market).welfare_final);
+    }
+    return w.mean();
+  };
+  EXPECT_GT(mean_welfare(4, 14), mean_welfare(4, 6));   // Fig. 6(a) shape
+  EXPECT_GT(mean_welfare(6, 10), mean_welfare(2, 10));  // Fig. 6(b) shape
+}
+
+TEST(IntegrationTest, TrialAggregatorAccumulatesMetrics) {
+  exp::TrialAggregator agg;
+  agg.add({{"welfare", 10.0}, {"rounds", 4.0}});
+  agg.add({{"welfare", 14.0}, {"rounds", 6.0}});
+  EXPECT_EQ(agg.num_trials(), 2u);
+  EXPECT_DOUBLE_EQ(agg.mean("welfare"), 12.0);
+  EXPECT_DOUBLE_EQ(agg.mean("rounds"), 5.0);
+  EXPECT_GT(agg.stderror("welfare"), 0.0);
+  EXPECT_TRUE(agg.has("welfare"));
+  EXPECT_FALSE(agg.has("nope"));
+  EXPECT_THROW((void)agg.mean("nope"), CheckError);
+  EXPECT_EQ(agg.metric_names(),
+            (std::vector<std::string>{"rounds", "welfare"}));
+}
+
+TEST(IntegrationTest, RunTrialsIsDeterministicInBaseSeed) {
+  auto trial = [](Rng& rng) {
+    workload::WorkloadParams params;
+    params.num_sellers = 3;
+    params.num_buyers = 8;
+    const auto market = workload::generate_market(params, rng);
+    return exp::two_stage_metrics(market);
+  };
+  const auto a = exp::run_trials(5, 42, trial);
+  const auto b = exp::run_trials(5, 42, trial);
+  EXPECT_DOUBLE_EQ(a.mean("welfare_final"), b.mean("welfare_final"));
+  const auto c = exp::run_trials(5, 43, trial);
+  EXPECT_NE(a.mean("welfare_final"), c.mean("welfare_final"));
+}
+
+TEST(IntegrationTest, TwoStageMetricsBundleIsComplete) {
+  Rng rng(17);
+  workload::WorkloadParams params;
+  params.num_sellers = 4;
+  params.num_buyers = 10;
+  const auto market = workload::generate_market(params, rng);
+  const auto metrics = exp::two_stage_metrics(market);
+  for (const char* key :
+       {"welfare_stage1", "welfare_phase1", "welfare_final", "rounds_stage1",
+        "rounds_phase1", "rounds_phase2", "matched_buyers", "proposals",
+        "transfers", "invitations_accepted"}) {
+    EXPECT_TRUE(metrics.contains(key)) << key;
+  }
+  EXPECT_GE(metrics.at("welfare_final"), metrics.at("welfare_stage1"));
+}
+
+TEST(IntegrationTest, FullPipelineParityAcrossImplementations) {
+  // Synchronous reference, distributed default rule, and the optimum line up
+  // in the expected order on a paper-scale instance.
+  Rng rng(23);
+  workload::WorkloadParams params;
+  params.num_sellers = 4;
+  params.num_buyers = 8;
+  const auto market = workload::generate_market(params, rng);
+
+  const auto sync = matching::run_two_stage(market);
+  const auto dist = dist::run_distributed(market);
+  const auto optimal = optimal::solve_optimal(market);
+  const auto greedy = optimal::solve_greedy(market);
+
+  EXPECT_EQ(dist.matching, sync.final_matching());
+  EXPECT_LE(sync.welfare_final, optimal.welfare + 1e-9);
+  EXPECT_LE(greedy.social_welfare(market), optimal.welfare + 1e-9);
+}
+
+}  // namespace
+}  // namespace specmatch

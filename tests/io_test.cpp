@@ -1,0 +1,116 @@
+#include "workload/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "matching/two_stage.hpp"
+#include "workload/generator.hpp"
+
+namespace specmatch::workload {
+namespace {
+
+market::Scenario sample_scenario(std::uint64_t seed = 3) {
+  Rng rng(seed);
+  WorkloadParams params;
+  params.num_sellers = 3;
+  params.num_buyers = 6;
+  params.min_channels_per_seller = 1;
+  params.max_channels_per_seller = 2;
+  params.min_demand_per_buyer = 1;
+  params.max_demand_per_buyer = 2;
+  return generate_scenario(params, rng);
+}
+
+TEST(ScenarioIoTest, RoundTripsExactly) {
+  const auto original = sample_scenario();
+  std::stringstream buffer;
+  save_scenario(buffer, original);
+  const auto loaded = load_scenario(buffer);
+  EXPECT_EQ(loaded.seller_channel_counts, original.seller_channel_counts);
+  EXPECT_EQ(loaded.buyer_demands, original.buyer_demands);
+  ASSERT_EQ(loaded.buyer_locations.size(), original.buyer_locations.size());
+  for (std::size_t i = 0; i < loaded.buyer_locations.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.buyer_locations[i].x,
+                     original.buyer_locations[i].x);
+    EXPECT_DOUBLE_EQ(loaded.buyer_locations[i].y,
+                     original.buyer_locations[i].y);
+  }
+  EXPECT_EQ(loaded.channel_ranges, original.channel_ranges);
+  EXPECT_EQ(loaded.utilities, original.utilities);
+}
+
+TEST(ScenarioIoTest, RoundTripPreservesMatchingOutcome) {
+  const auto original = sample_scenario(11);
+  std::stringstream buffer;
+  save_scenario(buffer, original);
+  const auto loaded = load_scenario(buffer);
+  const auto a = matching::run_two_stage(market::build_market(original));
+  const auto b = matching::run_two_stage(market::build_market(loaded));
+  EXPECT_EQ(a.final_matching(), b.final_matching());
+  EXPECT_DOUBLE_EQ(a.welfare_final, b.welfare_final);
+}
+
+TEST(ScenarioIoTest, FileRoundTrip) {
+  const auto original = sample_scenario(17);
+  const std::string path = "/tmp/specmatch_io_test.scenario";
+  save_scenario_file(path, original);
+  const auto loaded = load_scenario_file(path);
+  EXPECT_EQ(loaded.utilities, original.utilities);
+  std::remove(path.c_str());
+}
+
+TEST(ScenarioIoTest, MissingHeaderIsRejected) {
+  std::stringstream buffer("not-a-scenario\n");
+  EXPECT_THROW((void)load_scenario(buffer), ScenarioParseError);
+}
+
+TEST(ScenarioIoTest, TruncatedSectionsAreRejected) {
+  const auto original = sample_scenario();
+  std::stringstream buffer;
+  save_scenario(buffer, original);
+  const std::string full = buffer.str();
+  // Progressively truncate through every section boundary.
+  // (drop at least one whole serialised double at the tail: doubles are
+  // printed with max_digits10, so 40 bytes always spans one)
+  for (std::size_t keep :
+       {full.size() / 8, full.size() / 4, full.size() / 2,
+        full.size() - 40}) {
+    std::stringstream cut(full.substr(0, keep));
+    EXPECT_THROW((void)load_scenario(cut), ScenarioParseError)
+        << "kept " << keep << " bytes";
+  }
+}
+
+TEST(ScenarioIoTest, CorruptCountsAreRejected) {
+  std::stringstream buffer;
+  buffer << "specmatch-scenario v1\n"
+         << "sellers 0\n";
+  EXPECT_THROW((void)load_scenario(buffer), ScenarioParseError);
+
+  std::stringstream buffer2;
+  buffer2 << "specmatch-scenario v1\n"
+          << "buyers 2\n";  // wrong keyword order
+  EXPECT_THROW((void)load_scenario(buffer2), ScenarioParseError);
+}
+
+TEST(ScenarioIoTest, SemanticallyInvalidScenarioIsRejected) {
+  // Structure parses but ranges are non-positive -> validate() must veto.
+  std::stringstream buffer;
+  buffer << "specmatch-scenario v1\n"
+         << "sellers 1\n1\n"
+         << "buyers 1\n1\n"
+         << "locations\n0 0\n"
+         << "ranges 1\n0\n"
+         << "utilities 1 1\n0.5\n";
+  EXPECT_THROW((void)load_scenario(buffer), ScenarioParseError);
+}
+
+TEST(ScenarioIoTest, MissingFileIsRejected) {
+  EXPECT_THROW((void)load_scenario_file("/nonexistent/path.scenario"),
+               ScenarioParseError);
+}
+
+}  // namespace
+}  // namespace specmatch::workload

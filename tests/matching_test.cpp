@@ -1,0 +1,113 @@
+#include "matching/matching.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "matching/paper_examples.hpp"
+#include "test_util.hpp"
+
+namespace specmatch::matching {
+namespace {
+
+using testutil::bits;
+using testutil::members;
+
+TEST(MatchingTest, StartsUnmatched) {
+  Matching m(3, 5);
+  EXPECT_EQ(m.num_channels(), 3);
+  EXPECT_EQ(m.num_buyers(), 5);
+  EXPECT_EQ(m.num_matched(), 0);
+  for (BuyerId j = 0; j < 5; ++j) {
+    EXPECT_EQ(m.seller_of(j), kUnmatched);
+    EXPECT_FALSE(m.is_matched(j));
+  }
+  m.check_consistent();
+}
+
+TEST(MatchingTest, MatchAndUnmatchKeepViewsInSync) {
+  Matching m(2, 4);
+  m.match(1, 0);
+  m.match(3, 0);
+  m.match(2, 1);
+  EXPECT_EQ(m.seller_of(1), 0);
+  EXPECT_EQ(m.members_of(0), bits(4, {1, 3}));
+  EXPECT_EQ(m.members_of(1), bits(4, {2}));
+  EXPECT_EQ(m.num_matched(), 3);
+  m.check_consistent();
+
+  m.unmatch(1);
+  EXPECT_EQ(m.seller_of(1), kUnmatched);
+  EXPECT_EQ(m.members_of(0), bits(4, {3}));
+  m.check_consistent();
+
+  m.unmatch(1);  // idempotent
+  EXPECT_EQ(m.num_matched(), 2);
+}
+
+TEST(MatchingTest, RematchMovesBuyer) {
+  Matching m(2, 2);
+  m.match(0, 0);
+  m.rematch(0, 1);
+  EXPECT_EQ(m.seller_of(0), 1);
+  EXPECT_EQ(m.members_of(0), bits(2, {}));
+  EXPECT_EQ(m.members_of(1), bits(2, {0}));
+  m.check_consistent();
+}
+
+TEST(MatchingTest, DoubleMatchThrows) {
+  Matching m(2, 2);
+  m.match(0, 0);
+  EXPECT_THROW(m.match(0, 1), CheckError);
+}
+
+TEST(MatchingTest, OutOfRangeThrows) {
+  Matching m(2, 2);
+  EXPECT_THROW(m.match(0, 2), CheckError);
+  EXPECT_THROW((void)m.seller_of(5), CheckError);
+  EXPECT_THROW((void)m.members_of(-1), CheckError);
+}
+
+TEST(MatchingTest, EqualityComparesStructure) {
+  Matching a(2, 3), b(2, 3);
+  EXPECT_EQ(a, b);
+  a.match(0, 1);
+  EXPECT_NE(a, b);
+  b.match(0, 1);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MatchingTest, WelfareSumsPeerEffectUtilities) {
+  const auto market = toy_example();
+  // Interference-free matching: a:{3}, b:{2,4}, c:{0,1} (Stage-I result).
+  const auto m =
+      testutil::make_matching(3, 5, {{3}, {2, 4}, {0, 1}});
+  EXPECT_DOUBLE_EQ(m.social_welfare(market), 27.0);
+  EXPECT_DOUBLE_EQ(m.buyer_utility(market, 3), 8.0);
+  EXPECT_DOUBLE_EQ(m.buyer_utility(market, 0), 3.0);
+}
+
+TEST(MatchingTest, WelfareIsZeroForInterferingCoMembers) {
+  const auto market = toy_example();
+  // Buyers 0 and 1 interfere on channel a: both get zero utility there.
+  auto m = Matching(3, 5);
+  m.match(0, 0);
+  m.match(1, 0);
+  EXPECT_DOUBLE_EQ(m.buyer_utility(market, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.buyer_utility(market, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.social_welfare(market), 0.0);
+}
+
+TEST(MatchingTest, UnmatchedBuyersContributeNothing) {
+  const auto market = toy_example();
+  auto m = Matching(3, 5);
+  m.match(2, 1);  // buyer 3 on channel b: 10
+  EXPECT_DOUBLE_EQ(m.social_welfare(market), 10.0);
+}
+
+TEST(MatchingTest, MembersHelperSortsAscending) {
+  const auto m = testutil::make_matching(1, 5, {{4, 0, 2}});
+  EXPECT_EQ(members(m, 0), (std::vector<BuyerId>{0, 2, 4}));
+}
+
+}  // namespace
+}  // namespace specmatch::matching

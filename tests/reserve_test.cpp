@@ -1,0 +1,155 @@
+// Seller reserve prices (extension): the participation constraint
+// b_{i,j} > reserve_i must be respected by every mechanism in the library.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+
+#include "auction/group_auction.hpp"
+#include "dist/runtime.hpp"
+#include "matching/seller_proposing.hpp"
+#include "matching/stability.hpp"
+#include "matching/swap_resolution.hpp"
+#include "matching/two_stage.hpp"
+#include "optimal/exact.hpp"
+#include "optimal/greedy.hpp"
+#include "optimal/random_matcher.hpp"
+#include "workload/generator.hpp"
+#include "workload/io.hpp"
+
+namespace specmatch {
+namespace {
+
+market::SpectrumMarket reserve_market(std::uint64_t seed, double max_reserve) {
+  Rng rng(seed);
+  workload::WorkloadParams params;
+  params.num_sellers = 4;
+  params.num_buyers = 10;
+  params.max_reserve = max_reserve;
+  return workload::generate_market(params, rng);
+}
+
+void expect_respects_reserves(const market::SpectrumMarket& market,
+                              const matching::Matching& m,
+                              const char* what) {
+  for (BuyerId j = 0; j < market.num_buyers(); ++j) {
+    const SellerId i = m.seller_of(j);
+    if (i == kUnmatched) continue;
+    EXPECT_TRUE(market.admissible(i, j))
+        << what << " matched buyer " << j << " below channel " << i
+        << "'s reserve (" << market.utility(i, j) << " vs "
+        << market.reserve(i) << ")";
+  }
+}
+
+TEST(ReserveTest, AdmissibilitySemantics) {
+  std::vector<double> prices = {0.5, 0.2};
+  std::vector<graph::InterferenceGraph> graphs(1,
+                                               graph::InterferenceGraph(2));
+  const market::SpectrumMarket m(1, 2, std::move(prices), std::move(graphs),
+                                 {}, {}, {0.3});
+  EXPECT_DOUBLE_EQ(m.reserve(0), 0.3);
+  EXPECT_TRUE(m.admissible(0, 0));   // 0.5 > 0.3
+  EXPECT_FALSE(m.admissible(0, 1));  // 0.2 < 0.3
+  EXPECT_EQ(m.buyer_preference_order(1), (std::vector<ChannelId>{}));
+  EXPECT_THROW(market::SpectrumMarket(1, 2, std::vector<double>(2, 0.5),
+                                      {graph::InterferenceGraph(2)}, {}, {},
+                                      {-0.1}),
+               CheckError);
+}
+
+TEST(ReserveTest, EveryMechanismRespectsReserves) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto market = reserve_market(seed, 0.6);
+    expect_respects_reserves(
+        market, matching::run_two_stage(market).final_matching(),
+        "two-stage");
+    expect_respects_reserves(market,
+                             matching::run_two_stage_with_swaps(market)
+                                 .matching,
+                             "swaps");
+    expect_respects_reserves(market,
+                             matching::run_seller_proposing(market).matching,
+                             "seller-proposing");
+    expect_respects_reserves(market, optimal::solve_optimal(market).matching,
+                             "optimal");
+    expect_respects_reserves(market, optimal::solve_greedy(market), "greedy");
+    Rng rng(seed);
+    expect_respects_reserves(market,
+                             optimal::solve_random_serial(market, rng),
+                             "random-serial");
+    expect_respects_reserves(
+        market, auction::run_group_double_auction(market).matching,
+        "auction");
+    expect_respects_reserves(market, dist::run_distributed(market).matching,
+                             "distributed");
+  }
+}
+
+TEST(ReserveTest, DistributedStillMatchesReferenceUnderReserves) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto market = reserve_market(seed + 9, 0.5);
+    EXPECT_EQ(dist::run_distributed(market).matching,
+              matching::run_two_stage(market).final_matching());
+  }
+}
+
+TEST(ReserveTest, GuaranteesStillHoldUnderReserves) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto market = reserve_market(seed + 50, 0.7);
+    const auto result = matching::run_two_stage(market);
+    EXPECT_TRUE(matching::is_interference_free(market,
+                                               result.final_matching()));
+    EXPECT_TRUE(matching::is_individual_rational(market,
+                                                 result.final_matching()));
+    EXPECT_TRUE(matching::is_nash_stable(market, result.final_matching()));
+    EXPECT_LE(result.welfare_final,
+              optimal::solve_optimal(market).welfare + 1e-9);
+  }
+}
+
+TEST(ReserveTest, HigherReservesShrinkWelfareAndParticipation) {
+  Summary free_w, dear_w, free_matched, dear_matched;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto free_market = reserve_market(seed, 0.0);
+    const auto dear_market = reserve_market(seed, 0.8);
+    const auto a = matching::run_two_stage(free_market);
+    const auto b = matching::run_two_stage(dear_market);
+    free_w.add(a.welfare_final);
+    dear_w.add(b.welfare_final);
+    free_matched.add(static_cast<double>(a.final_matching().num_matched()));
+    dear_matched.add(static_cast<double>(b.final_matching().num_matched()));
+  }
+  EXPECT_GT(free_w.mean(), dear_w.mean());
+  EXPECT_GT(free_matched.mean(), dear_matched.mean());
+}
+
+TEST(ReserveTest, ScenarioIoRoundTripsReserves) {
+  Rng rng(77);
+  workload::WorkloadParams params;
+  params.num_sellers = 3;
+  params.num_buyers = 5;
+  params.max_reserve = 0.4;
+  const auto original = workload::generate_scenario(params, rng);
+  ASSERT_FALSE(original.channel_reserves.empty());
+
+  std::stringstream buffer;
+  workload::save_scenario(buffer, original);
+  const auto loaded = workload::load_scenario(buffer);
+  EXPECT_EQ(loaded.channel_reserves, original.channel_reserves);
+
+  // Files without the reserves section (pre-extension format) still load.
+  params.max_reserve = 0.0;
+  Rng rng2(78);
+  const auto legacy = workload::generate_scenario(params, rng2);
+  std::stringstream legacy_buffer;
+  workload::save_scenario(legacy_buffer, legacy);
+  EXPECT_EQ(legacy_buffer.str().find("reserves"), std::string::npos);
+  const auto legacy_loaded = workload::load_scenario(legacy_buffer);
+  EXPECT_TRUE(legacy_loaded.channel_reserves.empty());
+}
+
+}  // namespace
+}  // namespace specmatch

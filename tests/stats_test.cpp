@@ -1,0 +1,159 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace specmatch {
+namespace {
+
+TEST(SummaryTest, EmptySummaryIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stderror(), 0.0);
+}
+
+TEST(SummaryTest, SingleValue) {
+  Summary s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+}
+
+TEST(SummaryTest, KnownMoments) {
+  Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Population variance is 4; sample variance = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_NEAR(s.stderror(), std::sqrt(32.0 / 7.0 / 8.0), 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryTest, NegativeValues) {
+  Summary s;
+  s.add(-5.0);
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RanksTest, DistinctValues) {
+  const std::vector<double> v = {10.0, 30.0, 20.0};
+  EXPECT_EQ(fractional_ranks(v), (std::vector<double>{1.0, 3.0, 2.0}));
+}
+
+TEST(RanksTest, TiesGetAverageRank) {
+  const std::vector<double> v = {1.0, 2.0, 2.0, 3.0};
+  EXPECT_EQ(fractional_ranks(v), (std::vector<double>{1.0, 2.5, 2.5, 4.0}));
+}
+
+TEST(RanksTest, AllEqual) {
+  const std::vector<double> v = {7.0, 7.0, 7.0};
+  EXPECT_EQ(fractional_ranks(v), (std::vector<double>{2.0, 2.0, 2.0}));
+}
+
+TEST(SpearmanTest, PerfectMonotone) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const std::vector<double> b = {10, 20, 30, 40, 50};
+  EXPECT_NEAR(spearman(a, b), 1.0, 1e-12);
+  const std::vector<double> c = {50, 40, 30, 20, 10};
+  EXPECT_NEAR(spearman(a, c), -1.0, 1e-12);
+}
+
+TEST(SpearmanTest, NonlinearMonotoneIsStillOne) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const std::vector<double> b = {1, 8, 27, 64, 125};
+  EXPECT_NEAR(spearman(a, b), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, KnownHandValue) {
+  // Classic example with one rank swap out of five.
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const std::vector<double> b = {1, 2, 3, 5, 4};
+  // rho = 1 - 6 * sum d^2 / (n(n^2-1)) = 1 - 6*2/120 = 0.9
+  EXPECT_NEAR(spearman(a, b), 0.9, 1e-12);
+}
+
+TEST(SpearmanTest, ZeroVarianceReturnsZero) {
+  const std::vector<double> a = {1, 1, 1};
+  const std::vector<double> b = {1, 2, 3};
+  EXPECT_EQ(spearman(a, b), 0.0);
+}
+
+TEST(SpearmanTest, LengthMismatchThrows) {
+  const std::vector<double> a = {1, 2};
+  const std::vector<double> b = {1, 2, 3};
+  EXPECT_THROW((void)spearman(a, b), CheckError);
+}
+
+TEST(SpearmanTest, IndependentVectorsNearZero) {
+  Rng rng(77);
+  Summary rho;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<double> a(20), b(20);
+    for (auto& x : a) x = rng.uniform();
+    for (auto& x : b) x = rng.uniform();
+    rho.add(spearman(a, b));
+  }
+  EXPECT_NEAR(rho.mean(), 0.0, 0.05);
+}
+
+TEST(MeanPairwiseSpearmanTest, IdenticalRowsGiveOne) {
+  // Three identical rows (channel-major here is row-major: 3 rows of 4).
+  const std::vector<double> rows = {1, 2, 3, 4, 1, 2, 3, 4, 1, 2, 3, 4};
+  EXPECT_NEAR(mean_pairwise_spearman(rows, 4), 1.0, 1e-12);
+}
+
+TEST(MeanPairwiseSpearmanTest, SingleRowIsOneByConvention) {
+  const std::vector<double> rows = {3, 1, 2};
+  EXPECT_EQ(mean_pairwise_spearman(rows, 3), 1.0);
+}
+
+TEST(MeanPairwiseSpearmanTest, MixedRows) {
+  // Row 1 vs 2: rho 1. Row 1 vs 3: rho -1. Row 2 vs 3: rho -1. Mean = -1/3.
+  const std::vector<double> rows = {1, 2, 3, 4, 5, 6, 3, 2, 1};
+  EXPECT_NEAR(mean_pairwise_spearman(rows, 3), -1.0 / 3.0, 1e-12);
+}
+
+TEST(MeanPairwiseSpearmanTest, BadShapeThrows) {
+  const std::vector<double> rows = {1, 2, 3, 4, 5};
+  EXPECT_THROW((void)mean_pairwise_spearman(rows, 3), CheckError);
+}
+
+TEST(JainFairnessTest, EqualSharesAreOne) {
+  const std::vector<double> v = {2, 2, 2, 2};
+  EXPECT_DOUBLE_EQ(jain_fairness_index(v), 1.0);
+}
+
+TEST(JainFairnessTest, MonopolyIsOneOverN) {
+  const std::vector<double> v = {5, 0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(jain_fairness_index(v), 0.2);
+}
+
+TEST(JainFairnessTest, KnownMixedValue) {
+  // (1+2+3)^2 / (3 * (1+4+9)) = 36/42.
+  const std::vector<double> v = {1, 2, 3};
+  EXPECT_NEAR(jain_fairness_index(v), 36.0 / 42.0, 1e-12);
+}
+
+TEST(JainFairnessTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(jain_fairness_index(std::vector<double>{}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness_index(std::vector<double>{0, 0}), 1.0);
+}
+
+}  // namespace
+}  // namespace specmatch

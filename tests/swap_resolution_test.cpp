@@ -1,0 +1,126 @@
+// Stage III (coordinated blocking-pair resolution, the paper's §III-D
+// future-work item) — correctness and improvement properties.
+#include "matching/swap_resolution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "matching/paper_examples.hpp"
+#include "matching/stability.hpp"
+#include "optimal/exact.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+
+namespace specmatch::matching {
+namespace {
+
+using testutil::make_matching;
+using testutil::members;
+
+TEST(SwapResolutionTest, PerformsThePapersCounterExampleSwap) {
+  // §III-D: "Swap buyer 2 and buyer 4 to seller b and seller c" — exactly
+  // what blocking-pair resolution should find after the two-stage run.
+  const auto market = counter_example();
+  const auto result = run_two_stage_with_swaps(market);
+  EXPECT_EQ(result.swaps_applied, 1);
+  EXPECT_EQ(result.relocations, 1);  // buyer 4 relocated to c
+  EXPECT_EQ(result.dropped_unmatched, 0);
+  EXPECT_DOUBLE_EQ(result.welfare_before, 62.5);
+  EXPECT_DOUBLE_EQ(result.welfare_after, 64.5);
+  // Final matching is the dominating Nash-stable matching of the paper.
+  EXPECT_EQ(members(result.matching, 0), (std::vector<BuyerId>{0, 4, 8}));
+  EXPECT_EQ(members(result.matching, 1), (std::vector<BuyerId>{1, 2, 6}));
+  EXPECT_EQ(members(result.matching, 2), (std::vector<BuyerId>{3, 5, 7}));
+  EXPECT_TRUE(is_nash_stable(market, result.matching));
+}
+
+TEST(SwapResolutionTest, ToyExampleIsAlreadySwapFree) {
+  const auto market = toy_example();
+  const auto result = run_two_stage_with_swaps(market);
+  EXPECT_EQ(result.swaps_applied, 0);
+  EXPECT_DOUBLE_EQ(result.welfare_after, 30.0);
+}
+
+TEST(SwapResolutionTest, RejectsInterferingInput) {
+  const auto market = toy_example();
+  const auto bad = make_matching(3, 5, {{0, 1}, {}, {}});
+  EXPECT_THROW((void)resolve_blocking_pairs(market, bad), CheckError);
+}
+
+TEST(SwapResolutionTest, EmptyInputGainsFromFreeChannels) {
+  // Every (free seller, unmatched buyer) pair with positive price blocks the
+  // empty matching, so resolution must populate it.
+  const auto market = toy_example();
+  const auto result = resolve_blocking_pairs(market, Matching(3, 5));
+  EXPECT_GT(result.swaps_applied, 0);
+  EXPECT_GT(result.welfare_after, 0.0);
+  EXPECT_TRUE(is_interference_free(market, result.matching));
+}
+
+class SwapPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SwapPropertyTest, WelfareNeverDecreasesAndStaysFeasible) {
+  Rng rng(GetParam());
+  workload::WorkloadParams params;
+  params.num_sellers = 6;
+  params.num_buyers = 18;
+  const auto market = workload::generate_market(params, rng);
+  const auto base = run_two_stage(market);
+  const auto result =
+      resolve_blocking_pairs(market, base.final_matching());
+  EXPECT_GE(result.welfare_after + 1e-12, result.welfare_before);
+  EXPECT_DOUBLE_EQ(result.welfare_before, base.welfare_final);
+  EXPECT_TRUE(is_interference_free(market, result.matching));
+  EXPECT_TRUE(is_individual_rational(market, result.matching));
+  EXPECT_LE(result.welfare_after,
+            optimal::solve_optimal(market).welfare + 1e-9);
+}
+
+TEST_P(SwapPropertyTest, NoWelfareImprovingBlockingPairSurvives) {
+  Rng rng(GetParam() ^ 0xbeef);
+  workload::WorkloadParams params;
+  params.num_sellers = 5;
+  params.num_buyers = 14;
+  const auto market = workload::generate_market(params, rng);
+  const auto result = run_two_stage_with_swaps(market);
+  // A surviving blocking pair must be welfare-negative after relocation —
+  // re-running resolution is a fixed point.
+  const auto again = resolve_blocking_pairs(market, result.matching);
+  EXPECT_EQ(again.swaps_applied, 0);
+  EXPECT_DOUBLE_EQ(again.welfare_after, result.welfare_after);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SwapPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));
+
+TEST(SwapResolutionTest, ClosesPartOfTheOptimalityGapOnAverage) {
+  Summary before_ratio, after_ratio;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    Rng rng(seed * 37);
+    workload::WorkloadParams params;
+    params.num_sellers = 4;
+    params.num_buyers = 10;
+    const auto market = workload::generate_market(params, rng);
+    const auto result = run_two_stage_with_swaps(market);
+    const double optimum = optimal::solve_optimal(market).welfare;
+    before_ratio.add(result.welfare_before / optimum);
+    after_ratio.add(result.welfare_after / optimum);
+  }
+  EXPECT_GE(after_ratio.mean(), before_ratio.mean());
+}
+
+TEST(SwapResolutionTest, MaxSwapsCapIsHonoured) {
+  const auto market = counter_example();
+  SwapConfig config;
+  config.max_swaps = 0;
+  const auto base = run_two_stage(market);
+  const auto result =
+      resolve_blocking_pairs(market, base.final_matching(), config);
+  EXPECT_EQ(result.swaps_applied, 0);
+  EXPECT_DOUBLE_EQ(result.welfare_after, result.welfare_before);
+}
+
+}  // namespace
+}  // namespace specmatch::matching

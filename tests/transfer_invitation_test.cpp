@@ -1,0 +1,177 @@
+#include "matching/transfer_invitation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "matching/deferred_acceptance.hpp"
+#include "matching/paper_examples.hpp"
+#include "matching/stability.hpp"
+#include "test_util.hpp"
+#include "workload/generator.hpp"
+
+namespace specmatch::matching {
+namespace {
+
+using testutil::make_matching;
+using testutil::members;
+
+// ---- The paper's toy example, Fig. 2 ---------------------------------------
+
+TEST(ToyExampleStageII, ReproducesFinalMatchingAndWelfare) {
+  const auto market = toy_example();
+  const auto stage1 = run_deferred_acceptance(market);
+  const auto result = run_transfer_invitation(market, stage1.matching);
+  // Fig. 2(d): a:{2,4}, b:{3}, c:{1,5} in paper numbering.
+  EXPECT_EQ(members(result.matching, 0), (std::vector<BuyerId>{1, 3}));
+  EXPECT_EQ(members(result.matching, 1), (std::vector<BuyerId>{2}));
+  EXPECT_EQ(members(result.matching, 2), (std::vector<BuyerId>{0, 4}));
+  EXPECT_DOUBLE_EQ(result.matching.social_welfare(market), 30.0);
+}
+
+TEST(ToyExampleStageII, Phase1TransfersBuyer2ToSellerA) {
+  const auto market = toy_example();
+  const auto stage1 = run_deferred_acceptance(market);
+  const auto result = run_transfer_invitation(market, stage1.matching);
+  // After Phase 1 (Fig. 2b): a:{2,4}, b:{3,5}, c:{1}.
+  EXPECT_EQ(members(result.after_phase1, 0), (std::vector<BuyerId>{1, 3}));
+  EXPECT_EQ(members(result.after_phase1, 1), (std::vector<BuyerId>{2, 4}));
+  EXPECT_EQ(members(result.after_phase1, 2), (std::vector<BuyerId>{0}));
+  EXPECT_EQ(result.transfers_accepted, 1);
+  EXPECT_EQ(result.phase1_rounds, 2);
+}
+
+TEST(ToyExampleStageII, Phase2InvitesBuyer5ToSellerC) {
+  const auto market = toy_example();
+  const auto stage1 = run_deferred_acceptance(market);
+  const auto result = run_transfer_invitation(market, stage1.matching);
+  EXPECT_EQ(result.invitations_sent, 1);
+  EXPECT_EQ(result.invitations_accepted, 1);
+  EXPECT_EQ(result.phase2_rounds, 1);
+  // The invitation moved buyer 5 from b to c.
+  EXPECT_EQ(result.matching.seller_of(4), 2);
+}
+
+TEST(ToyExampleStageII, WelfareAccumulatesAcrossPhases) {
+  const auto market = toy_example();
+  const auto stage1 = run_deferred_acceptance(market);
+  const auto result = run_transfer_invitation(market, stage1.matching);
+  const double w1 = stage1.matching.social_welfare(market);
+  const double w2 = result.after_phase1.social_welfare(market);
+  const double w3 = result.matching.social_welfare(market);
+  EXPECT_DOUBLE_EQ(w1, 27.0);
+  EXPECT_DOUBLE_EQ(w2, 29.0);
+  EXPECT_DOUBLE_EQ(w3, 30.0);
+}
+
+TEST(ToyExampleStageII, FinalResultIsNashStable) {
+  const auto market = toy_example();
+  const auto stage1 = run_deferred_acceptance(market);
+  const auto result = run_transfer_invitation(market, stage1.matching);
+  EXPECT_TRUE(is_nash_stable(market, result.matching));
+  EXPECT_TRUE(is_individual_rational(market, result.matching));
+}
+
+// ---- Input validation -------------------------------------------------------
+
+TEST(StageIITest, RejectsInterferingInputMatching) {
+  const auto market = toy_example();
+  // Buyers 0 and 1 interfere on channel a.
+  const auto bad = make_matching(3, 5, {{0, 1}, {}, {}});
+  EXPECT_THROW((void)run_transfer_invitation(market, bad), CheckError);
+}
+
+TEST(StageIITest, EmptyMatchingIsValidInput) {
+  const auto market = toy_example();
+  const Matching empty(3, 5);
+  const auto result = run_transfer_invitation(market, empty);
+  // Everyone applies from scratch; the result must be feasible and IR.
+  EXPECT_TRUE(is_interference_free(market, result.matching));
+  EXPECT_TRUE(is_individual_rational(market, result.matching));
+  EXPECT_GT(result.matching.social_welfare(market), 0.0);
+}
+
+// ---- Properties on random markets ------------------------------------------
+
+class StageIIPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StageIIPropertyTest, NoBuyerEverLosesUtility) {
+  Rng rng(GetParam());
+  workload::WorkloadParams params;
+  params.num_sellers = 5;
+  params.num_buyers = 15;
+  const auto market = workload::generate_market(params, rng);
+  const auto stage1 = run_deferred_acceptance(market);
+  const auto result = run_transfer_invitation(market, stage1.matching);
+  for (BuyerId j = 0; j < market.num_buyers(); ++j) {
+    EXPECT_GE(result.matching.buyer_utility(market, j) + 1e-12,
+              stage1.matching.buyer_utility(market, j))
+        << "buyer " << j << " got worse in Stage II";
+  }
+}
+
+TEST_P(StageIIPropertyTest, WelfareNeverDecreasesAcrossPhases) {
+  Rng rng(GetParam());
+  workload::WorkloadParams params;
+  params.num_sellers = 6;
+  params.num_buyers = 18;
+  const auto market = workload::generate_market(params, rng);
+  const auto stage1 = run_deferred_acceptance(market);
+  const auto result = run_transfer_invitation(market, stage1.matching);
+  const double w1 = stage1.matching.social_welfare(market);
+  const double w2 = result.after_phase1.social_welfare(market);
+  const double w3 = result.matching.social_welfare(market);
+  EXPECT_GE(w2 + 1e-12, w1);
+  EXPECT_GE(w3 + 1e-12, w2);
+}
+
+TEST_P(StageIIPropertyTest, OutputIsNashStableAndFeasible) {
+  Rng rng(GetParam());
+  workload::WorkloadParams params;
+  params.num_sellers = 4;
+  params.num_buyers = 12;
+  const auto market = workload::generate_market(params, rng);
+  const auto stage1 = run_deferred_acceptance(market);
+  const auto result = run_transfer_invitation(market, stage1.matching);
+  result.matching.check_consistent();
+  EXPECT_TRUE(is_interference_free(market, result.matching));
+  EXPECT_TRUE(is_individual_rational(market, result.matching));
+  EXPECT_TRUE(is_nash_stable(market, result.matching))
+      << "Proposition 4 violated";
+}
+
+TEST_P(StageIIPropertyTest, Phase1RoundsBoundedByM) {
+  Rng rng(GetParam());
+  workload::WorkloadParams params;
+  params.num_sellers = 6;
+  params.num_buyers = 20;
+  const auto market = workload::generate_market(params, rng);
+  const auto stage1 = run_deferred_acceptance(market);
+  const auto result = run_transfer_invitation(market, stage1.matching);
+  // Proposition 2: each buyer applies to at most M sellers, one per round.
+  EXPECT_LE(result.phase1_rounds, market.num_channels());
+  EXPECT_LE(result.phase2_rounds, market.num_buyers());
+}
+
+TEST_P(StageIIPropertyTest, RescreenExtensionNeverHurtsWelfare) {
+  Rng rng(GetParam());
+  workload::WorkloadParams params;
+  params.num_sellers = 5;
+  params.num_buyers = 16;
+  const auto market = workload::generate_market(params, rng);
+  const auto stage1 = run_deferred_acceptance(market);
+  const auto faithful = run_transfer_invitation(market, stage1.matching);
+  StageIIConfig rescreen_config;
+  rescreen_config.rescreen_on_departure = true;
+  const auto rescreen =
+      run_transfer_invitation(market, stage1.matching, rescreen_config);
+  EXPECT_GE(rescreen.matching.social_welfare(market) + 1e-9,
+            faithful.matching.social_welfare(market));
+  EXPECT_TRUE(is_interference_free(market, rescreen.matching));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StageIIPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 7u, 13u, 42u, 99u,
+                                           1234u));
+
+}  // namespace
+}  // namespace specmatch::matching

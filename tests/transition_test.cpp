@@ -1,0 +1,130 @@
+// Unit tests for the §IV transition-probability estimates (eqs. 7-9).
+#include "dist/transition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace specmatch::dist {
+namespace {
+
+TEST(BuyerEvictionTest, ZeroNeighboursMeansZeroRisk) {
+  EXPECT_DOUBLE_EQ(buyer_eviction_probability(1, 5, 10, 0, 0.5), 0.0);
+}
+
+TEST(BuyerEvictionTest, IsAProbability) {
+  for (int k : {0, 1, 10, 49}) {
+    for (int n : {0, 1, 3, 9}) {
+      for (double b : {0.0, 0.3, 0.7, 1.0}) {
+        const double p = buyer_eviction_probability(k, 5, 10, n, b);
+        EXPECT_GE(p, 0.0);
+        EXPECT_LE(p, 1.0);
+      }
+    }
+  }
+}
+
+TEST(BuyerEvictionTest, DecreasesWithRoundIndex) {
+  // The paper: P^k decreases with k, so later transitions are safer.
+  double previous = 1.1;
+  for (int k : {1, 5, 10, 20, 40}) {
+    const double p = buyer_eviction_probability(k, 5, 10, 3, 0.5);
+    EXPECT_LE(p, previous + 1e-12);
+    previous = p;
+  }
+}
+
+TEST(BuyerEvictionTest, DecreasesWithOwnPrice) {
+  // The higher my price, the harder to outbid me.
+  const double low = buyer_eviction_probability(1, 5, 10, 3, 0.2);
+  const double high = buyer_eviction_probability(1, 5, 10, 3, 0.9);
+  EXPECT_GT(low, high);
+}
+
+TEST(BuyerEvictionTest, IncreasesWithOutstandingNeighbours) {
+  const double few = buyer_eviction_probability(1, 5, 10, 1, 0.5);
+  const double many = buyer_eviction_probability(1, 5, 10, 6, 0.5);
+  EXPECT_LT(few, many);
+}
+
+TEST(BuyerEvictionTest, PriceOneIsUnbeatable) {
+  // F(1) = 1: a neighbour's price never exceeds mine.
+  EXPECT_NEAR(buyer_eviction_probability(1, 5, 10, 5, 1.0), 0.0, 1e-12);
+}
+
+TEST(BuyerEvictionTest, PastTheHorizonRiskIsZero) {
+  EXPECT_DOUBLE_EQ(buyer_eviction_probability(51, 5, 10, 3, 0.5), 0.0);
+}
+
+TEST(BuyerEvictionTest, SingleNeighbourSingleRoundClosedForm) {
+  // n = 1, k = MN: P = (1/M) * (1 - F(b)).
+  const int M = 4, N = 5;
+  const double b = 0.4;
+  const double want = (1.0 / M) * (1.0 - b);
+  EXPECT_NEAR(buyer_eviction_probability(M * N, M, N, 1, b), want, 1e-12);
+}
+
+TEST(SellerBetterProposalTest, IsAProbability) {
+  for (int k : {0, 1, 10}) {
+    for (int n : {0, 2, 8}) {
+      for (double theta : {0.0, 0.5, 1.0}) {
+        const double q =
+            seller_better_proposal_probability(k, 5, 10, n, 0.5, theta);
+        EXPECT_GE(q, 0.0);
+        EXPECT_LE(q, 1.0);
+      }
+    }
+  }
+}
+
+TEST(SellerBetterProposalTest, DecreasesWithRoundIndex) {
+  double previous = 1.1;
+  for (int k : {1, 10, 30, 50}) {
+    const double q =
+        seller_better_proposal_probability(k, 5, 10, 4, 0.5, 0.5);
+    EXPECT_LE(q, previous + 1e-12);
+    previous = q;
+  }
+}
+
+TEST(SellerBetterProposalTest, ZeroThetaMeansNoUsefulProposal) {
+  // If no outsider fits the coalition, a better proposal can never help.
+  EXPECT_NEAR(seller_better_proposal_probability(1, 5, 10, 5, 0.5, 0.0), 0.0,
+              1e-12);
+}
+
+TEST(SellerBetterProposalTest, GrowsWithTheta) {
+  const double lo = seller_better_proposal_probability(1, 5, 10, 5, 0.5, 0.2);
+  const double hi = seller_better_proposal_probability(1, 5, 10, 5, 0.5, 0.9);
+  EXPECT_LT(lo, hi);
+}
+
+TEST(SellerBetterProposalTest, SingleBuyerSingleRoundClosedForm) {
+  // n = 1, k = MN, theta = 1: Q = (1/M) * (1 - F(b_min)).
+  const int M = 4, N = 5;
+  const double b = 0.25;
+  EXPECT_NEAR(seller_better_proposal_probability(M * N, M, N, 1, b, 1.0),
+              (1.0 / M) * (1.0 - b), 1e-12);
+}
+
+TEST(SellerBetterProposalTest, InvalidThetaThrows) {
+  EXPECT_THROW(
+      (void)seller_better_proposal_probability(1, 5, 10, 2, 0.5, -0.1),
+      CheckError);
+  EXPECT_THROW(
+      (void)seller_better_proposal_probability(1, 5, 10, 2, 0.5, 1.1),
+      CheckError);
+}
+
+TEST(TransitionRuleNamesTest, Strings) {
+  EXPECT_EQ(to_string(BuyerRule::kDefault), "default");
+  EXPECT_EQ(to_string(BuyerRule::kRuleI), "rule1");
+  EXPECT_EQ(to_string(BuyerRule::kRuleII), "rule2");
+  EXPECT_EQ(to_string(SellerRule::kDefault), "default");
+  EXPECT_EQ(to_string(SellerRule::kQRule), "q_rule");
+}
+
+}  // namespace
+}  // namespace specmatch::dist

@@ -1,0 +1,141 @@
+// End-to-end properties of the full two-stage algorithm on randomly generated
+// paper-style markets (Propositions 1-4 plus welfare sanity).
+#include "matching/two_stage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/stats.hpp"
+#include "matching/stability.hpp"
+#include "optimal/exact.hpp"
+#include "optimal/greedy.hpp"
+#include "optimal/random_matcher.hpp"
+#include "workload/generator.hpp"
+
+namespace specmatch::matching {
+namespace {
+
+market::SpectrumMarket random_market(std::uint64_t seed, int sellers,
+                                     int buyers) {
+  Rng rng(seed);
+  workload::WorkloadParams params;
+  params.num_sellers = sellers;
+  params.num_buyers = buyers;
+  return workload::generate_market(params, rng);
+}
+
+class TwoStageInvariantTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int, int>> {};
+
+TEST_P(TwoStageInvariantTest, SatisfiesPropositions3And4) {
+  const auto [seed, M, N] = GetParam();
+  const auto market = random_market(seed, M, N);
+  const auto result = run_two_stage(market);
+  result.final_matching().check_consistent();
+  EXPECT_TRUE(is_interference_free(market, result.final_matching()));
+  EXPECT_TRUE(is_individual_rational(market, result.final_matching()))
+      << "Proposition 3 violated (seed " << seed << ")";
+  EXPECT_TRUE(is_nash_stable(market, result.final_matching()))
+      << "Proposition 4 violated (seed " << seed << ")";
+}
+
+TEST_P(TwoStageInvariantTest, WelfareSeriesIsMonotone) {
+  const auto [seed, M, N] = GetParam();
+  const auto market = random_market(seed, M, N);
+  const auto result = run_two_stage(market);
+  EXPECT_GE(result.welfare_phase1 + 1e-12, result.welfare_stage1);
+  EXPECT_GE(result.welfare_final + 1e-12, result.welfare_phase1);
+  EXPECT_GT(result.welfare_final, 0.0);
+}
+
+TEST_P(TwoStageInvariantTest, BeatsRandomSerialDictatorshipOnAverage) {
+  const auto [seed, M, N] = GetParam();
+  const auto market = random_market(seed, M, N);
+  const auto result = run_two_stage(market);
+  Rng rng(seed ^ 0xabcdef);
+  Summary random_welfare;
+  for (int r = 0; r < 20; ++r) {
+    const auto random_matching = optimal::solve_random_serial(market, rng);
+    random_welfare.add(random_matching.social_welfare(market));
+  }
+  EXPECT_GE(result.welfare_final + 1e-9, random_welfare.mean() * 0.95)
+      << "two-stage matching fell well below the random baseline";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Markets, TwoStageInvariantTest,
+    ::testing::Values(std::make_tuple(1u, 4, 8), std::make_tuple(2u, 4, 8),
+                      std::make_tuple(3u, 5, 8), std::make_tuple(4u, 2, 8),
+                      std::make_tuple(5u, 6, 10), std::make_tuple(6u, 3, 15),
+                      std::make_tuple(7u, 8, 24), std::make_tuple(8u, 10, 40),
+                      std::make_tuple(9u, 5, 30),
+                      std::make_tuple(10u, 7, 21)));
+
+TEST(TwoStageTest, AchievesMostOfOptimalWelfareOnSmallMarkets) {
+  // The paper's headline: > 90% of the optimal social welfare on average.
+  Summary ratio;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    const auto market = random_market(seed, 4, 8);
+    const auto proposed = run_two_stage(market);
+    const auto optimal = optimal::solve_optimal(market);
+    ASSERT_GT(optimal.welfare, 0.0);
+    ratio.add(proposed.welfare_final / optimal.welfare);
+    EXPECT_LE(proposed.welfare_final, optimal.welfare + 1e-9);
+  }
+  EXPECT_GT(ratio.mean(), 0.85) << "well below the paper's ~90% headline";
+}
+
+TEST(TwoStageTest, GreedyBaselineIsAlsoBoundedByOptimal) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto market = random_market(seed, 4, 8);
+    const auto greedy = optimal::solve_greedy(market);
+    const auto optimal = optimal::solve_optimal(market);
+    EXPECT_LE(greedy.social_welfare(market), optimal.welfare + 1e-9);
+    EXPECT_TRUE(is_interference_free(market, greedy));
+  }
+}
+
+TEST(TwoStageTest, DeterministicGivenMarket) {
+  const auto market = random_market(55, 5, 12);
+  const auto a = run_two_stage(market);
+  const auto b = run_two_stage(market);
+  EXPECT_EQ(a.final_matching(), b.final_matching());
+  EXPECT_EQ(a.stage1.rounds, b.stage1.rounds);
+  EXPECT_DOUBLE_EQ(a.welfare_final, b.welfare_final);
+}
+
+TEST(TwoStageTest, CoalitionPolicySweepKeepsInvariants) {
+  for (auto policy :
+       {graph::MwisAlgorithm::kGwmin, graph::MwisAlgorithm::kGwmin2,
+        graph::MwisAlgorithm::kExact}) {
+    const auto market = random_market(77, 5, 12);
+    TwoStageConfig config;
+    config.coalition_policy = policy;
+    const auto result = run_two_stage(market, config);
+    EXPECT_TRUE(is_interference_free(market, result.final_matching()));
+    EXPECT_TRUE(is_nash_stable(market, result.final_matching()));
+    EXPECT_GT(result.welfare_final, 0.0);
+  }
+}
+
+TEST(TwoStageTest, SingleBuyerGetsHerFavouriteChannel) {
+  Rng rng(3);
+  workload::WorkloadParams params;
+  params.num_sellers = 4;
+  params.num_buyers = 1;
+  const auto market = workload::generate_market(params, rng);
+  const auto result = run_two_stage(market);
+  EXPECT_EQ(result.final_matching().seller_of(0),
+            market.buyer_preference_order(0).front());
+}
+
+TEST(TwoStageTest, SingleChannelKeepsBestIndependentSetApproximately) {
+  const auto market = random_market(21, 1, 12);
+  const auto result = run_two_stage(market);
+  EXPECT_TRUE(is_interference_free(market, result.final_matching()));
+  EXPECT_GT(result.welfare_final, 0.0);
+}
+
+}  // namespace
+}  // namespace specmatch::matching

@@ -1,0 +1,242 @@
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "workload/similarity.hpp"
+
+namespace specmatch::workload {
+namespace {
+
+TEST(GeneratorTest, RespectsPaperDefaults) {
+  Rng rng(1);
+  WorkloadParams params;
+  params.num_sellers = 5;
+  params.num_buyers = 8;
+  const auto scenario = generate_scenario(params, rng);
+  EXPECT_EQ(scenario.num_channels(), 5);
+  EXPECT_EQ(scenario.num_virtual_buyers(), 8);
+  for (const auto& loc : scenario.buyer_locations) {
+    EXPECT_GE(loc.x, 0.0);
+    EXPECT_LT(loc.x, 10.0);
+    EXPECT_GE(loc.y, 0.0);
+    EXPECT_LT(loc.y, 10.0);
+  }
+  for (double r : scenario.channel_ranges) {
+    EXPECT_GT(r, 0.0);
+    EXPECT_LE(r, 5.0);
+  }
+  for (double u : scenario.utilities) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  WorkloadParams params;
+  params.num_sellers = 4;
+  params.num_buyers = 10;
+  Rng a(9), b(9);
+  const auto sa = generate_scenario(params, a);
+  const auto sb = generate_scenario(params, b);
+  EXPECT_EQ(sa.utilities, sb.utilities);
+  EXPECT_EQ(sa.channel_ranges, sb.channel_ranges);
+}
+
+TEST(GeneratorTest, MultiDemandVirtualisation) {
+  Rng rng(2);
+  WorkloadParams params;
+  params.num_sellers = 3;
+  params.num_buyers = 4;
+  params.min_channels_per_seller = 2;
+  params.max_channels_per_seller = 2;
+  params.min_demand_per_buyer = 1;
+  params.max_demand_per_buyer = 3;
+  const auto scenario = generate_scenario(params, rng);
+  EXPECT_EQ(scenario.num_channels(), 6);
+  EXPECT_GE(scenario.num_virtual_buyers(), 4);
+  EXPECT_LE(scenario.num_virtual_buyers(), 12);
+
+  const auto market = build_market(scenario);
+  EXPECT_EQ(market.num_channels(), 6);
+  // Same-parent dummies interfere everywhere.
+  const auto parents = scenario.virtual_buyer_parents();
+  for (int a2 = 0; a2 < market.num_buyers(); ++a2) {
+    for (int b2 = a2 + 1; b2 < market.num_buyers(); ++b2) {
+      if (parents[static_cast<std::size_t>(a2)] ==
+          parents[static_cast<std::size_t>(b2)]) {
+        for (ChannelId i = 0; i < market.num_channels(); ++i)
+          EXPECT_TRUE(market.interferes(i, a2, b2));
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, InvalidParamsThrow) {
+  Rng rng(3);
+  WorkloadParams params;
+  params.num_sellers = 0;
+  EXPECT_THROW((void)generate_scenario(params, rng), CheckError);
+  params = {};
+  params.min_demand_per_buyer = 3;
+  params.max_demand_per_buyer = 2;
+  EXPECT_THROW((void)generate_scenario(params, rng), CheckError);
+  params = {};
+  params.similarity_permutation = 99;  // > M
+  EXPECT_THROW((void)generate_scenario(params, rng), CheckError);
+}
+
+TEST(SimilarityTest, ZeroPermutationGivesPerfectSimilarity) {
+  Rng rng(4);
+  const int M = 6, N = 10;
+  std::vector<double> utilities(static_cast<std::size_t>(M * N));
+  for (auto& u : utilities) u = rng.uniform();
+  apply_similarity_maneuver(utilities, M, N, 0, rng);
+  EXPECT_NEAR(mean_similarity(utilities, M, N), 1.0, 1e-12);
+}
+
+TEST(SimilarityTest, FullPermutationGivesNearZeroSimilarity) {
+  Rng rng(5);
+  const int M = 8, N = 40;
+  std::vector<double> utilities(static_cast<std::size_t>(M * N));
+  for (auto& u : utilities) u = rng.uniform();
+  apply_similarity_maneuver(utilities, M, N, M, rng);
+  EXPECT_NEAR(mean_similarity(utilities, M, N), 0.0, 0.12);
+}
+
+TEST(SimilarityTest, SimilarityDecreasesWithM) {
+  Rng rng(6);
+  const int M = 8, N = 30;
+  double previous = 1.1;
+  for (int m : {0, 2, 4, 8}) {
+    Rng local(100 + static_cast<std::uint64_t>(m));
+    std::vector<double> utilities(static_cast<std::size_t>(M * N));
+    for (auto& u : utilities) u = local.uniform();
+    apply_similarity_maneuver(utilities, M, N, m, local);
+    const double srcc = mean_similarity(utilities, M, N);
+    EXPECT_LT(srcc, previous + 0.05)
+        << "similarity should fall as m grows (m=" << m << ")";
+    previous = srcc;
+  }
+}
+
+TEST(SimilarityTest, ManeuverPreservesTheMultisetOfValues) {
+  Rng rng(7);
+  const int M = 5, N = 6;
+  std::vector<double> utilities(static_cast<std::size_t>(M * N));
+  for (auto& u : utilities) u = rng.uniform();
+
+  // Gather each buyer's multiset before and after.
+  auto column = [&](const std::vector<double>& u, int j) {
+    std::vector<double> col;
+    for (int i = 0; i < M; ++i)
+      col.push_back(u[static_cast<std::size_t>(i * N + j)]);
+    std::sort(col.begin(), col.end());
+    return col;
+  };
+  std::vector<std::vector<double>> before;
+  for (int j = 0; j < N; ++j) before.push_back(column(utilities, j));
+  apply_similarity_maneuver(utilities, M, N, 3, rng);
+  for (int j = 0; j < N; ++j)
+    EXPECT_EQ(column(utilities, j), before[static_cast<std::size_t>(j)]);
+}
+
+TEST(SimilarityTest, GeneratorAppliesManeuver) {
+  Rng rng(8);
+  WorkloadParams params;
+  params.num_sellers = 6;
+  params.num_buyers = 12;
+  params.similarity_permutation = 0;
+  const auto scenario = generate_scenario(params, rng);
+  EXPECT_NEAR(mean_similarity(scenario.utilities, 6, 12), 1.0, 1e-12);
+}
+
+TEST(SimilarityTest, BadArgumentsThrow) {
+  Rng rng(9);
+  std::vector<double> utilities(12, 0.5);
+  EXPECT_THROW(apply_similarity_maneuver(utilities, 3, 4, -1, rng),
+               CheckError);
+  EXPECT_THROW(apply_similarity_maneuver(utilities, 3, 4, 4, rng),
+               CheckError);
+  EXPECT_THROW(apply_similarity_maneuver(utilities, 3, 3, 1, rng),
+               CheckError);
+}
+
+
+TEST(GeneratorTest, ClusteredPlacementConcentratesBuyers) {
+  // Mean pairwise distance under one tight hotspot must be far below the
+  // uniform baseline.
+  auto mean_pairwise_distance = [](const market::Scenario& s) {
+    Summary d;
+    for (std::size_t a = 0; a < s.buyer_locations.size(); ++a)
+      for (std::size_t b = a + 1; b < s.buyer_locations.size(); ++b)
+        d.add(graph::distance(s.buyer_locations[a], s.buyer_locations[b]));
+    return d.mean();
+  };
+  WorkloadParams uniform;
+  uniform.num_sellers = 3;
+  uniform.num_buyers = 40;
+  WorkloadParams clustered = uniform;
+  clustered.placement = PlacementModel::kClustered;
+  clustered.num_clusters = 1;
+  clustered.cluster_stddev = 0.5;
+  Rng rng_u(5), rng_c(5);
+  const double du = mean_pairwise_distance(generate_scenario(uniform, rng_u));
+  const double dc =
+      mean_pairwise_distance(generate_scenario(clustered, rng_c));
+  EXPECT_LT(dc, du / 2.0);
+}
+
+TEST(GeneratorTest, ClusteredLocationsStayInsideTheArea) {
+  WorkloadParams params;
+  params.num_sellers = 2;
+  params.num_buyers = 50;
+  params.placement = PlacementModel::kClustered;
+  params.num_clusters = 4;
+  params.cluster_stddev = 5.0;  // wide: clamping must kick in
+  Rng rng(6);
+  const auto scenario = generate_scenario(params, rng);
+  for (const auto& loc : scenario.buyer_locations) {
+    EXPECT_GE(loc.x, 0.0);
+    EXPECT_LE(loc.x, params.area_size);
+    EXPECT_GE(loc.y, 0.0);
+    EXPECT_LE(loc.y, params.area_size);
+  }
+}
+
+TEST(GeneratorTest, MinRangeBoundsTheRangeDraw) {
+  WorkloadParams params;
+  params.num_sellers = 20;
+  params.num_buyers = 2;
+  params.min_range = 2.0;
+  params.max_range = 3.0;
+  Rng rng(7);
+  const auto scenario = generate_scenario(params, rng);
+  for (double r : scenario.channel_ranges) {
+    EXPECT_GT(r, 2.0);
+    EXPECT_LE(r, 3.0);
+  }
+}
+
+TEST(GeneratorTest, InvalidRangeBoundsThrow) {
+  WorkloadParams params;
+  params.min_range = 3.0;
+  params.max_range = 3.0;
+  Rng rng(8);
+  EXPECT_THROW((void)generate_scenario(params, rng), CheckError);
+}
+
+TEST(RngNormalTest, MomentsMatch) {
+  Rng rng(11);
+  Summary s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.normal(2.0, 3.0));
+  EXPECT_NEAR(s.mean(), 2.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.1);
+  EXPECT_THROW((void)rng.normal(0.0, -1.0), CheckError);
+}
+
+}  // namespace
+}  // namespace specmatch::workload
