@@ -63,7 +63,7 @@ void panel(int sellers, int buyers, int max_supply, int max_demand,
 int main() {
   std::cout << "Ablation — complementary / substitute channels (footnote 1)\n"
             << "(all columns valued under the true bundle valuation)\n";
-  specmatch::bench::panel(3, 4, 2, 2, 100);
-  specmatch::bench::panel(2, 5, 2, 2, 100);
+  specmatch::bench::panel(3, 4, 2, 2, specmatch::bench::env_trials(100));
+  specmatch::bench::panel(2, 5, 2, 2, specmatch::bench::env_trials(100));
   return 0;
 }

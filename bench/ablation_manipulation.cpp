@@ -108,13 +108,13 @@ int main() {
       [](const market::SpectrumMarket& m) {
         return matching::run_two_stage(m).final_matching();
       },
-      25, table);
+      bench::env_trials(25), table);
   bench::measure(
       "group double auction",
       [](const market::SpectrumMarket& m) {
         return auction::run_group_double_auction(m).matching;
       },
-      25, table);
+      bench::env_trials(25), table);
   table.print(std::cout);
   std::cout
       << "\nNeither allocator is strategyproof here: the matching is "

@@ -20,7 +20,7 @@ void raw_mwis_panel() {
   Rng rng(2024);
   for (double density : {0.05, 0.1, 0.2, 0.4, 0.6, 0.8}) {
     Summary gwmin_ratio, gwmin2_ratio, nodes;
-    for (int t = 0; t < 40; ++t) {
+    for (int t = 0; t < env_trials(40); ++t) {
       Rng graph_rng = rng.fork(static_cast<std::uint64_t>(t));
       const auto g = graph::erdos_renyi(30, density, graph_rng);
       std::vector<double> w(30);
@@ -58,7 +58,7 @@ void embedded_panel(int sellers, int buyers, bool against_optimal) {
        {graph::MwisAlgorithm::kGwmin, graph::MwisAlgorithm::kGwmin2,
         graph::MwisAlgorithm::kExact}) {
     Summary welfare, ratio;
-    for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(env_trials(60)); ++seed) {
       Rng rng(seed * 104729);
       const auto market =
           workload::generate_market(paper_params(sellers, buyers), rng);

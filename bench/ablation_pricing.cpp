@@ -62,7 +62,7 @@ void reserve_sweep() {
                "critical-revenue"});
   for (double reserve : {0.0, 0.2, 0.4, 0.6, 0.8}) {
     Summary welfare, matched, bid_rev, crit_rev;
-    for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(env_trials(30)); ++seed) {
       Rng rng(seed * 7561);
       auto params = paper_params(4, 8);
       params.max_reserve = reserve;
@@ -92,8 +92,8 @@ void reserve_sweep() {
 int main() {
   std::cout << "Ablation — payment rules (welfare split between sellers and "
                "buyers)\n";
-  specmatch::bench::panel(4, 8, 40);
-  specmatch::bench::panel(5, 12, 25);
+  specmatch::bench::panel(4, 8, specmatch::bench::env_trials(40));
+  specmatch::bench::panel(5, 12, specmatch::bench::env_trials(25));
   specmatch::bench::reserve_sweep();
   return 0;
 }

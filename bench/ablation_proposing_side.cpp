@@ -66,8 +66,8 @@ void panel(int sellers, int buyers, int trials) {
 int main() {
   std::cout << "Ablation — which side proposes (footnote 3), Stage II on "
                "top of both\n";
-  specmatch::bench::panel(4, 10, 150);
-  specmatch::bench::panel(8, 40, 60);
-  specmatch::bench::panel(10, 100, 30);
+  specmatch::bench::panel(4, 10, specmatch::bench::env_trials(150));
+  specmatch::bench::panel(8, 40, specmatch::bench::env_trials(60));
+  specmatch::bench::panel(10, 100, specmatch::bench::env_trials(30));
   return 0;
 }

@@ -69,8 +69,8 @@ void panel(int sellers, int buyers, int trials) {
 int main() {
   std::cout << "Ablation — Phase-2 invitation screening "
             << "(blocked% = runs left pairwise-unstable)\n";
-  specmatch::bench::panel(5, 15, 200);
-  specmatch::bench::panel(8, 40, 100);
-  specmatch::bench::panel(10, 80, 50);
+  specmatch::bench::panel(5, 15, specmatch::bench::env_trials(200));
+  specmatch::bench::panel(8, 40, specmatch::bench::env_trials(100));
+  specmatch::bench::panel(10, 80, specmatch::bench::env_trials(50));
   return 0;
 }

@@ -20,7 +20,7 @@ void small_market_panel() {
        {std::pair{4, 8}, std::pair{5, 10}, std::pair{4, 12},
         std::pair{6, 12}}) {
     Summary before, after, swaps, reloc, blocked_before, blocked_after;
-    for (std::uint64_t seed = 1; seed <= 120; ++seed) {
+    for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(env_trials(120)); ++seed) {
       Rng rng(seed * 271828);
       const auto market =
           workload::generate_market(paper_params(sellers, buyers), rng);
@@ -53,7 +53,7 @@ void large_market_panel() {
   for (const auto& [sellers, buyers] :
        {std::pair{8, 40}, std::pair{10, 80}, std::pair{12, 150}}) {
     Summary before, after, swaps, blocked_before, blocked_after;
-    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(env_trials(40)); ++seed) {
       Rng rng(seed * 314159);
       const auto market =
           workload::generate_market(paper_params(sellers, buyers), rng);

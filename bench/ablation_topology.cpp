@@ -52,7 +52,7 @@ void range_panel() {
   for (double range : {1.0, 2.0, 3.0, 5.0, 7.0, 9.0}) {
     auto params = paper_params(4, 10);
     params.max_range = range;
-    const auto point = measure(params, 80, /*with_optimal=*/true);
+    const auto point = measure(params, env_trials(80), /*with_optimal=*/true);
     table.add_row({format_double(range, 1),
                    format_double(point.edges.mean(), 1),
                    format_double(point.welfare.mean(), 3),
@@ -84,7 +84,7 @@ void placement_panel() {
     params.placement = setup.model;
     params.num_clusters = setup.clusters;
     params.cluster_stddev = setup.stddev;
-    const auto point = measure(params, 60, /*with_optimal=*/false);
+    const auto point = measure(params, env_trials(60), /*with_optimal=*/false);
     table.add_row({setup.name, format_double(point.edges.mean(), 1),
                    format_double(point.welfare.mean(), 3),
                    format_double(point.matched.mean(), 2),

@@ -26,7 +26,7 @@
 namespace specmatch::bench {
 namespace {
 
-constexpr int kTrials = 40;
+const int kTrials = env_trials(40);
 
 struct RuleSetup {
   std::string name;

@@ -30,7 +30,7 @@ void small_panel() {
   for (const auto& [sellers, buyers] :
        {std::pair{4, 8}, std::pair{5, 10}, std::pair{6, 12}}) {
     Summary opt, match, auct, auct_full, fair_match, fair_auct;
-    for (std::uint64_t seed = 1; seed <= 150; ++seed) {
+    for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(env_trials(150)); ++seed) {
       Rng rng(seed * 65537);
       const auto market =
           workload::generate_market(paper_params(sellers, buyers), rng);
@@ -66,7 +66,7 @@ void large_panel() {
   for (const auto& [sellers, buyers] :
        {std::pair{8, 60}, std::pair{10, 150}, std::pair{12, 300}}) {
     Summary match, auct, auct_full, revenue;
-    for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(env_trials(30)); ++seed) {
       Rng rng(seed * 524287);
       const auto market =
           workload::generate_market(paper_params(sellers, buyers), rng);

@@ -1,15 +1,83 @@
-// Shared helpers for the figure-regeneration harnesses in bench/.
+// Shared helpers for the figure-regeneration harnesses in bench/: the
+// paper-style workload shorthand, panel printing, the SPECMATCH_TRIALS
+// override that scales every harness down to a smoke run, and the wall-clock
+// timer + JSON writer behind BENCH_core.json.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "common/check.hpp"
 #include "common/table.hpp"
 #include "workload/generator.hpp"
 
 namespace specmatch::bench {
+
+/// Integer environment knob: `fallback` when unset, empty, or non-positive.
+inline int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  const int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : fallback;
+}
+
+/// Trials per figure point. Every bench binary routes its hardcoded count
+/// through this, so SPECMATCH_TRIALS=1 turns any harness into a seconds-long
+/// smoke run (the bench_smoke ctest) without changing the full-run defaults.
+inline int env_trials(int fallback) { return env_int("SPECMATCH_TRIALS", fallback); }
+
+/// Steady-clock stopwatch for the JSON perf records.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One row of BENCH_core.json: wall-clock for `bench` on an M x N market (or
+/// an N-vertex graph with M = 0) under `algorithm` at `threads` lanes.
+struct BenchRecord {
+  std::string bench;
+  int M = 0;
+  int N = 0;
+  std::string algorithm;
+  int threads = 1;
+  double wall_ms = 0.0;
+  int rounds = 0;
+};
+
+/// Writes the records as a JSON array (the schema consumed by the perf
+/// tracking scripts; see tools/run_bench.sh).
+inline void write_bench_json(const std::string& path,
+                             const std::vector<BenchRecord>& records) {
+  std::ofstream out(path);
+  SPECMATCH_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out << "[\n";
+  for (std::size_t r = 0; r < records.size(); ++r) {
+    const BenchRecord& rec = records[r];
+    out << "  {\"bench\": \"" << rec.bench << "\", \"M\": " << rec.M
+        << ", \"N\": " << rec.N << ", \"algorithm\": \"" << rec.algorithm
+        << "\", \"threads\": " << rec.threads << ", \"wall_ms\": "
+        << rec.wall_ms << ", \"rounds\": " << rec.rounds << "}"
+        << (r + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  SPECMATCH_CHECK_MSG(out.good(), "failed writing " << path);
+}
 
 /// Paper-style workload: one virtual channel per seller, one virtual buyer
 /// per buyer (the Section-V simulations sweep M and N directly).

@@ -41,7 +41,7 @@ void sweep_panel() {
                "warm/cold rounds"});
   for (double leave : {0.05, 0.1, 0.2, 0.4}) {
     Summary welfare_ratio, disruption_ratio, rounds_ratio;
-    for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    for (std::uint64_t seed = 1; seed <= static_cast<std::uint64_t>(env_trials(15)); ++seed) {
       Rng rng(seed * 7129);
       const auto market =
           workload::generate_market(paper_params(6, 40), rng);

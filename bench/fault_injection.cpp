@@ -14,7 +14,7 @@
 namespace specmatch::bench {
 namespace {
 
-constexpr int kTrials = 25;
+const int kTrials = env_trials(25);
 
 void measure_row(Table& table, const std::string& label,
                  const dist::DistConfig& base, int delay, double loss,

@@ -20,7 +20,7 @@
 namespace specmatch::bench {
 namespace {
 
-constexpr int kTrials = 200;
+const int kTrials = env_trials(200);
 constexpr std::uint64_t kBaseSeed = 0xF16'0006;
 
 exp::Metrics trial(const workload::WorkloadParams& params, Rng& rng) {

@@ -16,8 +16,8 @@
 namespace specmatch::bench {
 namespace {
 
-constexpr int kTrials = 20;
-constexpr int kSimilarityTrials = 40;  // panel (c) is noisier
+const int kTrials = env_trials(20);
+const int kSimilarityTrials = env_trials(40);  // panel (c) is noisier
 constexpr std::uint64_t kBaseSeed = 0xF16'0008;
 
 exp::Metrics trial(const workload::WorkloadParams& params, Rng& rng) {

@@ -1,9 +1,23 @@
 // Micro-benchmarks (google-benchmark): hot-path costs of the library —
 // MWIS solvers, Stage I / Stage II, the full pipeline, the distributed
 // runtime, and the bitset primitives everything leans on.
+//
+// After the google-benchmark suite, main() runs the core perf trajectory —
+// the two-stage pipeline at 1 vs SPECMATCH_BENCH_THREADS lanes and the
+// incremental MWIS vs the rescan baseline — and writes the results to
+// BENCH_core.json (path override: SPECMATCH_BENCH_JSON). SPECMATCH_BENCH_SMOKE=1
+// shrinks the workloads to smoke-test size.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
 #include "common/bitset.hpp"
+#include "common/config.hpp"
+#include "common/thread_pool.hpp"
 #include "dist/runtime.hpp"
 #include "graph/generators.hpp"
 #include "graph/mwis.hpp"
@@ -135,5 +149,91 @@ void BM_WorkloadGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_WorkloadGeneration)->Args({10, 200})->Args({16, 500});
 
+/// Best-of-`reps` wall-clock of `fn` in milliseconds (after one warm-up
+/// call), which is what the JSON perf records store.
+template <typename Fn>
+double best_wall_ms(int reps, Fn&& fn) {
+  fn();
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    bench::WallTimer timer;
+    fn();
+    best = r == 0 ? timer.elapsed_ms() : std::min(best, timer.elapsed_ms());
+  }
+  return best;
+}
+
+/// The headline trajectory of this perf series: the full pipeline at the
+/// paper's largest setting for serial vs parallel lanes, and the incremental
+/// MWIS against the preserved rescan baseline on a dense graph.
+void run_core_trajectory() {
+  const bool smoke = bench::env_int("SPECMATCH_BENCH_SMOKE", 0) != 0;
+  const char* json_env = std::getenv("SPECMATCH_BENCH_JSON");
+  const std::string json_path =
+      (json_env != nullptr && json_env[0] != '\0') ? json_env
+                                                   : "BENCH_core.json";
+  const int parallel_threads = bench::env_int("SPECMATCH_BENCH_THREADS", 4);
+  const int market_sellers = smoke ? 4 : 16;
+  const int market_buyers = smoke ? 60 : 500;
+  const std::size_t mwis_vertices = smoke ? 80 : 500;
+  const int reps = smoke ? 2 : 5;
+
+  std::vector<bench::BenchRecord> records;
+  auto& config = SpecmatchConfig::global();
+  const int saved_threads = config.num_threads;
+
+  const auto market = make_market(market_sellers, market_buyers);
+  for (int threads : {1, parallel_threads}) {
+    config.num_threads = threads;
+    (void)ThreadPool::global();
+    matching::TwoStageResult result;
+    const double wall_ms = best_wall_ms(
+        reps, [&] { result = matching::run_two_stage(market); });
+    records.push_back({"two_stage", market_sellers, market_buyers, "gwmin",
+                       threads, wall_ms,
+                       result.stage1.rounds + result.stage2.phase1_rounds +
+                           result.stage2.phase2_rounds});
+  }
+  config.num_threads = saved_threads;
+  (void)ThreadPool::global();
+
+  // Dense G(n, 0.2) as in BM_Mwis; "rounds" is the chosen-set size here.
+  Rng rng(3);
+  const auto g = graph::erdos_renyi(mwis_vertices, 0.2, rng);
+  std::vector<double> weights(mwis_vertices);
+  for (double& w : weights) w = rng.uniform(0.01, 1.0);
+  DynamicBitset all(mwis_vertices);
+  for (std::size_t v = 0; v < mwis_vertices; ++v) all.set(v);
+  for (graph::MwisAlgorithm algorithm :
+       {graph::MwisAlgorithm::kGwmin, graph::MwisAlgorithm::kGwmin2}) {
+    DynamicBitset chosen;
+    const double fast_ms = best_wall_ms(reps * 4, [&] {
+      chosen = graph::solve_mwis(g, weights, all, algorithm);
+    });
+    records.push_back({"mwis", 0, static_cast<int>(mwis_vertices),
+                       std::string(to_string(algorithm)), 1, fast_ms,
+                       static_cast<int>(chosen.count())});
+    const double rescan_ms = best_wall_ms(reps * 4, [&] {
+      chosen = graph::solve_mwis_rescan(g, weights, all, algorithm);
+    });
+    records.push_back({"mwis_rescan", 0, static_cast<int>(mwis_vertices),
+                       std::string(to_string(algorithm)), 1, rescan_ms,
+                       static_cast<int>(chosen.count())});
+  }
+
+  bench::write_bench_json(json_path, records);
+  std::cout << "\nwrote " << records.size() << " perf records to " << json_path
+            << "\n";
+}
+
 }  // namespace
 }  // namespace specmatch
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  specmatch::run_core_trajectory();
+  return 0;
+}

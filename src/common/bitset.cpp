@@ -26,6 +26,14 @@ bool DynamicBitset::intersects(const DynamicBitset& other) const {
   return false;
 }
 
+std::size_t DynamicBitset::intersection_count(const DynamicBitset& other) const {
+  check_same_size(other);
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    total += std::popcount(words_[w] & other.words_[w]);
+  return total;
+}
+
 bool DynamicBitset::is_subset_of(const DynamicBitset& other) const {
   check_same_size(other);
   for (std::size_t w = 0; w < words_.size(); ++w)

@@ -58,6 +58,10 @@ class DynamicBitset {
   /// True iff this bitset and `other` share at least one set bit.
   bool intersects(const DynamicBitset& other) const;
 
+  /// Number of set bits shared with `other` — (*this & other).count()
+  /// without materialising the intersection.
+  std::size_t intersection_count(const DynamicBitset& other) const;
+
   /// True iff every set bit of this bitset is also set in `other`.
   bool is_subset_of(const DynamicBitset& other) const;
 
@@ -92,6 +96,22 @@ class DynamicBitset {
   void for_each_set(Fn&& fn) const {
     for (std::size_t w = 0; w < words_.size(); ++w) {
       std::uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        fn(w * kBits + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Calls `fn(index)` for every bit set in both this bitset and `other`,
+  /// in ascending order — for_each_set over (*this & other) without the
+  /// temporary (hot path of the incremental MWIS scoring).
+  template <typename Fn>
+  void for_each_set_and(const DynamicBitset& other, Fn&& fn) const {
+    check_same_size(other);
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w] & other.words_[w];
       while (word != 0) {
         const int bit = __builtin_ctzll(word);
         fn(w * kBits + static_cast<std::size_t>(bit));

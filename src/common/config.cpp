@@ -1,0 +1,27 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+#include <thread>
+
+namespace specmatch {
+
+namespace {
+
+int initial_num_threads() {
+  if (const char* env = std::getenv("SPECMATCH_THREADS");
+      env != nullptr && env[0] != '\0') {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+SpecmatchConfig& SpecmatchConfig::global() {
+  static SpecmatchConfig config{initial_num_threads()};
+  return config;
+}
+
+}  // namespace specmatch

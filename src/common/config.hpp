@@ -1,0 +1,24 @@
+// Engine-wide runtime configuration.
+//
+// One process-wide knob object so every subsystem (thread pool, parallel
+// Stage-I/II selection, trial runner, benches) agrees on how much hardware
+// to use without threading a parameter through every call site.
+#pragma once
+
+namespace specmatch {
+
+struct SpecmatchConfig {
+  /// Worker threads used by the parallel engine. 1 selects the exact serial
+  /// code path everywhere (no pool workers are spawned). Initialised from
+  /// the SPECMATCH_THREADS environment variable; when unset or invalid it
+  /// defaults to the hardware concurrency (at least 1).
+  int num_threads = 1;
+
+  /// The mutable process-wide configuration. Changing num_threads takes
+  /// effect on the next ThreadPool::global() access. Mutation is not
+  /// synchronised against concurrent engine use — set it between runs, as
+  /// the determinism tests do.
+  static SpecmatchConfig& global();
+};
+
+}  // namespace specmatch

@@ -1,0 +1,76 @@
+#include "common/thread_pool.hpp"
+
+#include "common/check.hpp"
+
+namespace specmatch {
+
+thread_local bool ThreadPool::t_in_worker = false;
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  SPECMATCH_CHECK_MSG(num_threads >= 1, "ThreadPool needs >= 1 lane");
+  workers_.reserve(num_threads - 1);
+  for (std::size_t i = 0; i + 1 < num_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // Serial pool: run inline so SPECMATCH_THREADS=1 is the exact serial
+    // path with no queueing machinery in the way.
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [&] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  t_in_worker = true;
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();  // parallel_for captures exceptions; bare submits must not throw
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static std::mutex mutex;
+  static std::unique_ptr<ThreadPool> pool;
+  std::lock_guard<std::mutex> lock(mutex);
+  const int configured = SpecmatchConfig::global().num_threads;
+  const auto want = static_cast<std::size_t>(configured < 1 ? 1 : configured);
+  if (pool == nullptr || pool->num_threads() != want)
+    pool = std::make_unique<ThreadPool>(want);
+  return *pool;
+}
+
+}  // namespace specmatch

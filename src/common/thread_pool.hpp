@@ -1,0 +1,132 @@
+// A small fixed-size thread pool with a deterministic parallel_for.
+//
+// ThreadPool(n) spawns n - 1 workers; the calling thread always participates
+// in parallel_for, so n == 1 means zero workers and every entry point
+// degenerates to the exact serial loop (the engine's SPECMATCH_THREADS=1
+// escape hatch). parallel_for distributes single indices over the workers;
+// callers are expected to write results into per-index slots, which is what
+// makes the parallel engine bit-for-bit deterministic regardless of thread
+// count. Exceptions thrown by the body are captured per participant and the
+// first one (in participant order) is rethrown on the calling thread.
+//
+// Nested use is safe by construction: a parallel_for issued from inside a
+// pool worker runs inline on that worker (no new tasks, no deadlock), and
+// submit() from inside a task just enqueues.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace specmatch {
+
+class ThreadPool {
+ public:
+  /// A pool presenting `num_threads` lanes of execution: the caller plus
+  /// num_threads - 1 workers. Requires num_threads >= 1.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Lanes including the calling thread (constructor argument).
+  std::size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Enqueues `task` for a worker. On a 1-lane pool the task runs inline
+  /// before submit returns. Tasks may themselves call submit.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is executing.
+  void wait_idle();
+
+  /// Calls fn(i) for every i in [begin, end). Blocks until all calls have
+  /// returned, then rethrows the first captured exception, if any. Runs
+  /// serially (in ascending index order, on the calling thread) when the
+  /// pool has one lane, the range has one index, or the caller is itself a
+  /// pool worker.
+  template <typename Fn>
+  void parallel_for(std::size_t begin, std::size_t end, Fn&& fn) {
+    if (begin >= end) return;
+    if (workers_.empty() || end - begin == 1 || t_in_worker) {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+      return;
+    }
+    const std::size_t helpers = std::min(end - begin - 1, workers_.size());
+    auto state = std::make_shared<ForState>(helpers + 1, begin, end);
+    auto run_lane = [state, &fn](std::size_t lane) {
+      try {
+        while (true) {
+          const std::size_t i =
+              state->next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= state->end) break;
+          fn(i);
+        }
+      } catch (...) {
+        state->errors[lane] = std::current_exception();
+      }
+    };
+    for (std::size_t h = 0; h < helpers; ++h) {
+      submit([state, run_lane, h] {
+        run_lane(h + 1);
+        std::lock_guard<std::mutex> lock(state->mutex);
+        ++state->finished;
+        state->done.notify_all();
+      });
+    }
+    run_lane(0);  // the caller is lane 0
+    {
+      std::unique_lock<std::mutex> lock(state->mutex);
+      state->done.wait(lock, [&] { return state->finished == helpers; });
+    }
+    for (const std::exception_ptr& error : state->errors)
+      if (error) std::rethrow_exception(error);
+  }
+
+  /// The engine-wide pool, sized from SpecmatchConfig::global().num_threads.
+  /// Recreated (workers joined and respawned) when the knob changed since
+  /// the last call; do not change the knob while a run is in flight.
+  static ThreadPool& global();
+
+ private:
+  struct ForState {
+    ForState(std::size_t lanes, std::size_t begin, std::size_t range_end)
+        : end(range_end), next(begin), errors(lanes) {}
+    const std::size_t end;
+    std::atomic<std::size_t> next;
+    std::vector<std::exception_ptr> errors;  // one slot per lane
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t finished = 0;
+  };
+
+  void worker_loop();
+
+  static thread_local bool t_in_worker;
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Convenience: parallel_for on the engine-wide pool.
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, Fn&& fn) {
+  ThreadPool::global().parallel_for(begin, end, std::forward<Fn>(fn));
+}
+
+}  // namespace specmatch

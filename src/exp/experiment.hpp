@@ -39,7 +39,11 @@ class TrialAggregator {
 };
 
 /// Runs `trials` independent trials, each with a deterministically derived
-/// Rng (base_seed + trial index), and aggregates the metrics.
+/// Rng (base_seed + trial index), and aggregates the metrics in trial order
+/// (so results are identical at any SPECMATCH_THREADS). Trials execute
+/// concurrently on the engine thread pool: `trial` must be safe to invoke
+/// from several threads at once (the standard shape — build a market from
+/// the passed Rng, run, return metrics — already is).
 TrialAggregator run_trials(
     int trials, std::uint64_t base_seed,
     const std::function<Metrics(Rng&)>& trial);

@@ -1,6 +1,9 @@
 #include "graph/mwis.hpp"
 
+#include <cstdint>
 #include <limits>
+#include <queue>
+#include <vector>
 
 #include "common/check.hpp"
 
@@ -27,12 +30,193 @@ double set_weight(std::span<const double> weights,
 
 namespace {
 
-/// Shared greedy skeleton: repeatedly pick the remaining candidate with the
-/// highest score, add it, and remove its closed neighbourhood.
+/// GWMIN pick score: w(v) / (deg_R(v) + 1). The allocating variant is the
+/// preserved pre-change implementation (solve_mwis_rescan baseline); the
+/// scan variant computes the identical value without the temporary.
+struct GwminScore {
+  const InterferenceGraph& graph;
+  std::span<const double> weights;
+
+  double operator()(std::size_t v, const DynamicBitset& remaining) const {
+    const double deg = static_cast<double>(
+        (graph.neighbors(static_cast<BuyerId>(v)) & remaining).count());
+    return weights[v] / (deg + 1.0);
+  }
+};
+
+struct GwminScanScore {
+  const InterferenceGraph& graph;
+  std::span<const double> weights;
+
+  double operator()(std::size_t v, const DynamicBitset& remaining) const {
+    const double deg = static_cast<double>(
+        graph.neighbors(static_cast<BuyerId>(v))
+            .intersection_count(remaining));
+    return weights[v] / (deg + 1.0);
+  }
+};
+
+/// GWMIN2 pick score: w(v) / (w(v) + w(N_R(v))); same split as GWMIN. The
+/// scan variant sums the same neighbours in the same ascending order, so the
+/// value is bit-identical.
+struct Gwmin2Score {
+  const InterferenceGraph& graph;
+  std::span<const double> weights;
+
+  double operator()(std::size_t v, const DynamicBitset& remaining) const {
+    double nbr_weight = 0.0;
+    (graph.neighbors(static_cast<BuyerId>(v)) & remaining)
+        .for_each_set([&](std::size_t u) { nbr_weight += weights[u]; });
+    return weights[v] / (weights[v] + nbr_weight);
+  }
+};
+
+struct Gwmin2ScanScore {
+  const InterferenceGraph& graph;
+  std::span<const double> weights;
+
+  double operator()(std::size_t v, const DynamicBitset& remaining) const {
+    double nbr_weight = 0.0;
+    graph.neighbors(static_cast<BuyerId>(v))
+        .for_each_set_and(remaining,
+                          [&](std::size_t u) { nbr_weight += weights[u]; });
+    return weights[v] / (weights[v] + nbr_weight);
+  }
+};
+
+/// Incremental GWMIN state: deg_R(v) is kept exact (an integer) under batch
+/// removals, so a rescore is one division with the same operands the rescan
+/// reference would produce — bit-identical by construction, and the update
+/// work totals O(edges) over a whole solve instead of O(picks x candidates)
+/// score recomputations.
+struct GwminIncremental {
+  const InterferenceGraph& graph;
+  std::span<const double> weights;
+  std::vector<std::size_t> deg;
+
+  void init(const DynamicBitset& remaining) {
+    deg.assign(graph.num_vertices(), 0);
+    remaining.for_each_set([&](std::size_t v) {
+      deg[v] = graph.neighbors(static_cast<BuyerId>(v))
+                   .intersection_count(remaining);
+    });
+  }
+
+  double score(std::size_t v, const DynamicBitset&) const {
+    return weights[v] / (static_cast<double>(deg[v]) + 1.0);
+  }
+
+  /// `removed` has already been subtracted from `remaining`; updates the
+  /// degrees and marks the survivors whose score changed.
+  void apply_removal(const DynamicBitset& removed,
+                     const DynamicBitset& remaining, DynamicBitset& touched) {
+    removed.for_each_set([&](std::size_t u) {
+      graph.neighbors(static_cast<BuyerId>(u))
+          .for_each_set_and(remaining, [&](std::size_t w) {
+            --deg[w];
+            touched.set(w);
+          });
+    });
+  }
+};
+
+/// Incremental GWMIN2 state: the neighbour-weight sum cannot be maintained
+/// by floating-point subtraction without drifting off the reference bits, so
+/// touched survivors are re-summed — but only they are (the sum over
+/// N_R(v) is unchanged for everyone else), and the sum itself walks the
+/// intersection words directly instead of materialising a temporary.
+struct Gwmin2Incremental {
+  const InterferenceGraph& graph;
+  std::span<const double> weights;
+
+  void init(const DynamicBitset&) {}
+
+  double score(std::size_t v, const DynamicBitset& remaining) const {
+    return Gwmin2ScanScore{graph, weights}(v, remaining);
+  }
+
+  void apply_removal(const DynamicBitset& removed,
+                     const DynamicBitset& remaining, DynamicBitset& touched) {
+    removed.for_each_set([&](std::size_t u) {
+      touched |= graph.neighbors(static_cast<BuyerId>(u));
+    });
+    touched &= remaining;
+  }
+};
+
+/// Incremental greedy skeleton: repeatedly pick the remaining candidate with
+/// the highest score (ties to the lowest index) and remove its closed
+/// neighbourhood — but instead of rescanning every candidate's score per
+/// pick, keep scores in a lazy max-heap. After choosing v, both GWMIN scores
+/// depend only on the candidate's neighbourhood inside `remaining`, so only
+/// survivors adjacent to a removed vertex can change; the policy rescores
+/// exactly those, with values bit-identical to a full rescan (same operands,
+/// same summation order). Stale heap entries are skipped via a per-vertex
+/// version counter.
+template <typename Policy>
+DynamicBitset greedy(const InterferenceGraph& graph, DynamicBitset remaining,
+                     Policy policy) {
+  const std::size_t n = graph.num_vertices();
+  DynamicBitset chosen(n);
+  if (remaining.none()) return chosen;
+
+  struct Entry {
+    double score;
+    std::uint32_t vertex;
+    std::uint32_t version;
+  };
+  // Max-heap on score; equal scores surface the lowest index first, matching
+  // the strict-greater scan of the rescan reference.
+  struct Worse {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.score != b.score) return a.score < b.score;
+      return a.vertex > b.vertex;
+    }
+  };
+  std::vector<std::uint32_t> version(n, 0);
+  std::priority_queue<Entry, std::vector<Entry>, Worse> heap;
+  policy.init(remaining);
+  remaining.for_each_set([&](std::size_t v) {
+    heap.push({policy.score(v, remaining), static_cast<std::uint32_t>(v), 0});
+  });
+
+  DynamicBitset touched(n);
+  while (remaining.any()) {
+    // Every remaining vertex always has one current entry queued, so the
+    // heap cannot run dry before `remaining` does.
+    SPECMATCH_DCHECK(!heap.empty());
+    const Entry top = heap.top();
+    heap.pop();
+    const std::size_t v = top.vertex;
+    if (!remaining.test(v) || top.version != version[v]) continue;  // stale
+
+    chosen.set(v);
+    DynamicBitset removed =
+        graph.neighbors(static_cast<BuyerId>(v)) & remaining;
+    removed.set(v);
+    remaining -= removed;
+
+    touched.clear();
+    policy.apply_removal(removed, remaining, touched);
+    touched.for_each_set([&](std::size_t u) {
+      heap.push({policy.score(u, remaining), static_cast<std::uint32_t>(u),
+                 ++version[u]});
+    });
+  }
+  return chosen;
+}
+
+/// Scan-mode greedy: recompute every remaining candidate's score per pick.
+/// This is the right strategy on dense graphs, where nearly every survivor
+/// is adjacent to the removed neighbourhood anyway and the word-parallel
+/// bitset scoring beats per-edge bookkeeping. Also the body of the
+/// solve_mwis_rescan baseline (with the old allocating score functors).
+/// Picks the identical vertex sequence as the incremental skeleton: both
+/// take the highest score with ties to the lowest index, and the score
+/// values agree bit-for-bit.
 template <typename ScoreFn>
-DynamicBitset greedy(const InterferenceGraph& graph,
-                     std::span<const double> weights, DynamicBitset remaining,
-                     ScoreFn&& score) {
+DynamicBitset greedy_scan(const InterferenceGraph& graph,
+                          DynamicBitset remaining, const ScoreFn& score) {
   DynamicBitset chosen(graph.num_vertices());
   while (remaining.any()) {
     double best_score = -std::numeric_limits<double>::infinity();
@@ -47,9 +231,28 @@ DynamicBitset greedy(const InterferenceGraph& graph,
     chosen.set(best_v);
     remaining.reset(best_v);
     remaining -= graph.neighbors(static_cast<BuyerId>(best_v));
-    (void)weights;
   }
   return chosen;
+}
+
+/// Candidates minus non-positive-weight vertices: they can only dilute a
+/// coalition.
+DynamicBitset viable_candidates(std::span<const double> weights,
+                                const DynamicBitset& candidates) {
+  DynamicBitset viable = candidates;
+  candidates.for_each_set([&](std::size_t v) {
+    if (weights[v] <= 0.0) viable.reset(v);
+  });
+  return viable;
+}
+
+void check_inputs(const InterferenceGraph& graph,
+                  std::span<const double> weights,
+                  const DynamicBitset& candidates) {
+  SPECMATCH_CHECK_MSG(weights.size() == graph.num_vertices(),
+                      "weights size " << weights.size() << " != vertices "
+                                      << graph.num_vertices());
+  SPECMATCH_CHECK(candidates.size() == graph.num_vertices());
 }
 
 struct ExactSearch {
@@ -110,37 +313,33 @@ DynamicBitset solve_mwis(const InterferenceGraph& graph,
                          std::span<const double> weights,
                          const DynamicBitset& candidates,
                          MwisAlgorithm algorithm, MwisStats* stats) {
-  SPECMATCH_CHECK_MSG(weights.size() == graph.num_vertices(),
-                      "weights size " << weights.size() << " != vertices "
-                                      << graph.num_vertices());
-  SPECMATCH_CHECK(candidates.size() == graph.num_vertices());
+  check_inputs(graph, weights, candidates);
+  DynamicBitset viable = viable_candidates(weights, candidates);
 
-  // Drop non-positive-weight vertices: they can only dilute a coalition.
-  DynamicBitset viable = candidates;
-  candidates.for_each_set([&](std::size_t v) {
-    if (weights[v] <= 0.0) viable.reset(v);
-  });
+  // Strategy split (outputs are bit-identical either way): lazy incremental
+  // scoring wins when neighbourhoods are small relative to the candidate
+  // set (the market's geometric graphs); on dense graphs nearly every
+  // survivor is rescored every pick regardless, so the word-parallel scan
+  // without the heap bookkeeping is faster. 2E/V >= kScanDegreeThreshold
+  // approximates "dense" without touching every adjacency row.
+  constexpr std::size_t kScanDegreeThreshold = 64;
+  const bool dense =
+      graph.num_vertices() > 0 &&
+      2 * graph.num_edges() >= kScanDegreeThreshold * graph.num_vertices();
 
   switch (algorithm) {
-    case MwisAlgorithm::kGwmin: {
-      auto score = [&](std::size_t v, const DynamicBitset& remaining) {
-        const double deg =
-            static_cast<double>((graph.neighbors(static_cast<BuyerId>(v)) &
-                                 remaining)
-                                    .count());
-        return weights[v] / (deg + 1.0);
-      };
-      return greedy(graph, weights, std::move(viable), score);
-    }
-    case MwisAlgorithm::kGwmin2: {
-      auto score = [&](std::size_t v, const DynamicBitset& remaining) {
-        double nbr_weight = 0.0;
-        (graph.neighbors(static_cast<BuyerId>(v)) & remaining)
-            .for_each_set([&](std::size_t u) { nbr_weight += weights[u]; });
-        return weights[v] / (weights[v] + nbr_weight);
-      };
-      return greedy(graph, weights, std::move(viable), score);
-    }
+    case MwisAlgorithm::kGwmin:
+      if (dense)
+        return greedy_scan(graph, std::move(viable),
+                           GwminScanScore{graph, weights});
+      return greedy(graph, std::move(viable),
+                    GwminIncremental{graph, weights, {}});
+    case MwisAlgorithm::kGwmin2:
+      if (dense)
+        return greedy_scan(graph, std::move(viable),
+                           Gwmin2ScanScore{graph, weights});
+      return greedy(graph, std::move(viable),
+                    Gwmin2Incremental{graph, weights});
     case MwisAlgorithm::kExact: {
       ExactSearch search{graph, weights, 0, 0.0,
                          DynamicBitset(graph.num_vertices())};
@@ -151,6 +350,20 @@ DynamicBitset solve_mwis(const InterferenceGraph& graph,
   }
   SPECMATCH_CHECK_MSG(false, "unreachable MWIS algorithm");
   return DynamicBitset(graph.num_vertices());
+}
+
+DynamicBitset solve_mwis_rescan(const InterferenceGraph& graph,
+                                std::span<const double> weights,
+                                const DynamicBitset& candidates,
+                                MwisAlgorithm algorithm) {
+  check_inputs(graph, weights, candidates);
+  SPECMATCH_CHECK_MSG(algorithm != MwisAlgorithm::kExact,
+                      "the rescan reference only exists for the greedy "
+                      "algorithms");
+  DynamicBitset viable = viable_candidates(weights, candidates);
+  if (algorithm == MwisAlgorithm::kGwmin)
+    return greedy_scan(graph, std::move(viable), GwminScore{graph, weights});
+  return greedy_scan(graph, std::move(viable), Gwmin2Score{graph, weights});
 }
 
 }  // namespace specmatch::graph

@@ -42,6 +42,17 @@ DynamicBitset solve_mwis(const InterferenceGraph& graph,
                          const DynamicBitset& candidates,
                          MwisAlgorithm algorithm, MwisStats* stats = nullptr);
 
+/// Test/bench-only reference for kGwmin and kGwmin2: the pre-incremental
+/// greedy that rescans every candidate's score per pick. solve_mwis now
+/// maintains scores lazily (only vertices adjacent to a removed vertex are
+/// rescored) and must return the identical set — asserted by the equivalence
+/// property test and timed against this baseline by the perf harness.
+/// Rejects kExact.
+DynamicBitset solve_mwis_rescan(const InterferenceGraph& graph,
+                                std::span<const double> weights,
+                                const DynamicBitset& candidates,
+                                MwisAlgorithm algorithm);
+
 /// Total weight of the set bits of `members`.
 double set_weight(std::span<const double> weights,
                   const DynamicBitset& members);

@@ -1,6 +1,7 @@
 #include "matching/deferred_acceptance.hpp"
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 #include "market/preferences.hpp"
 
 namespace specmatch::matching {
@@ -44,12 +45,21 @@ StageIResult run_deferred_acceptance(const market::SpectrumMarket& market,
     ++result.rounds;
 
     // Selection phase: each seller with proposers forms her most-preferred
-    // coalition from waiting list plus proposers.
-    for (ChannelId i = 0; i < M; ++i) {
-      const auto iu = static_cast<std::size_t>(i);
-      if (!proposers[iu].any()) continue;
+    // coalition from waiting list plus proposers. Each seller's decision
+    // reads only her own graph, prices, waiting list, and proposer set, so
+    // all coalitions are solved concurrently against the pre-selection
+    // matching; evictions and admissions are then applied serially in
+    // channel order, making the result bit-for-bit identical to the serial
+    // loop at any thread count.
+    std::vector<ChannelId> active;
+    for (ChannelId i = 0; i < M; ++i)
+      if (proposers[static_cast<std::size_t>(i)].any()) active.push_back(i);
+    std::vector<DynamicBitset> selections(active.size());
+    parallel_for(0, active.size(), [&](std::size_t k) {
+      const ChannelId i = active[k];
       const DynamicBitset& waiting = result.matching.members_of(i);
-      const DynamicBitset candidates = waiting | proposers[iu];
+      const DynamicBitset candidates =
+          waiting | proposers[static_cast<std::size_t>(i)];
       DynamicBitset chosen = graph::solve_mwis(market.graph(i),
                                                market.channel_prices(i),
                                                candidates,
@@ -59,9 +69,13 @@ StageIResult run_deferred_acceptance(const market::SpectrumMarket& market,
       // Only switch when the seller strictly prefers the new coalition
       // (eq. 6), otherwise keep the waiting list and reject all proposers.
       if (!market::seller_prefers(market, i, chosen, waiting)) chosen = waiting;
-
+      selections[k] = std::move(chosen);
+    });
+    for (std::size_t k = 0; k < active.size(); ++k) {
+      const ChannelId i = active[k];
+      const DynamicBitset& chosen = selections[k];
       // Evict waiting-list buyers not selected, then admit new members.
-      const DynamicBitset evicted = waiting - chosen;
+      const DynamicBitset evicted = result.matching.members_of(i) - chosen;
       evicted.for_each_set([&](std::size_t j) {
         result.matching.unmatch(static_cast<BuyerId>(j));
         ++result.total_evictions;
@@ -70,7 +84,7 @@ StageIResult run_deferred_acceptance(const market::SpectrumMarket& market,
       admitted.for_each_set([&](std::size_t j) {
         result.matching.match(static_cast<BuyerId>(j), i);
       });
-      proposers[iu].clear();
+      proposers[static_cast<std::size_t>(i)].clear();
     }
 
     if (config.record_trace) {

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/thread_pool.hpp"
 #include "market/coalition.hpp"
 #include "market/preferences.hpp"
 
@@ -36,15 +37,17 @@ StageIIResult run_transfer_invitation(const market::SpectrumMarket& market,
 
   // ---- Phase 1: Transfer -------------------------------------------------
   // T_j: strictly-better sellers, in descending-utility order with a cursor.
+  // Each buyer's list reads only the (frozen) Stage-I matching and her own
+  // utility row, so the lists are built concurrently.
   std::vector<std::vector<ChannelId>> better(static_cast<std::size_t>(N));
   std::vector<std::size_t> cursor(static_cast<std::size_t>(N), 0);
-  for (BuyerId j = 0; j < N; ++j) {
+  parallel_for(0, static_cast<std::size_t>(N), [&](std::size_t ju) {
+    const auto j = static_cast<BuyerId>(ju);
     const double now = current_utility(market, result.matching, j);
     for (ChannelId i : market.buyer_preference_order(j)) {
-      if (market.utility(i, j) > now)
-        better[static_cast<std::size_t>(j)].push_back(i);
+      if (market.utility(i, j) > now) better[ju].push_back(i);
     }
-  }
+  });
 
   // D_i: this round's applicants; rejected-ever feeds the invitation lists.
   std::vector<DynamicBitset> applicants(
@@ -77,12 +80,18 @@ StageIIResult run_transfer_invitation(const market::SpectrumMarket& market,
 
     // Sellers decide simultaneously against a snapshot; moves are applied
     // afterwards. Accepted sets stay feasible because µ(i) can only shrink
-    // between snapshot and application (no eviction in Stage II).
+    // between snapshot and application (no eviction in Stage II). The
+    // decisions only read the snapshot, so they are solved concurrently and
+    // the moves/rejections collected serially in channel order — identical
+    // output at any thread count.
     const Matching snapshot = result.matching;
-    std::vector<std::pair<BuyerId, ChannelId>> moves;
-    for (ChannelId i = 0; i < M; ++i) {
+    std::vector<ChannelId> deciding;
+    for (ChannelId i = 0; i < M; ++i)
+      if (applicants[static_cast<std::size_t>(i)].any()) deciding.push_back(i);
+    std::vector<DynamicBitset> accepted(deciding.size());
+    parallel_for(0, deciding.size(), [&](std::size_t k) {
+      const ChannelId i = deciding[k];
       const auto iu = static_cast<std::size_t>(i);
-      if (!applicants[iu].any()) continue;
       const DynamicBitset& members = snapshot.members_of(i);
       // Only applicants compatible with every current member are admissible
       // (the seller cannot evict, Algorithm 2 line 13).
@@ -91,13 +100,18 @@ StageIIResult run_transfer_invitation(const market::SpectrumMarket& market,
         if (market.graph(i).is_compatible(static_cast<BuyerId>(j), members))
           admissible.set(j);
       });
-      const DynamicBitset chosen =
+      accepted[k] =
           graph::solve_mwis(market.graph(i), market.channel_prices(i),
                             admissible, config.coalition_policy);
-      chosen.for_each_set([&](std::size_t j) {
+    });
+    std::vector<std::pair<BuyerId, ChannelId>> moves;
+    for (std::size_t k = 0; k < deciding.size(); ++k) {
+      const ChannelId i = deciding[k];
+      const auto iu = static_cast<std::size_t>(i);
+      accepted[k].for_each_set([&](std::size_t j) {
         moves.emplace_back(static_cast<BuyerId>(j), i);
       });
-      rejected[iu] |= applicants[iu] - chosen;
+      rejected[iu] |= applicants[iu] - accepted[k];
       applicants[iu].clear();
     }
     for (const auto& [j, i] : moves) {
@@ -125,11 +139,13 @@ StageIIResult run_transfer_invitation(const market::SpectrumMarket& market,
     });
     invite_list[iu] = std::move(screened);
   };
-  for (ChannelId i = 0; i < M; ++i) {
-    invite_list[static_cast<std::size_t>(i)] =
-        rejected[static_cast<std::size_t>(i)];
+  // Screening a list touches only that seller's slot (against the now-stable
+  // Phase-1 matching), so all sellers screen concurrently.
+  parallel_for(0, static_cast<std::size_t>(M), [&](std::size_t iu) {
+    const auto i = static_cast<ChannelId>(iu);
+    invite_list[iu] = rejected[iu];
     screen(i);
-  }
+  });
 
   while (true) {
     bool any_invitation = false;

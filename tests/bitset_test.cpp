@@ -122,9 +122,29 @@ TEST(BitsetTest, ForEachSetVisitsAscending) {
   EXPECT_EQ(b.to_indices(), want);
 }
 
+TEST(BitsetTest, IntersectionCountMatchesMaterialisedAnd) {
+  DynamicBitset a(200), b(200);
+  for (std::size_t i = 0; i < 200; i += 3) a.set(i);
+  for (std::size_t i = 0; i < 200; i += 5) b.set(i);
+  EXPECT_EQ(a.intersection_count(b), (a & b).count());
+  EXPECT_EQ(a.intersection_count(DynamicBitset(200)), 0u);
+}
+
+TEST(BitsetTest, ForEachSetAndVisitsTheIntersectionAscending) {
+  DynamicBitset a(150), b(150);
+  for (std::size_t i : {0u, 5u, 63u, 64u, 100u, 149u}) a.set(i);
+  for (std::size_t i : {5u, 63u, 99u, 100u, 148u, 149u}) b.set(i);
+  std::vector<std::size_t> visited;
+  a.for_each_set_and(b, [&](std::size_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited, (a & b).to_indices());
+  EXPECT_EQ(visited, (std::vector<std::size_t>{5, 63, 100, 149}));
+}
+
 TEST(BitsetTest, SizeMismatchThrows) {
   DynamicBitset a(10), b(11);
   EXPECT_THROW((void)a.intersects(b), CheckError);
+  EXPECT_THROW((void)a.intersection_count(b), CheckError);
+  EXPECT_THROW(a.for_each_set_and(b, [](std::size_t) {}), CheckError);
   EXPECT_THROW(a |= b, CheckError);
   EXPECT_THROW(a &= b, CheckError);
   EXPECT_THROW(a -= b, CheckError);

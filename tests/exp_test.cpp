@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "common/check.hpp"
 #include "matching/paper_examples.hpp"
@@ -37,22 +39,29 @@ TEST(SummaryCiTest, CoversTheTrueMeanMostOfTheTime) {
 }
 
 TEST(RunTrialsTest, EachTrialGetsADistinctDeterministicStream) {
-  std::vector<double> firsts;
-  (void)run_trials(4, 10, [&](Rng& rng) {
-    firsts.push_back(rng.uniform());
-    return Metrics{{"x", 0.0}};
-  });
-  ASSERT_EQ(firsts.size(), 4u);
-  for (std::size_t a = 0; a < firsts.size(); ++a)
-    for (std::size_t b = a + 1; b < firsts.size(); ++b)
-      EXPECT_NE(firsts[a], firsts[b]);
+  // Trials may run concurrently, so collect under a mutex and compare as
+  // sorted multisets rather than relying on completion order.
+  const auto collect_firsts = [] {
+    std::mutex mutex;
+    std::vector<double> firsts;
+    (void)run_trials(4, 10, [&](Rng& rng) {
+      const double first = rng.uniform();
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        firsts.push_back(first);
+      }
+      return Metrics{{"x", 0.0}};
+    });
+    std::sort(firsts.begin(), firsts.end());
+    return firsts;
+  };
 
-  std::vector<double> again;
-  (void)run_trials(4, 10, [&](Rng& rng) {
-    again.push_back(rng.uniform());
-    return Metrics{{"x", 0.0}};
-  });
-  EXPECT_EQ(firsts, again);
+  const std::vector<double> firsts = collect_firsts();
+  ASSERT_EQ(firsts.size(), 4u);
+  for (std::size_t a = 0; a + 1 < firsts.size(); ++a)
+    EXPECT_NE(firsts[a], firsts[a + 1]);
+
+  EXPECT_EQ(firsts, collect_firsts());
 }
 
 TEST(RunTrialsTest, ZeroTrialsRejected) {

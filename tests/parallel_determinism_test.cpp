@@ -1,0 +1,174 @@
+// Property tests for the parallel engine's core guarantee: SPECMATCH_THREADS
+// changes wall-clock time only, never results. Runs the same computations at
+// 1 and 4 lanes and requires bit-identical outputs, and checks that the
+// incremental MWIS returns exactly the set of the pre-change rescan
+// implementation on random graphs on both sides of the density threshold.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "exp/experiment.hpp"
+#include "graph/generators.hpp"
+#include "graph/mwis.hpp"
+#include "matching/two_stage.hpp"
+#include "workload/generator.hpp"
+
+namespace specmatch {
+namespace {
+
+/// Sets the engine thread count for the duration of a scope and restores
+/// the previous value (and pool) on exit.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int num_threads)
+      : saved_(SpecmatchConfig::global().num_threads) {
+    SpecmatchConfig::global().num_threads = num_threads;
+    (void)ThreadPool::global();
+  }
+  ~ScopedThreads() {
+    SpecmatchConfig::global().num_threads = saved_;
+    (void)ThreadPool::global();
+  }
+
+ private:
+  int saved_;
+};
+
+matching::TwoStageResult run_with_threads(const market::SpectrumMarket& market,
+                                          graph::MwisAlgorithm policy,
+                                          int num_threads) {
+  ScopedThreads scope(num_threads);
+  matching::TwoStageConfig config;
+  config.coalition_policy = policy;
+  return matching::run_two_stage(market, config);
+}
+
+void expect_identical(const matching::TwoStageResult& a,
+                      const matching::TwoStageResult& b) {
+  EXPECT_EQ(a.stage1.matching, b.stage1.matching);
+  EXPECT_EQ(a.stage1.rounds, b.stage1.rounds);
+  EXPECT_EQ(a.stage1.total_proposals, b.stage1.total_proposals);
+  EXPECT_EQ(a.stage1.total_evictions, b.stage1.total_evictions);
+  EXPECT_EQ(a.stage2.after_phase1, b.stage2.after_phase1);
+  EXPECT_EQ(a.stage2.matching, b.stage2.matching);
+  EXPECT_EQ(a.stage2.phase1_rounds, b.stage2.phase1_rounds);
+  EXPECT_EQ(a.stage2.phase2_rounds, b.stage2.phase2_rounds);
+  EXPECT_EQ(a.stage2.transfers_accepted, b.stage2.transfers_accepted);
+  EXPECT_EQ(a.stage2.invitations_accepted, b.stage2.invitations_accepted);
+  // Bit-identical welfare, not just approximately equal.
+  EXPECT_EQ(a.welfare_stage1, b.welfare_stage1);
+  EXPECT_EQ(a.welfare_phase1, b.welfare_phase1);
+  EXPECT_EQ(a.welfare_final, b.welfare_final);
+}
+
+TEST(ParallelDeterminismTest, TwoStageIsThreadCountInvariant) {
+  constexpr graph::MwisAlgorithm kPolicies[] = {
+      graph::MwisAlgorithm::kGwmin, graph::MwisAlgorithm::kGwmin2,
+      graph::MwisAlgorithm::kExact};
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    workload::WorkloadParams params;
+    params.num_sellers = 6;
+    params.num_buyers = 24;  // small enough for the exact B&B policy
+    Rng rng(seed);
+    const auto market = workload::generate_market(params, rng);
+    for (graph::MwisAlgorithm policy : kPolicies) {
+      SCOPED_TRACE(testing::Message()
+                   << "seed=" << seed << " policy=" << to_string(policy));
+      const auto serial = run_with_threads(market, policy, 1);
+      const auto parallel = run_with_threads(market, policy, 4);
+      expect_identical(serial, parallel);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, LargerMarketsMatchUnderGreedyPolicies) {
+  // Wider markets exercise multi-channel rounds where Stage-I selection
+  // actually fans out across lanes.
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    workload::WorkloadParams params;
+    params.num_sellers = 10;
+    params.num_buyers = 120;
+    Rng rng(seed);
+    const auto market = workload::generate_market(params, rng);
+    for (graph::MwisAlgorithm policy :
+         {graph::MwisAlgorithm::kGwmin, graph::MwisAlgorithm::kGwmin2}) {
+      SCOPED_TRACE(testing::Message()
+                   << "seed=" << seed << " policy=" << to_string(policy));
+      expect_identical(run_with_threads(market, policy, 1),
+                       run_with_threads(market, policy, 4));
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, RunTrialsAggregatesAreThreadCountInvariant) {
+  const auto run = [](int num_threads) {
+    ScopedThreads scope(num_threads);
+    return exp::run_trials(8, 2026, [](Rng& rng) {
+      workload::WorkloadParams params;
+      params.num_sellers = 5;
+      params.num_buyers = 40;
+      const auto market = workload::generate_market(params, rng);
+      return exp::two_stage_metrics(market);
+    });
+  };
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  ASSERT_EQ(serial.num_trials(), parallel.num_trials());
+  const auto names = serial.metric_names();
+  ASSERT_EQ(names, parallel.metric_names());
+  for (const auto& name : names) {
+    SCOPED_TRACE(name);
+    EXPECT_EQ(serial.mean(name), parallel.mean(name));
+    EXPECT_EQ(serial.stderror(name), parallel.stderror(name));
+  }
+}
+
+TEST(IncrementalMwisTest, MatchesRescanReferenceAcrossDensities) {
+  // Edge probabilities straddling the dense/sparse strategy threshold, so
+  // both the incremental-heap and the word-parallel-scan paths are compared
+  // against the preserved pre-change implementation.
+  constexpr double kEdgeProbabilities[] = {0.0, 0.01, 0.05, 0.15, 0.4, 0.8};
+  Rng rng(77);
+  for (double p : kEdgeProbabilities) {
+    for (std::size_t n : {1u, 17u, 130u}) {
+      const auto graph = graph::erdos_renyi(n, p, rng);
+      std::vector<double> weights(n);
+      for (double& w : weights) w = rng.uniform();
+      DynamicBitset candidates(n);
+      for (std::size_t v = 0; v < n; ++v)
+        if (rng.uniform() < 0.9) candidates.set(v);
+      for (graph::MwisAlgorithm algorithm :
+           {graph::MwisAlgorithm::kGwmin, graph::MwisAlgorithm::kGwmin2}) {
+        SCOPED_TRACE(testing::Message() << "n=" << n << " p=" << p
+                                        << " alg=" << to_string(algorithm));
+        const auto fast = solve_mwis(graph, weights, candidates, algorithm);
+        const auto reference =
+            solve_mwis_rescan(graph, weights, candidates, algorithm);
+        EXPECT_EQ(fast, reference);
+      }
+    }
+  }
+}
+
+TEST(IncrementalMwisTest, HandlesZeroAndNegativeWeights) {
+  Rng rng(5);
+  const auto graph = graph::erdos_renyi(40, 0.1, rng);
+  std::vector<double> weights(40);
+  for (std::size_t v = 0; v < weights.size(); ++v)
+    weights[v] = (v % 3 == 0) ? -rng.uniform() : (v % 3 == 1 ? 0.0
+                                                             : rng.uniform());
+  DynamicBitset candidates(40);
+  for (std::size_t v = 0; v < 40; ++v) candidates.set(v);
+  for (graph::MwisAlgorithm algorithm :
+       {graph::MwisAlgorithm::kGwmin, graph::MwisAlgorithm::kGwmin2}) {
+    EXPECT_EQ(solve_mwis(graph, weights, candidates, algorithm),
+              solve_mwis_rescan(graph, weights, candidates, algorithm));
+  }
+}
+
+}  // namespace
+}  // namespace specmatch

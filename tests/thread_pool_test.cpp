@@ -1,0 +1,151 @@
+// Unit tests for the engine thread pool: coverage and exactly-once semantics
+// of parallel_for, the serial escape hatch, exception propagation, nested
+// use (parallel_for inside parallel_for, submit inside a task), and the
+// global pool's reaction to the SPECMATCH_THREADS knob.
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace specmatch {
+namespace {
+
+TEST(ThreadPoolTest, SingleLanePoolRunsInAscendingOrderInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::vector<std::size_t> order;
+  pool.parallel_for(3, 9, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{3, 4, 5, 6, 7, 8}));
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoOp) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.parallel_for(5, 5, [&](std::size_t) { ++calls; });
+  pool.parallel_for(7, 2, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  constexpr std::size_t kRange = 10'000;
+  std::vector<std::atomic<int>> hits(kRange);
+  pool.parallel_for(0, kRange, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kRange; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, PerIndexSlotsGiveDeterministicResults) {
+  // The engine's contract: writing to result[i] from iteration i produces
+  // the same output as the serial loop, regardless of lane count.
+  constexpr std::size_t kRange = 257;
+  std::vector<int> serial(kRange), parallel(kRange);
+  ThreadPool one(1), many(4);
+  one.parallel_for(0, kRange,
+                   [&](std::size_t i) { serial[i] = static_cast<int>(i * i); });
+  many.parallel_for(
+      0, kRange, [&](std::size_t i) { parallel[i] = static_cast<int>(i * i); });
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [](std::size_t i) {
+                                   if (i == 37)
+                                     throw std::runtime_error("boom 37");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionDoesNotPoisonThePool) {
+  ThreadPool pool(4);
+  try {
+    pool.parallel_for(0, 8, [](std::size_t) {
+      throw std::runtime_error("every iteration fails");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "every iteration fails");
+  }
+  // The pool keeps working after a throwing parallel_for.
+  std::atomic<int> sum{0};
+  pool.parallel_for(0, 10, [&](std::size_t i) { sum += static_cast<int>(i); });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, SerialPathExceptionPropagates) {
+  ThreadPool pool(1);
+  EXPECT_THROW(
+      pool.parallel_for(0, 3, [](std::size_t) { throw std::logic_error("s"); }),
+      std::logic_error);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  constexpr std::size_t kOuter = 16;
+  constexpr std::size_t kInner = 64;
+  std::vector<std::atomic<int>> counts(kOuter);
+  pool.parallel_for(0, kOuter, [&](std::size_t o) {
+    // Runs inline on whichever lane executes iteration o; must not try to
+    // re-enter the pool and wait on itself.
+    pool.parallel_for(0, kInner, [&](std::size_t) { ++counts[o]; });
+  });
+  for (std::size_t o = 0; o < kOuter; ++o)
+    EXPECT_EQ(counts[o].load(), static_cast<int>(kInner));
+}
+
+TEST(ThreadPoolTest, NestedSubmitIsAccepted) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  pool.submit([&] {
+    ++ran;
+    pool.submit([&] { ++ran; });
+  });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPoolTest, SubmitOnSingleLanePoolRunsInline) {
+  ThreadPool pool(1);
+  bool ran = false;
+  pool.submit([&] { ran = true; });
+  EXPECT_TRUE(ran);  // no workers: submit executes before returning
+}
+
+TEST(ThreadPoolTest, WaitIdleDrainsTheQueue) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int t = 0; t < 64; ++t) pool.submit([&] { ++done; });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolTest, FreeParallelForTracksTheConfigKnob) {
+  auto& config = SpecmatchConfig::global();
+  const int saved = config.num_threads;
+
+  config.num_threads = 1;
+  EXPECT_EQ(ThreadPool::global().num_threads(), 1u);
+  std::vector<std::size_t> order;
+  parallel_for(0, 4, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3}));
+
+  config.num_threads = 3;
+  EXPECT_EQ(ThreadPool::global().num_threads(), 3u);
+  std::atomic<int> calls{0};
+  parallel_for(0, 100, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 100);
+
+  config.num_threads = saved;
+  (void)ThreadPool::global();  // restore the pool for later tests
+}
+
+}  // namespace
+}  // namespace specmatch

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Perf harness driver.
+#
+# Default mode: configure + build a Release tree in build-bench/, run the
+# micro_core google-benchmark suite plus the core perf trajectory, and
+# refresh BENCH_core.json at the repository root. A small fig8 run prints
+# the paper's running-time panel for eyeballing.
+#
+#   tools/run_bench.sh                 # full perf run, writes BENCH_core.json
+#   tools/run_bench.sh --smoke BINDIR  # smoke: run every bench binary in
+#                                      # BINDIR at SPECMATCH_TRIALS=1 (the
+#                                      # bench_smoke ctest)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+if [[ "${1:-}" == "--smoke" ]]; then
+  bindir="${2:?usage: run_bench.sh --smoke BINDIR}"
+  export SPECMATCH_TRIALS="${SPECMATCH_TRIALS:-1}"
+  export SPECMATCH_BENCH_SMOKE="${SPECMATCH_BENCH_SMOKE:-1}"
+  tmpdir="$(mktemp -d)"
+  trap 'rm -rf "$tmpdir"' EXIT
+  status=0
+  for bench in fig6_optimal_vs_matching fig7_stage_welfare fig8_running_time \
+               ablation_transition_rules ablation_mwis ablation_rescreen \
+               ablation_swap baseline_auction ablation_topology \
+               ablation_bundles ablation_manipulation dynamic_market \
+               ablation_proposing_side fault_injection ablation_pricing; do
+    if [[ ! -x "$bindir/$bench" ]]; then
+      echo "bench_smoke: MISSING $bench" >&2
+      status=1
+      continue
+    fi
+    echo "bench_smoke: $bench"
+    if ! "$bindir/$bench" > "$tmpdir/$bench.log" 2>&1; then
+      echo "bench_smoke: FAILED $bench" >&2
+      tail -n 30 "$tmpdir/$bench.log" >&2
+      status=1
+    fi
+  done
+  # micro_core: one tiny google-benchmark case, then the (smoke-sized) core
+  # trajectory, JSON to the temp dir so the checked-in record is untouched.
+  echo "bench_smoke: micro_core"
+  if ! SPECMATCH_BENCH_JSON="$tmpdir/BENCH_core.json" \
+       "$bindir/micro_core" --benchmark_filter='BM_BitsetIntersects/64' \
+       --benchmark_min_time=0.01 > "$tmpdir/micro_core.log" 2>&1; then
+    echo "bench_smoke: FAILED micro_core" >&2
+    tail -n 30 "$tmpdir/micro_core.log" >&2
+    status=1
+  fi
+  grep -q '"bench": "two_stage"' "$tmpdir/BENCH_core.json" || {
+    echo "bench_smoke: BENCH_core.json missing two_stage records" >&2
+    status=1
+  }
+  exit "$status"
+fi
+
+build_dir="$repo_root/build-bench"
+cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$build_dir" -j"$(nproc)" --target micro_core fig8_running_time
+
+# Full micro suite + the core trajectory; the JSON lands at the repo root so
+# perf changes show up in review diffs.
+SPECMATCH_BENCH_JSON="$repo_root/BENCH_core.json" \
+  "$build_dir/bench/micro_core" "$@"
+echo
+echo "== fig8 running-time panel (SPECMATCH_TRIALS=${SPECMATCH_TRIALS:-5}) =="
+SPECMATCH_TRIALS="${SPECMATCH_TRIALS:-5}" "$build_dir/bench/fig8_running_time"
