@@ -4,15 +4,18 @@
 // timer + JSON writer behind BENCH_core.json.
 #pragma once
 
+#include <cerrno>
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
 #include "common/table.hpp"
 #include "workload/generator.hpp"
 
@@ -60,13 +63,29 @@ struct BenchRecord {
   int rounds = 0;
 };
 
-/// Writes the records as a JSON array (the schema consumed by the perf
-/// tracking scripts; see tools/run_bench.sh).
-inline void write_bench_json(const std::string& path,
-                             const std::vector<BenchRecord>& records) {
+/// Writes the bench JSON (the schema consumed by the perf tracking scripts;
+/// see tools/run_bench.sh and docs/OBSERVABILITY.md): an object with the
+/// wall-clock "records" array plus, when a metrics snapshot is passed, a
+/// "metrics" section of the algorithmic counters/gauges/histograms.
+///
+/// Fails loudly — clear stderr message naming the path and OS error, then a
+/// CheckError (non-zero exit in every bench main) — on an unwritable or
+/// invalid output path; a perf record silently lost to a typo'd path is
+/// worse than a dead run.
+inline void write_bench_json(
+    const std::string& path, const std::vector<BenchRecord>& records,
+    const metrics::Snapshot* metrics_snapshot = nullptr) {
+  errno = 0;
   std::ofstream out(path);
-  SPECMATCH_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
-  out << "[\n";
+  if (!out.good()) {
+    const std::string reason =
+        errno != 0 ? std::strerror(errno) : "stream open failed";
+    std::cerr << "ERROR: cannot open bench JSON output '" << path
+              << "' for writing: " << reason << "\n";
+    SPECMATCH_CHECK_MSG(false, "cannot open bench JSON output '"
+                                   << path << "': " << reason);
+  }
+  out << "{\n\"schema\": \"specmatch-bench-v2\",\n\"records\": [\n";
   for (std::size_t r = 0; r < records.size(); ++r) {
     const BenchRecord& rec = records[r];
     out << "  {\"bench\": \"" << rec.bench << "\", \"M\": " << rec.M
@@ -75,8 +94,20 @@ inline void write_bench_json(const std::string& path,
         << rec.wall_ms << ", \"rounds\": " << rec.rounds << "}"
         << (r + 1 < records.size() ? "," : "") << "\n";
   }
-  out << "]\n";
-  SPECMATCH_CHECK_MSG(out.good(), "failed writing " << path);
+  out << "]";
+  if (metrics_snapshot != nullptr) {
+    out << ",\n\"metrics\": ";
+    metrics::write_json(out, *metrics_snapshot);
+  } else {
+    out << "\n";
+  }
+  out << "}\n";
+  out.flush();
+  if (!out.good()) {
+    std::cerr << "ERROR: failed writing bench JSON to '" << path << "'\n";
+    SPECMATCH_CHECK_MSG(false, "failed writing bench JSON to '" << path
+                                                                << "'");
+  }
 }
 
 /// Paper-style workload: one virtual channel per seller, one virtual buyer

@@ -14,10 +14,14 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "bench_util.hpp"
 #include "common/bitset.hpp"
 #include "common/config.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 #include "dist/runtime.hpp"
 #include "graph/generators.hpp"
 #include "graph/mwis.hpp"
@@ -221,9 +225,34 @@ void run_core_trajectory() {
                        static_cast<int>(chosen.count())});
   }
 
-  bench::write_bench_json(json_path, records);
-  std::cout << "\nwrote " << records.size() << " perf records to " << json_path
-            << "\n";
+  if (metrics::enabled()) {
+    // Exercise the dist runtime once so the snapshot always carries message
+    // counters, even when the google-benchmark dist cases were filtered out
+    // (the smoke run keeps only one bitset case).
+    (void)dist::run_distributed(make_market(smoke ? 3 : 5, smoke ? 15 : 20));
+    const metrics::Snapshot snapshot = metrics::Registry::global().snapshot();
+    bench::write_bench_json(json_path, records, &snapshot);
+    std::cout << "\nwrote " << records.size() << " perf records + "
+              << snapshot.counters.size() << " counters to " << json_path
+              << "\n";
+  } else {
+    bench::write_bench_json(json_path, records);
+    std::cout << "\nwrote " << records.size() << " perf records to "
+              << json_path << "\n";
+  }
+
+  if (trace::enabled()) {
+    const char* trace_env = std::getenv("SPECMATCH_TRACE_OUT");
+    const std::string trace_path =
+        (trace_env != nullptr && trace_env[0] != '\0') ? trace_env
+                                                       : "specmatch_trace.json";
+    std::ofstream trace_out(trace_path);
+    SPECMATCH_CHECK_MSG(trace_out.good(),
+                        "cannot open trace output " << trace_path);
+    trace::Tracer::global().write_chrome_json(trace_out);
+    std::cout << "wrote " << trace::Tracer::global().snapshot().size()
+              << " spans to " << trace_path << "\n";
+  }
 }
 
 }  // namespace
@@ -234,6 +263,12 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  specmatch::run_core_trajectory();
+  try {
+    specmatch::run_core_trajectory();
+  } catch (const std::exception& error) {
+    std::cerr << "micro_core: core trajectory failed: " << error.what()
+              << "\n";
+    return 1;
+  }
   return 0;
 }

@@ -17,7 +17,45 @@ int initial_num_threads() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+/// The knob registry backing known_env_knobs(). Keep one entry per
+/// SPECMATCH_* variable the codebase or build reads; docs_check fails when a
+/// documented knob is missing from this file.
+constexpr EnvKnob kKnownEnvKnobs[] = {
+    {"SPECMATCH_THREADS",
+     "engine thread-pool lanes; 1 = exact serial path (common/config.cpp)"},
+    {"SPECMATCH_METRICS",
+     "enable the metrics registry; counters/gauges/histograms record and the "
+     "benches export them (common/metrics.cpp)"},
+    {"SPECMATCH_METRICS_OUT",
+     "path for the per-trial metrics JSONL dump written by exp::run_trials "
+     "when metrics are enabled (exp/experiment.cpp)"},
+    {"SPECMATCH_TRACE",
+     "enable the scoped-span tracer (common/trace.cpp)"},
+    {"SPECMATCH_TRACE_OUT",
+     "path for the chrome-trace JSON dumped by micro_core when tracing is "
+     "enabled (bench/micro_core.cpp)"},
+    {"SPECMATCH_TRIALS",
+     "override every bench harness's trials-per-point (bench/bench_util.hpp)"},
+    {"SPECMATCH_CSV",
+     "benches additionally print machine-readable CSV panels "
+     "(bench/bench_util.hpp)"},
+    {"SPECMATCH_BENCH_JSON",
+     "output path of the micro_core perf JSON, default BENCH_core.json "
+     "(bench/micro_core.cpp)"},
+    {"SPECMATCH_BENCH_SMOKE",
+     "shrink the micro_core core trajectory to smoke size "
+     "(bench/micro_core.cpp)"},
+    {"SPECMATCH_BENCH_THREADS",
+     "parallel lane count of the micro_core trajectory, default 4 "
+     "(bench/micro_core.cpp)"},
+    {"SPECMATCH_SANITIZE",
+     "CMake option (not an env var): build with address/undefined/thread "
+     "sanitizer (CMakeLists.txt)"},
+};
+
 }  // namespace
+
+std::span<const EnvKnob> known_env_knobs() { return kKnownEnvKnobs; }
 
 SpecmatchConfig& SpecmatchConfig::global() {
   static SpecmatchConfig config{initial_num_threads()};

@@ -3,9 +3,27 @@
 // One process-wide knob object so every subsystem (thread pool, parallel
 // Stage-I/II selection, trial runner, benches) agrees on how much hardware
 // to use without threading a parameter through every call site.
+//
+// This header also hosts the canonical registry of every SPECMATCH_* knob
+// (environment variables plus the SPECMATCH_SANITIZE CMake option) —
+// known_env_knobs() below. tools/docs_check.sh verifies that every knob
+// mentioned in the documentation appears here, so the registry cannot drift
+// from the docs.
 #pragma once
 
+#include <span>
+
 namespace specmatch {
+
+/// One SPECMATCH_* configuration knob: its name and where it is read.
+struct EnvKnob {
+  const char* name;
+  const char* description;
+};
+
+/// Every recognised SPECMATCH_* knob. Add new knobs here (with the module
+/// that reads them) so docs_check keeps docs and code in sync.
+std::span<const EnvKnob> known_env_knobs();
 
 struct SpecmatchConfig {
   /// Worker threads used by the parallel engine. 1 selects the exact serial

@@ -1,0 +1,140 @@
+// Lightweight, zero-dependency metrics: named counters, gauges, and
+// histograms behind a process-wide thread-safe registry.
+//
+// The whole layer is gated on one relaxed atomic flag, initialised from the
+// SPECMATCH_METRICS environment variable (non-empty and not "0" enables it).
+// When disabled, every recording entry point is a single relaxed load plus a
+// predicted-not-taken branch — the algorithm hot paths stay effectively
+// free. When enabled, instruments are created on first use and live for the
+// process lifetime, so references handed out by the registry stay valid; hot
+// loops (e.g. the MWIS pick loop) accumulate locally and flush once per call.
+//
+// Recording never affects algorithm results: counters feed only the JSON /
+// CSV snapshots exported by the bench harness and the experiment runner.
+// All instruments are safe to record from any thread, including the engine
+// thread pool's workers; counter totals are exact under concurrency.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace specmatch::metrics {
+
+/// Global on/off switch (initialised from SPECMATCH_METRICS).
+bool enabled();
+/// Overrides the switch at runtime (tests, benches). Not synchronised with
+/// in-flight recording; flip it between runs.
+void set_enabled(bool on);
+
+/// Monotonic counter. Totals are exact under concurrent add().
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Distribution summary: count / sum / min / max plus power-of-two buckets
+/// (bucket b counts values in [2^(b-1), 2^b), bucket 0 counts values < 1).
+/// record() takes a mutex — fine for the per-round / per-solve rates the
+/// engine records at; don't put it on a per-edge path.
+class Histogram {
+ public:
+  static constexpr std::size_t kNumBuckets = 24;
+
+  void record(double value);
+
+  struct Summary {
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::vector<std::uint64_t> buckets;  // kNumBuckets entries
+
+    double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  };
+  Summary summary() const;
+  void reset();
+
+ private:
+  mutable std::atomic_flag lock_ = ATOMIC_FLAG_INIT;  // tiny critical section
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t buckets_[kNumBuckets] = {};
+};
+
+/// Point-in-time copy of every registered instrument, names sorted.
+struct Snapshot {
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, Histogram::Summary>> histograms;
+
+  /// Counter value by name; 0 when absent.
+  std::int64_t counter(std::string_view name) const;
+};
+
+/// The process-wide instrument registry. Instruments are identified by name
+/// ("stage1.rounds"); the first lookup creates them. Returned references are
+/// stable for the process lifetime.
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  Snapshot snapshot() const;
+  /// Zeroes every instrument (registration is kept). Tests / per-run scoping.
+  void reset_all();
+
+ private:
+  struct Impl;
+  Registry();
+  Impl* impl_;
+};
+
+/// Convenience recorders: no-ops (one relaxed load) when metrics are off.
+inline void count(std::string_view name, std::int64_t delta = 1) {
+  if (enabled()) Registry::global().counter(name).add(delta);
+}
+inline void gauge_set(std::string_view name, double value) {
+  if (enabled()) Registry::global().gauge(name).set(value);
+}
+inline void observe(std::string_view name, double value) {
+  if (enabled()) Registry::global().histogram(name).record(value);
+}
+
+/// Serialises a snapshot as one JSON object:
+/// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+/// min, max, mean, buckets}}}. Names are emitted verbatim (instrument names
+/// use [a-z0-9._] by convention).
+void write_json(std::ostream& out, const Snapshot& snapshot);
+/// CSV rows: kind,name,count,sum,min,max (counters/gauges fill count only).
+void write_csv(std::ostream& out, const Snapshot& snapshot);
+
+}  // namespace specmatch::metrics

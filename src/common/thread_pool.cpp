@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
 
 namespace specmatch {
 
@@ -8,6 +9,7 @@ thread_local bool ThreadPool::t_in_worker = false;
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   SPECMATCH_CHECK_MSG(num_threads >= 1, "ThreadPool needs >= 1 lane");
+  metrics::gauge_set("pool.lanes", static_cast<double>(num_threads));
   workers_.reserve(num_threads - 1);
   for (std::size_t i = 0; i + 1 < num_threads; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -23,16 +25,21 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  metrics::count("pool.tasks");
   if (workers_.empty()) {
     // Serial pool: run inline so SPECMATCH_THREADS=1 is the exact serial
     // path with no queueing machinery in the way.
     task();
     return;
   }
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
+    depth = queue_.size();
   }
+  if (metrics::enabled())
+    metrics::observe("pool.queue_depth", static_cast<double>(depth));
   work_available_.notify_one();
 }
 

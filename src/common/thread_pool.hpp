@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/metrics.hpp"
 
 namespace specmatch {
 
@@ -62,6 +63,7 @@ class ThreadPool {
       for (std::size_t i = begin; i < end; ++i) fn(i);
       return;
     }
+    metrics::count("pool.parallel_for_dispatches");
     const std::size_t helpers = std::min(end - begin - 1, workers_.size());
     auto state = std::make_shared<ForState>(helpers + 1, begin, end);
     auto run_lane = [state, &fn](std::size_t lane) {

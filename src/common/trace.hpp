@@ -1,0 +1,85 @@
+// Scoped-span tracing: wall-clock timing of named regions (a Stage-I round,
+// a Phase-1 snapshot solve, one trial) into a bounded in-memory buffer.
+//
+// Gated on SPECMATCH_TRACE exactly like the metrics layer is on
+// SPECMATCH_METRICS: when off, constructing a ScopedSpan is one relaxed load
+// and no clock is read. Spans record {name, start, duration, lane} with
+// nanosecond resolution relative to the first span of the process; the
+// buffer is mutex-protected (spans end at per-round / per-phase rates) and
+// capped so a runaway loop cannot exhaust memory — overflow is counted, not
+// silently dropped.
+//
+// Export: write_chrome_json emits the chrome://tracing / Perfetto "trace
+// event" array format, so a dump opens directly in a trace viewer.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace specmatch::trace {
+
+/// Global on/off switch (initialised from SPECMATCH_TRACE).
+bool enabled();
+/// Overrides the switch at runtime (tests, benches). Flip it between runs.
+void set_enabled(bool on);
+
+/// One completed span. Times are nanoseconds on the steady clock, relative
+/// to the tracer's epoch (the first event after process start or clear()).
+struct Span {
+  std::string name;
+  std::int64_t start_ns = 0;
+  std::int64_t duration_ns = 0;
+  int lane = 0;        ///< small per-thread id (0 = first recording thread)
+  std::int64_t arg = 0;  ///< optional payload (round number, set size, ...)
+};
+
+class Tracer {
+ public:
+  /// Buffer cap: spans recorded past this are dropped (and counted).
+  static constexpr std::size_t kMaxSpans = 1 << 20;
+
+  static Tracer& global();
+
+  void record(Span span);
+  std::vector<Span> snapshot() const;
+  std::size_t dropped() const;
+  void clear();
+
+  /// Chrome trace-event JSON ("X" complete events, microsecond timestamps);
+  /// loads in chrome://tracing or ui.perfetto.dev.
+  void write_chrome_json(std::ostream& out) const;
+
+ private:
+  struct Impl;
+  Tracer();
+  Impl* impl_;
+};
+
+/// RAII span: times its scope and records into Tracer::global() when tracing
+/// is enabled. The name must outlive the scope (string literals).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name, std::int64_t arg = 0);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Updates the span payload before it is recorded (e.g. a round count
+  /// known only at scope exit).
+  void set_arg(std::int64_t arg) { arg_ = arg; }
+
+  /// Records the span now (for phases that end mid-scope); the destructor
+  /// then does nothing. Idempotent.
+  void end();
+
+ private:
+  std::string_view name_;
+  std::int64_t start_ns_ = -1;  ///< -1 = tracing was off at construction
+  std::int64_t arg_ = 0;
+};
+
+}  // namespace specmatch::trace

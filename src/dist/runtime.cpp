@@ -1,13 +1,17 @@
 #include "dist/runtime.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 namespace specmatch::dist {
 
 DistResult run_distributed(const market::SpectrumMarket& market,
                            const DistConfig& config) {
+  trace::ScopedSpan run_span("dist.run");
   const int M = market.num_channels();
   const int N = market.num_buyers();
   SPECMATCH_CHECK(config.min_message_delay >= 0 &&
@@ -161,6 +165,30 @@ DistResult run_distributed(const market::SpectrumMarket& market,
             result.matching.seller_of(j),
         "buyer " << j << " believes " << buyers[static_cast<std::size_t>(j)].matched_to()
                  << " but sellers say " << result.matching.seller_of(j));
+  }
+  run_span.set_arg(result.slots);
+  // Bulk flush after the run — the slotted hot loop itself is untouched
+  // (the Network already counts traffic; this just publishes its totals).
+  if (metrics::enabled()) {
+    metrics::count("dist.runs");
+    metrics::count("dist.slots", result.slots);
+    metrics::count("dist.stage1_slots", result.last_stage1_slot + 1);
+    metrics::count("dist.messages", result.messages);
+    metrics::count("dist.data_messages", result.data_messages);
+    metrics::count("dist.transmissions", result.transmissions);
+    metrics::count("dist.losses", result.losses);
+    metrics::count("dist.crashed_buyers", result.crashed_buyers);
+    metrics::count("dist.stale_conflicts", result.stale_conflicts);
+    for (std::size_t t = 0; t < result.messages_by_type.size(); ++t) {
+      std::string name = "dist.msg.";
+      name += to_string(static_cast<MsgType>(t));
+      metrics::count(name, result.messages_by_type[t]);
+    }
+    metrics::observe("dist.slots_to_termination",
+                     static_cast<double>(result.slots));
+    metrics::observe("dist.messages_per_agent",
+                     static_cast<double>(result.messages) /
+                         static_cast<double>(M + N));
   }
   return result;
 }

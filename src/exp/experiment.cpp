@@ -1,9 +1,45 @@
 #include "exp/experiment.hpp"
 
+#include <cstdlib>
+#include <fstream>
+
 #include "common/check.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 
 namespace specmatch::exp {
+
+namespace {
+
+/// SPECMATCH_METRICS_OUT: when metrics are enabled and this names a path,
+/// run_trials appends one JSON object per trial (JSON-lines, so many
+/// harness invocations can share the file). Schema: {"base_seed": s,
+/// "trial": t, "metrics": {name: value, ...}}.
+void dump_trial_metrics(std::uint64_t base_seed,
+                        const std::vector<Metrics>& results) {
+  const char* path = std::getenv("SPECMATCH_METRICS_OUT");
+  if (path == nullptr || path[0] == '\0' || !metrics::enabled()) return;
+  std::ofstream out(path, std::ios::app);
+  SPECMATCH_CHECK_MSG(out.good(), "cannot open SPECMATCH_METRICS_OUT path '"
+                                      << path << "' for appending");
+  for (std::size_t t = 0; t < results.size(); ++t) {
+    out << "{\"base_seed\": " << base_seed << ", \"trial\": " << t
+        << ", \"metrics\": {";
+    bool first = true;
+    for (const auto& [name, value] : results[t]) {
+      out << (first ? "" : ", ") << "\"" << name << "\": " << value;
+      first = false;
+    }
+    out << "}}\n";
+  }
+  out.flush();
+  SPECMATCH_CHECK_MSG(out.good(),
+                      "failed writing SPECMATCH_METRICS_OUT path '" << path
+                                                                    << "'");
+}
+
+}  // namespace
 
 void TrialAggregator::add(const Metrics& metrics) {
   ++trials_;
@@ -43,9 +79,12 @@ TrialAggregator run_trials(int trials, std::uint64_t base_seed,
   // order afterwards keeps every mean/stderr identical to the serial run.
   std::vector<Metrics> results(static_cast<std::size_t>(trials));
   parallel_for(0, static_cast<std::size_t>(trials), [&](std::size_t t) {
+    trace::ScopedSpan span("exp.trial", static_cast<std::int64_t>(t));
     Rng rng(base_seed + static_cast<std::uint64_t>(t) * 0x9e3779b9ULL);
     results[t] = trial(rng);
   });
+  metrics::count("exp.trials", trials);
+  dump_trial_metrics(base_seed, results);
   TrialAggregator aggregator;
   for (const Metrics& metrics : results) aggregator.add(metrics);
   return aggregator;

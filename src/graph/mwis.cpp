@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
 
 namespace specmatch::graph {
 
@@ -29,6 +30,17 @@ double set_weight(std::span<const double> weights,
 }
 
 namespace {
+
+/// Per-solve work counters, accumulated locally (plain increments on the
+/// pick loop) and flushed to the metrics registry once per solve_mwis call.
+/// A null pointer (metrics disabled) keeps the loops free of even the
+/// increment.
+struct GreedyWork {
+  std::uint64_t picks = 0;       ///< vertices chosen into the set
+  std::uint64_t heap_pops = 0;   ///< incremental path: entries popped
+  std::uint64_t stale_pops = 0;  ///< incremental path: version-stale skips
+  std::uint64_t scan_evals = 0;  ///< scan path: score evaluations
+};
 
 /// GWMIN pick score: w(v) / (deg_R(v) + 1). The allocating variant is the
 /// preserved pre-change implementation (solve_mwis_rescan baseline); the
@@ -153,9 +165,12 @@ struct Gwmin2Incremental {
 /// exactly those, with values bit-identical to a full rescan (same operands,
 /// same summation order). Stale heap entries are skipped via a per-vertex
 /// version counter.
-template <typename Policy>
+/// `kCounting` is a compile-time switch so the metrics-off instantiation is
+/// the exact pre-instrumentation loop — no per-pop null checks or register
+/// pressure (the off-mode wall time is part of the perf acceptance bar).
+template <bool kCounting, typename Policy>
 DynamicBitset greedy(const InterferenceGraph& graph, DynamicBitset remaining,
-                     Policy policy) {
+                     Policy policy, GreedyWork* work = nullptr) {
   const std::size_t n = graph.num_vertices();
   DynamicBitset chosen(n);
   if (remaining.none()) return chosen;
@@ -187,9 +202,14 @@ DynamicBitset greedy(const InterferenceGraph& graph, DynamicBitset remaining,
     SPECMATCH_DCHECK(!heap.empty());
     const Entry top = heap.top();
     heap.pop();
+    if constexpr (kCounting) ++work->heap_pops;
     const std::size_t v = top.vertex;
-    if (!remaining.test(v) || top.version != version[v]) continue;  // stale
+    if (!remaining.test(v) || top.version != version[v]) {  // stale
+      if constexpr (kCounting) ++work->stale_pops;
+      continue;
+    }
 
+    if constexpr (kCounting) ++work->picks;
     chosen.set(v);
     DynamicBitset removed =
         graph.neighbors(static_cast<BuyerId>(v)) & remaining;
@@ -214,11 +234,16 @@ DynamicBitset greedy(const InterferenceGraph& graph, DynamicBitset remaining,
 /// Picks the identical vertex sequence as the incremental skeleton: both
 /// take the highest score with ties to the lowest index, and the score
 /// values agree bit-for-bit.
-template <typename ScoreFn>
+template <bool kCounting = false, typename ScoreFn>
 DynamicBitset greedy_scan(const InterferenceGraph& graph,
-                          DynamicBitset remaining, const ScoreFn& score) {
+                          DynamicBitset remaining, const ScoreFn& score,
+                          GreedyWork* work = nullptr) {
   DynamicBitset chosen(graph.num_vertices());
   while (remaining.any()) {
+    if constexpr (kCounting) {  // one popcount per pick, off the inner loop
+      ++work->picks;
+      work->scan_evals += remaining.count();
+    }
     double best_score = -std::numeric_limits<double>::infinity();
     std::size_t best_v = remaining.size();
     remaining.for_each_set([&](std::size_t v) {
@@ -327,29 +352,66 @@ DynamicBitset solve_mwis(const InterferenceGraph& graph,
       graph.num_vertices() > 0 &&
       2 * graph.num_edges() >= kScanDegreeThreshold * graph.num_vertices();
 
+  GreedyWork work;
+  GreedyWork* wp = metrics::enabled() ? &work : nullptr;
+  // Dispatch once on (algorithm, density, counting); the counting=false
+  // instantiations are the uninstrumented loops, so metrics-off runs pay
+  // nothing inside the pick loop.
+  const auto run_greedy = [&](auto policy, auto scan_score) {
+    if (dense) {
+      return wp != nullptr
+                 ? greedy_scan<true>(graph, std::move(viable), scan_score, wp)
+                 : greedy_scan(graph, std::move(viable), scan_score);
+    }
+    return wp != nullptr
+               ? greedy<true>(graph, std::move(viable), std::move(policy), wp)
+               : greedy<false>(graph, std::move(viable), std::move(policy));
+  };
+  DynamicBitset chosen(graph.num_vertices());
+  bool solved = false;
   switch (algorithm) {
     case MwisAlgorithm::kGwmin:
-      if (dense)
-        return greedy_scan(graph, std::move(viable),
-                           GwminScanScore{graph, weights});
-      return greedy(graph, std::move(viable),
-                    GwminIncremental{graph, weights, {}});
+      chosen = run_greedy(GwminIncremental{graph, weights, {}},
+                          GwminScanScore{graph, weights});
+      solved = true;
+      break;
     case MwisAlgorithm::kGwmin2:
-      if (dense)
-        return greedy_scan(graph, std::move(viable),
-                           Gwmin2ScanScore{graph, weights});
-      return greedy(graph, std::move(viable),
-                    Gwmin2Incremental{graph, weights});
+      chosen = run_greedy(Gwmin2Incremental{graph, weights},
+                          Gwmin2ScanScore{graph, weights});
+      solved = true;
+      break;
     case MwisAlgorithm::kExact: {
       ExactSearch search{graph, weights, 0, 0.0,
                          DynamicBitset(graph.num_vertices())};
       search.run(std::move(viable), DynamicBitset(graph.num_vertices()), 0.0);
       if (stats != nullptr) stats->nodes_explored = search.nodes;
-      return search.best;
+      if (wp != nullptr)
+        metrics::count("mwis.exact_nodes",
+                       static_cast<std::int64_t>(search.nodes));
+      work.picks = search.best.count();
+      chosen = search.best;
+      solved = true;
+      break;
     }
   }
-  SPECMATCH_CHECK_MSG(false, "unreachable MWIS algorithm");
-  return DynamicBitset(graph.num_vertices());
+  SPECMATCH_CHECK_MSG(solved, "unreachable MWIS algorithm");
+  if (wp != nullptr) {
+    metrics::count("mwis.calls");
+    metrics::count("mwis.picks", static_cast<std::int64_t>(work.picks));
+    if (algorithm != MwisAlgorithm::kExact) {
+      if (dense) {
+        metrics::count("mwis.fallback_scans");
+        metrics::count("mwis.scan_score_evals",
+                       static_cast<std::int64_t>(work.scan_evals));
+      } else {
+        metrics::count("mwis.heap_pops",
+                       static_cast<std::int64_t>(work.heap_pops));
+        metrics::count("mwis.stale_pops",
+                       static_cast<std::int64_t>(work.stale_pops));
+      }
+    }
+  }
+  return chosen;
 }
 
 DynamicBitset solve_mwis_rescan(const InterferenceGraph& graph,

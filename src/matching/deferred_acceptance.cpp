@@ -1,7 +1,9 @@
 #include "matching/deferred_acceptance.hpp"
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 #include "market/preferences.hpp"
 
 namespace specmatch::matching {
@@ -13,6 +15,7 @@ StageIResult run_deferred_acceptance(const market::SpectrumMarket& market,
 
   StageIResult result;
   result.matching = Matching(M, N);
+  trace::ScopedSpan stage_span("stage1");
 
   // A_j: unproposed sellers, materialised as a preference-ordered list plus a
   // cursor (proposals never revisit a seller, Algorithm 1 line 9).
@@ -43,6 +46,7 @@ StageIResult run_deferred_acceptance(const market::SpectrumMarket& market,
     }
     if (!any_proposal) break;
     ++result.rounds;
+    trace::ScopedSpan round_span("stage1.round", result.rounds);
 
     // Selection phase: each seller with proposers forms her most-preferred
     // coalition from waiting list plus proposers. Each seller's decision
@@ -84,6 +88,14 @@ StageIResult run_deferred_acceptance(const market::SpectrumMarket& market,
       admitted.for_each_set([&](std::size_t j) {
         result.matching.match(static_cast<BuyerId>(j), i);
       });
+      if (metrics::enabled()) {
+        metrics::observe("stage1.waiting_set_size",
+                         static_cast<double>(chosen.count()));
+        metrics::count(
+            "stage1.rejections",
+            static_cast<std::int64_t>(
+                (proposers[static_cast<std::size_t>(i)] - chosen).count()));
+      }
       proposers[static_cast<std::size_t>(i)].clear();
     }
 
@@ -101,6 +113,15 @@ StageIResult run_deferred_acceptance(const market::SpectrumMarket& market,
   }
 
   result.matching.check_consistent();
+  // One flush per run: counter totals mirror the StageIResult fields, so the
+  // registry view of a run matches what the caller already gets returned
+  // (asserted by metrics_test).
+  if (metrics::enabled()) {
+    metrics::count("stage1.runs");
+    metrics::count("stage1.rounds", result.rounds);
+    metrics::count("stage1.proposals", result.total_proposals);
+    metrics::count("stage1.evictions", result.total_evictions);
+  }
   return result;
 }
 

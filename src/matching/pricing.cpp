@@ -3,6 +3,8 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 namespace specmatch::matching {
 
@@ -33,6 +35,7 @@ market::SpectrumMarket with_bid(const market::SpectrumMarket& market,
 
 bool still_wins(const market::SpectrumMarket& market, ChannelId channel,
                 BuyerId j, double bid, const TwoStageConfig& config) {
+  metrics::count("pricing.critical_value_probes");
   const auto market_with_bid = with_bid(market, channel, j, bid);
   const auto result = run_two_stage(market_with_bid, config);
   return result.final_matching().seller_of(j) == channel;
@@ -57,6 +60,8 @@ PaymentReport pay_your_bid(const market::SpectrumMarket& market,
 PaymentReport critical_value_payments(const market::SpectrumMarket& market,
                                       const PricingConfig& config) {
   SPECMATCH_CHECK(config.tolerance > 0.0);
+  trace::ScopedSpan span("pricing.critical_value");
+  metrics::count("pricing.critical_value_reports");
   const auto base = run_two_stage(market, config.algorithm);
   const auto& matching = base.final_matching();
 

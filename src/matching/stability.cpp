@@ -1,5 +1,6 @@
 #include "matching/stability.hpp"
 
+#include "common/metrics.hpp"
 #include "market/coalition.hpp"
 #include "market/preferences.hpp"
 
@@ -29,6 +30,7 @@ bool is_individual_rational(const market::SpectrumMarket& market,
 
 std::optional<NashDeviation> find_nash_deviation(
     const market::SpectrumMarket& market, const Matching& matching) {
+  metrics::count("stability.nash_checks");
   for (BuyerId j = 0; j < market.num_buyers(); ++j) {
     const double now = matching.buyer_utility(market, j);
     for (ChannelId i = 0; i < market.num_channels(); ++i) {
@@ -38,8 +40,10 @@ std::optional<NashDeviation> find_nash_deviation(
       // 0 otherwise — the latter never beats a non-negative current utility.
       if (!market.graph(i).is_compatible(j, matching.members_of(i))) continue;
       const double there = market.utility(i, j);
-      if (there > now)
+      if (there > now) {
+        metrics::count("stability.nash_deviations_found");
         return NashDeviation{j, i, now, there};
+      }
     }
   }
   return std::nullopt;
@@ -52,6 +56,7 @@ bool is_nash_stable(const market::SpectrumMarket& market,
 
 std::optional<BlockingPair> find_blocking_pair(
     const market::SpectrumMarket& market, const Matching& matching) {
+  metrics::count("stability.blocking_pair_checks");
   for (ChannelId i = 0; i < market.num_channels(); ++i) {
     const DynamicBitset& members = matching.members_of(i);
     for (BuyerId j = 0; j < market.num_buyers(); ++j) {
@@ -76,6 +81,7 @@ std::optional<BlockingPair> find_blocking_pair(
         });
         pair.seller_gain = seller_gain;
         pair.buyer_gain = buyer_gain;
+        metrics::count("stability.blocking_pairs_found");
         return pair;
       }
     }

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 #include "graph/mwis.hpp"
 #include "matching/stability.hpp"
 
@@ -83,6 +85,7 @@ SwapResult resolve_blocking_pairs(const market::SpectrumMarket& market,
                                   const SwapConfig& config) {
   SPECMATCH_CHECK_MSG(is_interference_free(market, input),
                       "swap resolution requires an interference-free input");
+  trace::ScopedSpan span("stage3.swaps");
   SwapResult result;
   result.matching = input;
   result.welfare_before = input.social_welfare(market);
@@ -103,6 +106,7 @@ SwapResult resolve_blocking_pairs(const market::SpectrumMarket& market,
         if (price - dropped_value <= 0.0) continue;                // seller
         if (price - result.matching.buyer_utility(market, j) <= 0.0)
           continue;                                                // buyer
+        metrics::count("swap.simulations");
         const auto op = simulate(market, result.matching, i, j);
         if (op.has_value() &&
             (!best.has_value() || op->welfare_delta > best->welfare_delta))
@@ -133,6 +137,11 @@ SwapResult resolve_blocking_pairs(const market::SpectrumMarket& market,
   result.matching.check_consistent();
   SPECMATCH_CHECK(is_interference_free(market, result.matching));
   result.welfare_after = result.matching.social_welfare(market);
+  span.set_arg(result.swaps_applied);
+  if (metrics::enabled()) {
+    metrics::count("swap.swaps_applied", result.swaps_applied);
+    metrics::count("swap.relocations", result.relocations);
+  }
   return result;
 }
 

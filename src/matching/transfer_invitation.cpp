@@ -3,7 +3,9 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
+#include "common/trace.hpp"
 #include "market/coalition.hpp"
 #include "market/preferences.hpp"
 
@@ -36,6 +38,7 @@ StageIIResult run_transfer_invitation(const market::SpectrumMarket& market,
   result.matching = stage1;
 
   // ---- Phase 1: Transfer -------------------------------------------------
+  trace::ScopedSpan phase1_span("stage2.phase1");
   // T_j: strictly-better sellers, in descending-utility order with a cursor.
   // Each buyer's list reads only the (frozen) Stage-I matching and her own
   // utility row, so the lists are built concurrently.
@@ -48,6 +51,10 @@ StageIIResult run_transfer_invitation(const market::SpectrumMarket& market,
       if (market.utility(i, j) > now) better[ju].push_back(i);
     }
   });
+  if (metrics::enabled())
+    for (const auto& list : better)
+      metrics::observe("stage2.better_list_size",
+                       static_cast<double>(list.size()));
 
   // D_i: this round's applicants; rejected-ever feeds the invitation lists.
   std::vector<DynamicBitset> applicants(
@@ -121,8 +128,11 @@ StageIIResult run_transfer_invitation(const market::SpectrumMarket& market,
   }
 
   result.after_phase1 = result.matching;
+  phase1_span.set_arg(result.phase1_rounds);
+  phase1_span.end();
 
   // ---- Phase 2: Invitation -----------------------------------------------
+  trace::ScopedSpan phase2_span("stage2.phase2");
   // Screen invitation lists against the sellers' final Phase-1 members
   // (Algorithm 2 line 20).
   std::vector<DynamicBitset> invite_list(
@@ -191,8 +201,22 @@ StageIIResult run_transfer_invitation(const market::SpectrumMarket& market,
     if (!any_invitation) break;
     ++result.phase2_rounds;
   }
+  phase2_span.set_arg(result.phase2_rounds);
 
   result.matching.check_consistent();
+  // One flush per run, mirroring the StageIIResult fields (see the matching
+  // note in deferred_acceptance.cpp).
+  if (metrics::enabled()) {
+    metrics::count("stage2.runs");
+    metrics::count("stage2.phase1_rounds", result.phase1_rounds);
+    metrics::count("stage2.transfer_applications",
+                   result.transfer_applications);
+    metrics::count("stage2.transfers_accepted", result.transfers_accepted);
+    metrics::count("stage2.phase2_rounds", result.phase2_rounds);
+    metrics::count("stage2.invitations_sent", result.invitations_sent);
+    metrics::count("stage2.invitations_accepted",
+                   result.invitations_accepted);
+  }
   return result;
 }
 

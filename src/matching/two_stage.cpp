@@ -1,9 +1,14 @@
 #include "matching/two_stage.hpp"
 
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+
 namespace specmatch::matching {
 
 TwoStageResult run_two_stage(const market::SpectrumMarket& market,
                              const TwoStageConfig& config) {
+  trace::ScopedSpan span("two_stage");
+  metrics::count("two_stage.runs");
   TwoStageResult result;
 
   StageIConfig stage1_config;

@@ -1,0 +1,258 @@
+#include "common/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "common/trace.hpp"
+#include "matching/deferred_acceptance.hpp"
+#include "matching/paper_examples.hpp"
+
+namespace specmatch::metrics {
+namespace {
+
+/// Histogram summary by name; instruments registered by earlier tests stay
+/// registered (zeroed) after reset_all(), so lookups are by name, not index.
+Histogram::Summary histogram_summary(const Snapshot& snapshot,
+                                     std::string_view name) {
+  for (const auto& [n, s] : snapshot.histograms)
+    if (n == name) return s;
+  return {};
+}
+
+double gauge_value(const Snapshot& snapshot, std::string_view name) {
+  for (const auto& [n, v] : snapshot.gauges)
+    if (n == name) return v;
+  return 0.0;
+}
+
+/// Every test starts from a clean, enabled registry and restores the
+/// previous switch states afterwards (the registry itself is process-wide).
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    was_enabled_ = enabled();
+    trace_was_enabled_ = trace::enabled();
+    set_enabled(true);
+    Registry::global().reset_all();
+  }
+  void TearDown() override {
+    Registry::global().reset_all();
+    set_enabled(was_enabled_);
+    trace::set_enabled(trace_was_enabled_);
+  }
+
+ private:
+  bool was_enabled_ = false;
+  bool trace_was_enabled_ = false;
+};
+
+TEST_F(MetricsTest, CounterAddsAndResets) {
+  count("test.counter");
+  count("test.counter", 41);
+  EXPECT_EQ(Registry::global().snapshot().counter("test.counter"), 42);
+
+  Registry::global().reset_all();
+  EXPECT_EQ(Registry::global().snapshot().counter("test.counter"), 0);
+}
+
+TEST_F(MetricsTest, CounterReferencesAreStableAcrossInsertions) {
+  Counter& first = Registry::global().counter("test.stable");
+  // Force rehash-like pressure: many later registrations must not move it.
+  for (int i = 0; i < 1000; ++i)
+    Registry::global().counter("test.filler." + std::to_string(i));
+  EXPECT_EQ(&first, &Registry::global().counter("test.stable"));
+}
+
+TEST_F(MetricsTest, GaugeIsLastWriteWins) {
+  gauge_set("test.gauge", 3.0);
+  gauge_set("test.gauge", 7.5);
+  EXPECT_DOUBLE_EQ(gauge_value(Registry::global().snapshot(), "test.gauge"),
+                   7.5);
+}
+
+TEST_F(MetricsTest, HistogramSummaryIsExact) {
+  observe("test.hist", 1.0);
+  observe("test.hist", 4.0);
+  observe("test.hist", 10.0);
+  const Histogram::Summary s =
+      histogram_summary(Registry::global().snapshot(), "test.hist");
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 15.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 10.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+}
+
+TEST_F(MetricsTest, HistogramBucketsArePowersOfTwo) {
+  Histogram h;
+  h.record(0.5);   // < 1            -> bucket 0
+  h.record(1.0);   // [1, 2)         -> bucket 1
+  h.record(3.0);   // [2, 4)         -> bucket 2
+  h.record(4.0);   // [4, 8)         -> bucket 3
+  h.record(1e30);  // beyond range   -> clamped to the last bucket
+  const auto s = h.summary();
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 1u);
+  EXPECT_EQ(s.buckets[3], 1u);
+  EXPECT_EQ(s.buckets[Histogram::kNumBuckets - 1], 1u);
+}
+
+TEST_F(MetricsTest, DisabledRecordingIsANoOp) {
+  set_enabled(false);
+  EXPECT_FALSE(enabled());
+  count("test.disabled", 100);
+  gauge_set("test.disabled_gauge", 1.0);
+  observe("test.disabled_hist", 1.0);
+  set_enabled(true);
+  const auto snapshot = Registry::global().snapshot();
+  EXPECT_EQ(snapshot.counter("test.disabled"), 0);
+  for (const auto& [name, value] : snapshot.gauges)
+    EXPECT_NE(name, "test.disabled_gauge");
+  for (const auto& [name, summary] : snapshot.histograms)
+    EXPECT_NE(name, "test.disabled_hist");
+}
+
+TEST_F(MetricsTest, CounterTotalsAreExactUnderThreadPool) {
+  constexpr std::size_t kIterations = 10000;
+  parallel_for(0, kIterations, [&](std::size_t) {
+    count("test.concurrent");
+    observe("test.concurrent_hist", 2.0);
+  });
+  const auto snapshot = Registry::global().snapshot();
+  EXPECT_EQ(snapshot.counter("test.concurrent"),
+            static_cast<std::int64_t>(kIterations));
+  const Histogram::Summary s =
+      histogram_summary(snapshot, "test.concurrent_hist");
+  EXPECT_EQ(s.count, kIterations);
+  EXPECT_DOUBLE_EQ(s.sum, 2.0 * static_cast<double>(kIterations));
+}
+
+TEST_F(MetricsTest, SnapshotCounterMissingNameIsZero) {
+  EXPECT_EQ(Registry::global().snapshot().counter("test.never_recorded"), 0);
+}
+
+// ---- Stage I integration: counters mirror the paper example ---------------
+
+// Fig. 1 of the paper: Stage I on the 3x5 toy market takes exactly 4 rounds
+// and 11 proposals (5 first-round, then 2 per round as rejected buyers work
+// down their lists) — the counter totals must equal both the hand-computed
+// values and the StageIResult the caller already receives.
+TEST_F(MetricsTest, StageICountersMatchToyExampleHandCount) {
+  const auto market = matching::toy_example();
+  const auto result = matching::run_deferred_acceptance(market);
+  const auto snapshot = Registry::global().snapshot();
+
+  EXPECT_EQ(snapshot.counter("stage1.runs"), 1);
+  EXPECT_EQ(snapshot.counter("stage1.rounds"), 4);
+  EXPECT_EQ(snapshot.counter("stage1.proposals"), 11);
+  EXPECT_EQ(snapshot.counter("stage1.rounds"), result.rounds);
+  EXPECT_EQ(snapshot.counter("stage1.proposals"), result.total_proposals);
+  EXPECT_EQ(snapshot.counter("stage1.evictions"), result.total_evictions);
+
+  // Every selection round solves coalitions through the MWIS layer.
+  EXPECT_GT(snapshot.counter("mwis.calls"), 0);
+  // Rejections were recorded per seller; the histogram saw every selection.
+  EXPECT_GT(snapshot.counter("stage1.rejections"), 0);
+  EXPECT_GT(histogram_summary(snapshot, "stage1.waiting_set_size").count, 0u);
+}
+
+TEST_F(MetricsTest, StageICountersAccumulateAcrossRuns) {
+  const auto market = matching::toy_example();
+  (void)matching::run_deferred_acceptance(market);
+  (void)matching::run_deferred_acceptance(market);
+  const auto snapshot = Registry::global().snapshot();
+  EXPECT_EQ(snapshot.counter("stage1.runs"), 2);
+  EXPECT_EQ(snapshot.counter("stage1.rounds"), 8);
+  EXPECT_EQ(snapshot.counter("stage1.proposals"), 22);
+}
+
+// ---- Serialisation ---------------------------------------------------------
+
+TEST_F(MetricsTest, JsonContainsEveryInstrument) {
+  count("test.json_counter", 5);
+  gauge_set("test.json_gauge", 2.5);
+  observe("test.json_hist", 3.0);
+  std::ostringstream out;
+  write_json(out, Registry::global().snapshot());
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"test.json_counter\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_gauge\": 2.5"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\": ["), std::string::npos);
+}
+
+TEST_F(MetricsTest, CsvContainsEveryInstrument) {
+  count("test.csv_counter", 5);
+  observe("test.csv_hist", 3.0);
+  std::ostringstream out;
+  write_csv(out, Registry::global().snapshot());
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("kind,name,count,sum,min,max"), std::string::npos);
+  EXPECT_NE(csv.find("counter,test.csv_counter,5"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,test.csv_hist,1,3"), std::string::npos);
+}
+
+// ---- Tracer ----------------------------------------------------------------
+
+TEST_F(MetricsTest, ScopedSpanRecordsWhenEnabled) {
+  trace::set_enabled(true);
+  trace::Tracer::global().clear();
+  {
+    trace::ScopedSpan span("test.span", 7);
+  }
+  const auto spans = trace::Tracer::global().snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "test.span");
+  EXPECT_EQ(spans[0].arg, 7);
+  EXPECT_GE(spans[0].duration_ns, 0);
+  trace::Tracer::global().clear();
+}
+
+TEST_F(MetricsTest, ScopedSpanEndIsIdempotent) {
+  trace::set_enabled(true);
+  trace::Tracer::global().clear();
+  {
+    trace::ScopedSpan span("test.end_twice");
+    span.set_arg(3);
+    span.end();
+    span.end();  // second end and the destructor must not re-record
+  }
+  const auto spans = trace::Tracer::global().snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].arg, 3);
+  trace::Tracer::global().clear();
+}
+
+TEST_F(MetricsTest, ScopedSpanDisabledRecordsNothing) {
+  trace::set_enabled(false);
+  trace::Tracer::global().clear();
+  {
+    trace::ScopedSpan span("test.disabled_span");
+  }
+  EXPECT_TRUE(trace::Tracer::global().snapshot().empty());
+}
+
+TEST_F(MetricsTest, ChromeJsonIsWellFormedEventArray) {
+  trace::set_enabled(true);
+  trace::Tracer::global().clear();
+  {
+    trace::ScopedSpan span("test.chrome", 1);
+  }
+  std::ostringstream out;
+  trace::Tracer::global().write_chrome_json(out);
+  const std::string json = out.str();
+  EXPECT_EQ(json.front(), '[');  // bare event array, accepted by the viewers
+  EXPECT_NE(json.find("\"name\": \"test.chrome\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  trace::Tracer::global().clear();
+}
+
+}  // namespace
+}  // namespace specmatch::metrics

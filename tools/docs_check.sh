@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Documentation consistency check (registered as the docs_check ctest).
+#
+# 1. Every intra-repo markdown link in the checked docs must resolve to an
+#    existing file (anchors and external URLs are skipped).
+# 2. Every SPECMATCH_* token mentioned in the checked docs must be a knob
+#    registered in src/common/config.* (known_env_knobs), so docs and code
+#    cannot drift apart. The checking macros (SPECMATCH_CHECK etc.) are code
+#    identifiers, not env knobs, and are whitelisted.
+#
+# Usage: tools/docs_check.sh [repo_root]
+set -uo pipefail
+
+repo_root="${1:-$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)}"
+cd "$repo_root"
+
+docs=(README.md EXPERIMENTS.md DESIGN.md docs/*.md)
+config_files=(src/common/config.hpp src/common/config.cpp)
+macro_whitelist='SPECMATCH_CHECK|SPECMATCH_CHECK_MSG|SPECMATCH_DCHECK'
+
+status=0
+
+# ---- 1. Intra-repo links resolve -------------------------------------------
+for doc in "${docs[@]}"; do
+  [[ -f "$doc" ]] || { echo "docs_check: MISSING doc $doc" >&2; status=1; continue; }
+  doc_dir="$(dirname "$doc")"
+  # Inline markdown links: [text](target). One per line via grep -o.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"         # drop any #anchor
+    [[ -n "$path" ]] || continue
+    # Relative to the doc's own directory, like a markdown renderer.
+    if [[ ! -e "$doc_dir/$path" && ! -e "$path" ]]; then
+      echo "docs_check: BROKEN LINK in $doc -> $target" >&2
+      status=1
+    fi
+  done < <(grep -oE '\]\(([^)]+)\)' "$doc" | sed -E 's/^\]\((.*)\)$/\1/')
+done
+
+# ---- 2. SPECMATCH_* tokens in docs are registered knobs ---------------------
+known="$(grep -ohE 'SPECMATCH_[A-Z_]+' "${config_files[@]}" | sort -u)"
+for doc in "${docs[@]}"; do
+  [[ -f "$doc" ]] || continue
+  while IFS= read -r token; do
+    [[ "$token" =~ ^($macro_whitelist)$ ]] && continue
+    if ! grep -qx "$token" <<< "$known"; then
+      echo "docs_check: $doc mentions $token, not registered in src/common/config.*" >&2
+      status=1
+    fi
+  done < <(grep -ohE 'SPECMATCH_[A-Z_]+' "$doc" | sort -u)
+done
+
+if [[ "$status" -eq 0 ]]; then
+  echo "docs_check: OK (${#docs[@]} docs checked)"
+fi
+exit "$status"

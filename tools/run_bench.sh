@@ -52,6 +52,23 @@ if [[ "${1:-}" == "--smoke" ]]; then
     echo "bench_smoke: BENCH_core.json missing two_stage records" >&2
     status=1
   }
+  # Metrics leg: with SPECMATCH_METRICS on, the bench JSON must carry the
+  # algorithmic-counters section with non-zero Stage I, MWIS, and dist
+  # counts (the observability acceptance bar; see docs/OBSERVABILITY.md).
+  echo "bench_smoke: micro_core (metrics)"
+  if ! SPECMATCH_METRICS=1 SPECMATCH_BENCH_JSON="$tmpdir/BENCH_metrics.json" \
+       "$bindir/micro_core" --benchmark_filter='BM_BitsetIntersects/64' \
+       --benchmark_min_time=0.01 > "$tmpdir/micro_core_metrics.log" 2>&1; then
+    echo "bench_smoke: FAILED micro_core (metrics)" >&2
+    tail -n 30 "$tmpdir/micro_core_metrics.log" >&2
+    status=1
+  fi
+  for counter in stage1.rounds stage1.proposals mwis.calls dist.messages; do
+    if ! grep -Eq "\"$counter\": [1-9][0-9]*" "$tmpdir/BENCH_metrics.json"; then
+      echo "bench_smoke: BENCH_metrics.json missing non-zero $counter" >&2
+      status=1
+    fi
+  done
   exit "$status"
 fi
 
