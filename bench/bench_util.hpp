@@ -53,7 +53,21 @@ class WallTimer {
 
 /// One row of BENCH_core.json: wall-clock for `bench` on an M x N market (or
 /// an N-vertex graph with M = 0) under `algorithm` at `threads` lanes.
+/// The last three fields are optional (the scale bench fills them) and are
+/// omitted from the JSON at their defaults, so BENCH_core.json is unchanged.
 struct BenchRecord {
+  BenchRecord() = default;
+  BenchRecord(std::string bench_name, int sellers, int buyers,
+              std::string algorithm_name, int num_threads, double wall,
+              int round_count)
+      : bench(std::move(bench_name)),
+        M(sellers),
+        N(buyers),
+        algorithm(std::move(algorithm_name)),
+        threads(num_threads),
+        wall_ms(wall),
+        rounds(round_count) {}
+
   std::string bench;
   int M = 0;
   int N = 0;
@@ -61,6 +75,9 @@ struct BenchRecord {
   int threads = 1;
   double wall_ms = 0.0;
   int rounds = 0;
+  double peak_rss_mb = 0.0;        ///< process high-water RSS; > 0 to emit
+  std::int64_t steady_allocs = -1;  ///< steady-round heap allocs; >= 0 to emit
+  std::string note;                 ///< free-form context; non-empty to emit
 };
 
 /// Writes the bench JSON (the schema consumed by the perf tracking scripts;
@@ -91,8 +108,12 @@ inline void write_bench_json(
     out << "  {\"bench\": \"" << rec.bench << "\", \"M\": " << rec.M
         << ", \"N\": " << rec.N << ", \"algorithm\": \"" << rec.algorithm
         << "\", \"threads\": " << rec.threads << ", \"wall_ms\": "
-        << rec.wall_ms << ", \"rounds\": " << rec.rounds << "}"
-        << (r + 1 < records.size() ? "," : "") << "\n";
+        << rec.wall_ms << ", \"rounds\": " << rec.rounds;
+    if (rec.peak_rss_mb > 0.0) out << ", \"peak_rss_mb\": " << rec.peak_rss_mb;
+    if (rec.steady_allocs >= 0)
+      out << ", \"steady_allocs\": " << rec.steady_allocs;
+    if (!rec.note.empty()) out << ", \"note\": \"" << rec.note << "\"";
+    out << "}" << (r + 1 < records.size() ? "," : "") << "\n";
   }
   out << "]";
   if (metrics_snapshot != nullptr) {

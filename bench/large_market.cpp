@@ -1,0 +1,162 @@
+// Large-market scaling bench: the two-stage pipeline swept over
+// N x M grids far beyond the paper's N = 500, written to BENCH_scale.json
+// (schema v2, see bench_util.hpp). Each grid point records wall time,
+// total rounds, the process peak RSS, and — when SPECMATCH_COUNT_ALLOCS is
+// enabled — the engine's steady-round heap-allocation count, which the
+// workspace refactor pins at zero.
+//
+// The deployment area grows with sqrt(N / 500) so buyer density (and hence
+// interference degree) stays at the paper's level instead of degenerating
+// into a clique; transmission ranges keep the paper's (0, 5] draw, so the
+// per-channel graphs still straddle the MWIS dense/sparse strategy split.
+//
+// Knobs: SPECMATCH_BENCH_SMOKE shrinks the grid to smoke size,
+// SPECMATCH_SCALE_MAX_N caps the N sweep, SPECMATCH_BENCH_JSON overrides
+// the output path, SPECMATCH_TRIALS the repetitions per point.
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/alloc_count.hpp"
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "matching/two_stage.hpp"
+#include "matching/workspace.hpp"
+#include "workload/generator.hpp"
+
+namespace specmatch {
+namespace {
+
+/// Process high-water RSS in MB (Linux ru_maxrss is in KiB). Monotone over
+/// the process lifetime, so sweep points must run smallest-first for the
+/// per-point readings to be attributable.
+double peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+market::SpectrumMarket scale_market(int M, int N) {
+  workload::WorkloadParams params;
+  params.num_sellers = M;
+  params.num_buyers = N;
+  params.area_size = 10.0 * std::sqrt(std::max(N, 500) / 500.0);
+  Rng rng(1000003ull * static_cast<std::uint64_t>(M) +
+          static_cast<std::uint64_t>(N));
+  return workload::generate_market(params, rng);
+}
+
+int total_rounds(const matching::TwoStageResult& result) {
+  return result.stage1.rounds + result.stage2.phase1_rounds +
+         result.stage2.phase2_rounds;
+}
+
+std::int64_t total_steady_allocs(const matching::TwoStageResult& result) {
+  if (result.stage1.steady_allocs < 0 || result.stage2.steady_allocs < 0)
+    return -1;
+  return result.stage1.steady_allocs + result.stage2.steady_allocs;
+}
+
+void run_scale_sweep() {
+  const bool smoke = bench::env_int("SPECMATCH_BENCH_SMOKE", 0) != 0;
+  const char* json_env = std::getenv("SPECMATCH_BENCH_JSON");
+  const std::string json_path =
+      (json_env != nullptr && json_env[0] != '\0') ? json_env
+                                                   : "BENCH_scale.json";
+  const int max_n = bench::env_int("SPECMATCH_SCALE_MAX_N", 1 << 30);
+  const int threads = SpecmatchConfig::global().num_threads;
+
+  std::vector<int> n_grid = smoke ? std::vector<int>{60, 200}
+                                  : std::vector<int>{500, 2000, 8000, 20000};
+  const std::vector<int> m_grid =
+      smoke ? std::vector<int>{4, 8} : std::vector<int>{16, 64};
+  std::erase_if(n_grid, [&](int n) { return n > max_n; });
+
+  std::vector<bench::BenchRecord> records;
+  matching::MatchWorkspace workspace;  // reused across every point and rep
+  // Sweep smallest-first so peak-RSS readings are attributable per point.
+  for (int N : n_grid) {
+    for (int M : m_grid) {
+      const int reps = bench::env_trials(N >= 8000 ? 1 : 3);
+      bench::WallTimer gen_timer;
+      const auto market = scale_market(M, N);
+      std::cout << "scale: N=" << N << " M=" << M << " generated in "
+                << gen_timer.elapsed_ms() << " ms" << std::endl;
+
+      matching::TwoStageResult result;
+      double best_ms = 0.0;
+      result = matching::run_two_stage(market, {}, workspace);  // warm-up
+      for (int r = 0; r < reps; ++r) {
+        bench::WallTimer timer;
+        result = matching::run_two_stage(market, {}, workspace);
+        best_ms = r == 0 ? timer.elapsed_ms()
+                         : std::min(best_ms, timer.elapsed_ms());
+      }
+
+      bench::BenchRecord record{"two_stage_scale", M,       N, "gwmin",
+                                threads,           best_ms, total_rounds(result)};
+      record.peak_rss_mb = peak_rss_mb();
+      record.steady_allocs = total_steady_allocs(result);
+      if (N == 8000 && M == 16) {
+        // Honest before/after: the pre-workspace engine (PR 2, c1f9ac9)
+        // measured on this same point / seed / 1-core CI container.
+        record.note =
+            "pre-workspace engine (c1f9ac9) ran this point in 1097 ms; "
+            "single core, see docs caveats";
+      }
+      records.push_back(record);
+      std::cout << "scale: N=" << N << " M=" << M << " wall_ms=" << best_ms
+                << " rounds=" << record.rounds
+                << " peak_rss_mb=" << record.peak_rss_mb
+                << " steady_allocs=" << record.steady_allocs << std::endl;
+
+      // Legacy-entry-point leg at the before/after point: a fresh workspace
+      // per run, i.e. what callers that never pass a workspace pay.
+      if (N == 8000 && M == 16 && !smoke) {
+        matching::TwoStageResult fresh_result;
+        const double fresh_ms = [&] {
+          double best = 0.0;
+          for (int r = 0; r < reps; ++r) {
+            bench::WallTimer timer;
+            fresh_result = matching::run_two_stage(market);
+            best = r == 0 ? timer.elapsed_ms()
+                          : std::min(best, timer.elapsed_ms());
+          }
+          return best;
+        }();
+        bench::BenchRecord fresh{"two_stage_scale_fresh_ws",
+                                 M,
+                                 N,
+                                 "gwmin",
+                                 threads,
+                                 fresh_ms,
+                                 total_rounds(fresh_result)};
+        fresh.note = "fresh MatchWorkspace per run (legacy entry point)";
+        records.push_back(fresh);
+      }
+    }
+  }
+
+  bench::write_bench_json(json_path, records);
+  std::cout << "\nwrote " << records.size() << " scale records to "
+            << json_path << "\n";
+}
+
+}  // namespace
+}  // namespace specmatch
+
+int main() {
+  try {
+    specmatch::run_scale_sweep();
+  } catch (const std::exception& error) {
+    std::cerr << "large_market: " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Heap-allocation counting hook behind SPECMATCH_COUNT_ALLOCS.
+//
+// When the knob is set (and only then), the replaced global operator new
+// bumps a process-wide atomic counter on every heap allocation; the matching
+// engine samples it around steady-state rounds to *prove* the MatchWorkspace
+// zero-allocation guarantee (workspace_test, bench/large_market). With the
+// knob unset the hook is a single relaxed load per allocation; the counter
+// stays at zero and every `steady_allocs` result field reports -1
+// (= not measured).
+//
+// The operator new/delete replacements live in alloc_count.cpp inside
+// libspecmatch_common; like any strong definition in a static library they
+// are linked into a binary only when something in that binary references a
+// symbol from the TU (alloc_count::total() does), which every engine entry
+// point does via the steady-state accounting.
+#pragma once
+
+#include <cstdint>
+
+namespace specmatch::alloc_count {
+
+/// True when SPECMATCH_COUNT_ALLOCS was set at process start (or overridden
+/// via set_counting); only then does total() advance.
+bool counting();
+
+/// Test override for the knob (workspace_test flips it on regardless of the
+/// environment). Takes effect for allocations made after the call.
+void set_counting(bool on);
+
+/// Number of heap allocations (operator new / new[] calls) observed since
+/// process start while counting() was true. Monotone; diff two samples to
+/// attribute a region.
+std::int64_t total();
+
+}  // namespace specmatch::alloc_count

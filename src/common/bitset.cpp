@@ -7,6 +7,36 @@ namespace specmatch {
 
 void DynamicBitset::clear() { std::fill(words_.begin(), words_.end(), 0); }
 
+void DynamicBitset::assign_zero(std::size_t size) {
+  size_ = size;
+  words_.assign((size + kBits - 1) / kBits, 0);
+}
+
+void DynamicBitset::assign_and(const DynamicBitset& a, const DynamicBitset& b) {
+  a.check_same_size(b);
+  size_ = a.size_;
+  words_.resize(a.words_.size());
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    words_[w] = a.words_[w] & b.words_[w];
+}
+
+void DynamicBitset::assign_or(const DynamicBitset& a, const DynamicBitset& b) {
+  a.check_same_size(b);
+  size_ = a.size_;
+  words_.resize(a.words_.size());
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    words_[w] = a.words_[w] | b.words_[w];
+}
+
+void DynamicBitset::assign_difference(const DynamicBitset& a,
+                                      const DynamicBitset& b) {
+  a.check_same_size(b);
+  size_ = a.size_;
+  words_.resize(a.words_.size());
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    words_[w] = a.words_[w] & ~b.words_[w];
+}
+
 std::size_t DynamicBitset::count() const {
   std::size_t total = 0;
   for (std::uint64_t word : words_) total += std::popcount(word);
@@ -31,6 +61,14 @@ std::size_t DynamicBitset::intersection_count(const DynamicBitset& other) const 
   std::size_t total = 0;
   for (std::size_t w = 0; w < words_.size(); ++w)
     total += std::popcount(words_[w] & other.words_[w]);
+  return total;
+}
+
+std::size_t DynamicBitset::difference_count(const DynamicBitset& other) const {
+  check_same_size(other);
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    total += std::popcount(words_[w] & ~other.words_[w]);
   return total;
 }
 

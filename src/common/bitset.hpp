@@ -49,8 +49,22 @@ class DynamicBitset {
   /// Clears every bit.
   void clear();
 
+  /// Makes this an all-clear bitset of `size` bits, reusing the existing
+  /// word storage when it is large enough (no allocation in steady state).
+  void assign_zero(std::size_t size);
+
+  /// Sets this to `a & b` / `a | b` / `a - b` without a temporary, reusing
+  /// the existing word storage when possible. `this` may alias `a` or `b`.
+  void assign_and(const DynamicBitset& a, const DynamicBitset& b);
+  void assign_or(const DynamicBitset& a, const DynamicBitset& b);
+  void assign_difference(const DynamicBitset& a, const DynamicBitset& b);
+
   /// Number of set bits.
   std::size_t count() const;
+
+  /// Number of bits set in this bitset but not in `other` —
+  /// (*this - other).count() without materialising the difference.
+  std::size_t difference_count(const DynamicBitset& other) const;
 
   bool any() const;
   bool none() const { return !any(); }

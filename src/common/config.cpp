@@ -40,11 +40,18 @@ constexpr EnvKnob kKnownEnvKnobs[] = {
      "benches additionally print machine-readable CSV panels "
      "(bench/bench_util.hpp)"},
     {"SPECMATCH_BENCH_JSON",
-     "output path of the micro_core perf JSON, default BENCH_core.json "
-     "(bench/micro_core.cpp)"},
+     "output path of the bench perf JSON, default BENCH_core.json for "
+     "micro_core and BENCH_scale.json for large_market (bench/)"},
     {"SPECMATCH_BENCH_SMOKE",
-     "shrink the micro_core core trajectory to smoke size "
-     "(bench/micro_core.cpp)"},
+     "shrink the micro_core trajectory and the large_market sweep to smoke "
+     "size (bench/)"},
+    {"SPECMATCH_COUNT_ALLOCS",
+     "count every heap allocation via the replaced global operator new; the "
+     "engine reports steady-round allocation counts "
+     "(common/alloc_count.cpp)"},
+    {"SPECMATCH_SCALE_MAX_N",
+     "cap the N sweep of the large_market scale bench "
+     "(bench/large_market.cpp)"},
     {"SPECMATCH_BENCH_THREADS",
      "parallel lane count of the micro_core trajectory, default 4 "
      "(bench/micro_core.cpp)"},

@@ -63,6 +63,39 @@ class ThreadPool {
       for (std::size_t i = begin; i < end; ++i) fn(i);
       return;
     }
+    parallel_for_impl(begin, end,
+                      [&fn](std::size_t /*lane*/, std::size_t i) { fn(i); });
+  }
+
+  /// parallel_for variant whose body also receives the executing lane index
+  /// (0 = the calling thread): fn(lane, i). Lanes let callers hand each
+  /// participant its own scratch slot (e.g. the MatchWorkspace per-lane MWIS
+  /// scratch) without sharing or locking. Which lane runs which index is
+  /// scheduling-dependent — results stay deterministic only if the scratch
+  /// never influences outputs (it must be fully reinitialised per use).
+  /// Serial fallbacks run everything as lane 0.
+  template <typename Fn>
+  void parallel_for_lanes(std::size_t begin, std::size_t end, Fn&& fn) {
+    if (begin >= end) return;
+    if (workers_.empty() || end - begin == 1 || t_in_worker) {
+      for (std::size_t i = begin; i < end; ++i) fn(std::size_t{0}, i);
+      return;
+    }
+    parallel_for_impl(begin, end, std::forward<Fn>(fn));
+  }
+
+  /// The engine-wide pool, sized from SpecmatchConfig::global().num_threads.
+  /// Recreated (workers joined and respawned) when the knob changed since
+  /// the last call; do not change the knob while a run is in flight.
+  static ThreadPool& global();
+
+ private:
+  /// Shared parallel branch of parallel_for / parallel_for_lanes: dispatches
+  /// the work-stealing index loop across the caller (lane 0) and up to
+  /// workers_.size() helpers, passing each body its lane. Callers have
+  /// already handled the serial fallbacks.
+  template <typename Fn>
+  void parallel_for_impl(std::size_t begin, std::size_t end, Fn&& fn) {
     metrics::count("pool.parallel_for_dispatches");
     const std::size_t helpers = std::min(end - begin - 1, workers_.size());
     auto state = std::make_shared<ForState>(helpers + 1, begin, end);
@@ -72,7 +105,7 @@ class ThreadPool {
           const std::size_t i =
               state->next.fetch_add(1, std::memory_order_relaxed);
           if (i >= state->end) break;
-          fn(i);
+          fn(lane, i);
         }
       } catch (...) {
         state->errors[lane] = std::current_exception();
@@ -95,12 +128,6 @@ class ThreadPool {
       if (error) std::rethrow_exception(error);
   }
 
-  /// The engine-wide pool, sized from SpecmatchConfig::global().num_threads.
-  /// Recreated (workers joined and respawned) when the knob changed since
-  /// the last call; do not change the knob while a run is in flight.
-  static ThreadPool& global();
-
- private:
   struct ForState {
     ForState(std::size_t lanes, std::size_t begin, std::size_t range_end)
         : end(range_end), next(begin), errors(lanes) {}
@@ -129,6 +156,12 @@ class ThreadPool {
 template <typename Fn>
 void parallel_for(std::size_t begin, std::size_t end, Fn&& fn) {
   ThreadPool::global().parallel_for(begin, end, std::forward<Fn>(fn));
+}
+
+/// Convenience: parallel_for_lanes on the engine-wide pool.
+template <typename Fn>
+void parallel_for_lanes(std::size_t begin, std::size_t end, Fn&& fn) {
+  ThreadPool::global().parallel_for_lanes(begin, end, std::forward<Fn>(fn));
 }
 
 }  // namespace specmatch

@@ -1,8 +1,9 @@
 #include "graph/mwis.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
@@ -27,6 +28,16 @@ double set_weight(std::span<const double> weights,
   double total = 0.0;
   members.for_each_set([&](std::size_t v) { total += weights[v]; });
   return total;
+}
+
+void MwisScratch::reserve(std::size_t n, std::size_t heap_entries) {
+  viable.assign_zero(n);
+  chosen.assign_zero(n);
+  removed.assign_zero(n);
+  touched.assign_zero(n);
+  deg.reserve(n);
+  version.reserve(n);
+  heap.reserve(heap_entries);
 }
 
 namespace {
@@ -100,11 +111,12 @@ struct Gwmin2ScanScore {
 /// removals, so a rescore is one division with the same operands the rescan
 /// reference would produce — bit-identical by construction, and the update
 /// work totals O(edges) over a whole solve instead of O(picks x candidates)
-/// score recomputations.
+/// score recomputations. The degree array is borrowed from the caller's
+/// scratch and fully re-initialised by init().
 struct GwminIncremental {
   const InterferenceGraph& graph;
   std::span<const double> weights;
-  std::vector<std::size_t> deg;
+  std::vector<std::size_t>& deg;
 
   void init(const DynamicBitset& remaining) {
     deg.assign(graph.num_vertices(), 0);
@@ -156,6 +168,16 @@ struct Gwmin2Incremental {
   }
 };
 
+// Max-heap order on score; equal scores surface the lowest index first,
+// matching the strict-greater scan of the rescan reference.
+struct WorseEntry {
+  bool operator()(const MwisScratch::HeapEntry& a,
+                  const MwisScratch::HeapEntry& b) const {
+    if (a.score != b.score) return a.score < b.score;
+    return a.vertex > b.vertex;
+  }
+};
+
 /// Incremental greedy skeleton: repeatedly pick the remaining candidate with
 /// the highest score (ties to the lowest index) and remove its closed
 /// neighbourhood — but instead of rescanning every candidate's score per
@@ -164,66 +186,59 @@ struct Gwmin2Incremental {
 /// survivors adjacent to a removed vertex can change; the policy rescores
 /// exactly those, with values bit-identical to a full rescan (same operands,
 /// same summation order). Stale heap entries are skipped via a per-vertex
-/// version counter.
+/// version counter. The heap is a plain vector driven by std::push_heap /
+/// std::pop_heap — the exact operations std::priority_queue performs — so
+/// the pop order is unchanged while the storage (and everything else in the
+/// loop) comes from the reusable scratch.
 /// `kCounting` is a compile-time switch so the metrics-off instantiation is
 /// the exact pre-instrumentation loop — no per-pop null checks or register
 /// pressure (the off-mode wall time is part of the perf acceptance bar).
 template <bool kCounting, typename Policy>
-DynamicBitset greedy(const InterferenceGraph& graph, DynamicBitset remaining,
-                     Policy policy, GreedyWork* work = nullptr) {
+void greedy(const InterferenceGraph& graph, Policy policy, MwisScratch& s,
+            GreedyWork* work = nullptr) {
   const std::size_t n = graph.num_vertices();
-  DynamicBitset chosen(n);
-  if (remaining.none()) return chosen;
+  DynamicBitset& remaining = s.viable;
+  s.chosen.assign_zero(n);
+  if (remaining.none()) return;
 
-  struct Entry {
-    double score;
-    std::uint32_t vertex;
-    std::uint32_t version;
-  };
-  // Max-heap on score; equal scores surface the lowest index first, matching
-  // the strict-greater scan of the rescan reference.
-  struct Worse {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.score != b.score) return a.score < b.score;
-      return a.vertex > b.vertex;
-    }
-  };
-  std::vector<std::uint32_t> version(n, 0);
-  std::priority_queue<Entry, std::vector<Entry>, Worse> heap;
+  s.version.assign(n, 0);
+  s.heap.clear();
   policy.init(remaining);
   remaining.for_each_set([&](std::size_t v) {
-    heap.push({policy.score(v, remaining), static_cast<std::uint32_t>(v), 0});
+    s.heap.push_back(
+        {policy.score(v, remaining), static_cast<std::uint32_t>(v), 0});
+    std::push_heap(s.heap.begin(), s.heap.end(), WorseEntry{});
   });
 
-  DynamicBitset touched(n);
+  s.touched.assign_zero(n);
   while (remaining.any()) {
     // Every remaining vertex always has one current entry queued, so the
     // heap cannot run dry before `remaining` does.
-    SPECMATCH_DCHECK(!heap.empty());
-    const Entry top = heap.top();
-    heap.pop();
+    SPECMATCH_DCHECK(!s.heap.empty());
+    std::pop_heap(s.heap.begin(), s.heap.end(), WorseEntry{});
+    const MwisScratch::HeapEntry top = s.heap.back();
+    s.heap.pop_back();
     if constexpr (kCounting) ++work->heap_pops;
     const std::size_t v = top.vertex;
-    if (!remaining.test(v) || top.version != version[v]) {  // stale
+    if (!remaining.test(v) || top.version != s.version[v]) {  // stale
       if constexpr (kCounting) ++work->stale_pops;
       continue;
     }
 
     if constexpr (kCounting) ++work->picks;
-    chosen.set(v);
-    DynamicBitset removed =
-        graph.neighbors(static_cast<BuyerId>(v)) & remaining;
-    removed.set(v);
-    remaining -= removed;
+    s.chosen.set(v);
+    s.removed.assign_and(graph.neighbors(static_cast<BuyerId>(v)), remaining);
+    s.removed.set(v);
+    remaining -= s.removed;
 
-    touched.clear();
-    policy.apply_removal(removed, remaining, touched);
-    touched.for_each_set([&](std::size_t u) {
-      heap.push({policy.score(u, remaining), static_cast<std::uint32_t>(u),
-                 ++version[u]});
+    s.touched.clear();
+    policy.apply_removal(s.removed, remaining, s.touched);
+    s.touched.for_each_set([&](std::size_t u) {
+      s.heap.push_back({policy.score(u, remaining),
+                        static_cast<std::uint32_t>(u), ++s.version[u]});
+      std::push_heap(s.heap.begin(), s.heap.end(), WorseEntry{});
     });
   }
-  return chosen;
 }
 
 /// Scan-mode greedy: recompute every remaining candidate's score per pick.
@@ -235,10 +250,10 @@ DynamicBitset greedy(const InterferenceGraph& graph, DynamicBitset remaining,
 /// take the highest score with ties to the lowest index, and the score
 /// values agree bit-for-bit.
 template <bool kCounting = false, typename ScoreFn>
-DynamicBitset greedy_scan(const InterferenceGraph& graph,
-                          DynamicBitset remaining, const ScoreFn& score,
-                          GreedyWork* work = nullptr) {
-  DynamicBitset chosen(graph.num_vertices());
+void greedy_scan(const InterferenceGraph& graph, const ScoreFn& score,
+                 MwisScratch& s, GreedyWork* work = nullptr) {
+  DynamicBitset& remaining = s.viable;
+  s.chosen.assign_zero(graph.num_vertices());
   while (remaining.any()) {
     if constexpr (kCounting) {  // one popcount per pick, off the inner loop
       ++work->picks;
@@ -247,28 +262,26 @@ DynamicBitset greedy_scan(const InterferenceGraph& graph,
     double best_score = -std::numeric_limits<double>::infinity();
     std::size_t best_v = remaining.size();
     remaining.for_each_set([&](std::size_t v) {
-      const double s = score(v, remaining);
-      if (s > best_score) {  // strict: ties resolve to the lowest index
-        best_score = s;
+      const double s_v = score(v, remaining);
+      if (s_v > best_score) {  // strict: ties resolve to the lowest index
+        best_score = s_v;
         best_v = v;
       }
     });
-    chosen.set(best_v);
+    s.chosen.set(best_v);
     remaining.reset(best_v);
     remaining -= graph.neighbors(static_cast<BuyerId>(best_v));
   }
-  return chosen;
 }
 
-/// Candidates minus non-positive-weight vertices: they can only dilute a
-/// coalition.
-DynamicBitset viable_candidates(std::span<const double> weights,
-                                const DynamicBitset& candidates) {
-  DynamicBitset viable = candidates;
+/// Fills `scratch.viable` with candidates minus non-positive-weight vertices:
+/// they can only dilute a coalition.
+void viable_candidates(std::span<const double> weights,
+                       const DynamicBitset& candidates, MwisScratch& scratch) {
+  scratch.viable = candidates;
   candidates.for_each_set([&](std::size_t v) {
-    if (weights[v] <= 0.0) viable.reset(v);
+    if (weights[v] <= 0.0) scratch.viable.reset(v);
   });
-  return viable;
 }
 
 void check_inputs(const InterferenceGraph& graph,
@@ -334,23 +347,23 @@ struct ExactSearch {
 
 }  // namespace
 
-DynamicBitset solve_mwis(const InterferenceGraph& graph,
-                         std::span<const double> weights,
-                         const DynamicBitset& candidates,
-                         MwisAlgorithm algorithm, MwisStats* stats) {
+const DynamicBitset& solve_mwis(const InterferenceGraph& graph,
+                                std::span<const double> weights,
+                                const DynamicBitset& candidates,
+                                MwisAlgorithm algorithm, MwisScratch& scratch,
+                                MwisStats* stats) {
   check_inputs(graph, weights, candidates);
-  DynamicBitset viable = viable_candidates(weights, candidates);
+  viable_candidates(weights, candidates, scratch);
 
   // Strategy split (outputs are bit-identical either way): lazy incremental
   // scoring wins when neighbourhoods are small relative to the candidate
   // set (the market's geometric graphs); on dense graphs nearly every
   // survivor is rescored every pick regardless, so the word-parallel scan
-  // without the heap bookkeeping is faster. 2E/V >= kScanDegreeThreshold
+  // without the heap bookkeeping is faster. 2E/V >= kMwisScanDegreeThreshold
   // approximates "dense" without touching every adjacency row.
-  constexpr std::size_t kScanDegreeThreshold = 64;
-  const bool dense =
-      graph.num_vertices() > 0 &&
-      2 * graph.num_edges() >= kScanDegreeThreshold * graph.num_vertices();
+  const bool dense = graph.num_vertices() > 0 &&
+                     2 * graph.num_edges() >=
+                         kMwisScanDegreeThreshold * graph.num_vertices();
 
   GreedyWork work;
   GreedyWork* wp = metrics::enabled() ? &work : nullptr;
@@ -359,37 +372,39 @@ DynamicBitset solve_mwis(const InterferenceGraph& graph,
   // nothing inside the pick loop.
   const auto run_greedy = [&](auto policy, auto scan_score) {
     if (dense) {
-      return wp != nullptr
-                 ? greedy_scan<true>(graph, std::move(viable), scan_score, wp)
-                 : greedy_scan(graph, std::move(viable), scan_score);
+      if (wp != nullptr)
+        greedy_scan<true>(graph, scan_score, scratch, wp);
+      else
+        greedy_scan(graph, scan_score, scratch);
+      return;
     }
-    return wp != nullptr
-               ? greedy<true>(graph, std::move(viable), std::move(policy), wp)
-               : greedy<false>(graph, std::move(viable), std::move(policy));
+    if (wp != nullptr)
+      greedy<true>(graph, std::move(policy), scratch, wp);
+    else
+      greedy<false>(graph, std::move(policy), scratch);
   };
-  DynamicBitset chosen(graph.num_vertices());
   bool solved = false;
   switch (algorithm) {
     case MwisAlgorithm::kGwmin:
-      chosen = run_greedy(GwminIncremental{graph, weights, {}},
-                          GwminScanScore{graph, weights});
+      run_greedy(GwminIncremental{graph, weights, scratch.deg},
+                 GwminScanScore{graph, weights});
       solved = true;
       break;
     case MwisAlgorithm::kGwmin2:
-      chosen = run_greedy(Gwmin2Incremental{graph, weights},
-                          Gwmin2ScanScore{graph, weights});
+      run_greedy(Gwmin2Incremental{graph, weights},
+                 Gwmin2ScanScore{graph, weights});
       solved = true;
       break;
     case MwisAlgorithm::kExact: {
       ExactSearch search{graph, weights, 0, 0.0,
                          DynamicBitset(graph.num_vertices())};
-      search.run(std::move(viable), DynamicBitset(graph.num_vertices()), 0.0);
+      search.run(scratch.viable, DynamicBitset(graph.num_vertices()), 0.0);
       if (stats != nullptr) stats->nodes_explored = search.nodes;
       if (wp != nullptr)
         metrics::count("mwis.exact_nodes",
                        static_cast<std::int64_t>(search.nodes));
       work.picks = search.best.count();
-      chosen = search.best;
+      scratch.chosen = search.best;
       solved = true;
       break;
     }
@@ -411,7 +426,16 @@ DynamicBitset solve_mwis(const InterferenceGraph& graph,
       }
     }
   }
-  return chosen;
+  return scratch.chosen;
+}
+
+DynamicBitset solve_mwis(const InterferenceGraph& graph,
+                         std::span<const double> weights,
+                         const DynamicBitset& candidates,
+                         MwisAlgorithm algorithm, MwisStats* stats) {
+  MwisScratch scratch;
+  solve_mwis(graph, weights, candidates, algorithm, scratch, stats);
+  return std::move(scratch.chosen);
 }
 
 DynamicBitset solve_mwis_rescan(const InterferenceGraph& graph,
@@ -422,10 +446,13 @@ DynamicBitset solve_mwis_rescan(const InterferenceGraph& graph,
   SPECMATCH_CHECK_MSG(algorithm != MwisAlgorithm::kExact,
                       "the rescan reference only exists for the greedy "
                       "algorithms");
-  DynamicBitset viable = viable_candidates(weights, candidates);
+  MwisScratch scratch;
+  viable_candidates(weights, candidates, scratch);
   if (algorithm == MwisAlgorithm::kGwmin)
-    return greedy_scan(graph, std::move(viable), GwminScore{graph, weights});
-  return greedy_scan(graph, std::move(viable), Gwmin2Score{graph, weights});
+    greedy_scan(graph, GwminScore{graph, weights}, scratch);
+  else
+    greedy_scan(graph, Gwmin2Score{graph, weights}, scratch);
+  return std::move(scratch.chosen);
 }
 
 }  // namespace specmatch::graph

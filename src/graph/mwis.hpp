@@ -8,9 +8,11 @@
 // cross-checks and the seller-policy ablation bench.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <string_view>
+#include <vector>
 
 #include "common/bitset.hpp"
 #include "graph/interference_graph.hpp"
@@ -25,10 +27,56 @@ enum class MwisAlgorithm : std::uint8_t {
 
 std::string_view to_string(MwisAlgorithm algorithm);
 
+/// Density split of the greedy solvers: graphs with average degree
+/// (2E/V) at or above this take the heap-free word-parallel rescan, sparser
+/// ones the incremental lazy heap. Outputs are bit-identical either way;
+/// exported so workspace sizing can tell which channels will use the heap.
+inline constexpr std::size_t kMwisScanDegreeThreshold = 64;
+
 /// Statistics of one solver invocation (exact solver reports search size).
 struct MwisStats {
   std::uint64_t nodes_explored = 0;
 };
+
+/// Reusable per-solve scratch for the greedy solvers. Every container is
+/// reinitialised at the start of each solve (results never depend on prior
+/// contents), so one scratch can serve any sequence of solves; once
+/// reserve() has been called with large-enough bounds, a greedy solve
+/// performs zero heap allocations. The exact solver is exempt (its
+/// branch-and-bound recursion allocates per node; it is ablation-only).
+struct MwisScratch {
+  /// Lazy max-heap entry: (score, vertex) plus the vertex's version stamp at
+  /// push time, so superseded entries are skipped on pop.
+  struct HeapEntry {
+    double score;
+    std::uint32_t vertex;
+    std::uint32_t version;
+  };
+
+  DynamicBitset viable;   ///< remaining candidates during the solve
+  DynamicBitset chosen;   ///< the result set (referenced by the return value)
+  DynamicBitset removed;  ///< closed neighbourhood of the latest pick
+  DynamicBitset touched;  ///< survivors rescored after the latest pick
+  std::vector<std::size_t> deg;        ///< GWMIN: exact deg_R(v)
+  std::vector<std::uint32_t> version;  ///< lazy-heap staleness stamps
+  std::vector<HeapEntry> heap;         ///< lazy max-heap storage
+
+  /// Pre-sizes every container for an n-vertex graph whose sparse-path solve
+  /// pushes at most `heap_entries` heap entries. n + E always suffices:
+  /// every rescore push pairs with an edge from a removed vertex to a
+  /// survivor, and each edge plays that role at most once per solve.
+  void reserve(std::size_t n, std::size_t heap_entries);
+};
+
+/// Scratch-reusing solve_mwis: identical results to the allocating overload
+/// below, with all working state (including the returned set, which lives in
+/// `scratch.chosen` and is valid until the next solve on that scratch) taken
+/// from `scratch`.
+const DynamicBitset& solve_mwis(const InterferenceGraph& graph,
+                                std::span<const double> weights,
+                                const DynamicBitset& candidates,
+                                MwisAlgorithm algorithm, MwisScratch& scratch,
+                                MwisStats* stats = nullptr);
 
 /// Returns an independent subset of `candidates` (bit j set iff vertex j may
 /// be chosen) with large total weight. Ties between equal scores break toward

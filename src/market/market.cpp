@@ -1,6 +1,7 @@
 #include "market/market.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <numeric>
 
 #include "common/check.hpp"
@@ -96,12 +97,25 @@ std::vector<ChannelId> SpectrumMarket::buyer_preference_order(
     BuyerId j) const {
   std::vector<ChannelId> order;
   order.reserve(static_cast<std::size_t>(num_channels_));
-  for (ChannelId i = 0; i < num_channels_; ++i)
-    if (admissible(i, j)) order.push_back(i);
-  std::stable_sort(order.begin(), order.end(), [&](ChannelId a, ChannelId b) {
-    return utility(a, j) > utility(b, j);
-  });
+  append_buyer_preference_order(j, order);
   return order;
+}
+
+void SpectrumMarket::append_buyer_preference_order(
+    BuyerId j, std::vector<ChannelId>& out) const {
+  const std::size_t begin = out.size();
+  for (ChannelId i = 0; i < num_channels_; ++i)
+    if (admissible(i, j)) out.push_back(i);
+  // Plain sort with the index tie-break: channels enter index-ascending, so
+  // this yields exactly the stable_sort-by-utility order the engine has
+  // always used, without stable_sort's temporary buffer.
+  std::sort(out.begin() + static_cast<std::ptrdiff_t>(begin), out.end(),
+            [&](ChannelId a, ChannelId b) {
+              const double ua = utility(a, j);
+              const double ub = utility(b, j);
+              if (ua != ub) return ua > ub;
+              return a < b;
+            });
 }
 
 int SpectrumMarket::buyer_parent(BuyerId j) const {

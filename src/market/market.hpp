@@ -61,6 +61,12 @@ class SpectrumMarket {
   /// channel's reserve). This is the buyer's proposal order in Stage I.
   std::vector<ChannelId> buyer_preference_order(BuyerId j) const;
 
+  /// Appends buyer j's preference order (same order as above) to `out`
+  /// without allocating beyond `out`'s own growth — the engine's workspace
+  /// builds its flattened CSR preference table through this.
+  void append_buyer_preference_order(BuyerId j,
+                                     std::vector<ChannelId>& out) const;
+
   int buyer_parent(BuyerId j) const;
   int seller_parent(SellerId i) const;
 

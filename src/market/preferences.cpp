@@ -7,11 +7,14 @@ namespace specmatch::market {
 double buyer_utility_in(const SpectrumMarket& market, BuyerId j,
                         ChannelId channel, const DynamicBitset& members) {
   if (channel == kUnmatched) return 0.0;
-  DynamicBitset others = members;
-  if (static_cast<std::size_t>(j) < others.size() &&
-      others.test(static_cast<std::size_t>(j)))
-    others.reset(static_cast<std::size_t>(j));
-  if (market.graph(channel).neighbors(j).intersects(others)) return 0.0;
+  // Interference graphs have no self-loops (add_edge rejects them), so
+  // neighbors(j) can never contain j and intersecting against `members`
+  // directly is already j-exclusive — no copy-and-mask-out-j temporary.
+  // This predicate is the innermost call of Stage II screening and every
+  // stability check, so it must stay allocation-free.
+  const DynamicBitset& neighbors = market.graph(channel).neighbors(j);
+  SPECMATCH_DCHECK(!neighbors.test(static_cast<std::size_t>(j)));
+  if (neighbors.intersects(members)) return 0.0;
   return market.utility(channel, j);
 }
 

@@ -1,6 +1,7 @@
 #include "market/scenario.hpp"
 
 #include <numeric>
+#include <utility>
 
 #include "common/check.hpp"
 
@@ -74,6 +75,20 @@ SpectrumMarket build_market(const Scenario& scenario) {
         scenario.buyer_locations[static_cast<std::size_t>(
             buyer_parents[static_cast<std::size_t>(j)])]);
 
+  // Dummies of the same parent form contiguous runs of virtual_buyer_parents
+  // (it emits each parent's dummies back-to-back); precompute the runs once
+  // so the per-channel clique pass below is O(sum of run sizes squared), not
+  // the all-pairs O(N^2) scan per channel it used to be.
+  std::vector<std::pair<int, int>> parent_runs;  // [start, end) per parent
+  for (int start = 0; start < N;) {
+    int end = start + 1;
+    while (end < N && buyer_parents[static_cast<std::size_t>(end)] ==
+                          buyer_parents[static_cast<std::size_t>(start)])
+      ++end;
+    if (end - start > 1) parent_runs.emplace_back(start, end);
+    start = end;
+  }
+
   std::vector<graph::InterferenceGraph> graphs;
   graphs.reserve(static_cast<std::size_t>(M));
   for (int i = 0; i < M; ++i) {
@@ -82,11 +97,9 @@ SpectrumMarket build_market(const Scenario& scenario) {
     // Dummies of the same parent must never share a channel (§II-A). Their
     // distance is zero so the geometric pass already links them, but we add
     // the edges explicitly so the invariant survives any generator change.
-    for (int a = 0; a < N; ++a)
-      for (int b = a + 1; b < N; ++b)
-        if (buyer_parents[static_cast<std::size_t>(a)] ==
-            buyer_parents[static_cast<std::size_t>(b)])
-          g.add_edge(a, b);
+    for (const auto& [start, end] : parent_runs)
+      for (int a = start; a < end; ++a)
+        for (int b = a + 1; b < end; ++b) g.add_edge(a, b);
     graphs.push_back(std::move(g));
   }
 

@@ -1,15 +1,33 @@
 #include "matching/deferred_acceptance.hpp"
 
+#include "common/alloc_count.hpp"
 #include "common/check.hpp"
 #include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
 #include "market/preferences.hpp"
+#include "matching/workspace.hpp"
 
 namespace specmatch::matching {
 
 StageIResult run_deferred_acceptance(const market::SpectrumMarket& market,
                                      const StageIConfig& config) {
+  MatchWorkspace workspace;
+  return run_deferred_acceptance(market, config, workspace);
+}
+
+StageIResult run_deferred_acceptance(const market::SpectrumMarket& market,
+                                     const StageIConfig& config,
+                                     MatchWorkspace& workspace) {
+  workspace.prepare(market);
+  return detail::run_deferred_acceptance_prepared(market, config, workspace);
+}
+
+namespace detail {
+
+StageIResult run_deferred_acceptance_prepared(
+    const market::SpectrumMarket& market, const StageIConfig& config,
+    MatchWorkspace& ws) {
   const int M = market.num_channels();
   const int N = market.num_buyers();
 
@@ -17,29 +35,28 @@ StageIResult run_deferred_acceptance(const market::SpectrumMarket& market,
   result.matching = Matching(M, N);
   trace::ScopedSpan stage_span("stage1");
 
-  // A_j: unproposed sellers, materialised as a preference-ordered list plus a
-  // cursor (proposals never revisit a seller, Algorithm 1 line 9).
-  std::vector<std::vector<ChannelId>> pref_order(static_cast<std::size_t>(N));
-  std::vector<std::size_t> next_pref(static_cast<std::size_t>(N), 0);
-  for (BuyerId j = 0; j < N; ++j)
-    pref_order[static_cast<std::size_t>(j)] = market.buyer_preference_order(j);
-
-  // P_i: this round's proposers per seller.
-  std::vector<DynamicBitset> proposers(
-      static_cast<std::size_t>(M),
-      DynamicBitset(static_cast<std::size_t>(N)));
+  // Steady-state allocation accounting: rounds after the first run entirely
+  // on warm workspace storage, so with the counter enabled their delta is
+  // the proof of the zero-allocation property (round 1 may still grow
+  // capacities on a cold workspace and is excluded by design).
+  const bool counting = alloc_count::counting();
+  std::int64_t steady_allocs = 0;
 
   while (true) {
+    const std::int64_t round_allocs = counting ? alloc_count::total() : 0;
     // Proposal phase: every unmatched buyer with a non-empty unproposed list
-    // proposes to her most-preferred remaining seller.
+    // proposes to her most-preferred remaining seller. A_j is the buyer's
+    // CSR preference row plus a cursor (proposals never revisit a seller,
+    // Algorithm 1 line 9).
     bool any_proposal = false;
     StageIRound round_trace;
     for (BuyerId j = 0; j < N; ++j) {
       const auto ju = static_cast<std::size_t>(j);
       if (result.matching.is_matched(j)) continue;
-      if (next_pref[ju] >= pref_order[ju].size()) continue;
-      const ChannelId i = pref_order[ju][next_pref[ju]++];
-      proposers[static_cast<std::size_t>(i)].set(ju);
+      const auto prefs = ws.pref_order(j);
+      if (ws.next_pref[ju] >= prefs.size()) continue;
+      const ChannelId i = prefs[ws.next_pref[ju]++];
+      ws.proposers[static_cast<std::size_t>(i)].set(ju);
       ++result.total_proposals;
       any_proposal = true;
       if (config.record_trace) round_trace.proposals.emplace_back(j, i);
@@ -54,49 +71,55 @@ StageIResult run_deferred_acceptance(const market::SpectrumMarket& market,
     // all coalitions are solved concurrently against the pre-selection
     // matching; evictions and admissions are then applied serially in
     // channel order, making the result bit-for-bit identical to the serial
-    // loop at any thread count.
-    std::vector<ChannelId> active;
+    // loop at any thread count. Each lane solves on its own scratch, which
+    // cannot influence results (fully reinitialised per solve).
+    ws.active.clear();
     for (ChannelId i = 0; i < M; ++i)
-      if (proposers[static_cast<std::size_t>(i)].any()) active.push_back(i);
-    std::vector<DynamicBitset> selections(active.size());
-    parallel_for(0, active.size(), [&](std::size_t k) {
-      const ChannelId i = active[k];
-      const DynamicBitset& waiting = result.matching.members_of(i);
-      const DynamicBitset candidates =
-          waiting | proposers[static_cast<std::size_t>(i)];
-      DynamicBitset chosen = graph::solve_mwis(market.graph(i),
-                                               market.channel_prices(i),
-                                               candidates,
-                                               config.coalition_policy);
-      // A greedy MWIS can return a coalition *worse* than the current
-      // waiting list; adopting it would let a seller's value oscillate.
-      // Only switch when the seller strictly prefers the new coalition
-      // (eq. 6), otherwise keep the waiting list and reject all proposers.
-      if (!market::seller_prefers(market, i, chosen, waiting)) chosen = waiting;
-      selections[k] = std::move(chosen);
-    });
-    for (std::size_t k = 0; k < active.size(); ++k) {
-      const ChannelId i = active[k];
-      const DynamicBitset& chosen = selections[k];
+      if (ws.proposers[static_cast<std::size_t>(i)].any())
+        ws.active.push_back(i);
+    parallel_for_lanes(
+        0, ws.active.size(), [&](std::size_t lane, std::size_t k) {
+          const ChannelId i = ws.active[k];
+          const DynamicBitset& waiting = result.matching.members_of(i);
+          DynamicBitset& candidates = ws.lane_set[lane];
+          candidates.assign_or(waiting,
+                               ws.proposers[static_cast<std::size_t>(i)]);
+          const DynamicBitset& chosen = graph::solve_mwis(
+              market.graph(i), market.channel_prices(i), candidates,
+              config.coalition_policy, ws.lane_scratch[lane]);
+          // A greedy MWIS can return a coalition *worse* than the current
+          // waiting list; adopting it would let a seller's value oscillate.
+          // Only switch when the seller strictly prefers the new coalition
+          // (eq. 6), otherwise keep the waiting list and reject all
+          // proposers.
+          ws.selections[k] =
+              market::seller_prefers(market, i, chosen, waiting) ? chosen
+                                                                 : waiting;
+        });
+    for (std::size_t k = 0; k < ws.active.size(); ++k) {
+      const ChannelId i = ws.active[k];
+      const auto iu = static_cast<std::size_t>(i);
+      const DynamicBitset& chosen = ws.selections[k];
       // Evict waiting-list buyers not selected, then admit new members.
-      const DynamicBitset evicted = result.matching.members_of(i) - chosen;
-      evicted.for_each_set([&](std::size_t j) {
+      ws.apply_set.assign_difference(result.matching.members_of(i), chosen);
+      ws.apply_set.for_each_set([&](std::size_t j) {
         result.matching.unmatch(static_cast<BuyerId>(j));
         ++result.total_evictions;
       });
-      const DynamicBitset admitted = chosen - result.matching.members_of(i);
-      admitted.for_each_set([&](std::size_t j) {
+      ws.apply_set.assign_difference(chosen, result.matching.members_of(i));
+      ws.apply_set.for_each_set([&](std::size_t j) {
         result.matching.match(static_cast<BuyerId>(j), i);
       });
       if (metrics::enabled()) {
         metrics::observe("stage1.waiting_set_size",
                          static_cast<double>(chosen.count()));
-        metrics::count(
-            "stage1.rejections",
-            static_cast<std::int64_t>(
-                (proposers[static_cast<std::size_t>(i)] - chosen).count()));
+        metrics::count("stage1.rejections",
+                       static_cast<std::int64_t>(
+                           ws.proposers[iu].difference_count(chosen)));
       }
-      proposers[static_cast<std::size_t>(i)].clear();
+      // Only active sellers can hold proposers, so this clear loop already
+      // skips every inactive seller.
+      ws.proposers[iu].clear();
     }
 
     if (config.record_trace) {
@@ -110,9 +133,12 @@ StageIResult run_deferred_acceptance(const market::SpectrumMarket& market,
       }
       result.trace.push_back(std::move(round_trace));
     }
+    if (counting && result.rounds >= 2)
+      steady_allocs += alloc_count::total() - round_allocs;
   }
 
   result.matching.check_consistent();
+  if (counting) result.steady_allocs = steady_allocs;
   // One flush per run: counter totals mirror the StageIResult fields, so the
   // registry view of a run matches what the caller already gets returned
   // (asserted by metrics_test).
@@ -124,5 +150,7 @@ StageIResult run_deferred_acceptance(const market::SpectrumMarket& market,
   }
   return result;
 }
+
+}  // namespace detail
 
 }  // namespace specmatch::matching

@@ -39,10 +39,31 @@ struct StageIResult {
   std::int64_t total_proposals = 0;
   /// Buyers removed from a waiting list to make room for a better coalition.
   std::int64_t total_evictions = 0;
+  /// Heap allocations observed across steady-state rounds (round >= 2) when
+  /// SPECMATCH_COUNT_ALLOCS is enabled; -1 = not measured. Zero on the
+  /// serial path with a warm workspace (the thread pool's dispatch, metrics,
+  /// and tracing allocate when active and are reported truthfully).
+  std::int64_t steady_allocs = -1;
   std::vector<StageIRound> trace;  ///< non-empty only if record_trace
 };
 
+struct MatchWorkspace;
+
 StageIResult run_deferred_acceptance(const market::SpectrumMarket& market,
                                      const StageIConfig& config = {});
+
+/// Workspace-reusing overload: identical results, with all per-run scratch
+/// (prepared here) taken from `workspace`.
+StageIResult run_deferred_acceptance(const market::SpectrumMarket& market,
+                                     const StageIConfig& config,
+                                     MatchWorkspace& workspace);
+
+namespace detail {
+/// Core loop over a workspace already prepared for `market` (two_stage runs
+/// both stages off one prepare).
+StageIResult run_deferred_acceptance_prepared(
+    const market::SpectrumMarket& market, const StageIConfig& config,
+    MatchWorkspace& workspace);
+}  // namespace detail
 
 }  // namespace specmatch::matching

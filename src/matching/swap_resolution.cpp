@@ -9,6 +9,7 @@
 #include "common/trace.hpp"
 #include "graph/mwis.hpp"
 #include "matching/stability.hpp"
+#include "matching/workspace.hpp"
 
 namespace specmatch::matching {
 
@@ -25,22 +26,23 @@ struct Operation {
 };
 
 /// Best compatible channel for buyer k in `matching`, ignoring channel
-/// `exclude` (the one she was just dropped from) — greedy relocation target.
+/// `exclude` (the one she was just dropped from) — greedy relocation target,
+/// walking the workspace's CSR preference row instead of materialising one.
 ChannelId best_relocation(const market::SpectrumMarket& market,
-                          const Matching& matching, BuyerId k,
-                          ChannelId exclude) {
-  for (ChannelId i : market.buyer_preference_order(k)) {
+                          const MatchWorkspace& ws, const Matching& matching,
+                          BuyerId k, ChannelId exclude) {
+  for (ChannelId i : ws.pref_order(k)) {
     if (i == exclude) continue;
     if (market.graph(i).is_compatible(k, matching.members_of(i))) return i;
   }
   return kUnmatched;
 }
 
-/// Simulates the operation for blocking pair (i, j) on a scratch copy and
-/// returns it if the *total welfare* strictly improves.
+/// Simulates the operation for blocking pair (i, j) on the workspace's
+/// scratch matching and returns it if the *total welfare* strictly improves.
 std::optional<Operation> simulate(const market::SpectrumMarket& market,
-                                  const Matching& matching, ChannelId i,
-                                  BuyerId j) {
+                                  MatchWorkspace& ws, const Matching& matching,
+                                  ChannelId i, BuyerId j) {
   const double price = market.utility(i, j);
   const DynamicBitset dropped =
       matching.members_of(i) & market.graph(i).neighbors(j);
@@ -50,8 +52,9 @@ std::optional<Operation> simulate(const market::SpectrumMarket& market,
   op.joiner = j;
   op.welfare_delta = price - matching.buyer_utility(market, j);
 
-  // Apply to a scratch matching: joiner in, interfering members out.
-  Matching scratch = matching;
+  // Apply to the scratch matching: joiner in, interfering members out.
+  Matching& scratch = ws.scratch_matching;
+  scratch = matching;
   dropped.for_each_set([&](std::size_t k) {
     scratch.unmatch(static_cast<BuyerId>(k));
     op.welfare_delta -= market.utility(i, static_cast<BuyerId>(k));
@@ -60,14 +63,16 @@ std::optional<Operation> simulate(const market::SpectrumMarket& market,
 
   // Greedy relocation of the dropped buyers, highest dropped price first so
   // the most valuable displaced buyer picks her new channel first.
-  std::vector<BuyerId> displaced;
-  dropped.for_each_set(
-      [&](std::size_t k) { displaced.push_back(static_cast<BuyerId>(k)); });
-  std::sort(displaced.begin(), displaced.end(), [&](BuyerId a, BuyerId b) {
-    return market.utility(i, a) > market.utility(i, b);
+  ws.displaced.clear();
+  dropped.for_each_set([&](std::size_t k) {
+    ws.displaced.push_back(static_cast<BuyerId>(k));
   });
-  for (BuyerId k : displaced) {
-    const ChannelId home = best_relocation(market, scratch, k, i);
+  std::sort(ws.displaced.begin(), ws.displaced.end(),
+            [&](BuyerId a, BuyerId b) {
+              return market.utility(i, a) > market.utility(i, b);
+            });
+  for (BuyerId k : ws.displaced) {
+    const ChannelId home = best_relocation(market, ws, scratch, k, i);
     op.relocations.emplace_back(k, home);
     if (home != kUnmatched) {
       scratch.match(k, home);
@@ -78,11 +83,10 @@ std::optional<Operation> simulate(const market::SpectrumMarket& market,
   return op;
 }
 
-}  // namespace
-
-SwapResult resolve_blocking_pairs(const market::SpectrumMarket& market,
-                                  const Matching& input,
-                                  const SwapConfig& config) {
+SwapResult resolve_blocking_pairs_prepared(const market::SpectrumMarket& market,
+                                           const Matching& input,
+                                           const SwapConfig& config,
+                                           MatchWorkspace& ws) {
   SPECMATCH_CHECK_MSG(is_interference_free(market, input),
                       "swap resolution requires an interference-free input");
   trace::ScopedSpan span("stage3.swaps");
@@ -107,10 +111,10 @@ SwapResult resolve_blocking_pairs(const market::SpectrumMarket& market,
         if (price - result.matching.buyer_utility(market, j) <= 0.0)
           continue;                                                // buyer
         metrics::count("swap.simulations");
-        const auto op = simulate(market, result.matching, i, j);
+        auto op = simulate(market, ws, result.matching, i, j);
         if (op.has_value() &&
             (!best.has_value() || op->welfare_delta > best->welfare_delta))
-          best = op;
+          best = std::move(op);
       }
     }
     if (!best.has_value()) break;
@@ -145,11 +149,37 @@ SwapResult resolve_blocking_pairs(const market::SpectrumMarket& market,
   return result;
 }
 
+}  // namespace
+
+SwapResult resolve_blocking_pairs(const market::SpectrumMarket& market,
+                                  const Matching& input,
+                                  const SwapConfig& config) {
+  MatchWorkspace workspace;
+  return resolve_blocking_pairs(market, input, config, workspace);
+}
+
+SwapResult resolve_blocking_pairs(const market::SpectrumMarket& market,
+                                  const Matching& input,
+                                  const SwapConfig& config,
+                                  MatchWorkspace& workspace) {
+  workspace.prepare(market);
+  return resolve_blocking_pairs_prepared(market, input, config, workspace);
+}
+
 SwapResult run_two_stage_with_swaps(const market::SpectrumMarket& market,
                                     const TwoStageConfig& two_stage,
                                     const SwapConfig& swaps) {
-  const auto base = run_two_stage(market, two_stage);
-  return resolve_blocking_pairs(market, base.final_matching(), swaps);
+  MatchWorkspace workspace;
+  return run_two_stage_with_swaps(market, two_stage, swaps, workspace);
+}
+
+SwapResult run_two_stage_with_swaps(const market::SpectrumMarket& market,
+                                    const TwoStageConfig& two_stage,
+                                    const SwapConfig& swaps,
+                                    MatchWorkspace& workspace) {
+  const auto base = run_two_stage(market, two_stage, workspace);
+  return resolve_blocking_pairs_prepared(market, base.final_matching(), swaps,
+                                         workspace);
 }
 
 }  // namespace specmatch::matching

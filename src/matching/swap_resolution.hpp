@@ -52,9 +52,24 @@ SwapResult resolve_blocking_pairs(const market::SpectrumMarket& market,
                                   const Matching& input,
                                   const SwapConfig& config = {});
 
+/// Workspace-reusing overload: identical results; simulation copies,
+/// displaced-buyer ordering, and relocation preference walks run on
+/// `workspace` (prepared here).
+SwapResult resolve_blocking_pairs(const market::SpectrumMarket& market,
+                                  const Matching& input,
+                                  const SwapConfig& config,
+                                  MatchWorkspace& workspace);
+
 /// Convenience: the full pipeline — two-stage algorithm, then Stage III.
 SwapResult run_two_stage_with_swaps(const market::SpectrumMarket& market,
                                     const TwoStageConfig& two_stage = {},
                                     const SwapConfig& swaps = {});
+
+/// Workspace-reusing overload of the full pipeline (one prepare for all
+/// three stages).
+SwapResult run_two_stage_with_swaps(const market::SpectrumMarket& market,
+                                    const TwoStageConfig& two_stage,
+                                    const SwapConfig& swaps,
+                                    MatchWorkspace& workspace);
 
 }  // namespace specmatch::matching

@@ -2,12 +2,14 @@
 
 #include <utility>
 
+#include "common/alloc_count.hpp"
 #include "common/check.hpp"
 #include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
 #include "market/coalition.hpp"
 #include "market/preferences.hpp"
+#include "matching/workspace.hpp"
 
 namespace specmatch::matching {
 
@@ -25,6 +27,24 @@ double current_utility(const market::SpectrumMarket& market,
 StageIIResult run_transfer_invitation(const market::SpectrumMarket& market,
                                       const Matching& stage1,
                                       const StageIIConfig& config) {
+  MatchWorkspace workspace;
+  return run_transfer_invitation(market, stage1, config, workspace);
+}
+
+StageIIResult run_transfer_invitation(const market::SpectrumMarket& market,
+                                      const Matching& stage1,
+                                      const StageIIConfig& config,
+                                      MatchWorkspace& workspace) {
+  workspace.prepare(market);
+  return detail::run_transfer_invitation_prepared(market, stage1, config,
+                                                  workspace);
+}
+
+namespace detail {
+
+StageIIResult run_transfer_invitation_prepared(
+    const market::SpectrumMarket& market, const Matching& stage1,
+    const StageIIConfig& config, MatchWorkspace& ws) {
   const int M = market.num_channels();
   const int N = market.num_buyers();
   SPECMATCH_CHECK(stage1.num_channels() == M && stage1.num_buyers() == N);
@@ -37,48 +57,47 @@ StageIIResult run_transfer_invitation(const market::SpectrumMarket& market,
   StageIIResult result;
   result.matching = stage1;
 
+  // Steady-state allocation accounting; see deferred_acceptance.cpp.
+  const bool counting = alloc_count::counting();
+  std::int64_t steady_allocs = 0;
+
   // ---- Phase 1: Transfer -------------------------------------------------
   trace::ScopedSpan phase1_span("stage2.phase1");
-  // T_j: strictly-better sellers, in descending-utility order with a cursor.
-  // Each buyer's list reads only the (frozen) Stage-I matching and her own
-  // utility row, so the lists are built concurrently.
-  std::vector<std::vector<ChannelId>> better(static_cast<std::size_t>(N));
-  std::vector<std::size_t> cursor(static_cast<std::size_t>(N), 0);
+  // T_j: strictly-better sellers, best-first with a cursor. The preference
+  // CSR rows are already descending by utility, so the strictly-better
+  // channels are exactly a prefix — only the prefix length is stored, no
+  // per-buyer list. Each buyer's prefix reads only the (frozen) Stage-I
+  // matching and her own utility row, so all prefixes are found
+  // concurrently.
   parallel_for(0, static_cast<std::size_t>(N), [&](std::size_t ju) {
     const auto j = static_cast<BuyerId>(ju);
     const double now = current_utility(market, result.matching, j);
-    for (ChannelId i : market.buyer_preference_order(j)) {
-      if (market.utility(i, j) > now) better[ju].push_back(i);
-    }
+    const auto prefs = ws.pref_order(j);
+    std::size_t end = 0;
+    while (end < prefs.size() && market.utility(prefs[end], j) > now) ++end;
+    ws.better_end[ju] = end;
   });
   if (metrics::enabled())
-    for (const auto& list : better)
+    for (std::size_t ju = 0; ju < static_cast<std::size_t>(N); ++ju)
       metrics::observe("stage2.better_list_size",
-                       static_cast<double>(list.size()));
-
-  // D_i: this round's applicants; rejected-ever feeds the invitation lists.
-  std::vector<DynamicBitset> applicants(
-      static_cast<std::size_t>(M),
-      DynamicBitset(static_cast<std::size_t>(N)));
-  std::vector<DynamicBitset> rejected(
-      static_cast<std::size_t>(M),
-      DynamicBitset(static_cast<std::size_t>(N)));
+                       static_cast<double>(ws.better_end[ju]));
 
   while (true) {
+    const std::int64_t round_allocs = counting ? alloc_count::total() : 0;
     bool any_application = false;
     for (BuyerId j = 0; j < N; ++j) {
       const auto ju = static_cast<std::size_t>(j);
-      auto& list = better[ju];
+      const auto prefs = ws.pref_order(j);
       // Applications were queued best-first; once the head is no better than
       // the current match (after a successful transfer), the rest never will
       // be — the buyer is done.
       const double now = current_utility(market, result.matching, j);
-      while (cursor[ju] < list.size() &&
-             market.utility(list[cursor[ju]], j) <= now)
-        ++cursor[ju];
-      if (cursor[ju] >= list.size()) continue;
-      const ChannelId i = list[cursor[ju]++];
-      applicants[static_cast<std::size_t>(i)].set(ju);
+      while (ws.cursor[ju] < ws.better_end[ju] &&
+             market.utility(prefs[ws.cursor[ju]], j) <= now)
+        ++ws.cursor[ju];
+      if (ws.cursor[ju] >= ws.better_end[ju]) continue;
+      const ChannelId i = prefs[ws.cursor[ju]++];
+      ws.applicants[static_cast<std::size_t>(i)].set(ju);
       ++result.transfer_applications;
       any_application = true;
     }
@@ -91,40 +110,46 @@ StageIIResult run_transfer_invitation(const market::SpectrumMarket& market,
     // decisions only read the snapshot, so they are solved concurrently and
     // the moves/rejections collected serially in channel order — identical
     // output at any thread count.
-    const Matching snapshot = result.matching;
-    std::vector<ChannelId> deciding;
+    ws.snapshot = result.matching;
+    ws.deciding.clear();
     for (ChannelId i = 0; i < M; ++i)
-      if (applicants[static_cast<std::size_t>(i)].any()) deciding.push_back(i);
-    std::vector<DynamicBitset> accepted(deciding.size());
-    parallel_for(0, deciding.size(), [&](std::size_t k) {
-      const ChannelId i = deciding[k];
+      if (ws.applicants[static_cast<std::size_t>(i)].any())
+        ws.deciding.push_back(i);
+    parallel_for_lanes(
+        0, ws.deciding.size(), [&](std::size_t lane, std::size_t k) {
+          const ChannelId i = ws.deciding[k];
+          const auto iu = static_cast<std::size_t>(i);
+          const DynamicBitset& members = ws.snapshot.members_of(i);
+          // Only applicants compatible with every current member are
+          // admissible (the seller cannot evict, Algorithm 2 line 13).
+          DynamicBitset& admissible = ws.lane_set[lane];
+          admissible.assign_zero(static_cast<std::size_t>(N));
+          ws.applicants[iu].for_each_set([&](std::size_t j) {
+            if (market.graph(i).is_compatible(static_cast<BuyerId>(j),
+                                              members))
+              admissible.set(j);
+          });
+          ws.accepted[k] = graph::solve_mwis(
+              market.graph(i), market.channel_prices(i), admissible,
+              config.coalition_policy, ws.lane_scratch[lane]);
+        });
+    ws.moves.clear();
+    for (std::size_t k = 0; k < ws.deciding.size(); ++k) {
+      const ChannelId i = ws.deciding[k];
       const auto iu = static_cast<std::size_t>(i);
-      const DynamicBitset& members = snapshot.members_of(i);
-      // Only applicants compatible with every current member are admissible
-      // (the seller cannot evict, Algorithm 2 line 13).
-      DynamicBitset admissible(static_cast<std::size_t>(N));
-      applicants[iu].for_each_set([&](std::size_t j) {
-        if (market.graph(i).is_compatible(static_cast<BuyerId>(j), members))
-          admissible.set(j);
+      ws.accepted[k].for_each_set([&](std::size_t j) {
+        ws.moves.emplace_back(static_cast<BuyerId>(j), i);
       });
-      accepted[k] =
-          graph::solve_mwis(market.graph(i), market.channel_prices(i),
-                            admissible, config.coalition_policy);
-    });
-    std::vector<std::pair<BuyerId, ChannelId>> moves;
-    for (std::size_t k = 0; k < deciding.size(); ++k) {
-      const ChannelId i = deciding[k];
-      const auto iu = static_cast<std::size_t>(i);
-      accepted[k].for_each_set([&](std::size_t j) {
-        moves.emplace_back(static_cast<BuyerId>(j), i);
-      });
-      rejected[iu] |= applicants[iu] - accepted[k];
-      applicants[iu].clear();
+      ws.apply_set.assign_difference(ws.applicants[iu], ws.accepted[k]);
+      ws.rejected[iu] |= ws.apply_set;
+      ws.applicants[iu].clear();
     }
-    for (const auto& [j, i] : moves) {
+    for (const auto& [j, i] : ws.moves) {
       result.matching.rematch(j, i);
       ++result.transfers_accepted;
     }
+    if (counting && result.phase1_rounds >= 2)
+      steady_allocs += alloc_count::total() - round_allocs;
   }
 
   result.after_phase1 = result.matching;
@@ -134,38 +159,39 @@ StageIIResult run_transfer_invitation(const market::SpectrumMarket& market,
   // ---- Phase 2: Invitation -----------------------------------------------
   trace::ScopedSpan phase2_span("stage2.phase2");
   // Screen invitation lists against the sellers' final Phase-1 members
-  // (Algorithm 2 line 20).
-  std::vector<DynamicBitset> invite_list(
-      static_cast<std::size_t>(M),
-      DynamicBitset(static_cast<std::size_t>(N)));
-  auto screen = [&](ChannelId i) {
+  // (Algorithm 2 line 20); `lane` indexes the scratch bitset the screening
+  // runs on.
+  auto screen = [&](ChannelId i, std::size_t lane) {
     const auto iu = static_cast<std::size_t>(i);
-    DynamicBitset screened(static_cast<std::size_t>(N));
-    invite_list[iu].for_each_set([&](std::size_t j) {
+    DynamicBitset& screened = ws.lane_set[lane];
+    screened.assign_zero(static_cast<std::size_t>(N));
+    ws.invite_list[iu].for_each_set([&](std::size_t j) {
       const auto buyer = static_cast<BuyerId>(j);
       if (result.matching.seller_of(buyer) == i) return;
       if (market.graph(i).is_compatible(buyer, result.matching.members_of(i)))
         screened.set(j);
     });
-    invite_list[iu] = std::move(screened);
+    ws.invite_list[iu] = screened;
   };
   // Screening a list touches only that seller's slot (against the now-stable
   // Phase-1 matching), so all sellers screen concurrently.
-  parallel_for(0, static_cast<std::size_t>(M), [&](std::size_t iu) {
-    const auto i = static_cast<ChannelId>(iu);
-    invite_list[iu] = rejected[iu];
-    screen(i);
-  });
+  parallel_for_lanes(0, static_cast<std::size_t>(M),
+                     [&](std::size_t lane, std::size_t iu) {
+                       const auto i = static_cast<ChannelId>(iu);
+                       ws.invite_list[iu] = ws.rejected[iu];
+                       screen(i, lane);
+                     });
 
   while (true) {
+    const std::int64_t round_allocs = counting ? alloc_count::total() : 0;
     bool any_invitation = false;
     for (ChannelId i = 0; i < M; ++i) {
       const auto iu = static_cast<std::size_t>(i);
-      if (!invite_list[iu].any()) continue;
+      if (!ws.invite_list[iu].any()) continue;
       // Invite the compatible buyer with the highest offered price.
       BuyerId best = kUnmatched;
       double best_price = -1.0;
-      invite_list[iu].for_each_set([&](std::size_t j) {
+      ws.invite_list[iu].for_each_set([&](std::size_t j) {
         const double price = market.utility(i, static_cast<BuyerId>(j));
         if (price > best_price) {
           best_price = price;
@@ -184,26 +210,29 @@ StageIIResult run_transfer_invitation(const market::SpectrumMarket& market,
         result.matching.rematch(best, i);
         ++result.invitations_accepted;
         // Drop the new member's interfering neighbours (line 29).
-        invite_list[iu] -= market.graph(i).neighbors(best);
+        ws.invite_list[iu] -= market.graph(i).neighbors(best);
         if (config.rescreen_on_departure && old_seller != kUnmatched) {
           // Extension: a departure may unblock buyers the one-shot screening
           // removed; rebuild the old seller's list from everyone she ever
           // rejected and screen again.
-          invite_list[static_cast<std::size_t>(old_seller)] |=
-              rejected[static_cast<std::size_t>(old_seller)];
-          screen(old_seller);
+          ws.invite_list[static_cast<std::size_t>(old_seller)] |=
+              ws.rejected[static_cast<std::size_t>(old_seller)];
+          screen(old_seller, 0);
         }
       }
-      invite_list[iu].reset(static_cast<std::size_t>(best));
+      ws.invite_list[iu].reset(static_cast<std::size_t>(best));
       // An invitation is never repeated (line 31).
-      rejected[iu].reset(static_cast<std::size_t>(best));
+      ws.rejected[iu].reset(static_cast<std::size_t>(best));
     }
     if (!any_invitation) break;
     ++result.phase2_rounds;
+    if (counting && result.phase2_rounds >= 2)
+      steady_allocs += alloc_count::total() - round_allocs;
   }
   phase2_span.set_arg(result.phase2_rounds);
 
   result.matching.check_consistent();
+  if (counting) result.steady_allocs = steady_allocs;
   // One flush per run, mirroring the StageIIResult fields (see the matching
   // note in deferred_acceptance.cpp).
   if (metrics::enabled()) {
@@ -219,5 +248,7 @@ StageIIResult run_transfer_invitation(const market::SpectrumMarket& market,
   }
   return result;
 }
+
+}  // namespace detail
 
 }  // namespace specmatch::matching

@@ -37,12 +37,32 @@ struct StageIIResult {
   std::int64_t transfers_accepted = 0;
   std::int64_t invitations_sent = 0;
   std::int64_t invitations_accepted = 0;
+  /// Heap allocations across steady-state rounds (phase-1 and phase-2
+  /// rounds >= 2 of their loops) when SPECMATCH_COUNT_ALLOCS is enabled;
+  /// -1 = not measured. See StageIResult::steady_allocs.
+  std::int64_t steady_allocs = -1;
 };
+
+struct MatchWorkspace;
 
 /// Runs Stage II on top of a Stage-I matching (which must be
 /// interference-free; checked).
 StageIIResult run_transfer_invitation(const market::SpectrumMarket& market,
                                       const Matching& stage1,
                                       const StageIIConfig& config = {});
+
+/// Workspace-reusing overload: identical results, with all per-run scratch
+/// (prepared here) taken from `workspace`.
+StageIIResult run_transfer_invitation(const market::SpectrumMarket& market,
+                                      const Matching& stage1,
+                                      const StageIIConfig& config,
+                                      MatchWorkspace& workspace);
+
+namespace detail {
+/// Core loop over a workspace already prepared for `market`.
+StageIIResult run_transfer_invitation_prepared(
+    const market::SpectrumMarket& market, const Matching& stage1,
+    const StageIIConfig& config, MatchWorkspace& workspace);
+}  // namespace detail
 
 }  // namespace specmatch::matching

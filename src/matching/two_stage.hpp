@@ -31,4 +31,11 @@ struct TwoStageResult {
 TwoStageResult run_two_stage(const market::SpectrumMarket& market,
                              const TwoStageConfig& config = {});
 
+/// Workspace-reusing overload: identical results; `workspace` is prepared
+/// once here and shared by both stages, so steady-state rounds run
+/// allocation-free (see matching/workspace.hpp).
+TwoStageResult run_two_stage(const market::SpectrumMarket& market,
+                             const TwoStageConfig& config,
+                             MatchWorkspace& workspace);
+
 }  // namespace specmatch::matching

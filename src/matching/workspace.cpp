@@ -1,0 +1,82 @@
+#include "matching/workspace.hpp"
+
+#include <algorithm>
+
+#include "common/thread_pool.hpp"
+
+namespace specmatch::matching {
+
+void MatchWorkspace::prepare(const market::SpectrumMarket& market) {
+  const int M = market.num_channels();
+  const int N = market.num_buyers();
+  const auto mu = static_cast<std::size_t>(M);
+  const auto nu = static_cast<std::size_t>(N);
+
+  // Preference CSR: rebuilt from scratch every prepare (markets are cheap to
+  // re-derive and caching by identity would be unsound — a new market can
+  // reuse a dead one's address). Capacities persist, so repeated runs only
+  // pay the fill.
+  pref_offsets.clear();
+  pref_offsets.reserve(nu + 1);
+  pref_channels.clear();
+  pref_channels.reserve(nu * mu);
+  pref_offsets.push_back(0);
+  for (BuyerId j = 0; j < N; ++j) {
+    market.append_buyer_preference_order(j, pref_channels);
+    pref_offsets.push_back(pref_channels.size());
+  }
+
+  next_pref.assign(nu, 0);
+  if (proposers.size() < mu) proposers.resize(mu);
+  if (selections.size() < mu) selections.resize(mu);
+  for (std::size_t i = 0; i < mu; ++i) {
+    proposers[i].assign_zero(nu);
+    selections[i].assign_zero(nu);
+  }
+  active.clear();
+  active.reserve(mu);
+
+  better_end.assign(nu, 0);
+  cursor.assign(nu, 0);
+  if (applicants.size() < mu) applicants.resize(mu);
+  if (rejected.size() < mu) rejected.resize(mu);
+  if (invite_list.size() < mu) invite_list.resize(mu);
+  if (accepted.size() < mu) accepted.resize(mu);
+  for (std::size_t i = 0; i < mu; ++i) {
+    applicants[i].assign_zero(nu);
+    rejected[i].assign_zero(nu);
+    invite_list[i].assign_zero(nu);
+    accepted[i].assign_zero(nu);
+  }
+  deciding.clear();
+  deciding.reserve(mu);
+  moves.clear();
+  moves.reserve(nu);
+  snapshot = Matching(M, N);
+
+  apply_set.assign_zero(nu);
+
+  // One solver scratch per pool lane. The heap bound n + E_i covers the
+  // worst sparse-path channel: each rescore push pairs with an edge from a
+  // removed vertex to a survivor, used at most once per solve (dense
+  // channels take the heap-free scan path; see mwis.cpp's strategy split).
+  const std::size_t lanes = ThreadPool::global().num_threads();
+  if (lane_set.size() < lanes) lane_set.resize(lanes);
+  if (lane_scratch.size() < lanes) lane_scratch.resize(lanes);
+  std::size_t heap_bound = nu;
+  for (ChannelId i = 0; i < M; ++i) {
+    const std::size_t edges = market.graph(i).num_edges();
+    if (2 * edges < graph::kMwisScanDegreeThreshold * nu)
+      heap_bound = std::max(heap_bound, nu + edges);
+  }
+  for (std::size_t lane = 0; lane < lane_set.size(); ++lane) {
+    lane_set[lane].assign_zero(nu);
+    lane_scratch[lane].reserve(nu, heap_bound);
+  }
+
+  scratch_matching = Matching(M, N);
+  displaced.clear();
+  displaced.reserve(nu);
+}
+
+}  // namespace specmatch::matching

@@ -1,0 +1,87 @@
+// MatchWorkspace: all per-run scratch state of the matching engine in one
+// reusable object.
+//
+// Every round of Stage I deferred acceptance, Stage II transfer/invitation,
+// and Stage III swap resolution used to heap-allocate fresh bitsets, seller
+// slots, and per-buyer preference lists; at the ROADMAP's production scale
+// that allocator traffic, not the matching arithmetic, bounds throughput. A
+// MatchWorkspace owns all of it — the flattened CSR preference orders, the
+// per-seller proposer/applicant/rejected/invitation bitsets, the per-seller
+// selection slots, the per-lane MWIS scratch (score arrays + lazy heaps),
+// and the round snapshot — sized once by prepare() and reinitialised (never
+// reallocated) by each run, so steady-state Stage I/II rounds perform zero
+// heap allocations on the serial path (threads = 1; the thread pool's
+// dispatch itself allocates). The engine samples the SPECMATCH_COUNT_ALLOCS
+// counter around steady rounds to prove it (StageIResult::steady_allocs,
+// StageIIResult::steady_allocs, workspace_test, bench/large_market).
+//
+// Reuse contract: results never depend on prior workspace contents — every
+// run_* entry point taking a workspace calls prepare(), which re-derives all
+// market-dependent state (the CSR) and zeroes all round state, so one
+// workspace may serve any sequence of markets of any shapes (asserted by
+// workspace_test). The workspace is not thread-safe; per-lane members are
+// indexed by the pool lane the engine hands each task.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/bitset.hpp"
+#include "common/ids.hpp"
+#include "graph/mwis.hpp"
+#include "market/market.hpp"
+#include "matching/matching.hpp"
+
+namespace specmatch::matching {
+
+struct MatchWorkspace {
+  /// Sizes every container for `market` and rebuilds the market-derived
+  /// tables (the CSR preference orders). Grow-only for capacities: repeated
+  /// runs over same-shaped (or smaller) markets never allocate here beyond
+  /// the first call. Called by every workspace-taking run_* entry point.
+  void prepare(const market::SpectrumMarket& market);
+
+  /// Buyer j's admissible channels, best-first (the CSR row built from
+  /// SpectrumMarket::append_buyer_preference_order).
+  std::span<const ChannelId> pref_order(BuyerId j) const {
+    const auto ju = static_cast<std::size_t>(j);
+    return {pref_channels.data() + pref_offsets[ju],
+            pref_offsets[ju + 1] - pref_offsets[ju]};
+  }
+
+  // --- flattened preference orders (offsets + channels CSR) ---------------
+  std::vector<std::size_t> pref_offsets;  ///< N + 1 row starts
+  std::vector<ChannelId> pref_channels;   ///< concatenated descending orders
+
+  // --- Stage I round state ------------------------------------------------
+  std::vector<std::size_t> next_pref;     ///< per-buyer proposal cursor
+  std::vector<DynamicBitset> proposers;   ///< P_i per seller
+  std::vector<ChannelId> active;          ///< sellers with proposers
+  std::vector<DynamicBitset> selections;  ///< per-active-seller result slot
+
+  // --- Stage II round state -----------------------------------------------
+  std::vector<std::size_t> better_end;  ///< per-buyer better-list prefix len
+  std::vector<std::size_t> cursor;      ///< per-buyer transfer cursor
+  std::vector<DynamicBitset> applicants;   ///< D_i per seller
+  std::vector<DynamicBitset> rejected;     ///< rejected-ever per seller
+  std::vector<DynamicBitset> invite_list;  ///< R_i per seller
+  std::vector<DynamicBitset> accepted;     ///< per-deciding-seller slot
+  std::vector<ChannelId> deciding;         ///< sellers with applicants
+  std::vector<std::pair<BuyerId, ChannelId>> moves;  ///< round's transfers
+  Matching snapshot;  ///< frozen matching sellers decide against
+
+  // --- shared round temporaries -------------------------------------------
+  DynamicBitset apply_set;  ///< serial-phase temp (evicted/admitted/rejected)
+
+  // --- per-lane solver scratch (indexed by pool lane; grow-only) ----------
+  std::vector<DynamicBitset> lane_set;            ///< candidate/admissible set
+  std::vector<graph::MwisScratch> lane_scratch;   ///< MWIS heaps and scores
+
+  // --- Stage III scratch --------------------------------------------------
+  Matching scratch_matching;      ///< simulation copy per candidate swap
+  std::vector<BuyerId> displaced;  ///< dropped buyers, best-first
+};
+
+}  // namespace specmatch::matching

@@ -7,12 +7,28 @@
 # the paper's running-time panel for eyeballing.
 #
 #   tools/run_bench.sh                 # full perf run, writes BENCH_core.json
+#   tools/run_bench.sh --scale         # large-market N x M sweep, writes
+#                                      # BENCH_scale.json (wall time, rounds,
+#                                      # peak RSS, steady-round allocations)
 #   tools/run_bench.sh --smoke BINDIR  # smoke: run every bench binary in
 #                                      # BINDIR at SPECMATCH_TRIALS=1 (the
 #                                      # bench_smoke ctest)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+if [[ "${1:-}" == "--scale" ]]; then
+  build_dir="$repo_root/build-bench"
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" -j"$(nproc)" --target large_market
+  # Allocation counting on, so every record carries steady_allocs and the
+  # zero-allocation guarantee is re-proved on the real sweep, not just the
+  # smoke grid. The JSON lands at the repo root for review diffs.
+  SPECMATCH_COUNT_ALLOCS=1 \
+  SPECMATCH_BENCH_JSON="$repo_root/BENCH_scale.json" \
+    "$build_dir/bench/large_market"
+  exit 0
+fi
 
 if [[ "${1:-}" == "--smoke" ]]; then
   bindir="${2:?usage: run_bench.sh --smoke BINDIR}"
@@ -50,6 +66,32 @@ if [[ "${1:-}" == "--smoke" ]]; then
   fi
   grep -q '"bench": "two_stage"' "$tmpdir/BENCH_core.json" || {
     echo "bench_smoke: BENCH_core.json missing two_stage records" >&2
+    status=1
+  }
+  # Scale-bench leg: smoke-sized sweep with the counting allocator on. The
+  # records must exist AND report zero steady-round allocations — this is
+  # the MatchWorkspace zero-allocation guarantee enforced in CI on top of
+  # the unit test (threads default to 1 here, the serial path the guarantee
+  # is scoped to).
+  echo "bench_smoke: large_market (scale)"
+  if ! SPECMATCH_COUNT_ALLOCS=1 SPECMATCH_THREADS=1 \
+       SPECMATCH_BENCH_JSON="$tmpdir/BENCH_scale.json" \
+       "$bindir/large_market" > "$tmpdir/large_market.log" 2>&1; then
+    echo "bench_smoke: FAILED large_market" >&2
+    tail -n 30 "$tmpdir/large_market.log" >&2
+    status=1
+  fi
+  grep -q '"bench": "two_stage_scale"' "$tmpdir/BENCH_scale.json" || {
+    echo "bench_smoke: BENCH_scale.json missing two_stage_scale records" >&2
+    status=1
+  }
+  if grep -q '"steady_allocs": [1-9-]' "$tmpdir/BENCH_scale.json"; then
+    echo "bench_smoke: BENCH_scale.json reports non-zero steady allocations" >&2
+    grep '"steady_allocs"' "$tmpdir/BENCH_scale.json" >&2
+    status=1
+  fi
+  grep -q '"steady_allocs": 0' "$tmpdir/BENCH_scale.json" || {
+    echo "bench_smoke: BENCH_scale.json missing steady_allocs measurements" >&2
     status=1
   }
   # Metrics leg: with SPECMATCH_METRICS on, the bench JSON must carry the
