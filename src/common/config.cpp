@@ -52,6 +52,10 @@ constexpr EnvKnob kKnownEnvKnobs[] = {
     {"SPECMATCH_SCALE_MAX_N",
      "cap the N sweep of the large_market scale bench "
      "(bench/large_market.cpp)"},
+    {"SPECMATCH_GRAPH_DENSE_MAX",
+     "largest vertex count stored as dense bitset adjacency; bigger graphs "
+     "use the CSR representation, default 2048 "
+     "(graph/interference_graph.cpp)"},
     {"SPECMATCH_BENCH_THREADS",
      "parallel lane count of the micro_core trajectory, default 4 "
      "(bench/micro_core.cpp)"},

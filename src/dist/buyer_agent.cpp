@@ -63,16 +63,17 @@ bool BuyerAgent::transition_condition_met(int slot) const {
       if (matched_to_ == kUnmatched) return next_pref_ >= pref_order_.size();
       // All interfering neighbours on my channel have proposed to my seller.
       return market_.graph(matched_to_)
-          .neighbors(id_)
-          .is_subset_of(neighbors_seen_);
+          .neighbors_subset_of(id_, neighbors_seen_);
     }
     case BuyerRule::kRuleII: {
       if (matched_to_ == kUnmatched) return next_pref_ >= pref_order_.size();
-      const auto outstanding =
-          market_.graph(matched_to_).neighbors(id_) - neighbors_seen_;
+      // |N(me) - seen| without materialising the difference set.
+      const std::size_t outstanding =
+          market_.graph(matched_to_).degree(id_) -
+          market_.graph(matched_to_).degree_in(id_, neighbors_seen_);
       const double risk = buyer_eviction_probability(
           slot, market_.num_channels(), market_.num_buyers(),
-          static_cast<int>(outstanding.count()),
+          static_cast<int>(outstanding),
           market_.utility(matched_to_, id_));
       return risk < config_.eviction_threshold;
     }

@@ -115,7 +115,8 @@ void SellerAgent::process_applications(Network& net) {
   chosen.for_each_set([&](std::size_t j) {
     members_.set(j);
     // A Phase-2 admission invalidates invitations to her neighbours.
-    invite_list_ -= market_.graph(id_).neighbors(static_cast<BuyerId>(j));
+    market_.graph(id_).remove_neighbors_from(static_cast<BuyerId>(j),
+                                             invite_list_);
     net.send({MsgType::kTransferAccept, my_agent_id(),
               static_cast<AgentId>(j), 0.0, {}});
   });
@@ -160,7 +161,7 @@ void SellerAgent::step(int slot, Network& net) {
         if (market_.graph(id_).is_compatible(msg.from, members_)) {
           members_.set(static_cast<std::size_t>(msg.from));
           // Line 29: the new member's neighbours can no longer be invited.
-          invite_list_ -= market_.graph(id_).neighbors(msg.from);
+          market_.graph(id_).remove_neighbors_from(msg.from, invite_list_);
         } else {
           net.send({MsgType::kEvict, my_agent_id(), msg.from, 0.0, {}});
         }

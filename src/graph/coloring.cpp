@@ -44,7 +44,7 @@ std::vector<DynamicBitset> connected_components(
       component |= frontier;
       DynamicBitset next(n);
       frontier.for_each_set([&](std::size_t v) {
-        next |= graph.neighbors(static_cast<BuyerId>(v));
+        graph.add_neighbors_to(static_cast<BuyerId>(v), next);
       });
       next -= component;
       frontier = std::move(next);

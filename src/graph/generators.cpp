@@ -19,8 +19,13 @@ double distance(const Point& a, const Point& b) {
 
 InterferenceGraph geometric(std::span<const Point> positions, double range) {
   SPECMATCH_CHECK_MSG(range >= 0.0, "negative transmission range " << range);
-  InterferenceGraph g(positions.size());
   const std::size_t n = positions.size();
+
+  // Edges are collected into a flat pair list and bulk-loaded, so a CSR-sized
+  // input goes straight to finalized flat storage (from_edges) without ever
+  // materialising dense rows or per-vertex build vectors. Each unordered pair
+  // is tested exactly once, so the list is duplicate-free.
+  std::vector<std::pair<BuyerId, BuyerId>> edge_list;
 
   // Small inputs (and the degenerate range-0 case, where only coincident
   // points connect) keep the all-pairs scan: no bucketing overhead, and it
@@ -30,10 +35,11 @@ InterferenceGraph geometric(std::span<const Point> positions, double range) {
     for (std::size_t a = 0; a < n; ++a) {
       for (std::size_t b = a + 1; b < n; ++b) {
         if (distance(positions[a], positions[b]) <= range)
-          g.add_edge(static_cast<BuyerId>(a), static_cast<BuyerId>(b));
+          edge_list.emplace_back(static_cast<BuyerId>(a),
+                                 static_cast<BuyerId>(b));
       }
     }
-    return g;
+    return InterferenceGraph::from_edges(n, edge_list);
   }
 
   // Grid bucketing with cells of side `range`: a pair within `range` always
@@ -41,8 +47,8 @@ InterferenceGraph geometric(std::span<const Point> positions, double range) {
   // strictly more than `range` on that axis), while every candidate pair is
   // still tested with the exact same distance predicate — so the edge set is
   // identical to the all-pairs scan, in O(n + pairs-in-adjacent-cells)
-  // instead of O(n^2). Edge insertion order differs, which is immaterial:
-  // adjacency rows are bitsets.
+  // instead of O(n^2). Edge enumeration order differs, which is immaterial:
+  // from_edges sorts every adjacency row.
   double min_x = positions[0].x;
   double min_y = positions[0].y;
   for (const Point& p : positions) {
@@ -71,7 +77,8 @@ InterferenceGraph geometric(std::span<const Point> positions, double range) {
     for (std::uint32_t a : from) {
       for (std::uint32_t b : it->second) {
         if (distance(positions[a], positions[b]) <= range)
-          g.add_edge(static_cast<BuyerId>(a), static_cast<BuyerId>(b));
+          edge_list.emplace_back(static_cast<BuyerId>(a),
+                                 static_cast<BuyerId>(b));
       }
     }
   };
@@ -81,8 +88,8 @@ InterferenceGraph geometric(std::span<const Point> positions, double range) {
     for (std::size_t a = 0; a < members.size(); ++a) {
       for (std::size_t b = a + 1; b < members.size(); ++b) {
         if (distance(positions[members[a]], positions[members[b]]) <= range)
-          g.add_edge(static_cast<BuyerId>(members[a]),
-                     static_cast<BuyerId>(members[b]));
+          edge_list.emplace_back(static_cast<BuyerId>(members[a]),
+                                 static_cast<BuyerId>(members[b]));
       }
     }
     // Half the 8-neighbourhood, so each unordered cell pair is visited once.
@@ -91,7 +98,7 @@ InterferenceGraph geometric(std::span<const Point> positions, double range) {
     link_across(members, cx + 1, cy + 1);
     if (cy > 0) link_across(members, cx + 1, cy - 1);
   }
-  return g;
+  return InterferenceGraph::from_edges(n, edge_list);
 }
 
 InterferenceGraph erdos_renyi(std::size_t n, double p, Rng& rng) {

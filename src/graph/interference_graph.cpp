@@ -1,16 +1,167 @@
 #include "graph/interference_graph.hpp"
 
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
 #include "common/check.hpp"
 
 namespace specmatch::graph {
 
-InterferenceGraph::InterferenceGraph(std::size_t num_vertices)
-    : adjacency_(num_vertices, DynamicBitset(num_vertices)) {}
+std::size_t InterferenceGraph::dense_max() {
+  static const std::size_t value = [] {
+    constexpr std::size_t kDefault = 2048;
+    const char* env = std::getenv("SPECMATCH_GRAPH_DENSE_MAX");
+    if (env == nullptr || env[0] == '\0') return kDefault;
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || parsed < 0) return kDefault;
+    return static_cast<std::size_t>(parsed);
+  }();
+  return value;
+}
 
-void InterferenceGraph::check_vertex(BuyerId v) const {
-  SPECMATCH_CHECK_MSG(
-      v >= 0 && static_cast<std::size_t>(v) < adjacency_.size(),
-      "vertex " << v << " out of range [0, " << adjacency_.size() << ")");
+InterferenceGraph::InterferenceGraph(std::size_t num_vertices)
+    : InterferenceGraph(num_vertices, num_vertices <= dense_max()
+                                          ? GraphRep::kDense
+                                          : GraphRep::kCsr) {}
+
+InterferenceGraph::InterferenceGraph(std::size_t num_vertices, GraphRep rep)
+    : rep_(rep),
+      narrow_(num_vertices <= (std::size_t{1} << 16)),
+      num_vertices_(num_vertices),
+      degrees_(num_vertices, 0) {
+  if (rep_ == GraphRep::kDense)
+    adjacency_.assign(num_vertices, DynamicBitset(num_vertices));
+  else
+    rows_.resize(num_vertices);
+}
+
+InterferenceGraph InterferenceGraph::from_edges(
+    std::size_t num_vertices,
+    std::span<const std::pair<BuyerId, BuyerId>> edge_list) {
+  return from_edges(num_vertices, edge_list,
+                    num_vertices <= dense_max() ? GraphRep::kDense
+                                                : GraphRep::kCsr);
+}
+
+InterferenceGraph InterferenceGraph::from_edges(
+    std::size_t num_vertices,
+    std::span<const std::pair<BuyerId, BuyerId>> edge_list, GraphRep rep) {
+  InterferenceGraph g(num_vertices, rep);
+  if (rep == GraphRep::kDense) {
+    for (const auto& [a, b] : edge_list) g.add_edge(a, b);
+    return g;
+  }
+
+  // Straight-to-finalized CSR: count, prefix-sum, fill, sort, dedup. The
+  // only transients beyond the final arrays are the caller's edge list and
+  // one cursor vector — no per-vertex row vectors, which matters when the
+  // generator builds M large graphs back to back.
+  for (const auto& [a, b] : edge_list) {
+    g.check_vertex(a);
+    g.check_vertex(b);
+    SPECMATCH_CHECK_MSG(a != b, "self-loop at vertex " << a);
+    ++g.degrees_[static_cast<std::size_t>(a)];  // raw counts incl. duplicates
+    ++g.degrees_[static_cast<std::size_t>(b)];
+  }
+  g.offsets_.assign(num_vertices + 1, 0);
+  std::size_t total = 0;
+  for (std::size_t v = 0; v < num_vertices; ++v) {
+    SPECMATCH_CHECK_MSG(
+        total + g.degrees_[v] <= std::numeric_limits<std::uint32_t>::max(),
+        "CSR offsets overflow uint32");
+    g.offsets_[v] = static_cast<std::uint32_t>(total);
+    total += g.degrees_[v];
+  }
+  g.offsets_[num_vertices] = static_cast<std::uint32_t>(total);
+
+  std::vector<std::uint32_t> cursor(g.offsets_.begin(),
+                                    g.offsets_.end() - (num_vertices ? 1 : 0));
+  const auto fill = [&](auto& flat) {
+    flat.resize(total);
+    using Id = typename std::remove_reference_t<decltype(flat)>::value_type;
+    for (const auto& [a, b] : edge_list) {
+      const auto ua = static_cast<std::size_t>(a);
+      const auto ub = static_cast<std::size_t>(b);
+      flat[cursor[ua]++] = static_cast<Id>(ub);
+      flat[cursor[ub]++] = static_cast<Id>(ua);
+    }
+    // Sort each row and compact duplicates in place (the write cursor never
+    // overtakes the read cursor).
+    std::size_t write = 0;
+    for (std::size_t v = 0; v < num_vertices; ++v) {
+      const std::size_t begin = g.offsets_[v];
+      const std::size_t end = cursor[v];
+      std::sort(flat.begin() + static_cast<std::ptrdiff_t>(begin),
+                flat.begin() + static_cast<std::ptrdiff_t>(end));
+      g.offsets_[v] = static_cast<std::uint32_t>(write);
+      for (std::size_t k = begin; k < end; ++k)
+        if (k == begin || flat[k] != flat[k - 1]) flat[write++] = flat[k];
+      g.degrees_[v] = static_cast<std::uint32_t>(write - g.offsets_[v]);
+      g.max_degree_ = std::max<std::size_t>(g.max_degree_, g.degrees_[v]);
+    }
+    g.offsets_[num_vertices] = static_cast<std::uint32_t>(write);
+    flat.resize(write);
+    flat.shrink_to_fit();
+    g.num_edges_ = write / 2;
+  };
+  if (g.narrow_)
+    fill(g.flat16_);
+  else
+    fill(g.flat32_);
+
+  std::vector<std::vector<std::uint32_t>>().swap(g.rows_);  // build rows unused
+  g.finalized_ = true;
+  return g;
+}
+
+void InterferenceGraph::finalize() {
+  if (rep_ == GraphRep::kDense || finalized_) return;
+  const std::size_t total = 2 * num_edges_;
+  SPECMATCH_CHECK_MSG(total <= std::numeric_limits<std::uint32_t>::max(),
+                      "CSR offsets overflow uint32");
+  offsets_.assign(num_vertices_ + 1, 0);
+  std::size_t running = 0;
+  for (std::size_t v = 0; v < num_vertices_; ++v) {
+    offsets_[v] = static_cast<std::uint32_t>(running);
+    running += rows_[v].size();
+  }
+  offsets_[num_vertices_] = static_cast<std::uint32_t>(running);
+  const auto fill = [&](auto& flat) {
+    flat.resize(total);
+    using Id = typename std::remove_reference_t<decltype(flat)>::value_type;
+    std::size_t write = 0;
+    for (std::size_t v = 0; v < num_vertices_; ++v)
+      for (std::uint32_t u : rows_[v]) flat[write++] = static_cast<Id>(u);
+  };
+  if (narrow_)
+    fill(flat16_);
+  else
+    fill(flat32_);
+  std::vector<std::vector<std::uint32_t>>().swap(rows_);
+  finalized_ = true;
+}
+
+void InterferenceGraph::definalize() {
+  rows_.resize(num_vertices_);
+  for (std::size_t v = 0; v < num_vertices_; ++v) {
+    auto& row = rows_[v];
+    row.clear();
+    row.reserve(degrees_[v]);
+    const std::size_t begin = offsets_[v];
+    const std::size_t end = offsets_[v + 1];
+    if (narrow_)
+      row.assign(flat16_.begin() + static_cast<std::ptrdiff_t>(begin),
+                 flat16_.begin() + static_cast<std::ptrdiff_t>(end));
+    else
+      row.assign(flat32_.begin() + static_cast<std::ptrdiff_t>(begin),
+                 flat32_.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  std::vector<std::uint32_t>().swap(offsets_);
+  std::vector<std::uint16_t>().swap(flat16_);
+  std::vector<std::uint32_t>().swap(flat32_);
+  finalized_ = false;
 }
 
 void InterferenceGraph::add_edge(BuyerId a, BuyerId b) {
@@ -19,56 +170,141 @@ void InterferenceGraph::add_edge(BuyerId a, BuyerId b) {
   SPECMATCH_CHECK_MSG(a != b, "self-loop at vertex " << a);
   const auto ua = static_cast<std::size_t>(a);
   const auto ub = static_cast<std::size_t>(b);
-  if (adjacency_[ua].test(ub)) return;  // already present
-  adjacency_[ua].set(ub);
-  adjacency_[ub].set(ua);
+  if (rep_ == GraphRep::kDense) {
+    if (adjacency_[ua].test(ub)) return;  // already present
+    adjacency_[ua].set(ub);
+    adjacency_[ub].set(ua);
+  } else {
+    if (finalized_) definalize();
+    auto& row_a = rows_[ua];
+    const auto wa = static_cast<std::uint32_t>(ub);
+    const auto it_a = std::lower_bound(row_a.begin(), row_a.end(), wa);
+    if (it_a != row_a.end() && *it_a == wa) return;  // already present
+    row_a.insert(it_a, wa);
+    auto& row_b = rows_[ub];
+    const auto wb = static_cast<std::uint32_t>(ua);
+    row_b.insert(std::lower_bound(row_b.begin(), row_b.end(), wb), wb);
+  }
   ++num_edges_;
+  max_degree_ = std::max<std::size_t>(
+      max_degree_, std::max(++degrees_[ua], ++degrees_[ub]));
 }
 
 bool InterferenceGraph::has_edge(BuyerId a, BuyerId b) const {
   check_vertex(a);
   check_vertex(b);
-  return adjacency_[static_cast<std::size_t>(a)].test(
-      static_cast<std::size_t>(b));
+  const auto ua = static_cast<std::size_t>(a);
+  const auto ub = static_cast<std::size_t>(b);
+  if (rep_ == GraphRep::kDense) return adjacency_[ua].test(ub);
+  if (!finalized_) {
+    const auto& row = rows_[ua];
+    return std::binary_search(row.begin(), row.end(),
+                              static_cast<std::uint32_t>(ub));
+  }
+  const std::size_t begin = offsets_[ua];
+  const std::size_t end = offsets_[ua + 1];
+  if (narrow_)
+    return std::binary_search(
+        flat16_.begin() + static_cast<std::ptrdiff_t>(begin),
+        flat16_.begin() + static_cast<std::ptrdiff_t>(end),
+        static_cast<std::uint16_t>(ub));
+  return std::binary_search(
+      flat32_.begin() + static_cast<std::ptrdiff_t>(begin),
+      flat32_.begin() + static_cast<std::ptrdiff_t>(end),
+      static_cast<std::uint32_t>(ub));
 }
 
 const DynamicBitset& InterferenceGraph::neighbors(BuyerId v) const {
   check_vertex(v);
+  SPECMATCH_CHECK_MSG(rep_ == GraphRep::kDense,
+                      "neighbors() hands out a dense adjacency row; CSR "
+                      "graphs use the degree-proportional primitives");
   return adjacency_[static_cast<std::size_t>(v)];
 }
 
 bool InterferenceGraph::is_independent(const DynamicBitset& members) const {
-  SPECMATCH_CHECK(members.size() == adjacency_.size());
+  SPECMATCH_CHECK(members.size() == num_vertices_);
   bool independent = true;
+  if (rep_ == GraphRep::kDense) {
+    members.for_each_set([&](std::size_t v) {
+      if (independent && adjacency_[v].intersects(members)) independent = false;
+    });
+    return independent;
+  }
+  // Each edge is examined from one endpoint only (rows are ascending, so the
+  // u > v half covers every edge once).
   members.for_each_set([&](std::size_t v) {
-    if (independent && adjacency_[v].intersects(members)) independent = false;
+    if (!independent) return;
+    visit_row(static_cast<BuyerId>(v), [&](std::size_t u) {
+      if (u > v && members.test(u)) {
+        independent = false;
+        return false;
+      }
+      return true;
+    });
   });
   return independent;
-}
-
-bool InterferenceGraph::is_compatible(BuyerId v,
-                                      const DynamicBitset& members) const {
-  check_vertex(v);
-  SPECMATCH_CHECK(members.size() == adjacency_.size());
-  return !adjacency_[static_cast<std::size_t>(v)].intersects(members);
 }
 
 std::vector<std::pair<BuyerId, BuyerId>> InterferenceGraph::edges() const {
   std::vector<std::pair<BuyerId, BuyerId>> out;
   out.reserve(num_edges_);
-  for (std::size_t a = 0; a < adjacency_.size(); ++a) {
-    adjacency_[a].for_each_set([&](std::size_t b) {
+  if (rep_ == GraphRep::kDense) {
+    for (std::size_t a = 0; a < num_vertices_; ++a) {
+      adjacency_[a].for_each_set([&](std::size_t b) {
+        if (a < b)
+          out.emplace_back(static_cast<BuyerId>(a), static_cast<BuyerId>(b));
+      });
+    }
+    return out;
+  }
+  for (std::size_t a = 0; a < num_vertices_; ++a) {
+    visit_row(static_cast<BuyerId>(a), [&](std::size_t b) {
       if (a < b)
         out.emplace_back(static_cast<BuyerId>(a), static_cast<BuyerId>(b));
+      return true;
     });
   }
   return out;
 }
 
 double InterferenceGraph::average_degree() const {
-  if (adjacency_.empty()) return 0.0;
+  if (num_vertices_ == 0) return 0.0;
   return 2.0 * static_cast<double>(num_edges_) /
-         static_cast<double>(adjacency_.size());
+         static_cast<double>(num_vertices_);
+}
+
+std::size_t InterferenceGraph::adjacency_bytes() const {
+  std::size_t bytes = degrees_.size() * sizeof(std::uint32_t);
+  if (rep_ == GraphRep::kDense) {
+    const std::size_t words_per_row = (num_vertices_ + 63) / 64;
+    return bytes + num_vertices_ * words_per_row * sizeof(std::uint64_t);
+  }
+  if (finalized_) {
+    bytes += offsets_.size() * sizeof(std::uint32_t);
+    bytes += flat16_.size() * sizeof(std::uint16_t);
+    bytes += flat32_.size() * sizeof(std::uint32_t);
+  } else {
+    for (const auto& row : rows_)
+      bytes += row.capacity() * sizeof(std::uint32_t);
+    bytes += rows_.capacity() * sizeof(std::vector<std::uint32_t>);
+  }
+  return bytes;
+}
+
+bool InterferenceGraph::operator==(const InterferenceGraph& other) const {
+  if (num_vertices_ != other.num_vertices_ ||
+      num_edges_ != other.num_edges_ || degrees_ != other.degrees_)
+    return false;
+  if (rep_ == GraphRep::kDense && other.rep_ == GraphRep::kDense)
+    return adjacency_ == other.adjacency_;
+  return edges() == other.edges();
+}
+
+InterferenceGraph with_representation(const InterferenceGraph& graph,
+                                      GraphRep rep) {
+  const auto edge_list = graph.edges();
+  return InterferenceGraph::from_edges(graph.num_vertices(), edge_list, rep);
 }
 
 }  // namespace specmatch::graph

@@ -1,46 +1,242 @@
 // Per-channel interference graph G_i = (V, E_i) over the virtual buyers.
 //
 // Vertices are BuyerIds; an edge (j, j') means buyers j and j' may not reuse
-// this channel simultaneously (paper §II-A). Adjacency rows are DynamicBitsets
-// so "does buyer j interfere with anyone in coalition C" is a word-parallel
-// intersection test.
+// this channel simultaneously (paper §II-A). Two storage representations sit
+// behind one API:
+//
+//  * kDense — one DynamicBitset adjacency row per vertex, so "does buyer j
+//    interfere with anyone in coalition C" is a word-parallel intersection
+//    test. O(N²) bits per graph: perfect for the paper-sized markets, ruinous
+//    at ROADMAP scale (M dense graphs at N = 20000 cost gigabytes).
+//  * kCsr — compressed sparse rows: each vertex's neighbour list, ascending,
+//    concatenated into one flat array (16-bit ids when N <= 65536, 32-bit
+//    above) behind an offsets table. Memory scales with edges, and every
+//    neighbourhood operation is O(deg) instead of O(N/64) words.
+//
+// The representation is chosen per graph at construction: vertex counts at or
+// below the SPECMATCH_GRAPH_DENSE_MAX env knob (default 2048) stay dense,
+// larger graphs go CSR. All queries are representation-agnostic; only
+// neighbors() — which hands out a dense row by reference — is dense-only, and
+// callers on hot paths use the degree-proportional primitives below instead.
+//
+// CSR graphs have a mutable build phase (per-vertex sorted rows, add_edge
+// allowed) and an immutable finalized phase (the flat arrays). finalize()
+// compacts build rows into flat storage; SpectrumMarket finalizes its graphs
+// on construction, and the geometric generator emits finalized graphs
+// directly. add_edge on a finalized CSR graph transparently re-enters the
+// build phase (rare: clique edges over dummy buyers on small markets).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "common/bitset.hpp"
+#include "common/check.hpp"
 #include "common/ids.hpp"
 
 namespace specmatch::graph {
+
+/// Adjacency storage strategy; see the header comment.
+enum class GraphRep : std::uint8_t {
+  kDense,  ///< one bitset row per vertex (word-parallel, O(N²) bits)
+  kCsr,    ///< compressed sparse rows (degree-proportional, O(E) ids)
+};
 
 class InterferenceGraph {
  public:
   InterferenceGraph() = default;
 
-  /// An edgeless graph over `num_vertices` buyers.
+  /// An edgeless graph over `num_vertices` buyers; representation chosen by
+  /// vertex count against dense_max().
   explicit InterferenceGraph(std::size_t num_vertices);
 
-  std::size_t num_vertices() const { return adjacency_.size(); }
+  /// An edgeless graph with an explicit representation (tests, benches, and
+  /// the representation-comparison legs).
+  InterferenceGraph(std::size_t num_vertices, GraphRep rep);
+
+  /// Bulk constructor: the graph over `num_vertices` buyers whose edge set is
+  /// `edge_list` (unordered pairs; duplicates tolerated, self-loops rejected).
+  /// The CSR build goes straight to finalized flat storage — no per-vertex
+  /// row vectors — which keeps the generator's transient footprint at one
+  /// edge list, not a vector-of-vectors.
+  static InterferenceGraph from_edges(
+      std::size_t num_vertices,
+      std::span<const std::pair<BuyerId, BuyerId>> edge_list);
+  static InterferenceGraph from_edges(
+      std::size_t num_vertices,
+      std::span<const std::pair<BuyerId, BuyerId>> edge_list, GraphRep rep);
+
+  /// Largest vertex count stored dense (SPECMATCH_GRAPH_DENSE_MAX, default
+  /// 2048); read once per process.
+  static std::size_t dense_max();
+
+  GraphRep representation() const { return rep_; }
+
+  /// True once CSR rows live in the immutable flat arrays (always true for
+  /// dense graphs — they have no separate build phase).
+  bool finalized() const { return rep_ == GraphRep::kDense || finalized_; }
+
+  /// Compacts CSR build rows into the flat arrays and frees the build
+  /// storage. Idempotent; no-op for dense graphs. Queries work in either
+  /// phase; finalize before long-term storage to drop the build overhead.
+  void finalize();
+
+  std::size_t num_vertices() const { return num_vertices_; }
   std::size_t num_edges() const { return num_edges_; }
 
   /// Adds the undirected edge (a, b). Self-loops are rejected; duplicate
-  /// insertions are idempotent.
+  /// insertions are idempotent. Re-enters the build phase on a finalized
+  /// CSR graph.
   void add_edge(BuyerId a, BuyerId b);
 
   bool has_edge(BuyerId a, BuyerId b) const;
 
-  /// Adjacency row of `v`: bit j set iff (v, j) is an edge.
+  /// Adjacency row of `v`: bit j set iff (v, j) is an edge. Dense-only —
+  /// CSR graphs have no bitset row to hand out; use the degree-proportional
+  /// primitives below.
   const DynamicBitset& neighbors(BuyerId v) const;
 
-  std::size_t degree(BuyerId v) const { return neighbors(v).count(); }
+  /// Cached degree — O(1), maintained by add_edge (GWMIN scores it in a
+  /// loop; recomputing neighbors(v).count() was a word scan per call).
+  std::size_t degree(BuyerId v) const {
+    check_vertex(v);
+    return degrees_[static_cast<std::size_t>(v)];
+  }
+
+  /// Largest vertex degree; 0 for the edgeless graph. O(1).
+  std::size_t max_degree() const { return max_degree_; }
 
   /// True iff no two set bits in `members` are adjacent.
   bool is_independent(const DynamicBitset& members) const;
 
   /// True iff `v` has no neighbour inside `members` (v itself may be in it).
-  bool is_compatible(BuyerId v, const DynamicBitset& members) const;
+  /// Dense: one word-parallel intersection; CSR: O(deg(v)) with early exit.
+  bool is_compatible(BuyerId v, const DynamicBitset& members) const {
+    check_vertex(v);
+    SPECMATCH_CHECK(members.size() == num_vertices_);
+    if (rep_ == GraphRep::kDense)
+      return !adjacency_[static_cast<std::size_t>(v)].intersects(members);
+    bool compatible = true;
+    visit_row(v, [&](std::size_t u) {
+      if (members.test(u)) {
+        compatible = false;
+        return false;
+      }
+      return true;
+    });
+    return compatible;
+  }
+
+  /// Calls `fn(u)` for every neighbour u of `v`, ascending. The ascending
+  /// order is part of the contract: GWMIN2 sums neighbour weights in
+  /// iteration order and the two representations must agree bit-for-bit.
+  template <typename Fn>
+  void for_each_neighbor(BuyerId v, Fn&& fn) const {
+    check_vertex(v);
+    if (rep_ == GraphRep::kDense) {
+      adjacency_[static_cast<std::size_t>(v)].for_each_set(fn);
+      return;
+    }
+    visit_row(v, [&](std::size_t u) {
+      fn(u);
+      return true;
+    });
+  }
+
+  /// Calls `fn(u)` for every neighbour u of `v` with mask.test(u), ascending
+  /// (same bit-for-bit contract as for_each_neighbor).
+  template <typename Fn>
+  void for_each_neighbor_in(BuyerId v, const DynamicBitset& mask,
+                            Fn&& fn) const {
+    check_vertex(v);
+    SPECMATCH_CHECK(mask.size() == num_vertices_);
+    if (rep_ == GraphRep::kDense) {
+      adjacency_[static_cast<std::size_t>(v)].for_each_set_and(mask, fn);
+      return;
+    }
+    visit_row(v, [&](std::size_t u) {
+      if (mask.test(u)) fn(u);
+      return true;
+    });
+  }
+
+  /// |N(v) ∩ mask| — the degree of `v` inside `mask`.
+  std::size_t degree_in(BuyerId v, const DynamicBitset& mask) const {
+    check_vertex(v);
+    SPECMATCH_CHECK(mask.size() == num_vertices_);
+    if (rep_ == GraphRep::kDense)
+      return adjacency_[static_cast<std::size_t>(v)].intersection_count(mask);
+    std::size_t count = 0;
+    visit_row(v, [&](std::size_t u) {
+      count += mask.test(u) ? 1 : 0;
+      return true;
+    });
+    return count;
+  }
+
+  /// True iff every neighbour of `v` is inside `mask`.
+  bool neighbors_subset_of(BuyerId v, const DynamicBitset& mask) const {
+    check_vertex(v);
+    SPECMATCH_CHECK(mask.size() == num_vertices_);
+    if (rep_ == GraphRep::kDense)
+      return adjacency_[static_cast<std::size_t>(v)].is_subset_of(mask);
+    bool subset = true;
+    visit_row(v, [&](std::size_t u) {
+      if (!mask.test(u)) {
+        subset = false;
+        return false;
+      }
+      return true;
+    });
+    return subset;
+  }
+
+  /// out = N(v) ∩ mask (out is resized to the vertex count).
+  void neighbors_in(BuyerId v, const DynamicBitset& mask,
+                    DynamicBitset& out) const {
+    check_vertex(v);
+    SPECMATCH_CHECK(mask.size() == num_vertices_);
+    if (rep_ == GraphRep::kDense) {
+      out.assign_and(adjacency_[static_cast<std::size_t>(v)], mask);
+      return;
+    }
+    out.assign_zero(num_vertices_);
+    visit_row(v, [&](std::size_t u) {
+      if (mask.test(u)) out.set(u);
+      return true;
+    });
+  }
+
+  /// set |= N(v).
+  void add_neighbors_to(BuyerId v, DynamicBitset& set) const {
+    check_vertex(v);
+    SPECMATCH_CHECK(set.size() == num_vertices_);
+    if (rep_ == GraphRep::kDense) {
+      set |= adjacency_[static_cast<std::size_t>(v)];
+      return;
+    }
+    visit_row(v, [&](std::size_t u) {
+      set.set(u);
+      return true;
+    });
+  }
+
+  /// set -= N(v).
+  void remove_neighbors_from(BuyerId v, DynamicBitset& set) const {
+    check_vertex(v);
+    SPECMATCH_CHECK(set.size() == num_vertices_);
+    if (rep_ == GraphRep::kDense) {
+      set -= adjacency_[static_cast<std::size_t>(v)];
+      return;
+    }
+    visit_row(v, [&](std::size_t u) {
+      set.reset(u);
+      return true;
+    });
+  }
 
   /// All edges (a < b), ascending — handy for tests and serialisation.
   std::vector<std::pair<BuyerId, BuyerId>> edges() const;
@@ -48,13 +244,74 @@ class InterferenceGraph {
   /// Mean vertex degree; 0 for the empty graph.
   double average_degree() const;
 
-  bool operator==(const InterferenceGraph& other) const = default;
+  /// Heap bytes of the adjacency storage under the current representation
+  /// (dense bitset rows, or CSR offsets + flat ids + degree cache). The
+  /// bench's representation-comparison leg reports this because process RSS
+  /// cannot attribute memory once the allocator recycles freed arenas.
+  std::size_t adjacency_bytes() const;
+
+  /// Representation-agnostic equality: same vertex count and same edge set
+  /// (a dense and a CSR graph over the same edges compare equal).
+  bool operator==(const InterferenceGraph& other) const;
 
  private:
-  void check_vertex(BuyerId v) const;
+  void check_vertex(BuyerId v) const {
+    SPECMATCH_CHECK_MSG(
+        v >= 0 && static_cast<std::size_t>(v) < num_vertices_,
+        "vertex " << v << " out of range [0, " << num_vertices_ << ")");
+  }
 
-  std::vector<DynamicBitset> adjacency_;
+  /// CSR row walk, ascending, in whichever phase the graph is in. `fn`
+  /// returns false to stop early.
+  template <typename Fn>
+  void visit_row(BuyerId v, Fn&& fn) const {
+    const auto vu = static_cast<std::size_t>(v);
+    if (!finalized_) {
+      for (std::uint32_t u : rows_[vu])
+        if (!fn(static_cast<std::size_t>(u))) return;
+      return;
+    }
+    const std::size_t begin = offsets_[vu];
+    const std::size_t end = offsets_[vu + 1];
+    if (narrow_) {
+      for (std::size_t k = begin; k < end; ++k)
+        if (!fn(static_cast<std::size_t>(flat16_[k]))) return;
+    } else {
+      for (std::size_t k = begin; k < end; ++k)
+        if (!fn(static_cast<std::size_t>(flat32_[k]))) return;
+    }
+  }
+
+  /// Moves a finalized CSR graph back to build rows so add_edge can mutate.
+  void definalize();
+
+  /// True when 16-bit neighbour ids cover every vertex.
+  bool narrow_ids() const { return num_vertices_ <= (1u << 16); }
+
+  GraphRep rep_ = GraphRep::kDense;
+  bool finalized_ = false;  ///< CSR only; dense graphs ignore it
+  bool narrow_ = true;      ///< flat arrays use 16-bit ids
+  std::size_t num_vertices_ = 0;
   std::size_t num_edges_ = 0;
+  std::size_t max_degree_ = 0;
+  std::vector<std::uint32_t> degrees_;  ///< cached; add_edge maintains it
+
+  // kDense storage.
+  std::vector<DynamicBitset> adjacency_;
+
+  // kCsr build phase: one sorted (ascending) neighbour vector per vertex.
+  std::vector<std::vector<std::uint32_t>> rows_;
+
+  // kCsr finalized phase: rows concatenated behind an offsets table. One of
+  // flat16_/flat32_ is populated according to narrow_.
+  std::vector<std::uint32_t> offsets_;  ///< num_vertices_ + 1 row starts
+  std::vector<std::uint16_t> flat16_;
+  std::vector<std::uint32_t> flat32_;
 };
+
+/// Rebuilds `graph` under `rep` (same vertices, same edges). Used by the
+/// dense-vs-CSR property tests and the bench comparison leg.
+InterferenceGraph with_representation(const InterferenceGraph& graph,
+                                      GraphRep rep);
 
 }  // namespace specmatch::graph

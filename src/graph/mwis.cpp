@@ -53,56 +53,32 @@ struct GreedyWork {
   std::uint64_t scan_evals = 0;  ///< scan path: score evaluations
 };
 
-/// GWMIN pick score: w(v) / (deg_R(v) + 1). The allocating variant is the
-/// preserved pre-change implementation (solve_mwis_rescan baseline); the
-/// scan variant computes the identical value without the temporary.
-struct GwminScore {
-  const InterferenceGraph& graph;
-  std::span<const double> weights;
-
-  double operator()(std::size_t v, const DynamicBitset& remaining) const {
-    const double deg = static_cast<double>(
-        (graph.neighbors(static_cast<BuyerId>(v)) & remaining).count());
-    return weights[v] / (deg + 1.0);
-  }
-};
-
+/// GWMIN pick score: w(v) / (deg_R(v) + 1). degree_in is the word-parallel
+/// intersection count on dense graphs and an O(deg) row walk on CSR — the
+/// integer degree (and hence the score bits) is identical either way.
 struct GwminScanScore {
   const InterferenceGraph& graph;
   std::span<const double> weights;
 
   double operator()(std::size_t v, const DynamicBitset& remaining) const {
     const double deg = static_cast<double>(
-        graph.neighbors(static_cast<BuyerId>(v))
-            .intersection_count(remaining));
+        graph.degree_in(static_cast<BuyerId>(v), remaining));
     return weights[v] / (deg + 1.0);
   }
 };
 
-/// GWMIN2 pick score: w(v) / (w(v) + w(N_R(v))); same split as GWMIN. The
-/// scan variant sums the same neighbours in the same ascending order, so the
-/// value is bit-identical.
-struct Gwmin2Score {
-  const InterferenceGraph& graph;
-  std::span<const double> weights;
-
-  double operator()(std::size_t v, const DynamicBitset& remaining) const {
-    double nbr_weight = 0.0;
-    (graph.neighbors(static_cast<BuyerId>(v)) & remaining)
-        .for_each_set([&](std::size_t u) { nbr_weight += weights[u]; });
-    return weights[v] / (weights[v] + nbr_weight);
-  }
-};
-
+/// GWMIN2 pick score: w(v) / (w(v) + w(N_R(v))). for_each_neighbor_in visits
+/// the surviving neighbours in ascending order under both representations,
+/// so the floating-point sum — and the score — is bit-identical.
 struct Gwmin2ScanScore {
   const InterferenceGraph& graph;
   std::span<const double> weights;
 
   double operator()(std::size_t v, const DynamicBitset& remaining) const {
     double nbr_weight = 0.0;
-    graph.neighbors(static_cast<BuyerId>(v))
-        .for_each_set_and(remaining,
-                          [&](std::size_t u) { nbr_weight += weights[u]; });
+    graph.for_each_neighbor_in(
+        static_cast<BuyerId>(v), remaining,
+        [&](std::size_t u) { nbr_weight += weights[u]; });
     return weights[v] / (weights[v] + nbr_weight);
   }
 };
@@ -121,8 +97,7 @@ struct GwminIncremental {
   void init(const DynamicBitset& remaining) {
     deg.assign(graph.num_vertices(), 0);
     remaining.for_each_set([&](std::size_t v) {
-      deg[v] = graph.neighbors(static_cast<BuyerId>(v))
-                   .intersection_count(remaining);
+      deg[v] = graph.degree_in(static_cast<BuyerId>(v), remaining);
     });
   }
 
@@ -135,11 +110,11 @@ struct GwminIncremental {
   void apply_removal(const DynamicBitset& removed,
                      const DynamicBitset& remaining, DynamicBitset& touched) {
     removed.for_each_set([&](std::size_t u) {
-      graph.neighbors(static_cast<BuyerId>(u))
-          .for_each_set_and(remaining, [&](std::size_t w) {
-            --deg[w];
-            touched.set(w);
-          });
+      graph.for_each_neighbor_in(static_cast<BuyerId>(u), remaining,
+                                 [&](std::size_t w) {
+                                   --deg[w];
+                                   touched.set(w);
+                                 });
     });
   }
 };
@@ -162,7 +137,7 @@ struct Gwmin2Incremental {
   void apply_removal(const DynamicBitset& removed,
                      const DynamicBitset& remaining, DynamicBitset& touched) {
     removed.for_each_set([&](std::size_t u) {
-      touched |= graph.neighbors(static_cast<BuyerId>(u));
+      graph.add_neighbors_to(static_cast<BuyerId>(u), touched);
     });
     touched &= remaining;
   }
@@ -227,7 +202,7 @@ void greedy(const InterferenceGraph& graph, Policy policy, MwisScratch& s,
 
     if constexpr (kCounting) ++work->picks;
     s.chosen.set(v);
-    s.removed.assign_and(graph.neighbors(static_cast<BuyerId>(v)), remaining);
+    graph.neighbors_in(static_cast<BuyerId>(v), remaining, s.removed);
     s.removed.set(v);
     remaining -= s.removed;
 
@@ -238,6 +213,25 @@ void greedy(const InterferenceGraph& graph, Policy policy, MwisScratch& s,
                         static_cast<std::uint32_t>(u), ++s.version[u]});
       std::push_heap(s.heap.begin(), s.heap.end(), WorseEntry{});
     });
+
+    // Lazy-deletion compaction: when the accumulated stale debt outgrows the
+    // live set, drop every superseded entry and re-heapify. The pick
+    // sequence is unchanged — each surviving entry is the unique current one
+    // for its vertex and WorseEntry is a strict total order on them, so the
+    // pop order does not depend on the heap's internal arrangement. This is
+    // what bounds the heap by max degree instead of by edge count (see
+    // MwisScratch::heap_bound): without it a big sparse graph's heap would
+    // grow toward n + E entries.
+    if (s.heap.size() > 2 * n + 16) {
+      s.heap.erase(
+          std::remove_if(s.heap.begin(), s.heap.end(),
+                         [&](const MwisScratch::HeapEntry& e) {
+                           return !remaining.test(e.vertex) ||
+                                  e.version != s.version[e.vertex];
+                         }),
+          s.heap.end());
+      std::make_heap(s.heap.begin(), s.heap.end(), WorseEntry{});
+    }
   }
 }
 
@@ -245,7 +239,7 @@ void greedy(const InterferenceGraph& graph, Policy policy, MwisScratch& s,
 /// This is the right strategy on dense graphs, where nearly every survivor
 /// is adjacent to the removed neighbourhood anyway and the word-parallel
 /// bitset scoring beats per-edge bookkeeping. Also the body of the
-/// solve_mwis_rescan baseline (with the old allocating score functors).
+/// solve_mwis_rescan baseline.
 /// Picks the identical vertex sequence as the incremental skeleton: both
 /// take the highest score with ties to the lowest index, and the score
 /// values agree bit-for-bit.
@@ -270,7 +264,7 @@ void greedy_scan(const InterferenceGraph& graph, const ScoreFn& score,
     });
     s.chosen.set(best_v);
     remaining.reset(best_v);
-    remaining -= graph.neighbors(static_cast<BuyerId>(best_v));
+    graph.remove_neighbors_from(static_cast<BuyerId>(best_v), remaining);
   }
 }
 
@@ -317,8 +311,7 @@ struct ExactSearch {
     std::size_t pivot_degree = 0;
     bool have_pivot = false;
     remaining.for_each_set([&](std::size_t v) {
-      const std::size_t d =
-          (graph.neighbors(static_cast<BuyerId>(v)) & remaining).count();
+      const std::size_t d = graph.degree_in(static_cast<BuyerId>(v), remaining);
       if (!have_pivot || d > pivot_degree) {
         have_pivot = true;
         pivot = v;
@@ -331,7 +324,7 @@ struct ExactSearch {
     {
       DynamicBitset next = remaining;
       next.reset(pivot);
-      next -= graph.neighbors(static_cast<BuyerId>(pivot));
+      graph.remove_neighbors_from(static_cast<BuyerId>(pivot), next);
       DynamicBitset with = chosen;
       with.set(pivot);
       run(std::move(next), std::move(with), weight + weights[pivot]);
@@ -357,13 +350,12 @@ const DynamicBitset& solve_mwis(const InterferenceGraph& graph,
 
   // Strategy split (outputs are bit-identical either way): lazy incremental
   // scoring wins when neighbourhoods are small relative to the candidate
-  // set (the market's geometric graphs); on dense graphs nearly every
-  // survivor is rescored every pick regardless, so the word-parallel scan
-  // without the heap bookkeeping is faster. 2E/V >= kMwisScanDegreeThreshold
-  // approximates "dense" without touching every adjacency row.
-  const bool dense = graph.num_vertices() > 0 &&
-                     2 * graph.num_edges() >=
-                         kMwisScanDegreeThreshold * graph.num_vertices();
+  // set (the market's geometric graphs); on high-average-degree graphs with
+  // dense bitset rows, nearly every survivor is rescored every pick
+  // regardless, so the word-parallel scan without the heap bookkeeping is
+  // faster. CSR graphs have no word-parallel rows and always take the
+  // incremental path (mwis_uses_scan, shared with workspace heap sizing).
+  const bool dense = mwis_uses_scan(graph);
 
   GreedyWork work;
   GreedyWork* wp = metrics::enabled() ? &work : nullptr;
@@ -449,9 +441,9 @@ DynamicBitset solve_mwis_rescan(const InterferenceGraph& graph,
   MwisScratch scratch;
   viable_candidates(weights, candidates, scratch);
   if (algorithm == MwisAlgorithm::kGwmin)
-    greedy_scan(graph, GwminScore{graph, weights}, scratch);
+    greedy_scan(graph, GwminScanScore{graph, weights}, scratch);
   else
-    greedy_scan(graph, Gwmin2Score{graph, weights}, scratch);
+    greedy_scan(graph, Gwmin2ScanScore{graph, weights}, scratch);
   return std::move(scratch.chosen);
 }
 

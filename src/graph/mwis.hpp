@@ -27,11 +27,22 @@ enum class MwisAlgorithm : std::uint8_t {
 
 std::string_view to_string(MwisAlgorithm algorithm);
 
-/// Density split of the greedy solvers: graphs with average degree
-/// (2E/V) at or above this take the heap-free word-parallel rescan, sparser
-/// ones the incremental lazy heap. Outputs are bit-identical either way;
-/// exported so workspace sizing can tell which channels will use the heap.
+/// Density split of the greedy solvers: dense-representation graphs with
+/// average degree (2E/V) at or above this take the heap-free word-parallel
+/// rescan, everything else the incremental lazy heap. Outputs are
+/// bit-identical either way.
 inline constexpr std::size_t kMwisScanDegreeThreshold = 64;
+
+/// True when solve_mwis will take the word-parallel rescan for this graph.
+/// CSR graphs always take the incremental path — without bitset rows there
+/// is no word-parallel scoring to win back the heap bookkeeping. Exported so
+/// workspace sizing can tell which channels will use the heap.
+inline bool mwis_uses_scan(const InterferenceGraph& graph) {
+  return graph.representation() == GraphRep::kDense &&
+         graph.num_vertices() > 0 &&
+         2 * graph.num_edges() >=
+             kMwisScanDegreeThreshold * graph.num_vertices();
+}
 
 /// Statistics of one solver invocation (exact solver reports search size).
 struct MwisStats {
@@ -62,10 +73,27 @@ struct MwisScratch {
   std::vector<HeapEntry> heap;         ///< lazy max-heap storage
 
   /// Pre-sizes every container for an n-vertex graph whose sparse-path solve
-  /// pushes at most `heap_entries` heap entries. n + E always suffices:
-  /// every rescore push pairs with an edge from a removed vertex to a
-  /// survivor, and each edge plays that role at most once per solve.
+  /// holds at most `heap_entries` heap entries; pass heap_bound() below for
+  /// a bound that guarantees allocation-free solves.
   void reserve(std::size_t n, std::size_t heap_entries);
+
+  /// Largest heap the incremental greedy can hold on an n-vertex graph with
+  /// `edges` edges and max degree `max_degree`. Two bounds, take the min:
+  /// total pushes are n + E (every rescore push pairs with an edge from a
+  /// removed vertex to a survivor, each edge at most once per solve), and
+  /// lazy compaction (see greedy() in mwis.cpp) caps the live heap at
+  /// 2n + 16 entries plus one pick's worth of pushes — at most
+  /// (max_degree + 1) removals, each rescoring at most max_degree
+  /// survivors. The degree bound is what keeps per-lane scratch small on
+  /// big sparse graphs (E can be millions while max_degree is a few
+  /// hundred).
+  static std::size_t heap_bound(std::size_t n, std::size_t edges,
+                                std::size_t max_degree) {
+    const std::size_t by_edges = n + edges;
+    const std::size_t by_degree =
+        2 * n + 16 + max_degree * (max_degree + 1);
+    return by_edges < by_degree ? by_edges : by_degree;
+  }
 };
 
 /// Scratch-reusing solve_mwis: identical results to the allocating overload

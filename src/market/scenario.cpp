@@ -100,6 +100,9 @@ SpectrumMarket build_market(const Scenario& scenario) {
     for (const auto& [start, end] : parent_runs)
       for (int a = start; a < end; ++a)
         for (int b = a + 1; b < end; ++b) g.add_edge(a, b);
+    // Compact each CSR graph before accumulating the next one, so the build
+    // footprint is one channel's worth of mutable rows, not all M.
+    g.finalize();
     graphs.push_back(std::move(g));
   }
 

@@ -57,6 +57,7 @@ bool is_nash_stable(const market::SpectrumMarket& market,
 std::optional<BlockingPair> find_blocking_pair(
     const market::SpectrumMarket& market, const Matching& matching) {
   metrics::count("stability.blocking_pair_checks");
+  DynamicBitset dropped;  // hoisted: one allocation for the whole scan
   for (ChannelId i = 0; i < market.num_channels(); ++i) {
     const DynamicBitset& members = matching.members_of(i);
     for (BuyerId j = 0; j < market.num_buyers(); ++j) {
@@ -66,7 +67,7 @@ std::optional<BlockingPair> find_blocking_pair(
 
       // The best retained set S drops exactly j's neighbours in µ(i):
       // any smaller S only costs the seller more.
-      const DynamicBitset dropped = members & market.graph(i).neighbors(j);
+      market.graph(i).neighbors_in(j, members, dropped);
       const double dropped_value = market::total_price(market, i, dropped);
 
       const double seller_gain = price - dropped_value;

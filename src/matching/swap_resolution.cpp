@@ -44,8 +44,10 @@ std::optional<Operation> simulate(const market::SpectrumMarket& market,
                                   MatchWorkspace& ws, const Matching& matching,
                                   ChannelId i, BuyerId j) {
   const double price = market.utility(i, j);
-  const DynamicBitset dropped =
-      matching.members_of(i) & market.graph(i).neighbors(j);
+  // dropped = members interfering with the joiner; computed into workspace
+  // scratch (the precondition scan that called us is done with it).
+  DynamicBitset& dropped = ws.swap_dropped;
+  market.graph(i).neighbors_in(j, matching.members_of(i), dropped);
 
   Operation op;
   op.target = i;
@@ -104,9 +106,9 @@ SwapResult resolve_blocking_pairs_prepared(const market::SpectrumMarket& market,
         if (!market.admissible(i, j)) continue;
         const double price = market.utility(i, j);
         // Blocking-pair preconditions (seller and buyer both gain).
-        const DynamicBitset dropped = members & market.graph(i).neighbors(j);
+        market.graph(i).neighbors_in(j, members, ws.swap_dropped);
         const double dropped_value =
-            graph::set_weight(market.channel_prices(i), dropped);
+            graph::set_weight(market.channel_prices(i), ws.swap_dropped);
         if (price - dropped_value <= 0.0) continue;                // seller
         if (price - result.matching.buyer_utility(market, j) <= 0.0)
           continue;                                                // buyer
@@ -120,10 +122,10 @@ SwapResult resolve_blocking_pairs_prepared(const market::SpectrumMarket& market,
     if (!best.has_value()) break;
 
     // Apply: drop, move the joiner, relocate.
-    const DynamicBitset dropped =
-        result.matching.members_of(best->target) &
-        market.graph(best->target).neighbors(best->joiner);
-    dropped.for_each_set([&](std::size_t k) {
+    market.graph(best->target)
+        .neighbors_in(best->joiner, result.matching.members_of(best->target),
+                      ws.swap_dropped);
+    ws.swap_dropped.for_each_set([&](std::size_t k) {
       result.matching.unmatch(static_cast<BuyerId>(k));
     });
     result.matching.rematch(best->joiner, best->target);

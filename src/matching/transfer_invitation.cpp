@@ -210,7 +210,7 @@ StageIIResult run_transfer_invitation_prepared(
         result.matching.rematch(best, i);
         ++result.invitations_accepted;
         // Drop the new member's interfering neighbours (line 29).
-        ws.invite_list[iu] -= market.graph(i).neighbors(best);
+        market.graph(i).remove_neighbors_from(best, ws.invite_list[iu]);
         if (config.rescreen_on_departure && old_seller != kUnmatched) {
           // Extension: a departure may unblock buyers the one-shot screening
           // removed; rebuild the old seller's list from everyone she ever

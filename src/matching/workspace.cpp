@@ -56,18 +56,21 @@ void MatchWorkspace::prepare(const market::SpectrumMarket& market) {
 
   apply_set.assign_zero(nu);
 
-  // One solver scratch per pool lane. The heap bound n + E_i covers the
-  // worst sparse-path channel: each rescore push pairs with an edge from a
-  // removed vertex to a survivor, used at most once per solve (dense
-  // channels take the heap-free scan path; see mwis.cpp's strategy split).
+  // One solver scratch per pool lane, sized by the worst heap-path channel.
+  // MwisScratch::heap_bound caps the lazy heap by max degree (the solver
+  // compacts stale entries), so a multi-million-edge sparse channel costs a
+  // few hundred KB of heap per lane, not n + E entries. Channels that will
+  // take the heap-free scan path are skipped (mwis_uses_scan is the same
+  // predicate the solver dispatches on).
   const std::size_t lanes = ThreadPool::global().num_threads();
   if (lane_set.size() < lanes) lane_set.resize(lanes);
   if (lane_scratch.size() < lanes) lane_scratch.resize(lanes);
   std::size_t heap_bound = nu;
   for (ChannelId i = 0; i < M; ++i) {
-    const std::size_t edges = market.graph(i).num_edges();
-    if (2 * edges < graph::kMwisScanDegreeThreshold * nu)
-      heap_bound = std::max(heap_bound, nu + edges);
+    const graph::InterferenceGraph& g = market.graph(i);
+    if (graph::mwis_uses_scan(g)) continue;
+    heap_bound = std::max(heap_bound, graph::MwisScratch::heap_bound(
+                                          nu, g.num_edges(), g.max_degree()));
   }
   for (std::size_t lane = 0; lane < lane_set.size(); ++lane) {
     lane_set[lane].assign_zero(nu);
@@ -77,6 +80,7 @@ void MatchWorkspace::prepare(const market::SpectrumMarket& market) {
   scratch_matching = Matching(M, N);
   displaced.clear();
   displaced.reserve(nu);
+  swap_dropped.assign_zero(nu);
 }
 
 }  // namespace specmatch::matching

@@ -82,6 +82,7 @@ struct MatchWorkspace {
   // --- Stage III scratch --------------------------------------------------
   Matching scratch_matching;      ///< simulation copy per candidate swap
   std::vector<BuyerId> displaced;  ///< dropped buyers, best-first
+  DynamicBitset swap_dropped;  ///< members interfering with a candidate joiner
 };
 
 }  // namespace specmatch::matching

@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
 #include "common/check.hpp"
 #include "graph/generators.hpp"
+#include "graph/mwis.hpp"
 #include "test_util.hpp"
 
 namespace specmatch::graph {
@@ -144,6 +149,178 @@ TEST(GeneratorsTest, ErdosRenyiInvalidProbabilityThrows) {
 TEST(GeneratorsTest, DistanceHelper) {
   EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
   EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Dense vs CSR representation equivalence (property tests). One random graph
+// is rebuilt under both representations; every query — and the MWIS solvers
+// on top of them — must agree exactly.
+// ---------------------------------------------------------------------------
+
+DynamicBitset random_mask(std::size_t n, double p, Rng& rng) {
+  DynamicBitset mask(n);
+  for (std::size_t v = 0; v < n; ++v)
+    if (rng.bernoulli(p)) mask.set(v);
+  return mask;
+}
+
+TEST(GraphRepresentationTest, QueriesAgreeOnRandomGraphs) {
+  const struct {
+    std::uint64_t seed;
+    std::size_t n;
+    double p;
+  } cases[] = {{1, 24, 0.3}, {2, 40, 0.1}, {3, 120, 0.05}, {4, 300, 0.02}};
+  for (const auto& c : cases) {
+    Rng rng(c.seed);
+    const auto base = erdos_renyi(c.n, c.p, rng);
+    const auto dense = with_representation(base, GraphRep::kDense);
+    const auto csr = with_representation(base, GraphRep::kCsr);
+    ASSERT_EQ(dense.representation(), GraphRep::kDense);
+    ASSERT_EQ(csr.representation(), GraphRep::kCsr);
+
+    // Structure: equality is representation-agnostic in both directions.
+    EXPECT_EQ(dense, csr);
+    EXPECT_EQ(csr, dense);
+    EXPECT_EQ(dense.edges(), csr.edges());
+    EXPECT_EQ(dense.num_edges(), csr.num_edges());
+    EXPECT_EQ(dense.max_degree(), csr.max_degree());
+
+    Rng mask_rng(c.seed ^ 0x5eed);
+    for (int trial = 0; trial < 10; ++trial) {
+      const double density = mask_rng.uniform();
+      const auto mask = random_mask(c.n, density, mask_rng);
+      EXPECT_EQ(dense.is_independent(mask), csr.is_independent(mask));
+      for (std::size_t v = 0; v < c.n; ++v) {
+        const auto id = static_cast<BuyerId>(v);
+        EXPECT_EQ(dense.degree(id), csr.degree(id));
+        EXPECT_EQ(dense.is_compatible(id, mask), csr.is_compatible(id, mask));
+        EXPECT_EQ(dense.degree_in(id, mask), csr.degree_in(id, mask));
+        EXPECT_EQ(dense.neighbors_subset_of(id, mask),
+                  csr.neighbors_subset_of(id, mask));
+
+        DynamicBitset out_dense(c.n);
+        DynamicBitset out_csr(c.n);
+        dense.neighbors_in(id, mask, out_dense);
+        csr.neighbors_in(id, mask, out_csr);
+        EXPECT_EQ(out_dense, out_csr);
+
+        out_dense = mask;
+        out_csr = mask;
+        dense.add_neighbors_to(id, out_dense);
+        csr.add_neighbors_to(id, out_csr);
+        EXPECT_EQ(out_dense, out_csr);
+        dense.remove_neighbors_from(id, out_dense);
+        csr.remove_neighbors_from(id, out_csr);
+        EXPECT_EQ(out_dense, out_csr);
+
+        // for_each_neighbor: identical ascending visitation order (the
+        // GWMIN2 bit-for-bit contract).
+        std::vector<std::size_t> seq_dense;
+        std::vector<std::size_t> seq_csr;
+        dense.for_each_neighbor(id,
+                                [&](std::size_t u) { seq_dense.push_back(u); });
+        csr.for_each_neighbor(id, [&](std::size_t u) { seq_csr.push_back(u); });
+        EXPECT_EQ(seq_dense, seq_csr);
+        EXPECT_TRUE(std::is_sorted(seq_csr.begin(), seq_csr.end()));
+      }
+    }
+  }
+}
+
+TEST(GraphRepresentationTest, MwisSelectionsAgreeOnRandomGraphs) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    const std::size_t n = 40;
+    const auto base = erdos_renyi(n, 0.15, rng);
+    const auto dense = with_representation(base, GraphRep::kDense);
+    const auto csr = with_representation(base, GraphRep::kCsr);
+    std::vector<double> weights(n);
+    for (double& w : weights) w = rng.uniform(0.0, 10.0);
+    Rng mask_rng(seed ^ 0xfeed);
+    for (int trial = 0; trial < 5; ++trial) {
+      const auto candidates = random_mask(n, 0.8, mask_rng);
+      for (auto algorithm : {MwisAlgorithm::kGwmin, MwisAlgorithm::kGwmin2,
+                             MwisAlgorithm::kExact}) {
+        const auto from_dense =
+            solve_mwis(dense, weights, candidates, algorithm);
+        const auto from_csr = solve_mwis(csr, weights, candidates, algorithm);
+        EXPECT_EQ(from_dense, from_csr)
+            << "algorithm " << to_string(algorithm) << " seed " << seed;
+      }
+      // The rescan reference is representation-agnostic too.
+      EXPECT_EQ(
+          solve_mwis_rescan(dense, weights, candidates, MwisAlgorithm::kGwmin2),
+          solve_mwis_rescan(csr, weights, candidates, MwisAlgorithm::kGwmin2));
+    }
+  }
+}
+
+TEST(GraphRepresentationTest, CsrBuildFinalizeAndMutateAfterFinalize) {
+  InterferenceGraph g(6, GraphRep::kCsr);
+  EXPECT_FALSE(g.finalized());
+  g.add_edge(2, 0);
+  g.add_edge(2, 4);
+  g.add_edge(4, 2);  // duplicate, idempotent
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  g.finalize();
+  EXPECT_TRUE(g.finalized());
+  g.finalize();  // idempotent
+  EXPECT_TRUE(g.has_edge(2, 4));
+  EXPECT_EQ(g.degree(2), 2u);
+  EXPECT_EQ(g.max_degree(), 2u);
+
+  // add_edge on a finalized CSR graph transparently re-enters the build
+  // phase (the scenario builder's clique pass relies on this).
+  g.add_edge(2, 4);  // duplicate against finalized storage
+  EXPECT_EQ(g.num_edges(), 2u);
+  g.add_edge(1, 5);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(5, 1));
+  g.finalize();
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(edges[0], std::make_pair(BuyerId{0}, BuyerId{2}));
+  EXPECT_EQ(edges[1], std::make_pair(BuyerId{1}, BuyerId{5}));
+  EXPECT_EQ(edges[2], std::make_pair(BuyerId{2}, BuyerId{4}));
+
+  // Same checks as the dense representation.
+  EXPECT_THROW(g.add_edge(1, 1), CheckError);
+  EXPECT_THROW(g.add_edge(0, 6), CheckError);
+  // neighbors() hands out a dense row and is dense-only by contract.
+  EXPECT_THROW((void)g.neighbors(2), CheckError);
+}
+
+TEST(GraphRepresentationTest, FromEdgesDeduplicatesAndMatchesAddEdge) {
+  const std::vector<std::pair<BuyerId, BuyerId>> edge_list = {
+      {3, 1}, {0, 2}, {1, 3}, {2, 0}, {4, 0}};
+  const auto dense = InterferenceGraph::from_edges(5, edge_list,
+                                                   GraphRep::kDense);
+  const auto csr = InterferenceGraph::from_edges(5, edge_list, GraphRep::kCsr);
+  EXPECT_EQ(dense.num_edges(), 3u);
+  EXPECT_EQ(csr.num_edges(), 3u);
+  EXPECT_EQ(dense, csr);
+  EXPECT_TRUE(csr.finalized());
+  EXPECT_EQ(csr.degree(0), 2u);
+}
+
+TEST(GraphRepresentationTest, AutoSelectionFollowsDenseMaxKnob) {
+  if (std::getenv("SPECMATCH_GRAPH_DENSE_MAX") != nullptr)
+    GTEST_SKIP() << "SPECMATCH_GRAPH_DENSE_MAX overridden in environment";
+  EXPECT_EQ(InterferenceGraph::dense_max(), 2048u);
+  EXPECT_EQ(InterferenceGraph(64).representation(), GraphRep::kDense);
+  EXPECT_EQ(InterferenceGraph(2049).representation(), GraphRep::kCsr);
+}
+
+TEST(GraphRepresentationTest, GeometricEdgesIdenticalUnderBothReps) {
+  // Positions dense enough to exercise the grid-bucket path's edge list.
+  Rng rng(99);
+  std::vector<Point> pts;
+  for (int i = 0; i < 400; ++i)
+    pts.push_back({rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)});
+  const auto g = geometric(pts, 1.5);
+  EXPECT_EQ(with_representation(g, GraphRep::kCsr),
+            with_representation(g, GraphRep::kDense));
 }
 
 }  // namespace

@@ -6,8 +6,11 @@
 
 #include <tuple>
 
+#include "common/config.hpp"
 #include "common/stats.hpp"
+#include "common/thread_pool.hpp"
 #include "matching/stability.hpp"
+#include "matching/swap_resolution.hpp"
 #include "optimal/exact.hpp"
 #include "optimal/greedy.hpp"
 #include "optimal/random_matcher.hpp"
@@ -135,6 +138,76 @@ TEST(TwoStageTest, SingleChannelKeepsBestIndependentSetApproximately) {
   const auto result = run_two_stage(market);
   EXPECT_TRUE(is_interference_free(market, result.final_matching()));
   EXPECT_GT(result.welfare_final, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Dense vs CSR: the graph representation must be invisible to the engine.
+// Same markets rebuilt under each representation, run at 1 and 4 threads —
+// the matchings and welfare series must be bit-for-bit identical.
+// ---------------------------------------------------------------------------
+
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int num_threads)
+      : saved_(SpecmatchConfig::global().num_threads) {
+    SpecmatchConfig::global().num_threads = num_threads;
+    (void)ThreadPool::global();
+  }
+  ~ScopedThreads() {
+    SpecmatchConfig::global().num_threads = saved_;
+    (void)ThreadPool::global();
+  }
+
+ private:
+  int saved_;
+};
+
+TEST(GraphRepresentationEquivalenceTest, TwoStageMatchingsBitForBitIdentical) {
+  for (auto [seed, M, N] : {std::make_tuple(11u, 4, 20),
+                            std::make_tuple(12u, 6, 40),
+                            std::make_tuple(13u, 8, 60)}) {
+    const auto base = random_market(seed, M, N);
+    const auto dense =
+        market::with_graph_representation(base, graph::GraphRep::kDense);
+    const auto csr =
+        market::with_graph_representation(base, graph::GraphRep::kCsr);
+    for (ChannelId i = 0; i < M; ++i) {
+      ASSERT_EQ(dense.graph(i).representation(), graph::GraphRep::kDense);
+      ASSERT_EQ(csr.graph(i).representation(), graph::GraphRep::kCsr);
+      ASSERT_EQ(dense.graph(i), csr.graph(i));
+    }
+    for (auto policy :
+         {graph::MwisAlgorithm::kGwmin, graph::MwisAlgorithm::kGwmin2}) {
+      TwoStageConfig config;
+      config.coalition_policy = policy;
+      for (int threads : {1, 4}) {
+        ScopedThreads scope(threads);
+        const auto from_dense = run_two_stage(dense, config);
+        const auto from_csr = run_two_stage(csr, config);
+        EXPECT_EQ(from_dense.final_matching(), from_csr.final_matching())
+            << "seed " << seed << " threads " << threads;
+        EXPECT_EQ(from_dense.stage1.matching, from_csr.stage1.matching);
+        EXPECT_EQ(from_dense.stage1.rounds, from_csr.stage1.rounds);
+        EXPECT_EQ(from_dense.welfare_stage1, from_csr.welfare_stage1);
+        EXPECT_EQ(from_dense.welfare_phase1, from_csr.welfare_phase1);
+        EXPECT_EQ(from_dense.welfare_final, from_csr.welfare_final);
+      }
+    }
+  }
+}
+
+TEST(GraphRepresentationEquivalenceTest, SwapResolutionIdenticalAcrossReps) {
+  const auto base = random_market(29, 6, 30);
+  const auto dense =
+      market::with_graph_representation(base, graph::GraphRep::kDense);
+  const auto csr =
+      market::with_graph_representation(base, graph::GraphRep::kCsr);
+  const auto from_dense = run_two_stage_with_swaps(dense);
+  const auto from_csr = run_two_stage_with_swaps(csr);
+  EXPECT_EQ(from_dense.matching, from_csr.matching);
+  EXPECT_EQ(from_dense.swaps_applied, from_csr.swaps_applied);
+  EXPECT_EQ(from_dense.relocations, from_csr.relocations);
+  EXPECT_EQ(from_dense.welfare_after, from_csr.welfare_after);
 }
 
 }  // namespace

@@ -94,6 +94,46 @@ if [[ "${1:-}" == "--smoke" ]]; then
     echo "bench_smoke: BENCH_scale.json missing steady_allocs measurements" >&2
     status=1
   }
+  # CSR leg: force the sparse representation onto the smoke grid (60/200
+  # vertices, normally dense) so CI exercises the CSR engine paths
+  # end-to-end, with the same zero-steady-allocation bar.
+  echo "bench_smoke: large_market (scale, forced CSR)"
+  if ! SPECMATCH_COUNT_ALLOCS=1 SPECMATCH_THREADS=1 \
+       SPECMATCH_GRAPH_DENSE_MAX=32 \
+       SPECMATCH_BENCH_JSON="$tmpdir/BENCH_scale_csr.json" \
+       "$bindir/large_market" > "$tmpdir/large_market_csr.log" 2>&1; then
+    echo "bench_smoke: FAILED large_market (forced CSR)" >&2
+    tail -n 30 "$tmpdir/large_market_csr.log" >&2
+    status=1
+  fi
+  grep -q '"bench": "two_stage_scale"' "$tmpdir/BENCH_scale_csr.json" || {
+    echo "bench_smoke: BENCH_scale_csr.json missing two_stage_scale records" >&2
+    status=1
+  }
+  if grep -q '"steady_allocs": [1-9-]' "$tmpdir/BENCH_scale_csr.json"; then
+    echo "bench_smoke: forced-CSR leg reports non-zero steady allocations" >&2
+    grep '"steady_allocs"' "$tmpdir/BENCH_scale_csr.json" >&2
+    status=1
+  fi
+  # Representation-aware peak-RSS budget: the smoke grid tops out at
+  # N=200 x M=8, where either representation fits comfortably in 256 MB
+  # (binary + gtest-free runtime + workload). A blown budget means an
+  # adjacency (or workspace) regression, caught here before the real
+  # N=20000 gate in BENCH_scale.json.
+  for scale_json in BENCH_scale.json BENCH_scale_csr.json; do
+    over_budget="$(awk -F': ' '/"peak_rss_mb"/ {
+        gsub(/[,}].*/, "", $2); if ($2 + 0 > 256) print $2 }' \
+        "$tmpdir/$scale_json")"
+    if [[ -n "$over_budget" ]]; then
+      echo "bench_smoke: $scale_json peak_rss_mb over 256 MB budget:" \
+           "$over_budget" >&2
+      status=1
+    fi
+    grep -q '"peak_rss_mb"' "$tmpdir/$scale_json" || {
+      echo "bench_smoke: $scale_json missing peak_rss_mb measurements" >&2
+      status=1
+    }
+  done
   # Metrics leg: with SPECMATCH_METRICS on, the bench JSON must carry the
   # algorithmic-counters section with non-zero Stage I, MWIS, and dist
   # counts (the observability acceptance bar; see docs/OBSERVABILITY.md).
