@@ -1,0 +1,269 @@
+// Closed-loop load generator for the serving subsystem: BENCH_serve.json.
+//
+// For each market size N (M = 16 channels), identically seeded mutation
+// streams (4 mutations : 1 solve) are driven through a resident MatchServer
+// by closed-loop client threads, once with cold solves (full two-stage rerun
+// per solve) and once warm (Stage II on the surviving assignment). Client-
+// side latencies give exact p50/p99 per leg; the throughput ratio at the
+// largest N is the PR's headline number (warm serving must clear 2x cold).
+// A final deterministic burst phase overflows a tiny kReject admission queue
+// to exercise the shed path and record its counters.
+//
+// Knobs: SPECMATCH_BENCH_SMOKE shrinks the sweep, SPECMATCH_TRIALS the ops
+// per client, SPECMATCH_BENCH_JSON the output path, SPECMATCH_METRICS adds
+// the serve.* instrument snapshot (latency histograms with p50/p90/p99) to
+// the JSON.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/config.hpp"
+#include "common/metrics.hpp"
+#include "common/rng.hpp"
+#include "market/scenario.hpp"
+#include "serve/server.hpp"
+#include "workload/generator.hpp"
+
+namespace specmatch {
+namespace {
+
+struct LegResult {
+  double wall_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double requests_per_sec = 0.0;
+  std::int64_t requests = 0;
+  std::int64_t solves = 0;
+};
+
+std::shared_ptr<const market::Scenario> make_scenario(int M, int N) {
+  workload::WorkloadParams params;
+  params.num_sellers = M;
+  params.num_buyers = N;
+  // Grow the deployment area with N (the large_market scaling discipline):
+  // constant buyer density keeps per-channel interference graphs sparse
+  // instead of collapsing the market into one clique.
+  params.area_size = 10.0 * std::sqrt(std::max(N, 500) / 500.0);
+  Rng rng(1000003ull * static_cast<std::uint64_t>(M) +
+          static_cast<std::uint64_t>(N));
+  return std::make_shared<const market::Scenario>(
+      workload::generate_scenario(params, rng));
+}
+
+serve::Request make_request(serve::RequestType type, const std::string& id) {
+  serve::Request request;
+  request.type = type;
+  request.market_id = id;
+  return request;
+}
+
+/// One closed-loop leg: `clients` threads each drive `ops_per_client`
+/// requests through `server` against market `id`, drawing the identical
+/// mutation stream from fork(client) of `seed` — only the solve mode
+/// differs between the cold and warm legs.
+LegResult run_leg(serve::MatchServer& server, const std::string& id, int M,
+                  int N, bool warm, int clients, int ops_per_client,
+                  std::uint64_t seed) {
+  // Prime the carried matching so the warm leg starts warm.
+  serve::Request prime = make_request(serve::RequestType::kSolve, id);
+  prime.warm = false;
+  server.handle(prime);
+
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients));
+  std::vector<std::int64_t> solve_counts(static_cast<std::size_t>(clients), 0);
+  Rng root(seed);
+
+  bench::WallTimer timer;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    Rng rng = root.fork(static_cast<std::uint64_t>(c) + 1);
+    threads.emplace_back([&server, &latencies, &solve_counts, rng, c, id, M,
+                          N, warm, ops_per_client]() mutable {
+      auto& mine = latencies[static_cast<std::size_t>(c)];
+      mine.reserve(static_cast<std::size_t>(ops_per_client));
+      for (int op = 0; op < ops_per_client; ++op) {
+        serve::Request request;
+        if (op % 5 == 4) {
+          request = make_request(serve::RequestType::kSolve, id);
+          request.warm = warm;
+          ++solve_counts[static_cast<std::size_t>(c)];
+        } else {
+          const double kind = rng.uniform();
+          const auto buyer =
+              static_cast<BuyerId>(rng.uniform_int(0, N - 1));
+          if (kind < 0.7) {
+            request = make_request(serve::RequestType::kUpdatePrice, id);
+            request.buyer = buyer;
+            request.channel =
+                static_cast<ChannelId>(rng.uniform_int(0, M - 1));
+            request.value = rng.uniform(0.0, 1.0);
+          } else if (kind < 0.85) {
+            request = make_request(serve::RequestType::kLeave, id);
+            request.buyer = buyer;
+          } else {
+            request = make_request(serve::RequestType::kJoin, id);
+            request.buyer = buyer;
+          }
+        }
+        bench::WallTimer op_timer;
+        const serve::Response response = server.handle(std::move(request));
+        mine.push_back(op_timer.elapsed_ms());
+        SPECMATCH_CHECK_MSG(response.ok, "serve_load request failed: "
+                                             << response.text);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  server.drain();
+
+  LegResult result;
+  result.wall_ms = timer.elapsed_ms();
+  std::vector<double> all;
+  for (const auto& mine : latencies) all.insert(all.end(), mine.begin(),
+                                                mine.end());
+  std::sort(all.begin(), all.end());
+  const auto quantile = [&all](double q) {
+    if (all.empty()) return 0.0;
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(all.size() - 1));
+    return all[idx];
+  };
+  result.p50_ms = quantile(0.50);
+  result.p99_ms = quantile(0.99);
+  result.requests = static_cast<std::int64_t>(all.size());
+  for (const std::int64_t s : solve_counts) result.solves += s;
+  result.requests_per_sec =
+      result.wall_ms > 0.0
+          ? 1000.0 * static_cast<double>(result.requests) / result.wall_ms
+          : 0.0;
+  return result;
+}
+
+std::string leg_note(const LegResult& leg) {
+  std::ostringstream note;
+  note << "p50_ms=" << leg.p50_ms << " p99_ms=" << leg.p99_ms
+       << " rps=" << leg.requests_per_sec << " solves=" << leg.solves;
+  return note.str();
+}
+
+/// Deterministic shed exercise: a manual-drain server with a tiny kReject
+/// queue is offered 3x its capacity; the overflow must be shed, the rest
+/// answered after the drain.
+void run_shed_burst(std::vector<bench::BenchRecord>& records) {
+  serve::ServeConfig config = serve::ServeConfig::from_env();
+  config.queue_capacity = 8;
+  config.overflow = serve::ServeConfig::Overflow::kReject;
+  config.manual_drain = true;
+  serve::MatchServer server(config);
+
+  serve::Request create = make_request(serve::RequestType::kCreate, "burst");
+  create.scenario = make_scenario(4, 32);
+  server.submit(std::move(create), nullptr);
+
+  const int offered = 3 * config.queue_capacity;
+  int admitted = 0;
+  for (int r = 0; r < offered; ++r) {
+    serve::Request request =
+        make_request(serve::RequestType::kUpdatePrice, "burst");
+    request.buyer = static_cast<BuyerId>(r % 32);
+    request.channel = static_cast<ChannelId>(r % 4);
+    request.value = 0.5;
+    if (server.submit(std::move(request), nullptr)) ++admitted;
+  }
+  server.drain();
+  SPECMATCH_CHECK_MSG(server.shed() == offered - admitted,
+                      "shed accounting mismatch");
+
+  bench::BenchRecord record("serve_shed", 4, 32, "reject", 1, 0.0, 0);
+  std::ostringstream note;
+  note << "offered=" << offered << " admitted=" << admitted
+       << " shed=" << server.shed() << " coalesced=" << server.coalesced();
+  record.note = note.str();
+  records.push_back(record);
+  std::cout << "shed burst: " << note.str() << "\n";
+}
+
+int run() {
+  const bool smoke = bench::env_int("SPECMATCH_BENCH_SMOKE", 0) != 0;
+  const char* json_env = std::getenv("SPECMATCH_BENCH_JSON");
+  const std::string json_path =
+      (json_env != nullptr && json_env[0] != '\0') ? json_env
+                                                   : "BENCH_serve.json";
+  const int M = smoke ? 4 : 16;
+  const std::vector<int> n_grid =
+      smoke ? std::vector<int>{60, 200} : std::vector<int>{500, 2000, 8000};
+  const int clients = smoke ? 2 : 4;
+  const int ops_per_client =
+      bench::env_trials(0) > 0 ? bench::env_trials(0) * 10 : (smoke ? 20 : 60);
+
+  serve::ServeConfig config = serve::ServeConfig::from_env();
+  const int threads = config.drain_lanes;
+  std::vector<bench::BenchRecord> records;
+  double ratio_at_max_n = 0.0;
+
+  for (const int N : n_grid) {
+    serve::MatchServer server(config);
+    const std::string id = "m" + std::to_string(N);
+    serve::Request create = make_request(serve::RequestType::kCreate, id);
+    create.scenario = make_scenario(M, N);
+    const serve::Response created = server.handle(std::move(create));
+    SPECMATCH_CHECK_MSG(created.ok, created.text);
+
+    const std::uint64_t seed = 77777ull + static_cast<std::uint64_t>(N);
+    LegResult cold;
+    LegResult warmed;
+    for (const bool warm : {false, true}) {
+      LegResult leg =
+          run_leg(server, id, M, N, warm, clients, ops_per_client, seed);
+      bench::BenchRecord record("serve_load", M, N, warm ? "warm" : "cold",
+                                threads, leg.wall_ms, 0);
+      record.note = leg_note(leg);
+      records.push_back(record);
+      std::cout << "N=" << N << " " << (warm ? "warm" : "cold") << ": "
+                << record.note << " wall_ms=" << leg.wall_ms << "\n";
+      (warm ? warmed : cold) = leg;
+    }
+
+    const double ratio = cold.requests_per_sec > 0.0
+                             ? warmed.requests_per_sec / cold.requests_per_sec
+                             : 0.0;
+    if (N == n_grid.back()) ratio_at_max_n = ratio;
+    bench::BenchRecord summary("serve_load", M, N, "warm_vs_cold", threads,
+                               0.0, 0);
+    std::ostringstream note;
+    note << "throughput_ratio=" << ratio << " cold_p99_ms=" << cold.p99_ms
+         << " warm_p99_ms=" << warmed.p99_ms;
+    summary.note = note.str();
+    records.push_back(summary);
+    std::cout << "N=" << N << " warm_vs_cold " << note.str() << "\n";
+  }
+
+  run_shed_burst(records);
+
+  if (metrics::enabled()) {
+    const metrics::Snapshot snapshot = metrics::Registry::global().snapshot();
+    bench::write_bench_json(json_path, records, &snapshot);
+  } else {
+    bench::write_bench_json(json_path, records);
+  }
+  std::cout << "wrote " << json_path << "\n";
+
+  if (!smoke && ratio_at_max_n < 2.0) {
+    std::cerr << "WARNING: warm/cold throughput ratio at N="
+              << n_grid.back() << " is " << ratio_at_max_n
+              << " (< 2.0 target)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace specmatch
+
+int main() { return specmatch::run(); }

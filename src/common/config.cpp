@@ -59,6 +59,20 @@ constexpr EnvKnob kKnownEnvKnobs[] = {
     {"SPECMATCH_BENCH_THREADS",
      "parallel lane count of the micro_core trajectory, default 4 "
      "(bench/micro_core.cpp)"},
+    {"SPECMATCH_SERVE_THREADS",
+     "MatchServer drain lanes (resident workspaces), default "
+     "SPECMATCH_THREADS; responses are identical at any setting "
+     "(serve/server.cpp)"},
+    {"SPECMATCH_SERVE_QUEUE",
+     "MatchServer admission queue capacity in requests, default 1024; "
+     "overflow blocks or sheds per the configured policy (serve/server.cpp)"},
+    {"SPECMATCH_SERVE_MEM_MB",
+     "resident-market byte budget for the serving LRU registry, default "
+     "4096 MB (serve/server.cpp)"},
+    {"SPECMATCH_SERVE_CHECK_WARM",
+     "CHECK after every warm solve that the result is interference-free, "
+     "individually rational, and no worse than the carried matching "
+     "(serve/server.cpp)"},
     {"SPECMATCH_SANITIZE",
      "CMake option (not an env var): build with address/undefined/thread "
      "sanitizer (CMakeLists.txt)"},

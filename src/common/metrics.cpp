@@ -85,6 +85,28 @@ void Histogram::reset() {
   for (std::uint64_t& b : buckets_) b = 0;
 }
 
+double Histogram::Summary::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Cumulative mass the quantile must cover, in (0, count].
+  const double target =
+      std::max(q * static_cast<double>(count), std::nextafter(0.0, 1.0));
+  double cum = 0.0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    const double in_bucket = static_cast<double>(buckets[b]);
+    if (in_bucket == 0.0 || cum + in_bucket < target) {
+      cum += in_bucket;
+      continue;
+    }
+    // Bucket b spans [2^(b-1), 2^b), with bucket 0 pooling values < 1.
+    const double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
+    const double hi = std::ldexp(1.0, static_cast<int>(b));
+    const double frac = (target - cum) / in_bucket;
+    return std::clamp(lo + frac * (hi - lo), min, max);
+  }
+  return max;  // unreachable unless buckets disagree with count
+}
+
 std::int64_t Snapshot::counter(std::string_view name) const {
   for (const auto& [n, v] : counters)
     if (n == name) return v;
@@ -167,7 +189,8 @@ void write_json(std::ostream& out, const Snapshot& snapshot) {
     out << (i ? ",\n    " : "\n    ") << "\"" << name << "\": {\"count\": "
         << s.count << ", \"sum\": " << s.sum << ", \"min\": " << s.min
         << ", \"max\": " << s.max << ", \"mean\": " << s.mean()
-        << ", \"buckets\": [";
+        << ", \"p50\": " << s.p50() << ", \"p90\": " << s.p90()
+        << ", \"p99\": " << s.p99() << ", \"buckets\": [";
     for (std::size_t b = 0; b < s.buckets.size(); ++b)
       out << (b ? "," : "") << s.buckets[b];
     out << "]}";
@@ -176,14 +199,15 @@ void write_json(std::ostream& out, const Snapshot& snapshot) {
 }
 
 void write_csv(std::ostream& out, const Snapshot& snapshot) {
-  out << "kind,name,count,sum,min,max\n";
+  out << "kind,name,count,sum,min,max,p50,p90,p99\n";
   for (const auto& [name, value] : snapshot.counters)
-    out << "counter," << name << "," << value << ",,,\n";
+    out << "counter," << name << "," << value << ",,,,,,\n";
   for (const auto& [name, value] : snapshot.gauges)
-    out << "gauge," << name << "," << value << ",,,\n";
+    out << "gauge," << name << "," << value << ",,,,,,\n";
   for (const auto& [name, s] : snapshot.histograms)
     out << "histogram," << name << "," << s.count << "," << s.sum << ","
-        << s.min << "," << s.max << "\n";
+        << s.min << "," << s.max << "," << s.p50() << "," << s.p90() << ","
+        << s.p99() << "\n";
 }
 
 }  // namespace specmatch::metrics

@@ -74,6 +74,18 @@ class Histogram {
     double mean() const {
       return count == 0 ? 0.0 : sum / static_cast<double>(count);
     }
+
+    /// Quantile estimate from the power-of-two buckets, q in [0, 1]: the
+    /// bucket containing cumulative mass q * count is located and the value
+    /// is linearly interpolated across its [2^(b-1), 2^b) span, then clamped
+    /// to [min, max]. Resolution is therefore one octave (coarser below 1.0,
+    /// where bucket 0 pools everything); exact when all samples share one
+    /// bucket and min/max pin it. 0 when empty. The latency SLO exports
+    /// (p50/p90/p99) in the JSON/CSV snapshots come from here.
+    double quantile(double q) const;
+    double p50() const { return quantile(0.50); }
+    double p90() const { return quantile(0.90); }
+    double p99() const { return quantile(0.99); }
   };
   Summary summary() const;
   void reset();

@@ -34,6 +34,17 @@ class SpectrumMarket {
     return prices_[index(i, j)];
   }
 
+  /// Overwrites b_{i,j} in place. The one sanctioned mutation of a built
+  /// market: the serving layer keeps markets resident and applies
+  /// price-update / join / leave batches by rewriting price cells (join and
+  /// leave mask a buyer by zeroing her column, the dynamics/epochs trick)
+  /// instead of rebuilding M graphs per request. Topology stays immutable.
+  /// Not thread-safe against concurrent solves on the same market; the
+  /// server serialises per-market batches.
+  void set_utility(ChannelId i, BuyerId j, double value) {
+    prices_[index(i, j)] = value;
+  }
+
   /// All buyers' prices on channel i — the MWIS weight vector of seller i.
   std::span<const double> channel_prices(ChannelId i) const;
 

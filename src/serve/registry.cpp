@@ -1,0 +1,128 @@
+#include "serve/registry.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace specmatch::serve {
+
+namespace {
+
+/// Resident footprint of one built market: the interference graphs plus the
+/// live and base price matrices and the activity mask. An estimate — the
+/// registry budgets the dominant buffers, not every map node.
+std::size_t entry_bytes(const market::SpectrumMarket& market) {
+  std::size_t bytes = 0;
+  for (ChannelId i = 0; i < market.num_channels(); ++i)
+    bytes += market.graph(i).adjacency_bytes();
+  const std::size_t cells = static_cast<std::size_t>(market.num_channels()) *
+                            static_cast<std::size_t>(market.num_buyers());
+  bytes += 2 * cells * sizeof(double);  // live + base prices
+  bytes += static_cast<std::size_t>(market.num_buyers());
+  return bytes;
+}
+
+}  // namespace
+
+MarketEntry::MarketEntry(const market::Scenario& scenario)
+    : market(market::build_market(scenario)),
+      active(static_cast<std::size_t>(market.num_buyers()), true),
+      last(market.num_channels(), market.num_buyers()) {
+  const std::size_t cells = static_cast<std::size_t>(market.num_channels()) *
+                            static_cast<std::size_t>(market.num_buyers());
+  base_prices.reserve(cells);
+  for (ChannelId i = 0; i < market.num_channels(); ++i)
+    for (BuyerId j = 0; j < market.num_buyers(); ++j)
+      base_prices.push_back(market.utility(i, j));
+  bytes = entry_bytes(market);
+}
+
+int MarketEntry::active_count() const {
+  int count = 0;
+  for (const bool a : active) count += a ? 1 : 0;
+  return count;
+}
+
+void MarketEntry::apply_join(BuyerId j) {
+  const std::size_t jj = static_cast<std::size_t>(j);
+  if (active[jj]) return;  // idempotent
+  active[jj] = true;
+  const std::size_t n = static_cast<std::size_t>(market.num_buyers());
+  for (ChannelId i = 0; i < market.num_channels(); ++i)
+    market.set_utility(i, j, base_prices[static_cast<std::size_t>(i) * n + jj]);
+  ++mutations;
+}
+
+void MarketEntry::apply_leave(BuyerId j) {
+  const std::size_t jj = static_cast<std::size_t>(j);
+  if (!active[jj]) return;  // idempotent
+  active[jj] = false;
+  for (ChannelId i = 0; i < market.num_channels(); ++i)
+    market.set_utility(i, j, 0.0);
+  last.unmatch(j);
+  ++mutations;
+}
+
+void MarketEntry::apply_price(BuyerId j, ChannelId i, double value) {
+  const std::size_t n = static_cast<std::size_t>(market.num_buyers());
+  base_prices[static_cast<std::size_t>(i) * n + static_cast<std::size_t>(j)] =
+      value;
+  if (active[static_cast<std::size_t>(j)]) {
+    market.set_utility(i, j, value);
+    // The carried assignment of j is only stale if the cell she is matched
+    // on changed (it may have dropped below the reserve, or no longer be
+    // the price she'd accept). A change on another channel is Stage II's
+    // job: phase 1 invites her to transfer if it now beats her seat.
+    if (last.seller_of(j) == static_cast<SellerId>(i)) last.unmatch(j);
+  }
+  ++mutations;
+}
+
+MarketEntry* MarketRegistry::find(const std::string& id, std::uint64_t seq) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return nullptr;
+  it->second.last_used = seq;
+  return &it->second;
+}
+
+MarketEntry* MarketRegistry::peek(const std::string& id) {
+  auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool MarketRegistry::contains(const std::string& id) const {
+  return entries_.count(id) != 0;
+}
+
+MarketEntry& MarketRegistry::create(const std::string& id,
+                                    const market::Scenario& scenario,
+                                    std::uint64_t seq,
+                                    std::vector<std::string>* evicted) {
+  SPECMATCH_CHECK_MSG(entries_.find(id) == entries_.end(),
+                      "market id already registered: " << id);
+  auto [it, inserted] = entries_.emplace(id, MarketEntry(scenario));
+  MarketEntry& entry = it->second;
+  entry.last_used = seq;
+  total_bytes_ += entry.bytes;
+
+  while (total_bytes_ > budget_bytes_ && entries_.size() > 1) {
+    auto victim = entries_.end();
+    std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+    for (auto jt = entries_.begin(); jt != entries_.end(); ++jt) {
+      if (&jt->second == &entry) continue;  // never evict the newcomer
+      if (jt->second.last_used < oldest) {
+        oldest = jt->second.last_used;
+        victim = jt;
+      }
+    }
+    if (victim == entries_.end()) break;
+    total_bytes_ -= victim->second.bytes;
+    if (evicted != nullptr) evicted->push_back(victim->first);
+    entries_.erase(victim);
+    ++evictions_;
+  }
+  return entry;
+}
+
+}  // namespace specmatch::serve

@@ -1,0 +1,101 @@
+// Resident-market registry: id -> market kept warm between requests, with
+// LRU eviction under a byte budget.
+//
+// A MarketEntry owns the built SpectrumMarket (graphs + live price matrix),
+// the un-masked base prices, the per-buyer active mask, and the carried
+// matching the warm solve path re-solves on top of. Mutations are applied
+// in place by rewriting price cells (join/leave mask a buyer by zeroing her
+// column, exactly the dynamics/epochs trick; see docs/SERVING.md for the
+// warm-solve legality argument), so steady-state serving never rebuilds a
+// graph or reallocates the matrix.
+//
+// The registry is NOT internally synchronised: the MatchServer serialises
+// structural operations (create/evict) behind its admission barrier and
+// guarantees at most one in-flight batch per market, which is the only
+// writer of that market's entry.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "market/market.hpp"
+#include "market/scenario.hpp"
+#include "matching/matching.hpp"
+
+namespace specmatch::serve {
+
+struct MarketEntry {
+  /// Builds the resident market from `scenario` (all buyers start active).
+  explicit MarketEntry(const market::Scenario& scenario);
+
+  market::SpectrumMarket market;    ///< resident; prices masked in place
+  std::vector<double> base_prices;  ///< channel-major, un-masked
+  std::vector<bool> active;         ///< per-buyer activity mask
+  matching::Matching last;          ///< carried matching for warm solves
+  bool has_matching = false;        ///< false until the first solve
+
+  // Per-market serving stats, exposed verbatim by the `stats` request; all
+  // are functions of the market's request prefix only, hence deterministic
+  // across thread counts.
+  std::int64_t solves_cold = 0;
+  std::int64_t solves_warm = 0;
+  std::int64_t warm_fallbacks = 0;
+  std::int64_t mutations = 0;
+
+  std::size_t bytes = 0;      ///< resident footprint estimate, set at build
+  std::uint64_t last_used = 0;  ///< admission seq of the last request (LRU)
+
+  int active_count() const;
+
+  /// Re-activates buyer j: her column is restored from base_prices. She
+  /// enters the next solve unmatched (joins never disrupt anyone else).
+  void apply_join(BuyerId j);
+
+  /// Deactivates buyer j: her column is zeroed (invisible to every
+  /// algorithm) and her carried assignment is released.
+  void apply_leave(BuyerId j);
+
+  /// Updates b_{i,j} (base and, when j is active, live). Invalidation
+  /// touches only what changed: j is unmatched from the carried matching iff
+  /// the updated channel is the one she is matched on (a change elsewhere is
+  /// handled by Stage II transfers); everyone else's assignment survives.
+  void apply_price(BuyerId j, ChannelId i, double value);
+};
+
+class MarketRegistry {
+ public:
+  explicit MarketRegistry(std::size_t budget_bytes)
+      : budget_bytes_(budget_bytes) {}
+
+  /// Entry by id, bumping LRU recency to `seq`; nullptr when absent.
+  MarketEntry* find(const std::string& id, std::uint64_t seq);
+
+  /// Entry by id without bumping recency (introspection); nullptr if absent.
+  MarketEntry* peek(const std::string& id);
+
+  /// True when `id` is registered (no recency bump).
+  bool contains(const std::string& id) const;
+
+  /// Builds and registers a market, then evicts least-recently-used entries
+  /// (never the new one) until the byte budget holds again; evicted ids are
+  /// appended to `evicted` when non-null. A single market larger than the
+  /// whole budget is admitted alone. The id must not already be registered.
+  MarketEntry& create(const std::string& id, const market::Scenario& scenario,
+                      std::uint64_t seq, std::vector<std::string>* evicted);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t total_bytes() const { return total_bytes_; }
+  std::int64_t evictions() const { return evictions_; }
+
+ private:
+  std::size_t budget_bytes_;
+  std::size_t total_bytes_ = 0;
+  std::int64_t evictions_ = 0;
+  // Node-based map: entry addresses stay stable across later creates, so a
+  // drained server can hand out MarketEntry* for the batch being processed.
+  std::map<std::string, MarketEntry> entries_;
+};
+
+}  // namespace specmatch::serve

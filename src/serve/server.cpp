@@ -1,0 +1,481 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/config.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+#include "matching/stability.hpp"
+#include "matching/two_stage.hpp"
+
+namespace specmatch::serve {
+
+namespace {
+
+long env_long(const char* name, long fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  return (end == raw || *end != '\0' || value <= 0) ? fallback : value;
+}
+
+bool env_flag(const char* name) {
+  const char* raw = std::getenv(name);
+  return raw != nullptr && *raw != '\0' && std::string(raw) != "0";
+}
+
+bool is_cold_solve(const Request& request) {
+  return request.type == RequestType::kSolve && !request.warm;
+}
+
+const char* latency_metric(RequestType type, bool warm) {
+  switch (type) {
+    case RequestType::kCreate: return "serve.latency_create_ms";
+    case RequestType::kJoin:
+    case RequestType::kLeave:
+    case RequestType::kUpdatePrice: return "serve.latency_mutation_ms";
+    case RequestType::kSolve:
+      return warm ? "serve.latency_solve_warm_ms"
+                  : "serve.latency_solve_cold_ms";
+    case RequestType::kQuery:
+    case RequestType::kStats: return "serve.latency_query_ms";
+  }
+  return "serve.latency_ms";
+}
+
+Response error_response(const Request& request, const std::string& detail) {
+  Response response;
+  response.ok = false;
+  response.seq = request.seq;
+  std::ostringstream out;
+  out << "err " << request_keyword(request.type) << " " << request.market_id
+      << ": " << detail;
+  response.text = out.str();
+  return response;
+}
+
+}  // namespace
+
+ServeConfig ServeConfig::from_env() {
+  ServeConfig config;
+  config.drain_lanes = static_cast<int>(env_long(
+      "SPECMATCH_SERVE_THREADS", SpecmatchConfig::global().num_threads));
+  config.queue_capacity =
+      static_cast<int>(env_long("SPECMATCH_SERVE_QUEUE", 1024));
+  config.mem_budget_mb =
+      static_cast<std::size_t>(env_long("SPECMATCH_SERVE_MEM_MB", 4096));
+  config.check_warm = env_flag("SPECMATCH_SERVE_CHECK_WARM");
+  return config;
+}
+
+MatchServer::MatchServer(ServeConfig config)
+    : config_(config),
+      pool_(static_cast<std::size_t>(std::max(1, config.drain_lanes))),
+      registry_(config.mem_budget_mb * std::size_t{1024} * 1024) {
+  config_.drain_lanes = std::max(1, config_.drain_lanes);
+  config_.queue_capacity = std::max(1, config_.queue_capacity);
+  for (int lane = 0; lane < config_.drain_lanes; ++lane)
+    free_workspaces_.push_back(std::make_unique<matching::MatchWorkspace>());
+}
+
+MatchServer::~MatchServer() { drain(); }
+
+bool MatchServer::submit(Request request, ResponseCallback callback) {
+  metrics::count("serve.requests");
+  const auto admitted = metrics::enabled()
+                            ? std::chrono::steady_clock::now()
+                            : std::chrono::steady_clock::time_point{};
+
+  if (request.type == RequestType::kCreate) {
+    // Creates are barriers: everything in flight finishes first, so the LRU
+    // eviction a create may trigger sees final recency values and never
+    // races a drain task holding a MarketEntry.
+    if (config_.manual_drain) drain_pending_for_tests();
+    Envelope envelope{std::move(request), std::move(callback), admitted};
+    std::unique_lock<std::mutex> lock(mutex_);
+    envelope.request.seq = next_seq_++;
+    idle_.wait(lock, [&] { return pending_ == 0 && active_ == 0; });
+    Response response = process_create(envelope.request);
+    lock.unlock();
+    finish(envelope, std::move(response), /*counted_pending=*/false);
+    return true;
+  }
+
+  Envelope envelope{std::move(request), std::move(callback), admitted};
+  std::string id;
+  bool schedule = false;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (pending_ >= config_.queue_capacity) {
+      if (config_.overflow == ServeConfig::Overflow::kReject) {
+        ++shed_;
+        metrics::count("serve.shed");
+        return false;
+      }
+      space_.wait(lock, [&] { return pending_ < config_.queue_capacity; });
+    }
+    envelope.request.seq = next_seq_++;
+    ++pending_;
+    metrics::gauge_set("serve.queue_depth", static_cast<double>(pending_));
+    id = envelope.request.market_id;
+    Batch& batch = batches_[id];
+    if (!batch.items.empty() || batch.scheduled) {
+      // This market already has a drain in progress or queued work: the new
+      // request rides the same batch instead of costing its own dispatch.
+      ++coalesced_;
+      metrics::count("serve.coalesced");
+    }
+    batch.items.push_back(std::move(envelope));
+    if (!batch.scheduled && !config_.manual_drain) {
+      batch.scheduled = true;
+      ++active_;
+      schedule = true;
+    }
+  }
+  // Never submit while holding the lock: a 1-lane pool runs the task inline
+  // before returning, and that task locks the same mutex.
+  if (schedule) pool_.submit([this, id] { run_market(id); });
+  return true;
+}
+
+Response MatchServer::handle(Request request) {
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+  Response out;
+  const bool admitted =
+      submit(std::move(request), [&](const Response& response) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        out = response;
+        done = true;
+        done_cv.notify_one();
+      });
+  if (!admitted) {
+    out.ok = false;
+    out.text = "err shed: admission queue full";
+    return out;
+  }
+  if (config_.manual_drain) drain_pending_for_tests();
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return done; });
+  return out;
+}
+
+void MatchServer::drain() {
+  if (config_.manual_drain) drain_pending_for_tests();
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [&] { return pending_ == 0 && active_ == 0; });
+}
+
+void MatchServer::drain_pending_for_tests() {
+  while (true) {
+    std::string id;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = std::find_if(batches_.begin(), batches_.end(), [](auto& kv) {
+        return !kv.second.items.empty() && !kv.second.scheduled;
+      });
+      if (it == batches_.end()) return;
+      it->second.scheduled = true;
+      ++active_;
+      id = it->first;
+    }
+    run_market(id);
+  }
+}
+
+void MatchServer::run_market(const std::string& id) {
+  std::unique_ptr<matching::MatchWorkspace> workspace;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (free_workspaces_.empty()) {
+      // More concurrent drains than configured lanes (several clients of a
+      // 1-lane server run inline at once): grow the pool. One-time cost;
+      // the new workspace is kept and reused like the others.
+      workspace = std::make_unique<matching::MatchWorkspace>();
+    } else {
+      workspace = std::move(free_workspaces_.back());
+      free_workspaces_.pop_back();
+    }
+  }
+
+  std::deque<Envelope> items;
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      Batch& batch = batches_[id];
+      if (batch.items.empty()) {
+        batch.scheduled = false;
+        break;
+      }
+      items.swap(batch.items);
+    }
+    metrics::observe("serve.batch_size", static_cast<double>(items.size()));
+    trace::ScopedSpan span("serve.batch",
+                           static_cast<std::int64_t>(items.size()));
+
+    for (std::size_t k = 0; k < items.size();) {
+      Response response = process(items[k].request, *workspace);
+      const bool dedupable = response.ok && is_cold_solve(items[k].request);
+      const std::string text = response.text;
+      finish(items[k], std::move(response), /*counted_pending=*/true);
+      ++k;
+      if (!dedupable) continue;
+      // Consecutive cold solves with no mutation between them are the same
+      // pure function of the same market state: answer the duplicates with
+      // the first response instead of re-running the engine. A rerun would
+      // produce the identical line, so batching stays invisible to the
+      // transcript; only the dedup counters (metrics) see it.
+      while (k < items.size() && is_cold_solve(items[k].request)) {
+        Response duplicate;
+        duplicate.ok = true;
+        duplicate.seq = items[k].request.seq;
+        duplicate.text = text;
+        if (MarketEntry* entry =
+                registry_.find(id, items[k].request.seq)) {
+          ++entry->solves_cold;  // stats count solve *requests*
+        }
+        ++deduped_;
+        metrics::count("serve.solves_deduped");
+        finish(items[k], std::move(duplicate), /*counted_pending=*/true);
+        ++k;
+      }
+    }
+    items.clear();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_workspaces_.push_back(std::move(workspace));
+    --active_;
+    if (pending_ == 0 && active_ == 0) idle_.notify_all();
+  }
+}
+
+void MatchServer::finish(Envelope& envelope, Response response,
+                         bool counted_pending) {
+  if (metrics::enabled()) {
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - envelope.admitted)
+                          .count();
+    metrics::observe("serve.latency_ms", ms);
+    metrics::observe(
+        latency_metric(envelope.request.type, envelope.request.warm), ms);
+  }
+  if (envelope.callback) envelope.callback(response);
+  if (!counted_pending) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  --pending_;
+  metrics::gauge_set("serve.queue_depth", static_cast<double>(pending_));
+  if (pending_ == 0 && active_ == 0) idle_.notify_all();
+  space_.notify_one();
+}
+
+Response MatchServer::process_create(const Request& request) {
+  if (!request.scenario)
+    return error_response(request, "missing scenario payload");
+  if (registry_.contains(request.market_id))
+    return error_response(request, "market already exists");
+  std::vector<std::string> evicted;
+  try {
+    MarketEntry& entry = registry_.create(request.market_id, *request.scenario,
+                                          request.seq, &evicted);
+    metrics::count("serve.evictions",
+                   static_cast<std::int64_t>(evicted.size()));
+    Response response;
+    response.ok = true;
+    response.seq = request.seq;
+    std::ostringstream out;
+    out << "ok create " << request.market_id
+        << " M=" << entry.market.num_channels()
+        << " N=" << entry.market.num_buyers() << " evicted=" << evicted.size();
+    response.text = out.str();
+    return response;
+  } catch (const CheckError& e) {
+    return error_response(request, std::string("invalid scenario: ") +
+                                       e.what());
+  }
+}
+
+Response MatchServer::process(const Request& request,
+                              matching::MatchWorkspace& workspace) {
+  MarketEntry* entry = registry_.find(request.market_id, request.seq);
+  if (entry == nullptr) return error_response(request, "unknown market");
+
+  const int num_buyers = entry->market.num_buyers();
+  const int num_channels = entry->market.num_channels();
+  Response response;
+  response.seq = request.seq;
+  std::ostringstream out;
+
+  switch (request.type) {
+    case RequestType::kJoin:
+    case RequestType::kLeave: {
+      if (request.buyer < 0 || request.buyer >= num_buyers)
+        return error_response(
+            request, "buyer " + std::to_string(request.buyer) +
+                         " out of range [0, " + std::to_string(num_buyers) +
+                         ")");
+      if (request.type == RequestType::kJoin)
+        entry->apply_join(request.buyer);
+      else
+        entry->apply_leave(request.buyer);
+      out << "ok " << request_keyword(request.type) << " "
+          << request.market_id << " " << request.buyer
+          << " active=" << entry->active_count();
+      break;
+    }
+    case RequestType::kUpdatePrice: {
+      if (request.buyer < 0 || request.buyer >= num_buyers)
+        return error_response(
+            request, "buyer " + std::to_string(request.buyer) +
+                         " out of range [0, " + std::to_string(num_buyers) +
+                         ")");
+      if (request.channel < 0 || request.channel >= num_channels)
+        return error_response(
+            request, "channel " + std::to_string(request.channel) +
+                         " out of range [0, " + std::to_string(num_channels) +
+                         ")");
+      entry->apply_price(request.buyer, request.channel, request.value);
+      out << "ok price " << request.market_id << " " << request.buyer << " "
+          << request.channel << " " << format_double(request.value);
+      break;
+    }
+    case RequestType::kSolve: {
+      out << solve_response(*entry, request, workspace);
+      break;
+    }
+    case RequestType::kQuery: {
+      out << "ok query " << request.market_id
+          << " matched=" << entry->last.num_matched() << " matching=";
+      for (BuyerId j = 0; j < num_buyers; ++j) {
+        if (j > 0) out << ",";
+        const SellerId seller = entry->last.seller_of(j);
+        if (seller == kUnmatched)
+          out << "-";
+        else
+          out << seller;
+      }
+      break;
+    }
+    case RequestType::kStats: {
+      const double welfare =
+          entry->has_matching ? entry->last.social_welfare(entry->market)
+                              : 0.0;
+      out << "ok stats " << request.market_id
+          << " active=" << entry->active_count()
+          << " matched=" << entry->last.num_matched()
+          << " welfare=" << format_double(welfare)
+          << " solves=" << entry->solves_cold << "/" << entry->solves_warm
+          << " fallbacks=" << entry->warm_fallbacks
+          << " mutations=" << entry->mutations
+          << " markets=" << registry_.size()
+          << " bytes=" << registry_.total_bytes()
+          << " evictions=" << registry_.evictions();
+      break;
+    }
+    case RequestType::kCreate:
+      return error_response(request, "create must go through the barrier");
+  }
+
+  response.ok = true;
+  response.text = out.str();
+  return response;
+}
+
+std::string MatchServer::solve_response(MarketEntry& entry,
+                                        const Request& request,
+                                        matching::MatchWorkspace& workspace) {
+  const auto note_allocs = [this](std::int64_t sample) {
+    if (sample >= 0) steady_allocs_ += sample;
+  };
+  trace::ScopedSpan span("serve.solve", request.warm ? 1 : 0);
+  std::ostringstream out;
+  out << "ok solve " << request.market_id << (request.warm ? " warm" : " cold");
+
+  if (request.warm && entry.has_matching) {
+    // Warm path: Stage II alone on the carried matching. Mutations have
+    // already invalidated exactly the assignments they touched, so the
+    // carried matching is interference-free and admissible; Stage II only
+    // improves buyers, hence welfare can only grow (CHECKed on demand).
+    const double carried_welfare =
+        config_.check_warm ? entry.last.social_welfare(entry.market) : 0.0;
+    matching::StageIIConfig stage2;
+    stage2.coalition_policy = config_.coalition_policy;
+    matching::StageIIResult result = matching::run_transfer_invitation(
+        entry.market, entry.last, stage2, workspace);
+    note_allocs(result.steady_allocs);
+    entry.last = std::move(result.matching);
+    ++entry.solves_warm;
+    const double welfare = entry.last.social_welfare(entry.market);
+    if (config_.check_warm) {
+      SPECMATCH_CHECK_MSG(
+          matching::is_interference_free(entry.market, entry.last),
+          "warm solve produced an interfering matching: "
+              << request.market_id);
+      SPECMATCH_CHECK_MSG(
+          matching::is_individual_rational(entry.market, entry.last),
+          "warm solve violated individual rationality: "
+              << request.market_id);
+      SPECMATCH_CHECK_MSG(welfare >= carried_welfare - 1e-9,
+                          "warm solve lost welfare: " << welfare << " < "
+                                                      << carried_welfare);
+    }
+    out << " welfare=" << format_double(welfare)
+        << " matched=" << entry.last.num_matched()
+        << " rounds=" << (result.phase1_rounds + result.phase2_rounds);
+    return out.str();
+  }
+
+  // Cold path (also the fallback for a warm request before any solve has
+  // produced a matching to carry).
+  matching::TwoStageConfig cfg;
+  cfg.coalition_policy = config_.coalition_policy;
+  matching::TwoStageResult result =
+      matching::run_two_stage(entry.market, cfg, workspace);
+  note_allocs(result.stage1.steady_allocs);
+  note_allocs(result.stage2.steady_allocs);
+  entry.last = result.final_matching();
+  entry.has_matching = true;
+  if (request.warm) {
+    ++entry.solves_warm;
+    ++entry.warm_fallbacks;
+    metrics::count("serve.warm_fallbacks");
+  } else {
+    ++entry.solves_cold;
+  }
+  out << " welfare=" << format_double(result.welfare_final)
+      << " matched=" << entry.last.num_matched()
+      << " rounds=" << (result.stage1.rounds + result.stage2.phase1_rounds +
+                        result.stage2.phase2_rounds);
+  if (request.warm) out << " fallback=cold";
+  return out.str();
+}
+
+std::size_t MatchServer::resident_markets() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return registry_.size();
+}
+
+std::size_t MatchServer::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return registry_.total_bytes();
+}
+
+std::int64_t MatchServer::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return registry_.evictions();
+}
+
+const matching::Matching* MatchServer::last_matching(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MarketEntry* entry = registry_.peek(id);
+  return entry != nullptr && entry->has_matching ? &entry->last : nullptr;
+}
+
+}  // namespace specmatch::serve

@@ -1,5 +1,6 @@
 #include "workload/io.hpp"
 
+#include <cctype>
 #include <fstream>
 #include <iomanip>
 #include <limits>
@@ -13,25 +14,101 @@ namespace {
 
 constexpr const char* kMagic = "specmatch-scenario v1";
 
-[[noreturn]] void fail(const std::string& message) {
-  throw ScenarioParseError("scenario parse error: " + message);
-}
+/// Line-tracking tokenizer over the input stream. Values may be laid out
+/// with any whitespace (the writer packs a section per line, hand-written
+/// fixtures put one value per line; both parse), but section headers must
+/// start on a fresh line and every parse error is attributed to the 1-based
+/// line it occurred on — the serve protocol embeds scenarios mid-stream and
+/// reports errors in request-file coordinates via the line offset.
+class TokenReader {
+ public:
+  TokenReader(std::istream& is, int line_offset)
+      : is_(is), line_(line_offset) {}
 
-std::string expect_keyword_line(std::istream& is, const std::string& what) {
-  std::string line;
-  if (!std::getline(is, line)) fail("unexpected end of input, wanted " + what);
-  return line;
-}
+  int line() const { return line_; }
 
-/// Reads "<keyword> <count>" and returns count.
-int expect_counted(std::istream& is, const std::string& keyword) {
-  std::istringstream line(expect_keyword_line(is, keyword));
-  std::string word;
-  int count = 0;
-  if (!(line >> word >> count) || word != keyword || count <= 0)
-    fail("expected '" + keyword + " <positive count>'");
-  return count;
-}
+  [[noreturn]] void fail(const std::string& message) const {
+    std::ostringstream what;
+    what << "scenario parse error: " << message << " (line " << line_ << ")";
+    throw ScenarioParseError(what.str(), line_);
+  }
+
+  /// Unconsumed tokens left on the current line?
+  bool line_has_more() {
+    while (pos_ < current_.size() &&
+           std::isspace(static_cast<unsigned char>(current_[pos_])))
+      ++pos_;
+    return pos_ < current_.size();
+  }
+
+  /// Advances to the next line; false at end of input.
+  bool next_line() {
+    if (!std::getline(is_, current_)) return false;
+    ++line_;
+    pos_ = 0;
+    return true;
+  }
+
+  /// Next whitespace-delimited token, reading further lines as needed.
+  bool next_token(std::string& out) {
+    while (!line_has_more())
+      if (!next_line()) return false;
+    const std::size_t start = pos_;
+    while (pos_ < current_.size() &&
+           !std::isspace(static_cast<unsigned char>(current_[pos_])))
+      ++pos_;
+    out = current_.substr(start, pos_ - start);
+    return true;
+  }
+
+  /// Next token parsed as T; the whole token must convert.
+  template <typename T>
+  void next_value(T& out, const std::string& what) {
+    std::string token;
+    if (!next_token(token)) fail("truncated " + what);
+    std::istringstream ss(token);
+    ss >> out;
+    if (ss.fail() || !ss.eof())
+      fail("malformed value '" + token + "' in " + what);
+  }
+
+  /// Starts a section: the previous one must be fully consumed and the
+  /// header ("<keyword>" or "<keyword> <count...>") must sit on its own
+  /// fresh line. Returns the header's whitespace-split tokens.
+  std::vector<std::string> header_line(const std::string& wanted) {
+    if (line_has_more())
+      fail("trailing values before '" + wanted + "' header");
+    if (!next_line()) fail("unexpected end of input, wanted '" + wanted + "'");
+    std::vector<std::string> tokens;
+    std::istringstream ss(current_);
+    std::string token;
+    while (ss >> token) tokens.push_back(token);
+    pos_ = current_.size();  // the header line is consumed as a unit
+    if (tokens.empty()) fail("blank line where '" + wanted + "' expected");
+    return tokens;
+  }
+
+  /// Reads "<keyword> <positive count>" on its own line.
+  int counted_header(const std::string& keyword) {
+    const auto tokens = header_line(keyword + " <count>");
+    if (tokens.size() != 2 || tokens[0] != keyword)
+      fail("expected '" + keyword + " <positive count>', got '" + tokens[0] +
+           "'");
+    int count = 0;
+    std::istringstream ss(tokens[1]);
+    ss >> count;
+    if (ss.fail() || !ss.eof() || count <= 0)
+      fail("expected '" + keyword + " <positive count>', got count '" +
+           tokens[1] + "'");
+    return count;
+  }
+
+ private:
+  std::istream& is_;
+  int line_;
+  std::string current_;
+  std::size_t pos_ = 0;
+};
 
 }  // namespace
 
@@ -76,67 +153,101 @@ void save_scenario(std::ostream& os, const market::Scenario& scenario) {
 }
 
 market::Scenario load_scenario(std::istream& is) {
-  if (expect_keyword_line(is, "magic header") != kMagic)
-    fail(std::string("missing header '") + kMagic + "'");
+  return load_scenario(is, 0, nullptr);
+}
+
+market::Scenario load_scenario(std::istream& is, int line_offset,
+                               int* lines_consumed) {
+  TokenReader reader(is, line_offset);
+
+  if (!reader.next_line())
+    reader.fail(std::string("missing header '") + kMagic + "'");
+  {
+    std::string magic;
+    std::string token;
+    while (reader.line_has_more()) {
+      reader.next_token(token);
+      magic += magic.empty() ? token : " " + token;
+    }
+    if (magic != kMagic)
+      reader.fail(std::string("missing header '") + kMagic + "'");
+  }
 
   market::Scenario scenario;
 
-  const int num_sellers = expect_counted(is, "sellers");
+  const int num_sellers = reader.counted_header("sellers");
   scenario.seller_channel_counts.resize(static_cast<std::size_t>(num_sellers));
   for (auto& m : scenario.seller_channel_counts)
-    if (!(is >> m)) fail("truncated seller channel counts");
+    reader.next_value(m, "seller channel counts");
 
-  is >> std::ws;
-  const int num_buyers = expect_counted(is, "buyers");
+  const int num_buyers = reader.counted_header("buyers");
   scenario.buyer_demands.resize(static_cast<std::size_t>(num_buyers));
   for (auto& n : scenario.buyer_demands)
-    if (!(is >> n)) fail("truncated buyer demands");
+    reader.next_value(n, "buyer demands");
 
-  is >> std::ws;
-  if (expect_keyword_line(is, "locations") != "locations")
-    fail("expected 'locations'");
+  {
+    const auto tokens = reader.header_line("locations");
+    if (tokens.size() != 1 || tokens[0] != "locations")
+      reader.fail("expected 'locations', got '" + tokens[0] + "'");
+  }
   scenario.buyer_locations.resize(static_cast<std::size_t>(num_buyers));
-  for (auto& loc : scenario.buyer_locations)
-    if (!(is >> loc.x >> loc.y)) fail("truncated buyer locations");
+  for (auto& loc : scenario.buyer_locations) {
+    reader.next_value(loc.x, "buyer locations");
+    reader.next_value(loc.y, "buyer locations");
+  }
 
-  is >> std::ws;
-  const int num_ranges = expect_counted(is, "ranges");
+  const int num_ranges = reader.counted_header("ranges");
   scenario.channel_ranges.resize(static_cast<std::size_t>(num_ranges));
   for (auto& r : scenario.channel_ranges)
-    if (!(is >> r)) fail("truncated channel ranges");
+    reader.next_value(r, "channel ranges");
 
-  is >> std::ws;
-  {
-    // Optional "reserves <M>" section (format extension; absent in files
-    // written before reserve prices existed).
-    std::string header = expect_keyword_line(is, "reserves or utilities");
-    if (header.rfind("reserves", 0) == 0) {
-      std::istringstream line(header);
-      std::string word;
+  // Optional "reserves <M>" section (format extension; absent in files
+  // written before reserve prices existed), then the mandatory utilities
+  // matrix. Duplicated sections are rejected explicitly rather than left to
+  // cascade into a confusing downstream keyword mismatch.
+  bool have_reserves = false;
+  std::size_t M = 0;
+  std::size_t N = 0;
+  while (true) {
+    const auto tokens = reader.header_line("reserves or utilities");
+    if (tokens[0] == "reserves") {
+      if (have_reserves) reader.fail("duplicate 'reserves' section");
       std::size_t count = 0;
-      if (!(line >> word >> count) || count == 0)
-        fail("expected 'reserves <positive count>'");
+      std::istringstream ss(tokens.size() == 2 ? tokens[1] : "");
+      ss >> count;
+      if (tokens.size() != 2 || ss.fail() || !ss.eof() || count == 0)
+        reader.fail("expected 'reserves <positive count>'");
       scenario.channel_reserves.resize(count);
       for (auto& r : scenario.channel_reserves)
-        if (!(is >> r)) fail("truncated channel reserves");
-      is >> std::ws;
-      header = expect_keyword_line(is, "utilities");
+        reader.next_value(r, "channel reserves");
+      have_reserves = true;
+      continue;
     }
-    std::istringstream line(header);
-    std::string word;
-    std::size_t M = 0, N = 0;
-    if (!(line >> word >> M >> N) || word != "utilities" || M == 0 || N == 0)
-      fail("expected 'utilities <M> <N>'");
-    scenario.utilities.resize(M * N);
-    for (auto& u : scenario.utilities)
-      if (!(is >> u)) fail("truncated utility matrix");
+    if (tokens[0] == "utilities") {
+      std::istringstream m_ss(tokens.size() == 3 ? tokens[1] : "");
+      std::istringstream n_ss(tokens.size() == 3 ? tokens[2] : "");
+      m_ss >> M;
+      n_ss >> N;
+      if (tokens.size() != 3 || m_ss.fail() || !m_ss.eof() || n_ss.fail() ||
+          !n_ss.eof() || M == 0 || N == 0)
+        reader.fail("expected 'utilities <M> <N>'");
+      break;
+    }
+    reader.fail("expected 'reserves' or 'utilities', got '" + tokens[0] + "'");
   }
+  scenario.utilities.resize(M * N);
+  for (auto& u : scenario.utilities)
+    reader.next_value(u, "utility matrix");
+  if (reader.line_has_more())
+    reader.fail("trailing values after the utility matrix");
 
   try {
     scenario.validate();
   } catch (const CheckError& e) {
-    fail(std::string("inconsistent scenario: ") + e.what());
+    reader.fail(std::string("inconsistent scenario: ") + e.what());
   }
+  if (lines_consumed != nullptr)
+    *lines_consumed = reader.line() - line_offset;
   return scenario;
 }
 
@@ -150,7 +261,8 @@ void save_scenario_file(const std::string& path,
 
 market::Scenario load_scenario_file(const std::string& path) {
   std::ifstream is(path);
-  if (!is.good()) fail("cannot open " + path);
+  if (!is.good())
+    throw ScenarioParseError("scenario parse error: cannot open " + path);
   return load_scenario(is);
 }
 

@@ -20,15 +20,31 @@
 
 namespace specmatch::workload {
 
-/// Thrown by load_scenario on malformed input (with a line-level message).
+/// Thrown by load_scenario on malformed input. The message always carries
+/// the 1-based line number of the offending line ("... (line 7)"), also
+/// exposed structurally via line(); 0 means the failure is not attributable
+/// to a line (e.g. an unopenable file).
 class ScenarioParseError : public std::runtime_error {
  public:
-  explicit ScenarioParseError(const std::string& what)
-      : std::runtime_error(what) {}
+  explicit ScenarioParseError(const std::string& what, int line = 0)
+      : std::runtime_error(what), line_(line) {}
+
+  int line() const { return line_; }
+
+ private:
+  int line_ = 0;
 };
 
 void save_scenario(std::ostream& os, const market::Scenario& scenario);
 market::Scenario load_scenario(std::istream& is);
+
+/// As load_scenario, but line numbers in errors (and the final reader
+/// position) are offset by `line_offset` lines already consumed from the
+/// surrounding stream — the serve protocol embeds scenarios mid-stream and
+/// wants errors in request-file coordinates. On success *lines_consumed
+/// (when non-null) receives the number of lines the scenario occupied.
+market::Scenario load_scenario(std::istream& is, int line_offset,
+                               int* lines_consumed);
 
 /// Convenience file wrappers (throw on I/O failure).
 void save_scenario_file(const std::string& path,

@@ -107,6 +107,123 @@ TEST(ScenarioIoTest, SemanticallyInvalidScenarioIsRejected) {
   EXPECT_THROW((void)load_scenario(buffer), ScenarioParseError);
 }
 
+/// Parses `input`, expecting a ScenarioParseError; returns the error.
+ScenarioParseError expect_parse_error(const std::string& input) {
+  std::stringstream buffer(input);
+  try {
+    (void)load_scenario(buffer);
+  } catch (const ScenarioParseError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "input parsed without error:\n" << input;
+  return ScenarioParseError("unreached");
+}
+
+TEST(ScenarioIoTest, ErrorsCarryTheOffendingLineNumber) {
+  // Bad magic: attributed to line 1.
+  EXPECT_EQ(expect_parse_error("not-a-scenario\n").line(), 1);
+
+  // Wrong keyword where 'buyers' belongs: line 4 (counts span line 3).
+  const auto wrong_keyword = expect_parse_error(
+      "specmatch-scenario v1\n"
+      "sellers 2\n"
+      "1 1\n"
+      "ranges 2\n");
+  EXPECT_EQ(wrong_keyword.line(), 4);
+  EXPECT_NE(std::string(wrong_keyword.what()).find("(line 4)"),
+            std::string::npos);
+
+  // Truncated utilities: the error points at the last line seen.
+  const auto truncated = expect_parse_error(
+      "specmatch-scenario v1\n"
+      "sellers 1\n1\n"
+      "buyers 1\n1\n"
+      "locations\n0 0\n"
+      "ranges 1\n2\n"
+      "utilities 1 1\n");
+  EXPECT_EQ(truncated.line(), 10);
+}
+
+TEST(ScenarioIoTest, DuplicatedReservesSectionIsRejected) {
+  const auto error = expect_parse_error(
+      "specmatch-scenario v1\n"
+      "sellers 1\n1\n"
+      "buyers 1\n1\n"
+      "locations\n0 0\n"
+      "ranges 1\n2\n"
+      "reserves 1\n0.1\n"
+      "reserves 1\n0.2\n"
+      "utilities 1 1\n0.5\n");
+  EXPECT_NE(std::string(error.what()).find("duplicate 'reserves'"),
+            std::string::npos);
+  EXPECT_EQ(error.line(), 12);
+}
+
+TEST(ScenarioIoTest, TrailingValuesInASectionAreRejected) {
+  // One value too many in the seller counts: caught when the next section
+  // header is expected, attributed to the line holding the extra token.
+  const auto extra = expect_parse_error(
+      "specmatch-scenario v1\n"
+      "sellers 1\n"
+      "1 7\n"
+      "buyers 1\n1\n"
+      "locations\n0 0\n"
+      "ranges 1\n2\n"
+      "utilities 1 1\n0.5\n");
+  EXPECT_NE(std::string(extra.what()).find("trailing values"),
+            std::string::npos);
+  EXPECT_EQ(extra.line(), 3);
+
+  // Extra token after the last utility value.
+  const auto tail = expect_parse_error(
+      "specmatch-scenario v1\n"
+      "sellers 1\n1\n"
+      "buyers 1\n1\n"
+      "locations\n0 0\n"
+      "ranges 1\n2\n"
+      "utilities 1 1\n0.5 0.9\n");
+  EXPECT_NE(std::string(tail.what()).find("after the utility matrix"),
+            std::string::npos);
+}
+
+TEST(ScenarioIoTest, MalformedValuesNameTheSectionAndLine) {
+  const auto error = expect_parse_error(
+      "specmatch-scenario v1\n"
+      "sellers 1\n1\n"
+      "buyers 1\n1\n"
+      "locations\nx y\n"
+      "ranges 1\n2\n"
+      "utilities 1 1\n0.5\n");
+  EXPECT_NE(std::string(error.what()).find("buyer locations"),
+            std::string::npos);
+  EXPECT_EQ(error.line(), 7);
+}
+
+TEST(ScenarioIoTest, MidStreamLoadReportsOffsetLinesAndConsumption) {
+  const auto original = sample_scenario(23);
+  std::stringstream buffer;
+  buffer << "request preamble line\n";
+  save_scenario(buffer, original);
+  std::string discard;
+  std::getline(buffer, discard);  // consume the preamble, scenario follows
+  int consumed = 0;
+  const auto loaded = load_scenario(buffer, 1, &consumed);
+  EXPECT_EQ(loaded.utilities, original.utilities);
+  EXPECT_GT(consumed, 0);
+
+  // Same embedding, truncated: the reported line is in outer coordinates.
+  std::stringstream full;
+  save_scenario(full, original);
+  const std::string text = full.str();
+  std::stringstream cut(text.substr(0, text.size() - 40));
+  try {
+    (void)load_scenario(cut, 10, nullptr);
+    ADD_FAILURE() << "truncated scenario parsed";
+  } catch (const ScenarioParseError& e) {
+    EXPECT_GT(e.line(), 10);
+  }
+}
+
 TEST(ScenarioIoTest, MissingFileIsRejected) {
   EXPECT_THROW((void)load_scenario_file("/nonexistent/path.scenario"),
                ScenarioParseError);

@@ -103,6 +103,60 @@ TEST_F(MetricsTest, HistogramBucketsArePowersOfTwo) {
   EXPECT_EQ(s.buckets[Histogram::kNumBuckets - 1], 1u);
 }
 
+TEST_F(MetricsTest, QuantilesAreExactOnHandBuiltHistogram) {
+  // 100 samples of 3.0: every sample lives in bucket 2 = [2, 4). The
+  // interpolated quantile q lands at 2 + q * 2, clamped into [min, max] =
+  // [3, 3] — so every quantile is exactly 3.
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(3.0);
+  const auto s = h.summary();
+  EXPECT_DOUBLE_EQ(s.p50(), 3.0);
+  EXPECT_DOUBLE_EQ(s.p90(), 3.0);
+  EXPECT_DOUBLE_EQ(s.p99(), 3.0);
+
+  // Two-bucket split: 50 samples in [2, 4), 50 in [8, 16). p50 exhausts
+  // exactly the first bucket (target mass 50 -> frac 1.0 -> upper edge 4,
+  // clamped to nothing since max = 10): 2 + 1.0 * 2 = 4. p99 has target 99,
+  // 49 into the second bucket: 8 + (49/50) * 8 = 15.84, clamped to max 10.
+  Histogram split;
+  for (int i = 0; i < 50; ++i) split.record(3.0);
+  for (int i = 0; i < 50; ++i) split.record(10.0);
+  const auto t = split.summary();
+  EXPECT_DOUBLE_EQ(t.quantile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(t.quantile(0.25), 2.0 + 0.5 * 2.0);  // 25 of 50 -> mid
+  EXPECT_DOUBLE_EQ(t.p99(), 10.0);                      // clamped to max
+  EXPECT_DOUBLE_EQ(t.quantile(0.0), 3.0);  // clamped up to min
+  EXPECT_DOUBLE_EQ(t.quantile(1.0), 10.0);
+}
+
+TEST_F(MetricsTest, QuantilesOfEmptyAndSingletonHistograms) {
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.summary().p50(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.summary().p99(), 0.0);
+
+  Histogram one;
+  one.record(7.0);
+  // Single sample: whatever the interpolation says, the [min, max] clamp
+  // pins every quantile to the sample itself.
+  EXPECT_DOUBLE_EQ(one.summary().p50(), 7.0);
+  EXPECT_DOUBLE_EQ(one.summary().p99(), 7.0);
+}
+
+TEST_F(MetricsTest, QuantilesAppearInJsonAndCsvExports) {
+  observe("test.quantile_hist", 3.0);
+  std::ostringstream json_out;
+  write_json(json_out, Registry::global().snapshot());
+  EXPECT_NE(json_out.str().find("\"p50\": 3"), std::string::npos);
+  EXPECT_NE(json_out.str().find("\"p99\": 3"), std::string::npos);
+
+  std::ostringstream csv_out;
+  write_csv(csv_out, Registry::global().snapshot());
+  EXPECT_NE(csv_out.str().find("kind,name,count,sum,min,max,p50,p90,p99"),
+            std::string::npos);
+  EXPECT_NE(csv_out.str().find("histogram,test.quantile_hist,1,3,3,3,3,3,3"),
+            std::string::npos);
+}
+
 TEST_F(MetricsTest, DisabledRecordingIsANoOp) {
   set_enabled(false);
   EXPECT_FALSE(enabled());

@@ -1,0 +1,442 @@
+// MatchServer and its protocol: parsing, request semantics, warm re-solve,
+// coalescing/dedup/backpressure (made deterministic via manual drain), LRU
+// eviction, thread-count transcript invariance, and the zero-steady-alloc
+// guarantee of resident-workspace serving.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/alloc_count.hpp"
+#include "common/rng.hpp"
+#include "matching/stability.hpp"
+#include "matching/two_stage.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+#include "workload/generator.hpp"
+#include "workload/io.hpp"
+
+namespace specmatch::serve {
+namespace {
+
+std::shared_ptr<const market::Scenario> random_scenario(std::uint64_t seed,
+                                                        int sellers,
+                                                        int buyers) {
+  Rng rng(seed);
+  workload::WorkloadParams params;
+  params.num_sellers = sellers;
+  params.num_buyers = buyers;
+  return std::make_shared<const market::Scenario>(
+      workload::generate_scenario(params, rng));
+}
+
+/// A quiet 1-lane server config with no environment influence.
+ServeConfig test_config() {
+  ServeConfig config;
+  config.drain_lanes = 1;
+  config.queue_capacity = 1024;
+  config.mem_budget_mb = 4096;
+  config.check_warm = true;
+  return config;
+}
+
+Request make_request(RequestType type, const std::string& id) {
+  Request request;
+  request.type = type;
+  request.market_id = id;
+  return request;
+}
+
+Request create_request(const std::string& id,
+                       std::shared_ptr<const market::Scenario> scenario) {
+  Request request = make_request(RequestType::kCreate, id);
+  request.scenario = std::move(scenario);
+  return request;
+}
+
+Request solve_request(const std::string& id, bool warm) {
+  Request request = make_request(RequestType::kSolve, id);
+  request.warm = warm;
+  return request;
+}
+
+Request price_request(const std::string& id, BuyerId j, ChannelId i,
+                      double value) {
+  Request request = make_request(RequestType::kUpdatePrice, id);
+  request.buyer = j;
+  request.channel = i;
+  request.value = value;
+  return request;
+}
+
+// --- protocol --------------------------------------------------------------
+
+TEST(ServeProtocolTest, ParsesEveryRequestKind) {
+  const auto scenario = random_scenario(3, 2, 4);
+  std::stringstream input;
+  input << "# comment, then a blank line\n\n";
+  input << "create m1\n";
+  workload::save_scenario(input, *scenario);
+  input << "join m1 2\n"
+        << "leave m1 0\n"
+        << "price m1 1 0 0.75\n"
+        << "solve m1 cold\n"
+        << "solve m1 warm\n"
+        << "query m1\n"
+        << "stats m1\n";
+
+  RequestReader reader(input);
+  Request request;
+  ASSERT_TRUE(reader.next(request));
+  EXPECT_EQ(request.type, RequestType::kCreate);
+  EXPECT_EQ(request.market_id, "m1");
+  ASSERT_NE(request.scenario, nullptr);
+  EXPECT_EQ(request.scenario->utilities, scenario->utilities);
+
+  ASSERT_TRUE(reader.next(request));
+  EXPECT_EQ(request.type, RequestType::kJoin);
+  EXPECT_EQ(request.buyer, 2);
+  ASSERT_TRUE(reader.next(request));
+  EXPECT_EQ(request.type, RequestType::kLeave);
+  EXPECT_EQ(request.buyer, 0);
+  ASSERT_TRUE(reader.next(request));
+  EXPECT_EQ(request.type, RequestType::kUpdatePrice);
+  EXPECT_EQ(request.buyer, 1);
+  EXPECT_EQ(request.channel, 0);
+  EXPECT_DOUBLE_EQ(request.value, 0.75);
+  ASSERT_TRUE(reader.next(request));
+  EXPECT_EQ(request.type, RequestType::kSolve);
+  EXPECT_FALSE(request.warm);
+  ASSERT_TRUE(reader.next(request));
+  EXPECT_EQ(request.type, RequestType::kSolve);
+  EXPECT_TRUE(request.warm);
+  ASSERT_TRUE(reader.next(request));
+  EXPECT_EQ(request.type, RequestType::kQuery);
+  ASSERT_TRUE(reader.next(request));
+  EXPECT_EQ(request.type, RequestType::kStats);
+  EXPECT_FALSE(reader.next(request));
+}
+
+TEST(ServeProtocolTest, ErrorsAreFatalAndCarryLineNumbers) {
+  {
+    std::stringstream input("frobnicate m1\n");
+    RequestReader reader(input);
+    Request request;
+    try {
+      reader.next(request);
+      FAIL() << "unknown verb parsed";
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.line(), 1);
+      EXPECT_NE(std::string(e.what()).find("unknown request"),
+                std::string::npos);
+    }
+  }
+  {
+    std::stringstream input("query m1\nsolve m1 lukewarm\n");
+    RequestReader reader(input);
+    Request request;
+    ASSERT_TRUE(reader.next(request));
+    try {
+      reader.next(request);
+      FAIL() << "bad solve mode parsed";
+    } catch (const ProtocolError& e) {
+      EXPECT_EQ(e.line(), 2);
+    }
+  }
+  {
+    // An embedded scenario that cuts off mid-matrix: the error is reported
+    // in request-file coordinates (past the create line).
+    std::stringstream input(
+        "create m1\n"
+        "specmatch-scenario v1\n"
+        "sellers 1\n1\n"
+        "buyers 1\n1\n"
+        "locations\n0 0\n"
+        "ranges 1\n2\n"
+        "utilities 1 1\n");
+    RequestReader reader(input);
+    Request request;
+    try {
+      reader.next(request);
+      FAIL() << "truncated embedded scenario parsed";
+    } catch (const ProtocolError& e) {
+      EXPECT_GT(e.line(), 1);
+    }
+  }
+}
+
+// --- request semantics -----------------------------------------------------
+
+TEST(MatchServerTest, ColdSolveMatchesDirectEngineRun) {
+  const auto scenario = random_scenario(11, 4, 10);
+  MatchServer server(test_config());
+  const Response created = server.handle(create_request("m", scenario));
+  ASSERT_TRUE(created.ok) << created.text;
+  EXPECT_NE(created.text.find("ok create m"), std::string::npos);
+
+  const Response solved = server.handle(solve_request("m", false));
+  ASSERT_TRUE(solved.ok) << solved.text;
+
+  const auto market = market::build_market(*scenario);
+  const auto direct = matching::run_two_stage(market);
+  std::ostringstream expected;
+  expected << "welfare=" << format_double(direct.welfare_final);
+  EXPECT_NE(solved.text.find(expected.str()), std::string::npos)
+      << solved.text;
+  ASSERT_NE(server.last_matching("m"), nullptr);
+  EXPECT_EQ(*server.last_matching("m"), direct.final_matching());
+}
+
+TEST(MatchServerTest, SemanticErrorsAnswerWithoutKillingTheServer) {
+  const auto scenario = random_scenario(5, 2, 4);
+  MatchServer server(test_config());
+  EXPECT_FALSE(server.handle(solve_request("ghost", false)).ok);
+  ASSERT_TRUE(server.handle(create_request("m", scenario)).ok);
+
+  const Response duplicate = server.handle(create_request("m", scenario));
+  EXPECT_FALSE(duplicate.ok);
+  EXPECT_NE(duplicate.text.find("already exists"), std::string::npos);
+
+  Request bad_buyer = make_request(RequestType::kJoin, "m");
+  bad_buyer.buyer = 99;
+  EXPECT_FALSE(server.handle(bad_buyer).ok);
+
+  EXPECT_FALSE(server.handle(price_request("m", 0, 99, 1.0)).ok);
+
+  // The server still works after every error.
+  EXPECT_TRUE(server.handle(solve_request("m", false)).ok);
+}
+
+TEST(MatchServerTest, WarmBeforeAnySolveFallsBackToCold) {
+  const auto scenario = random_scenario(7, 3, 8);
+  MatchServer server(test_config());
+  ASSERT_TRUE(server.handle(create_request("m", scenario)).ok);
+  const Response warm = server.handle(solve_request("m", true));
+  ASSERT_TRUE(warm.ok);
+  EXPECT_NE(warm.text.find("fallback=cold"), std::string::npos);
+  // With a carried matching resident, the next warm solve is genuine.
+  const Response warm2 = server.handle(solve_request("m", true));
+  ASSERT_TRUE(warm2.ok);
+  EXPECT_EQ(warm2.text.find("fallback=cold"), std::string::npos);
+}
+
+TEST(MatchServerTest, MutationStreamServedWarmKeepsInvariants) {
+  // check_warm is on in test_config(): every warm solve CHECKs
+  // interference-freedom, individual rationality, and welfare >= carried
+  // internally, so this stream passing IS the warm-legality property.
+  const auto scenario = random_scenario(13, 5, 16);
+  MatchServer server(test_config());
+  ASSERT_TRUE(server.handle(create_request("m", scenario)).ok);
+  ASSERT_TRUE(server.handle(solve_request("m", false)).ok);
+
+  Rng rng(99);
+  const int M = 5;
+  const int N = 16;
+  for (int step = 0; step < 60; ++step) {
+    const double kind = rng.uniform();
+    const auto buyer = static_cast<BuyerId>(rng.uniform_int(0, N - 1));
+    Response response;
+    if (kind < 0.5) {
+      response = server.handle(price_request(
+          "m", buyer, static_cast<ChannelId>(rng.uniform_int(0, M - 1)),
+          rng.uniform(0.0, 1.0)));
+    } else if (kind < 0.7) {
+      Request request = make_request(RequestType::kLeave, "m");
+      request.buyer = buyer;
+      response = server.handle(request);
+    } else if (kind < 0.9) {
+      Request request = make_request(RequestType::kJoin, "m");
+      request.buyer = buyer;
+      response = server.handle(request);
+    } else {
+      response = server.handle(solve_request("m", true));
+    }
+    ASSERT_TRUE(response.ok) << response.text;
+  }
+  ASSERT_TRUE(server.handle(solve_request("m", true)).ok);
+}
+
+// --- batching, dedup, backpressure ----------------------------------------
+
+TEST(MatchServerTest, ManualDrainCoalescesAndDedupsColdSolves) {
+  const auto scenario = random_scenario(17, 3, 8);
+  ServeConfig config = test_config();
+  config.manual_drain = true;
+  MatchServer server(config);
+
+  std::vector<Response> responses;
+  const auto collect = [&responses](const Response& response) {
+    responses.push_back(response);
+  };
+  // create is a barrier and answers inline even under manual drain.
+  ASSERT_TRUE(server.submit(create_request("m", scenario), collect));
+  ASSERT_EQ(responses.size(), 1u);
+
+  ASSERT_TRUE(server.submit(price_request("m", 0, 0, 0.9), collect));
+  ASSERT_TRUE(server.submit(solve_request("m", false), collect));
+  ASSERT_TRUE(server.submit(solve_request("m", false), collect));
+  ASSERT_TRUE(server.submit(solve_request("m", false), collect));
+  EXPECT_EQ(responses.size(), 1u);  // nothing drained yet
+
+  server.drain_pending_for_tests();
+  ASSERT_EQ(responses.size(), 5u);
+  // The three cold solves ran the engine once; all three lines identical.
+  EXPECT_EQ(responses[2].text, responses[3].text);
+  EXPECT_EQ(responses[2].text, responses[4].text);
+  EXPECT_EQ(server.solves_deduped(), 2);
+  EXPECT_GE(server.coalesced(), 3);
+  // Responses are tagged with admission seqs in order.
+  for (std::size_t r = 1; r < responses.size(); ++r)
+    EXPECT_GT(responses[r].seq, responses[r - 1].seq);
+}
+
+TEST(MatchServerTest, RejectOverflowShedsBeyondCapacity) {
+  const auto scenario = random_scenario(19, 2, 6);
+  ServeConfig config = test_config();
+  config.manual_drain = true;
+  config.queue_capacity = 4;
+  config.overflow = ServeConfig::Overflow::kReject;
+  MatchServer server(config);
+  ASSERT_TRUE(server.submit(create_request("m", scenario), nullptr));
+
+  int admitted = 0;
+  for (int r = 0; r < 10; ++r)
+    if (server.submit(price_request("m", 0, 0, 0.5), nullptr)) ++admitted;
+  EXPECT_EQ(admitted, 4);
+  EXPECT_EQ(server.shed(), 6);
+  server.drain_pending_for_tests();
+  // Shed requests never reached the market's mutation counter.
+  const Response stats = server.handle(make_request(RequestType::kStats, "m"));
+  EXPECT_NE(stats.text.find("mutations=4"), std::string::npos) << stats.text;
+}
+
+// --- registry / LRU --------------------------------------------------------
+
+TEST(MarketRegistryTest, EvictsLeastRecentlyUsedUnderByteBudget) {
+  // One scenario registered under three ids so every entry has the identical
+  // byte footprint and the budget arithmetic is exact.
+  const auto a = random_scenario(31, 2, 6);
+
+  MarketRegistry probe(std::size_t{1} << 30);
+  const std::size_t one = probe.create("a", *a, 0, nullptr).bytes;
+
+  // Room for two resident markets, not three.
+  MarketRegistry registry(2 * one + one / 2);
+  registry.create("a", *a, 1, nullptr);
+  registry.create("b", *a, 2, nullptr);
+  EXPECT_EQ(registry.size(), 2u);
+
+  // Touch "a" so "b" is the LRU victim.
+  ASSERT_NE(registry.find("a", 3), nullptr);
+  std::vector<std::string> evicted;
+  registry.create("c", *a, 4, &evicted);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], "b");
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.evictions(), 1);
+  EXPECT_NE(registry.peek("a"), nullptr);
+  EXPECT_EQ(registry.peek("b"), nullptr);
+  EXPECT_NE(registry.peek("c"), nullptr);
+}
+
+TEST(MarketRegistryTest, OversizedMarketIsAdmittedAlone) {
+  const auto a = random_scenario(41, 2, 6);
+  const auto b = random_scenario(42, 3, 12);
+  MarketRegistry registry(1);  // budget smaller than any market
+  registry.create("a", *a, 0, nullptr);
+  EXPECT_EQ(registry.size(), 1u);
+  std::vector<std::string> evicted;
+  registry.create("b", *b, 1, &evicted);
+  // The newcomer is never evicted; the old entry goes.
+  EXPECT_EQ(registry.size(), 1u);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], "a");
+  EXPECT_NE(registry.peek("b"), nullptr);
+}
+
+TEST(MatchServerTest, ResidentAccountingTracksCreates) {
+  const auto scenario = random_scenario(43, 3, 9);
+  MatchServer server(test_config());
+  EXPECT_EQ(server.resident_markets(), 0u);
+  ASSERT_TRUE(server.handle(create_request("m", scenario)).ok);
+  EXPECT_EQ(server.resident_markets(), 1u);
+  EXPECT_GT(server.resident_bytes(), 0u);
+  EXPECT_EQ(server.evictions(), 0);
+}
+
+// --- determinism across lanes ---------------------------------------------
+
+std::vector<std::string> run_canned_stream(int lanes) {
+  ServeConfig config = test_config();
+  config.drain_lanes = lanes;
+  MatchServer server(config);
+  std::vector<std::string> transcript;
+
+  const auto run = [&server, &transcript](Request request) {
+    const Response response = server.handle(std::move(request));
+    transcript.push_back(response.text);
+  };
+  run(create_request("x", random_scenario(51, 3, 10)));
+  run(create_request("y", random_scenario(52, 4, 12)));
+  run(solve_request("x", false));
+  run(solve_request("y", false));
+  Rng rng(500);
+  for (int step = 0; step < 40; ++step) {
+    const std::string id = rng.bernoulli(0.5) ? "x" : "y";
+    const int n = id == "x" ? 10 : 12;
+    const int m = id == "x" ? 3 : 4;
+    if (rng.bernoulli(0.3)) {
+      run(solve_request(id, rng.bernoulli(0.7)));
+    } else {
+      run(price_request(id,
+                        static_cast<BuyerId>(rng.uniform_int(0, n - 1)),
+                        static_cast<ChannelId>(rng.uniform_int(0, m - 1)),
+                        rng.uniform(0.0, 1.0)));
+    }
+  }
+  run(make_request(RequestType::kQuery, "x"));
+  run(make_request(RequestType::kStats, "y"));
+  server.drain();
+  return transcript;
+}
+
+TEST(MatchServerTest, TranscriptsIdenticalAcrossDrainLanes) {
+  const auto serial = run_canned_stream(1);
+  const auto parallel = run_canned_stream(4);
+  EXPECT_EQ(serial, parallel);
+}
+
+// --- zero-allocation steady state -----------------------------------------
+
+TEST(MatchServerTest, SteadyStateServingIsAllocationFree) {
+  alloc_count::set_counting(true);
+  {
+    const auto scenario = random_scenario(61, 4, 24);
+    ServeConfig config = test_config();
+    config.check_warm = false;  // stability analysers are not alloc-free
+    MatchServer server(config);
+    ASSERT_TRUE(server.handle(create_request("m", scenario)).ok);
+    ASSERT_TRUE(server.handle(solve_request("m", false)).ok);
+    Rng rng(88);
+    for (int step = 0; step < 20; ++step) {
+      ASSERT_TRUE(
+          server
+              .handle(price_request(
+                  "m", static_cast<BuyerId>(rng.uniform_int(0, 23)),
+                  static_cast<ChannelId>(rng.uniform_int(0, 3)),
+                  rng.uniform(0.0, 1.0)))
+              .ok);
+      ASSERT_TRUE(server.handle(solve_request("m", step % 2 == 0)).ok);
+    }
+    EXPECT_EQ(server.steady_allocs(), 0)
+        << "resident-workspace serving allocated in steady-state rounds";
+  }
+  alloc_count::set_counting(false);
+}
+
+}  // namespace
+}  // namespace specmatch::serve

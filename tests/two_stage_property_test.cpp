@@ -14,6 +14,7 @@
 #include "optimal/exact.hpp"
 #include "optimal/greedy.hpp"
 #include "optimal/random_matcher.hpp"
+#include "serve/server.hpp"
 #include "workload/generator.hpp"
 
 namespace specmatch::matching {
@@ -192,6 +193,125 @@ TEST(GraphRepresentationEquivalenceTest, TwoStageMatchingsBitForBitIdentical) {
         EXPECT_EQ(from_dense.welfare_phase1, from_csr.welfare_phase1);
         EXPECT_EQ(from_dense.welfare_final, from_csr.welfare_final);
       }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Warm serving: driving a mutation stream through the MatchServer must give
+// the same transcript at 1 and 4 engine threads, and every warm solve must
+// preserve the two-stage invariants on the mutated market. check_warm makes
+// the server CHECK internally that each warm result is interference-free,
+// individually rational, and no worse than the carried matching it grew
+// from; the shadow market below re-verifies the first two independently.
+// ---------------------------------------------------------------------------
+
+TEST(WarmServePropertyTest, TranscriptAndInvariantsStableAcrossThreads) {
+  const auto scenario = [] {
+    Rng rng(4242);
+    workload::WorkloadParams params;
+    params.num_sellers = 5;
+    params.num_buyers = 18;
+    return std::make_shared<const market::Scenario>(
+        workload::generate_scenario(params, rng));
+  }();
+  const int M = scenario->num_channels();
+  const int N = scenario->num_virtual_buyers();
+
+  // Shadow state mirroring the server's mutations: base prices + active
+  // mask, rebuilt into a market for independent invariant checks.
+  std::vector<double> base = scenario->utilities;
+  std::vector<bool> active(static_cast<std::size_t>(N), true);
+
+  std::vector<std::vector<std::string>> transcripts;
+  std::vector<matching::Matching> finals;
+  for (const int threads : {1, 4}) {
+    ScopedThreads scope(threads);
+    serve::ServeConfig config;
+    config.drain_lanes = threads;
+    config.check_warm = true;
+    serve::MatchServer server(config);
+    std::vector<std::string> transcript;
+
+    const auto run = [&server, &transcript](serve::Request request) {
+      const serve::Response response = server.handle(std::move(request));
+      ASSERT_TRUE(response.ok) << response.text;
+      transcript.push_back(response.text);
+    };
+    serve::Request create;
+    create.type = serve::RequestType::kCreate;
+    create.market_id = "w";
+    create.scenario = scenario;
+    run(std::move(create));
+    serve::Request cold;
+    cold.type = serve::RequestType::kSolve;
+    cold.market_id = "w";
+    run(std::move(cold));
+
+    // Identical seeded stream per thread count; the shadow state is only
+    // maintained on the first pass (the streams are identical, so it
+    // describes both).
+    Rng rng(31337);
+    const bool shadowing = transcripts.empty();
+    for (int step = 0; step < 80; ++step) {
+      const double kind = rng.uniform();
+      const auto buyer = static_cast<BuyerId>(rng.uniform_int(0, N - 1));
+      serve::Request request;
+      request.market_id = "w";
+      if (kind < 0.45) {
+        request.type = serve::RequestType::kUpdatePrice;
+        request.buyer = buyer;
+        request.channel = static_cast<ChannelId>(rng.uniform_int(0, M - 1));
+        request.value = rng.uniform(0.0, 1.0);
+        if (shadowing)
+          base[static_cast<std::size_t>(request.channel) *
+                   static_cast<std::size_t>(N) +
+               static_cast<std::size_t>(buyer)] = request.value;
+      } else if (kind < 0.6) {
+        request.type = serve::RequestType::kLeave;
+        request.buyer = buyer;
+        if (shadowing) active[static_cast<std::size_t>(buyer)] = false;
+      } else if (kind < 0.75) {
+        request.type = serve::RequestType::kJoin;
+        request.buyer = buyer;
+        if (shadowing) active[static_cast<std::size_t>(buyer)] = true;
+      } else {
+        request.type = serve::RequestType::kSolve;
+        request.warm = rng.bernoulli(0.8);
+      }
+      run(std::move(request));
+    }
+    serve::Request warm;
+    warm.type = serve::RequestType::kSolve;
+    warm.market_id = "w";
+    warm.warm = true;
+    run(std::move(warm));
+    server.drain();
+
+    ASSERT_NE(server.last_matching("w"), nullptr);
+    finals.push_back(*server.last_matching("w"));
+    transcripts.push_back(std::move(transcript));
+  }
+
+  ASSERT_EQ(transcripts.size(), 2u);
+  EXPECT_EQ(transcripts[0], transcripts[1])
+      << "serving transcript depends on the thread count";
+  EXPECT_EQ(finals[0], finals[1]);
+
+  // Independent invariant check on a shadow rebuild of the mutated market:
+  // live prices are the mutated base with inactive columns zeroed.
+  market::Scenario mutated = *scenario;
+  mutated.utilities = base;
+  auto shadow = market::build_market(mutated);
+  for (ChannelId i = 0; i < M; ++i)
+    for (BuyerId j = 0; j < N; ++j)
+      if (!active[static_cast<std::size_t>(j)]) shadow.set_utility(i, j, 0.0);
+  EXPECT_TRUE(is_interference_free(shadow, finals[0]));
+  EXPECT_TRUE(is_individual_rational(shadow, finals[0]));
+  for (BuyerId j = 0; j < N; ++j) {
+    if (!active[static_cast<std::size_t>(j)]) {
+      EXPECT_EQ(finals[0].seller_of(j), kUnmatched)
+          << "departed buyer " << j << " still holds a channel";
     }
   }
 }

@@ -10,6 +10,9 @@
 #   tools/run_bench.sh --scale         # large-market N x M sweep, writes
 #                                      # BENCH_scale.json (wall time, rounds,
 #                                      # peak RSS, steady-round allocations)
+#   tools/run_bench.sh --serve         # closed-loop serving load run, writes
+#                                      # BENCH_serve.json (cold/warm latency
+#                                      # percentiles, throughput, shed burst)
 #   tools/run_bench.sh --smoke BINDIR  # smoke: run every bench binary in
 #                                      # BINDIR at SPECMATCH_TRIALS=1 (the
 #                                      # bench_smoke ctest)
@@ -27,6 +30,18 @@ if [[ "${1:-}" == "--scale" ]]; then
   SPECMATCH_COUNT_ALLOCS=1 \
   SPECMATCH_BENCH_JSON="$repo_root/BENCH_scale.json" \
     "$build_dir/bench/large_market"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--serve" ]]; then
+  build_dir="$repo_root/build-bench"
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" -j"$(nproc)" --target serve_load
+  # Metrics on, so the JSON carries the serve.* instrument snapshot (latency
+  # histograms with p50/p90/p99 alongside the client-side exact percentiles).
+  SPECMATCH_METRICS=1 \
+  SPECMATCH_BENCH_JSON="$repo_root/BENCH_serve.json" \
+    "$build_dir/bench/serve_load"
   exit 0
 fi
 
@@ -133,6 +148,23 @@ if [[ "${1:-}" == "--smoke" ]]; then
       echo "bench_smoke: $scale_json missing peak_rss_mb measurements" >&2
       status=1
     }
+  done
+  # Serving leg: smoke-sized closed-loop load through the MatchServer. The
+  # JSON must carry the cold and warm legs plus the shed-burst record.
+  echo "bench_smoke: serve_load"
+  if ! SPECMATCH_METRICS=1 \
+       SPECMATCH_BENCH_JSON="$tmpdir/BENCH_serve.json" \
+       "$bindir/serve_load" > "$tmpdir/serve_load.log" 2>&1; then
+    echo "bench_smoke: FAILED serve_load" >&2
+    tail -n 30 "$tmpdir/serve_load.log" >&2
+    status=1
+  fi
+  for marker in '"algorithm": "cold"' '"algorithm": "warm"' \
+                '"bench": "serve_shed"' 'serve.latency_ms'; do
+    if ! grep -q "$marker" "$tmpdir/BENCH_serve.json"; then
+      echo "bench_smoke: BENCH_serve.json missing $marker" >&2
+      status=1
+    fi
   done
   # Metrics leg: with SPECMATCH_METRICS on, the bench JSON must carry the
   # algorithmic-counters section with non-zero Stage I, MWIS, and dist

@@ -11,15 +11,18 @@
 //
 // Scenarios use the text format of workload/io.hpp, so generated markets can
 // be archived and replayed bit-for-bit.
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "auction/group_auction.hpp"
 #include "dist/runtime.hpp"
+#include "serve/server.hpp"
 #include "matching/export_dot.hpp"
 #include "matching/paper_examples.hpp"
 #include "matching/stability.hpp"
@@ -49,7 +52,9 @@ using namespace specmatch;
       "  specmatch_cli dist FILE [--rule default|adaptive|quiescence]\n"
       "                [--delay D] [--window W]\n"
       "  specmatch_cli dot FILE [--out FILE.dot]   (matching as graphviz)\n"
-      "  specmatch_cli paper toy|counter           (run the paper's fixtures)\n";
+      "  specmatch_cli paper toy|counter           (run the paper's fixtures)\n"
+      "  specmatch_cli serve [FILE] [--out FILE]   (request file or stdin;\n"
+      "                see docs/SERVING.md for the protocol)\n";
   std::exit(2);
 }
 
@@ -209,6 +214,91 @@ int cmd_dist(const std::string& path,
   return 0;
 }
 
+/// Re-sequences responses into admission order: callbacks may fire from any
+/// drain lane, but the transcript a replay produces must not depend on lane
+/// scheduling. Responses are buffered until every earlier seq has been
+/// emitted.
+class TranscriptWriter {
+ public:
+  explicit TranscriptWriter(std::ostream& out) : out_(out) {}
+
+  void write(const serve::Response& response) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffered_.emplace(response.seq, response.text);
+    while (!buffered_.empty() && buffered_.begin()->first == next_) {
+      out_ << buffered_.begin()->second << "\n";
+      buffered_.erase(buffered_.begin());
+      ++next_;
+    }
+  }
+
+  bool fully_flushed() const { return buffered_.empty(); }
+
+ private:
+  std::ostream& out_;
+  std::mutex mutex_;
+  std::map<std::uint64_t, std::string> buffered_;
+  std::uint64_t next_ = 0;
+};
+
+int cmd_serve(int argc, char** argv) {
+  std::string input_path;
+  int flag_start = 2;
+  if (argc > 2 && std::string(argv[2]).rfind("--", 0) != 0) {
+    input_path = argv[2];
+    flag_start = 3;
+  }
+  const auto flags = parse_flags(argc, argv, flag_start);
+  const std::string out_path = flag_string(flags, "out", "");
+
+  std::ifstream file_in;
+  if (!input_path.empty() && input_path != "-") {
+    file_in.open(input_path);
+    if (!file_in.good()) usage("cannot open " + input_path);
+  }
+  std::istream& in = file_in.is_open() ? file_in : std::cin;
+
+  std::ofstream file_out;
+  if (!out_path.empty()) {
+    file_out.open(out_path);
+    if (!file_out.good()) usage("cannot open " + out_path);
+  }
+  std::ostream& out = file_out.is_open() ? file_out : std::cout;
+
+  // Replay mode is lossless: a full queue blocks admission instead of
+  // shedding, so a transcript always answers every request.
+  serve::ServeConfig config = serve::ServeConfig::from_env();
+  config.overflow = serve::ServeConfig::Overflow::kBlock;
+  serve::MatchServer server(config);
+  TranscriptWriter transcript(out);
+
+  serve::RequestReader reader(in);
+  serve::Request request;
+  std::int64_t requests = 0;
+  while (reader.next(request)) {
+    ++requests;
+    server.submit(std::move(request),
+                  [&transcript](const serve::Response& response) {
+                    transcript.write(response);
+                  });
+  }
+  server.drain();
+  out.flush();
+  if (!transcript.fully_flushed()) {
+    std::cerr << "error: transcript has gaps after drain\n";
+    return 1;
+  }
+  std::cerr << "serve: requests=" << requests
+            << " markets=" << server.resident_markets()
+            << " bytes=" << server.resident_bytes()
+            << " evictions=" << server.evictions()
+            << " coalesced=" << server.coalesced()
+            << " deduped=" << server.solves_deduped()
+            << " shed=" << server.shed()
+            << " steady_allocs=" << server.steady_allocs() << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -247,6 +337,7 @@ int main(int argc, char** argv) {
                 << swaps.swaps_applied << " swap(s))\n";
       return 0;
     }
+    if (command == "serve") return cmd_serve(argc, argv);
     if (command == "dot") {
       if (argc < 3) usage("dot requires a scenario file");
       const auto flags = parse_flags(argc, argv, 3);
