@@ -24,11 +24,15 @@
 
 #include "bench_util.hpp"
 #include "common/alloc_count.hpp"
+#include "common/bitset.hpp"
 #include "common/check.hpp"
 #include "common/config.hpp"
 #include "common/rng.hpp"
+#include "common/stats.hpp"
 #include "common/thread_pool.hpp"
+#include "graph/components.hpp"
 #include "market/market.hpp"
+#include "matching/component_solve.hpp"
 #include "matching/two_stage.hpp"
 #include "matching/workspace.hpp"
 #include "workload/generator.hpp"
@@ -62,6 +66,21 @@ market::SpectrumMarket scale_market(int M, int N) {
   params.num_buyers = N;
   params.area_size = 10.0 * std::sqrt(std::max(N, 500) / 500.0);
   Rng rng(1000003ull * static_cast<std::uint64_t>(M) +
+          static_cast<std::uint64_t>(N));
+  return workload::generate_market(params, rng);
+}
+
+/// The component leg's market: the same density-preserving area growth, but
+/// transmission ranges capped at 0.25 so the geometric graphs sit below the
+/// percolation threshold and fracture into many small components — the
+/// regime connected-component sharding targets.
+market::SpectrumMarket component_market(int M, int N) {
+  workload::WorkloadParams params;
+  params.num_sellers = M;
+  params.num_buyers = N;
+  params.area_size = 10.0 * std::sqrt(std::max(N, 500) / 500.0);
+  params.max_range = 0.25;
+  Rng rng(2000003ull * static_cast<std::uint64_t>(M) +
           static_cast<std::uint64_t>(N));
   return workload::generate_market(params, rng);
 }
@@ -130,6 +149,13 @@ void run_scale_sweep() {
                 << " rounds=" << record.rounds
                 << " peak_rss_mb=" << record.peak_rss_mb
                 << " steady_allocs=" << record.steady_allocs << std::endl;
+      // `result:` lines carry only timing-free, thread-count-free values —
+      // bench_smoke diffs them across SPECMATCH_COMPONENT_MIN settings to
+      // pin the sharded/unsharded bit-identity end to end.
+      std::cout << "result: scale N=" << N << " M=" << M
+                << " welfare=" << result.welfare_final
+                << " matched=" << result.final_matching().num_matched()
+                << " rounds=" << record.rounds << std::endl;
 
       // Legacy-entry-point leg at the before/after point: a fresh workspace
       // per run, i.e. what callers that never pass a workspace pay.
@@ -217,6 +243,125 @@ void run_scale_sweep() {
     std::cout << "rep: N=" << N << " M=" << M << " csr_ms=" << csr_ms
               << " dense_ms=" << dense_ms << " csr_adj_mb=" << csr_mb
               << " dense_adj_mb=" << dense_mb << std::endl;
+  }
+
+  // Component-sharding leg: sub-percolation sparse markets whose channel
+  // graphs fracture into many components, the regime the sharded coalition
+  // solver targets. Each point records the component census (power-of-two
+  // size buckets), direct per-component MWIS solve times, and the
+  // sharded-vs-unsharded wall clock — with the matchings CHECKed identical,
+  // the theorem the sharding rests on.
+  {
+    std::vector<int> comp_grid = smoke
+                                     ? std::vector<int>{200}
+                                     : std::vector<int>{20000, 50000, 100000};
+    std::erase_if(comp_grid, [&](int n) { return n > max_n; });
+    const int M = 8;
+    for (const int N : comp_grid) {
+      const int reps = bench::env_trials(N >= 50000 ? 1 : 2);
+      const auto market = component_market(M, N);
+
+      std::size_t total_components = 0;
+      std::size_t largest = 0;
+      std::vector<std::size_t> hist;  // bucket b: sizes in [2^b, 2^{b+1})
+      for (ChannelId i = 0; i < M; ++i) {
+        const graph::ComponentIndex& index = market.graph(i).components();
+        total_components += index.num_components();
+        largest = std::max(largest, index.largest_component());
+        for (std::size_t c = 0; c < index.num_components(); ++c) {
+          std::size_t bucket = 0;
+          while ((std::size_t{1} << (bucket + 1)) <= index.size(c)) ++bucket;
+          if (hist.size() <= bucket) hist.resize(bucket + 1, 0);
+          ++hist[bucket];
+        }
+      }
+
+      // Direct per-component solve times on channel 0: every vertex a
+      // candidate, one timed solve_components call per component — the cost
+      // profile the sharded lanes see.
+      Summary comp_ms;
+      {
+        const graph::InterferenceGraph& graph = market.graph(0);
+        const graph::ComponentIndex& index = graph.components();
+        DynamicBitset local_set;
+        std::vector<double> local_weights;
+        graph::MwisScratch scratch;
+        scratch.reserve(index.largest_component(),
+                        graph::MwisScratch::heap_bound(
+                            index.largest_component(), graph.num_edges(),
+                            graph.max_degree()));
+        std::vector<BuyerId> out(static_cast<std::size_t>(N));
+        for (std::size_t c = 0; c < index.num_components(); ++c) {
+          bench::WallTimer timer;
+          matching::solve_components(
+              index, market.channel_prices(0), static_cast<std::uint32_t>(c),
+              static_cast<std::uint32_t>(c + 1), [](BuyerId) { return true; },
+              graph::MwisAlgorithm::kGwmin, local_set, local_weights, scratch,
+              out.data());
+          comp_ms.add(timer.elapsed_ms());
+        }
+      }
+
+      matching::TwoStageResult result;
+      result = matching::run_two_stage(market, {}, workspace);  // warm-up
+      double best_ms = 0.0;
+      for (int r = 0; r < reps; ++r) {
+        bench::WallTimer timer;
+        result = matching::run_two_stage(market, {}, workspace);
+        best_ms = r == 0 ? timer.elapsed_ms()
+                         : std::min(best_ms, timer.elapsed_ms());
+      }
+
+      matching::TwoStageConfig unsharded_config;
+      unsharded_config.component_min = -1;
+      matching::TwoStageResult unsharded;
+      unsharded = matching::run_two_stage(market, unsharded_config, workspace);
+      double unsharded_ms = 0.0;
+      for (int r = 0; r < reps; ++r) {
+        bench::WallTimer timer;
+        unsharded =
+            matching::run_two_stage(market, unsharded_config, workspace);
+        unsharded_ms = r == 0 ? timer.elapsed_ms()
+                              : std::min(unsharded_ms, timer.elapsed_ms());
+      }
+      SPECMATCH_CHECK_MSG(
+          result.final_matching() == unsharded.final_matching(),
+          "component sharding changed the matching at N=" << N);
+
+      bench::BenchRecord record{"two_stage_scale_components",
+                                M,
+                                N,
+                                "gwmin",
+                                threads,
+                                best_ms,
+                                total_rounds(result)};
+      record.peak_rss_mb = peak_rss_mb();
+      record.steady_allocs = total_steady_allocs(result);
+      std::ostringstream note;
+      note << "components=" << total_components << " largest=" << largest
+           << " hist=";
+      for (std::size_t b = 0; b < hist.size(); ++b)
+        note << (b == 0 ? "" : ",") << (std::size_t{1} << b) << ":" << hist[b];
+      note << "; per_component_solve_ms mean=" << comp_ms.mean()
+           << " max=" << comp_ms.max() << " n=" << comp_ms.count()
+           << "; unsharded_wall_ms=" << unsharded_ms
+           << " (matchings verified identical)";
+      record.note = note.str();
+      records.push_back(record);
+
+      std::cout << "components: N=" << N << " M=" << M
+                << " wall_ms=" << best_ms
+                << " unsharded_ms=" << unsharded_ms
+                << " components=" << total_components
+                << " largest=" << largest
+                << " per_comp_mean_ms=" << comp_ms.mean()
+                << " peak_rss_mb=" << record.peak_rss_mb
+                << " steady_allocs=" << record.steady_allocs << std::endl;
+      std::cout << "result: components N=" << N << " M=" << M
+                << " welfare=" << result.welfare_final
+                << " matched=" << result.final_matching().num_matched()
+                << " rounds=" << record.rounds << std::endl;
+    }
   }
 
   bench::write_bench_json(json_path, records);

@@ -70,9 +70,16 @@ constexpr EnvKnob kKnownEnvKnobs[] = {
      "resident-market byte budget for the serving LRU registry, default "
      "4096 MB (serve/server.cpp)"},
     {"SPECMATCH_SERVE_CHECK_WARM",
-     "CHECK after every warm solve that the result is interference-free, "
-     "individually rational, and no worse than the carried matching "
-     "(serve/server.cpp)"},
+     "CHECK after every warm solve that the result is interference-free and "
+     "individually rational; welfare regressions always fall back to a cold "
+     "re-solve (serve/server.cpp)"},
+    {"SPECMATCH_SERVE_WARM_FULL",
+     "run warm solves over the full buyer set instead of restricting Stage "
+     "II to the components touched since the last solve (serve/server.cpp)"},
+    {"SPECMATCH_COMPONENT_MIN",
+     "minimum vertices per component shard of the coalition solves, default "
+     "64; shards batch consecutive components up to the minimum "
+     "(graph/components.cpp)"},
     {"SPECMATCH_SANITIZE",
      "CMake option (not an env var): build with address/undefined/thread "
      "sanitizer (CMakeLists.txt)"},

@@ -5,8 +5,60 @@
 #include <limits>
 
 #include "common/check.hpp"
+#include "graph/components.hpp"
 
 namespace specmatch::graph {
+
+InterferenceGraph::~InterferenceGraph() = default;
+InterferenceGraph::InterferenceGraph(InterferenceGraph&& other) noexcept =
+    default;
+InterferenceGraph& InterferenceGraph::operator=(
+    InterferenceGraph&& other) noexcept = default;
+
+InterferenceGraph::InterferenceGraph(const InterferenceGraph& other)
+    : rep_(other.rep_),
+      finalized_(other.finalized_),
+      narrow_(other.narrow_),
+      num_vertices_(other.num_vertices_),
+      num_edges_(other.num_edges_),
+      max_degree_(other.max_degree_),
+      degrees_(other.degrees_),
+      adjacency_(other.adjacency_),
+      rows_(other.rows_),
+      offsets_(other.offsets_),
+      flat16_(other.flat16_),
+      flat32_(other.flat32_) {
+  // components_ stays null: the copy rebuilds its own index on first use.
+}
+
+InterferenceGraph& InterferenceGraph::operator=(
+    const InterferenceGraph& other) {
+  if (this == &other) return *this;
+  rep_ = other.rep_;
+  finalized_ = other.finalized_;
+  narrow_ = other.narrow_;
+  num_vertices_ = other.num_vertices_;
+  num_edges_ = other.num_edges_;
+  max_degree_ = other.max_degree_;
+  degrees_ = other.degrees_;
+  adjacency_ = other.adjacency_;
+  rows_ = other.rows_;
+  offsets_ = other.offsets_;
+  flat16_ = other.flat16_;
+  flat32_ = other.flat32_;
+  components_.reset();
+  return *this;
+}
+
+const ComponentIndex& InterferenceGraph::components() const {
+  if (components_ == nullptr)
+    components_ = std::make_unique<ComponentIndex>(*this);
+  return *components_;
+}
+
+std::size_t InterferenceGraph::component_index_bytes() const {
+  return components_ == nullptr ? 0 : components_->bytes();
+}
 
 std::size_t InterferenceGraph::dense_max() {
   static const std::size_t value = [] {
@@ -168,6 +220,7 @@ void InterferenceGraph::add_edge(BuyerId a, BuyerId b) {
   check_vertex(a);
   check_vertex(b);
   SPECMATCH_CHECK_MSG(a != b, "self-loop at vertex " << a);
+  components_.reset();  // edge mutations invalidate the component index
   const auto ua = static_cast<std::size_t>(a);
   const auto ub = static_cast<std::size_t>(b);
   if (rep_ == GraphRep::kDense) {

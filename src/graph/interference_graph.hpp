@@ -29,6 +29,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
@@ -38,6 +39,8 @@
 #include "common/ids.hpp"
 
 namespace specmatch::graph {
+
+class ComponentIndex;
 
 /// Adjacency storage strategy; see the header comment.
 enum class GraphRep : std::uint8_t {
@@ -68,6 +71,16 @@ class InterferenceGraph {
   static InterferenceGraph from_edges(
       std::size_t num_vertices,
       std::span<const std::pair<BuyerId, BuyerId>> edge_list, GraphRep rep);
+
+  // The lazily built component-index cache makes the graph's copy special
+  // (copies share nothing; the cache is rebuilt on demand), so the whole
+  // rule of five is spelled out. All five leave the edge set identical to
+  // the source.
+  ~InterferenceGraph();
+  InterferenceGraph(const InterferenceGraph& other);
+  InterferenceGraph& operator=(const InterferenceGraph& other);
+  InterferenceGraph(InterferenceGraph&& other) noexcept;
+  InterferenceGraph& operator=(InterferenceGraph&& other) noexcept;
 
   /// Largest vertex count stored dense (SPECMATCH_GRAPH_DENSE_MAX, default
   /// 2048); read once per process.
@@ -254,6 +267,18 @@ class InterferenceGraph {
   /// (a dense and a CSR graph over the same edges compare equal).
   bool operator==(const InterferenceGraph& other) const;
 
+  /// The graph's connected-component index, built lazily on first use and
+  /// cached (invalidated by add_edge). The first call on a given graph must
+  /// not race other accesses — the matching engine builds it from the serial
+  /// prepare path before any parallel section; thereafter reads are safe.
+  const ComponentIndex& components() const;
+
+  /// True when the component index is already built (no build triggered).
+  bool has_component_index() const { return components_ != nullptr; }
+
+  /// Heap bytes of the cached component index; 0 when not built.
+  std::size_t component_index_bytes() const;
+
  private:
   void check_vertex(BuyerId v) const {
     SPECMATCH_CHECK_MSG(
@@ -307,6 +332,10 @@ class InterferenceGraph {
   std::vector<std::uint32_t> offsets_;  ///< num_vertices_ + 1 row starts
   std::vector<std::uint16_t> flat16_;
   std::vector<std::uint32_t> flat32_;
+
+  /// Lazily built connected-component index (components()); never copied —
+  /// a copy rebuilds its own on first use. add_edge resets it.
+  mutable std::unique_ptr<ComponentIndex> components_;
 };
 
 /// Rebuilds `graph` under `rep` (same vertices, same edges). Used by the

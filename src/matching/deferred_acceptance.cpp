@@ -19,7 +19,7 @@ StageIResult run_deferred_acceptance(const market::SpectrumMarket& market,
 StageIResult run_deferred_acceptance(const market::SpectrumMarket& market,
                                      const StageIConfig& config,
                                      MatchWorkspace& workspace) {
-  workspace.prepare(market);
+  workspace.prepare(market, config.component_min);
   return detail::run_deferred_acceptance_prepared(market, config, workspace);
 }
 
@@ -73,32 +73,85 @@ StageIResult run_deferred_acceptance_prepared(
     // channel order, making the result bit-for-bit identical to the serial
     // loop at any thread count. Each lane solves on its own scratch, which
     // cannot influence results (fully reinitialised per solve).
+    //
+    // Fractured channels go further: one task per connected-component shard,
+    // each solved on the component's local-id subgraph and written to a
+    // disjoint slice of coal_out, merged below in fixed task order — still
+    // bit-for-bit identical to the whole-graph solve (component_solve.hpp).
+    // kExact never shards (its tie-breaking is not component-local).
     ws.active.clear();
     for (ChannelId i = 0; i < M; ++i)
       if (ws.proposers[static_cast<std::size_t>(i)].any())
         ws.active.push_back(i);
-    parallel_for_lanes(
-        0, ws.active.size(), [&](std::size_t lane, std::size_t k) {
-          const ChannelId i = ws.active[k];
-          const DynamicBitset& waiting = result.matching.members_of(i);
-          DynamicBitset& candidates = ws.lane_set[lane];
-          candidates.assign_or(waiting,
-                               ws.proposers[static_cast<std::size_t>(i)]);
-          const DynamicBitset& chosen = graph::solve_mwis(
-              market.graph(i), market.channel_prices(i), candidates,
-              config.coalition_policy, ws.lane_scratch[lane]);
-          // A greedy MWIS can return a coalition *worse* than the current
-          // waiting list; adopting it would let a seller's value oscillate.
-          // Only switch when the seller strictly prefers the new coalition
-          // (eq. 6), otherwise keep the waiting list and reject all
-          // proposers.
-          ws.selections[k] =
-              market::seller_prefers(market, i, chosen, waiting) ? chosen
-                                                                 : waiting;
-        });
+    const bool shard_ok =
+        config.coalition_policy != graph::MwisAlgorithm::kExact;
+    ws.coal_tasks.clear();
+    std::size_t out_cursor = 0;
     for (std::size_t k = 0; k < ws.active.size(); ++k) {
       const ChannelId i = ws.active[k];
       const auto iu = static_cast<std::size_t>(i);
+      const MatchWorkspace::ShardPlan& plan = ws.shard_plans[iu];
+      if (!shard_ok || !plan.sharded()) {
+        ws.coal_tasks.push_back({i, static_cast<std::uint32_t>(k),
+                                 CoalitionTask::kWholeGraph, 0, 0});
+        continue;
+      }
+      ws.selections[k].assign_zero(static_cast<std::size_t>(N));
+      const graph::ComponentIndex& index = market.graph(i).components();
+      for (std::uint32_t s = 0; s < plan.num_shards(); ++s) {
+        ws.coal_tasks.push_back(
+            {i, static_cast<std::uint32_t>(k), s, out_cursor, 0});
+        out_cursor += index.offset(plan.shard_comps[s + 1]) -
+                      index.offset(plan.shard_comps[s]);
+      }
+    }
+    parallel_for_lanes(
+        0, ws.coal_tasks.size(), [&](std::size_t lane, std::size_t t) {
+          CoalitionTask& task = ws.coal_tasks[t];
+          const ChannelId i = task.channel;
+          const auto iu = static_cast<std::size_t>(i);
+          const DynamicBitset& waiting = result.matching.members_of(i);
+          const DynamicBitset& props = ws.proposers[iu];
+          if (task.shard == CoalitionTask::kWholeGraph) {
+            DynamicBitset& candidates = ws.lane_set[lane];
+            candidates.assign_or(waiting, props);
+            ws.selections[task.slot] = graph::solve_mwis(
+                market.graph(i), market.channel_prices(i), candidates,
+                config.coalition_policy, ws.lane_scratch[lane]);
+            return;
+          }
+          const MatchWorkspace::ShardPlan& plan = ws.shard_plans[iu];
+          task.out_count = solve_components(
+              market.graph(i).components(), market.channel_prices(i),
+              plan.shard_comps[task.shard], plan.shard_comps[task.shard + 1],
+              [&](BuyerId v) {
+                const auto vu = static_cast<std::size_t>(v);
+                return waiting.test(vu) || props.test(vu);
+              },
+              config.coalition_policy, ws.lane_local[lane],
+              ws.lane_weights[lane], ws.lane_scratch[lane],
+              ws.coal_out.data() + task.out_begin);
+        });
+    // Merge shard slices into the per-channel selection slots, fixed task
+    // order (the order cannot influence the set — slices are disjoint).
+    for (const CoalitionTask& task : ws.coal_tasks) {
+      if (task.shard == CoalitionTask::kWholeGraph) continue;
+      DynamicBitset& selection = ws.selections[task.slot];
+      for (std::size_t c = 0; c < task.out_count; ++c)
+        selection.set(
+            static_cast<std::size_t>(ws.coal_out[task.out_begin + c]));
+      if (metrics::enabled()) metrics::count("component.shard_solves");
+    }
+    for (std::size_t k = 0; k < ws.active.size(); ++k) {
+      const ChannelId i = ws.active[k];
+      const auto iu = static_cast<std::size_t>(i);
+      // A greedy MWIS can return a coalition *worse* than the current
+      // waiting list; adopting it would let a seller's value oscillate.
+      // Only switch when the seller strictly prefers the new coalition
+      // (eq. 6), otherwise keep the waiting list and reject all proposers.
+      if (!market::seller_prefers(market, i, ws.selections[k],
+                                  result.matching.members_of(i)))
+        ws.selections[k] = result.matching.members_of(i);
       const DynamicBitset& chosen = ws.selections[k];
       // Evict waiting-list buyers not selected, then admit new members.
       ws.apply_set.assign_difference(result.matching.members_of(i), chosen);

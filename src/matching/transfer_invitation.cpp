@@ -35,7 +35,7 @@ StageIIResult run_transfer_invitation(const market::SpectrumMarket& market,
                                       const Matching& stage1,
                                       const StageIIConfig& config,
                                       MatchWorkspace& workspace) {
-  workspace.prepare(market);
+  workspace.prepare(market, config.component_min);
   return detail::run_transfer_invitation_prepared(market, stage1, config,
                                                   workspace);
 }
@@ -61,21 +61,60 @@ StageIIResult run_transfer_invitation_prepared(
   const bool counting = alloc_count::counting();
   std::int64_t steady_allocs = 0;
 
-  // ---- Phase 1: Transfer -------------------------------------------------
-  trace::ScopedSpan phase1_span("stage2.phase1");
-  // T_j: strictly-better sellers, best-first with a cursor. The preference
-  // CSR rows are already descending by utility, so the strictly-better
-  // channels are exactly a prefix — only the prefix length is stored, no
-  // per-buyer list. Each buyer's prefix reads only the (frozen) Stage-I
-  // matching and her own utility row, so all prefixes are found
-  // concurrently.
-  parallel_for(0, static_cast<std::size_t>(N), [&](std::size_t ju) {
-    const auto j = static_cast<BuyerId>(ju);
+  // Restricted mode: non-participants get an empty better-prefix, so the
+  // phase-1 loop skips them in O(1) and their assignment carries over
+  // verbatim. Departures re-activate buyers below (the cascade).
+  const bool restricted = config.participants != nullptr;
+  if (restricted) {
+    SPECMATCH_CHECK(config.participants->size() ==
+                    static_cast<std::size_t>(N));
+    ws.stage2_active = *config.participants;
+    if (metrics::enabled()) metrics::count("stage2.restricted_runs");
+  }
+
+  /// Computes buyer j's strictly-better prefix length against her current
+  /// assignment (the preference CSR rows are descending by utility, so the
+  /// strictly-better channels are exactly a prefix).
+  auto better_prefix = [&](BuyerId j) {
     const double now = current_utility(market, result.matching, j);
     const auto prefs = ws.pref_order(j);
     std::size_t end = 0;
     while (end < prefs.size() && market.utility(prefs[end], j) > now) ++end;
-    ws.better_end[ju] = end;
+    return end;
+  };
+
+  /// Departure cascade (restricted mode): buyer `departed` just left
+  /// `old_channel`, so capacity opened there. The only buyers whose
+  /// admissibility that can change are her interference component on that
+  /// channel (edges never cross components) — activate any of them not yet
+  /// participating, computing the better-prefix lazily now. Sound because an
+  /// inactive buyer's own assignment has not changed since entry.
+  auto activate_departure = [&](ChannelId old_channel, BuyerId departed) {
+    if (!restricted || old_channel == kUnmatched) return;
+    const graph::ComponentIndex& index =
+        market.graph(old_channel).components();
+    const std::uint32_t c = index.component_of(departed);
+    for (const BuyerId v : index.vertices(c)) {
+      const auto vu = static_cast<std::size_t>(v);
+      if (ws.stage2_active.test(vu)) continue;
+      ws.stage2_active.set(vu);
+      ws.better_end[vu] = better_prefix(v);
+      if (metrics::enabled()) metrics::count("component.cascade_activations");
+    }
+  };
+
+  // ---- Phase 1: Transfer -------------------------------------------------
+  trace::ScopedSpan phase1_span("stage2.phase1");
+  // T_j: strictly-better sellers, best-first with a cursor; only the prefix
+  // length is stored, no per-buyer list. Each buyer's prefix reads only the
+  // (frozen) Stage-I matching and her own utility row, so all prefixes are
+  // found concurrently.
+  parallel_for(0, static_cast<std::size_t>(N), [&](std::size_t ju) {
+    if (restricted && !ws.stage2_active.test(ju)) {
+      ws.better_end[ju] = 0;
+      return;
+    }
+    ws.better_end[ju] = better_prefix(static_cast<BuyerId>(ju));
   });
   if (metrics::enabled())
     for (std::size_t ju = 0; ju < static_cast<std::size_t>(N); ++ju)
@@ -87,6 +126,9 @@ StageIIResult run_transfer_invitation_prepared(
     bool any_application = false;
     for (BuyerId j = 0; j < N; ++j) {
       const auto ju = static_cast<std::size_t>(j);
+      // Exhausted (or never-active) buyers cost O(1) here — the advance loop
+      // below only ever runs while the cursor is inside the prefix.
+      if (ws.cursor[ju] >= ws.better_end[ju]) continue;
       const auto prefs = ws.pref_order(j);
       // Applications were queued best-first; once the head is no better than
       // the current match (after a successful transfer), the rest never will
@@ -115,24 +157,72 @@ StageIIResult run_transfer_invitation_prepared(
     for (ChannelId i = 0; i < M; ++i)
       if (ws.applicants[static_cast<std::size_t>(i)].any())
         ws.deciding.push_back(i);
+    // Fractured channels decide one component shard per task (the same
+    // sharded driver as Stage I — see component_solve.hpp); kExact and
+    // unfractured channels keep the whole-graph solve.
+    const bool shard_ok =
+        config.coalition_policy != graph::MwisAlgorithm::kExact;
+    ws.coal_tasks.clear();
+    std::size_t out_cursor = 0;
+    for (std::size_t k = 0; k < ws.deciding.size(); ++k) {
+      const ChannelId i = ws.deciding[k];
+      const auto iu = static_cast<std::size_t>(i);
+      const MatchWorkspace::ShardPlan& plan = ws.shard_plans[iu];
+      if (!shard_ok || !plan.sharded()) {
+        ws.coal_tasks.push_back({i, static_cast<std::uint32_t>(k),
+                                 CoalitionTask::kWholeGraph, 0, 0});
+        continue;
+      }
+      ws.accepted[k].assign_zero(static_cast<std::size_t>(N));
+      const graph::ComponentIndex& index = market.graph(i).components();
+      for (std::uint32_t s = 0; s < plan.num_shards(); ++s) {
+        ws.coal_tasks.push_back(
+            {i, static_cast<std::uint32_t>(k), s, out_cursor, 0});
+        out_cursor += index.offset(plan.shard_comps[s + 1]) -
+                      index.offset(plan.shard_comps[s]);
+      }
+    }
     parallel_for_lanes(
-        0, ws.deciding.size(), [&](std::size_t lane, std::size_t k) {
-          const ChannelId i = ws.deciding[k];
+        0, ws.coal_tasks.size(), [&](std::size_t lane, std::size_t t) {
+          CoalitionTask& task = ws.coal_tasks[t];
+          const ChannelId i = task.channel;
           const auto iu = static_cast<std::size_t>(i);
           const DynamicBitset& members = ws.snapshot.members_of(i);
-          // Only applicants compatible with every current member are
-          // admissible (the seller cannot evict, Algorithm 2 line 13).
-          DynamicBitset& admissible = ws.lane_set[lane];
-          admissible.assign_zero(static_cast<std::size_t>(N));
-          ws.applicants[iu].for_each_set([&](std::size_t j) {
-            if (market.graph(i).is_compatible(static_cast<BuyerId>(j),
-                                              members))
-              admissible.set(j);
-          });
-          ws.accepted[k] = graph::solve_mwis(
-              market.graph(i), market.channel_prices(i), admissible,
-              config.coalition_policy, ws.lane_scratch[lane]);
+          const DynamicBitset& apps = ws.applicants[iu];
+          if (task.shard == CoalitionTask::kWholeGraph) {
+            // Only applicants compatible with every current member are
+            // admissible (the seller cannot evict, Algorithm 2 line 13).
+            DynamicBitset& admissible = ws.lane_set[lane];
+            admissible.assign_zero(static_cast<std::size_t>(N));
+            apps.for_each_set([&](std::size_t j) {
+              if (market.graph(i).is_compatible(static_cast<BuyerId>(j),
+                                                members))
+                admissible.set(j);
+            });
+            ws.accepted[task.slot] = graph::solve_mwis(
+                market.graph(i), market.channel_prices(i), admissible,
+                config.coalition_policy, ws.lane_scratch[lane]);
+            return;
+          }
+          const MatchWorkspace::ShardPlan& plan = ws.shard_plans[iu];
+          task.out_count = solve_components(
+              market.graph(i).components(), market.channel_prices(i),
+              plan.shard_comps[task.shard], plan.shard_comps[task.shard + 1],
+              [&](BuyerId v) {
+                return apps.test(static_cast<std::size_t>(v)) &&
+                       market.graph(i).is_compatible(v, members);
+              },
+              config.coalition_policy, ws.lane_local[lane],
+              ws.lane_weights[lane], ws.lane_scratch[lane],
+              ws.coal_out.data() + task.out_begin);
         });
+    for (const CoalitionTask& task : ws.coal_tasks) {
+      if (task.shard == CoalitionTask::kWholeGraph) continue;
+      DynamicBitset& accepted = ws.accepted[task.slot];
+      for (std::size_t c = 0; c < task.out_count; ++c)
+        accepted.set(static_cast<std::size_t>(ws.coal_out[task.out_begin + c]));
+      if (metrics::enabled()) metrics::count("component.shard_solves");
+    }
     ws.moves.clear();
     for (std::size_t k = 0; k < ws.deciding.size(); ++k) {
       const ChannelId i = ws.deciding[k];
@@ -145,8 +235,10 @@ StageIIResult run_transfer_invitation_prepared(
       ws.applicants[iu].clear();
     }
     for (const auto& [j, i] : ws.moves) {
+      const ChannelId old_channel = result.matching.seller_of(j);
       result.matching.rematch(j, i);
       ++result.transfers_accepted;
+      activate_departure(old_channel, j);
     }
     if (counting && result.phase1_rounds >= 2)
       steady_allocs += alloc_count::total() - round_allocs;

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bitset.hpp"
 #include "graph/mwis.hpp"
 #include "matching/matching.hpp"
 
@@ -26,6 +27,19 @@ struct StageIIConfig {
   /// member departs, recovering invitations the literal algorithm misses —
   /// an extension quantified by bench/ablation_rescreen.
   bool rescreen_on_departure = false;
+  /// Connected-component sharding threshold, forwarded to
+  /// MatchWorkspace::prepare by the workspace-taking overload: 0 resolves
+  /// SPECMATCH_COMPONENT_MIN, >= 1 is an explicit minimum shard size, < 0
+  /// disables sharding (whole-graph reference path).
+  int component_min = 0;
+  /// Restricted mode (the serve warm path): when non-null, only buyers with
+  /// their bit set participate in Phase 1 applications; everyone else keeps
+  /// her input assignment verbatim, for free. Mid-run departures re-open
+  /// capacity, so the run activates the departed buyer's interference
+  /// component on her old channel as it goes (the only buyers whose
+  /// admissibility the departure can change — interference edges never cross
+  /// components). Must outlive the call and be sized to num_buyers.
+  const DynamicBitset* participants = nullptr;
 };
 
 struct StageIIResult {

@@ -17,12 +17,13 @@ TwoStageResult run_two_stage(const market::SpectrumMarket& market,
                              MatchWorkspace& workspace) {
   trace::ScopedSpan span("two_stage");
   metrics::count("two_stage.runs");
-  workspace.prepare(market);
+  workspace.prepare(market, config.component_min);
   TwoStageResult result;
 
   StageIConfig stage1_config;
   stage1_config.coalition_policy = config.coalition_policy;
   stage1_config.record_trace = config.record_trace;
+  stage1_config.component_min = config.component_min;
   result.stage1 =
       detail::run_deferred_acceptance_prepared(market, stage1_config,
                                                workspace);
@@ -30,6 +31,7 @@ TwoStageResult run_two_stage(const market::SpectrumMarket& market,
   StageIIConfig stage2_config;
   stage2_config.coalition_policy = config.coalition_policy;
   stage2_config.rescreen_on_departure = config.rescreen_on_departure;
+  stage2_config.component_min = config.component_min;
   result.stage2 = detail::run_transfer_invitation_prepared(
       market, result.stage1.matching, stage2_config, workspace);
 

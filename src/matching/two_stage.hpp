@@ -14,6 +14,8 @@ struct TwoStageConfig {
   graph::MwisAlgorithm coalition_policy = graph::MwisAlgorithm::kGwmin;
   bool record_trace = false;
   bool rescreen_on_departure = false;
+  /// Component sharding threshold for both stages (see StageIConfig).
+  int component_min = 0;
 };
 
 struct TwoStageResult {

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "common/metrics.hpp"
 #include "common/thread_pool.hpp"
+#include "graph/components.hpp"
 
 namespace specmatch::matching {
 
-void MatchWorkspace::prepare(const market::SpectrumMarket& market) {
+void MatchWorkspace::prepare(const market::SpectrumMarket& market,
+                             int component_min) {
   const int M = market.num_channels();
   const int N = market.num_buyers();
   const auto mu = static_cast<std::size_t>(M);
@@ -56,18 +59,72 @@ void MatchWorkspace::prepare(const market::SpectrumMarket& market) {
 
   apply_set.assign_zero(nu);
 
+  // Component shard plans: one per channel, from the graph's (lazily built,
+  // cached) component index. Built here on the serial path, so the parallel
+  // rounds only ever read the index. A channel stays whole-graph when
+  // sharding is off, the graph is one component, or batching under the
+  // minimum leaves a single shard.
+  const bool sharding = component_min >= 0;
+  const std::size_t min_vertices =
+      component_min > 0 ? static_cast<std::size_t>(component_min)
+                        : graph::component_min_default();
+  if (shard_plans.size() < mu) shard_plans.resize(mu);
+  std::size_t total_tasks = 0;
+  std::size_t out_bound = 0;
+  std::size_t max_component = 0;
+  for (ChannelId i = 0; i < M; ++i) {
+    ShardPlan& plan = shard_plans[static_cast<std::size_t>(i)];
+    plan.shard_comps.clear();
+    if (!sharding) {
+      ++total_tasks;
+      continue;
+    }
+    const graph::ComponentIndex& index = market.graph(i).components();
+    if (metrics::enabled())
+      metrics::observe("component.per_channel",
+                       static_cast<double>(index.num_components()));
+    // A channel dominated by one huge component (> half the vertices) has
+    // no subgraph for it (see ComponentIndex) and nothing to parallelise —
+    // route it whole-graph.
+    if (index.num_components() >= 2 && index.largest_component() * 2 <= nu)
+      graph::build_shards(index, min_vertices, plan.shard_comps);
+    if (!plan.sharded()) {
+      plan.shard_comps.clear();
+      ++total_tasks;
+      continue;
+    }
+    if (metrics::enabled())
+      metrics::observe("component.shards_per_channel",
+                       static_cast<double>(plan.num_shards()));
+    total_tasks += plan.num_shards();
+    out_bound += nu;  // a channel's shards partition its vertices
+    max_component = std::max(max_component, index.largest_component());
+  }
+  coal_tasks.clear();
+  coal_tasks.reserve(total_tasks);
+  if (coal_out.size() < out_bound) coal_out.resize(out_bound);
+
   // One solver scratch per pool lane, sized by the worst heap-path channel.
   // MwisScratch::heap_bound caps the lazy heap by max degree (the solver
   // compacts stale entries), so a multi-million-edge sparse channel costs a
   // few hundred KB of heap per lane, not n + E entries. Channels that will
   // take the heap-free scan path are skipped (mwis_uses_scan is the same
-  // predicate the solver dispatches on).
+  // predicate the solver dispatches on) — except sharded channels, whose
+  // component subgraphs may take the heap path even when the whole graph
+  // would scan, so their largest component is always covered.
   const std::size_t lanes = ThreadPool::global().num_threads();
   if (lane_set.size() < lanes) lane_set.resize(lanes);
   if (lane_scratch.size() < lanes) lane_scratch.resize(lanes);
+  if (lane_local.size() < lanes) lane_local.resize(lanes);
+  if (lane_weights.size() < lanes) lane_weights.resize(lanes);
   std::size_t heap_bound = nu;
   for (ChannelId i = 0; i < M; ++i) {
     const graph::InterferenceGraph& g = market.graph(i);
+    if (shard_plans[static_cast<std::size_t>(i)].sharded())
+      heap_bound = std::max(
+          heap_bound,
+          graph::MwisScratch::heap_bound(g.components().largest_component(),
+                                         g.num_edges(), g.max_degree()));
     if (graph::mwis_uses_scan(g)) continue;
     heap_bound = std::max(heap_bound, graph::MwisScratch::heap_bound(
                                           nu, g.num_edges(), g.max_degree()));
@@ -75,7 +132,11 @@ void MatchWorkspace::prepare(const market::SpectrumMarket& market) {
   for (std::size_t lane = 0; lane < lane_set.size(); ++lane) {
     lane_set[lane].assign_zero(nu);
     lane_scratch[lane].reserve(nu, heap_bound);
+    lane_local[lane].assign_zero(max_component);
+    if (lane_weights[lane].size() < max_component)
+      lane_weights[lane].resize(max_component);
   }
+  stage2_active.assign_zero(nu);
 
   scratch_matching = Matching(M, N);
   displaced.clear();

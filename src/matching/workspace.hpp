@@ -32,16 +32,23 @@
 #include "common/ids.hpp"
 #include "graph/mwis.hpp"
 #include "market/market.hpp"
+#include "matching/component_solve.hpp"
 #include "matching/matching.hpp"
 
 namespace specmatch::matching {
 
 struct MatchWorkspace {
   /// Sizes every container for `market` and rebuilds the market-derived
-  /// tables (the CSR preference orders). Grow-only for capacities: repeated
-  /// runs over same-shaped (or smaller) markets never allocate here beyond
-  /// the first call. Called by every workspace-taking run_* entry point.
-  void prepare(const market::SpectrumMarket& market);
+  /// tables (the CSR preference orders and the per-channel component shard
+  /// plans). Grow-only for capacities: repeated runs over same-shaped (or
+  /// smaller) markets never allocate here beyond the first call. Called by
+  /// every workspace-taking run_* entry point.
+  ///
+  /// `component_min` controls connected-component sharding of the coalition
+  /// solves: 0 resolves SPECMATCH_COMPONENT_MIN (default 64), >= 1 is an
+  /// explicit minimum shard vertex count, < 0 disables sharding (every
+  /// channel solves whole-graph — the unsharded reference path).
+  void prepare(const market::SpectrumMarket& market, int component_min = 0);
 
   /// Buyer j's admissible channels, best-first (the CSR row built from
   /// SpectrumMarket::append_buyer_preference_order).
@@ -78,6 +85,26 @@ struct MatchWorkspace {
   // --- per-lane solver scratch (indexed by pool lane; grow-only) ----------
   std::vector<DynamicBitset> lane_set;            ///< candidate/admissible set
   std::vector<graph::MwisScratch> lane_scratch;   ///< MWIS heaps and scores
+
+  // --- component sharding (see matching/component_solve.hpp) --------------
+  /// Per-channel shard plan: component-id offsets from graph::build_shards.
+  /// sharded() false (0 or 1 shards) means the channel solves whole-graph —
+  /// single-component channels, sharding disabled, or a kExact run.
+  struct ShardPlan {
+    std::vector<std::uint32_t> shard_comps;  ///< num_shards + 1 offsets
+    std::size_t num_shards() const {
+      return shard_comps.empty() ? 0 : shard_comps.size() - 1;
+    }
+    bool sharded() const { return num_shards() >= 2; }
+  };
+  std::vector<ShardPlan> shard_plans;    ///< per channel
+  std::vector<CoalitionTask> coal_tasks; ///< the round's solve tasks
+  std::vector<BuyerId> coal_out;         ///< flat chosen-id slices per task
+  std::vector<DynamicBitset> lane_local;          ///< local candidate bits
+  std::vector<std::vector<double>> lane_weights;  ///< local weight gather
+  // Stage II restricted mode: the active participant set (config copy plus
+  /// buyers activated by departure cascades).
+  DynamicBitset stage2_active;
 
   // --- Stage III scratch --------------------------------------------------
   Matching scratch_matching;      ///< simulation copy per candidate swap

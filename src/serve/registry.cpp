@@ -4,18 +4,22 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "graph/components.hpp"
 
 namespace specmatch::serve {
 
 namespace {
 
-/// Resident footprint of one built market: the interference graphs plus the
-/// live and base price matrices and the activity mask. An estimate — the
-/// registry budgets the dominant buffers, not every map node.
+/// Resident footprint of one built market: the interference graphs (with
+/// their component indices) plus the live and base price matrices and the
+/// activity mask. An estimate — the registry budgets the dominant buffers,
+/// not every map node.
 std::size_t entry_bytes(const market::SpectrumMarket& market) {
   std::size_t bytes = 0;
-  for (ChannelId i = 0; i < market.num_channels(); ++i)
+  for (ChannelId i = 0; i < market.num_channels(); ++i) {
     bytes += market.graph(i).adjacency_bytes();
+    bytes += market.graph(i).component_index_bytes();
+  }
   const std::size_t cells = static_cast<std::size_t>(market.num_channels()) *
                             static_cast<std::size_t>(market.num_buyers());
   bytes += 2 * cells * sizeof(double);  // live + base prices
@@ -35,6 +39,12 @@ MarketEntry::MarketEntry(const market::Scenario& scenario)
   for (ChannelId i = 0; i < market.num_channels(); ++i)
     for (BuyerId j = 0; j < market.num_buyers(); ++j)
       base_prices.push_back(market.utility(i, j));
+  // Force the per-channel component indices now: mutations and warm solves
+  // read them on the serving hot path, and building here keeps first-request
+  // latency flat and the byte estimate complete.
+  for (ChannelId i = 0; i < market.num_channels(); ++i)
+    (void)market.graph(i).components();
+  dirty.assign_zero(static_cast<std::size_t>(market.num_buyers()));
   bytes = entry_bytes(market);
 }
 
@@ -44,6 +54,17 @@ int MarketEntry::active_count() const {
   return count;
 }
 
+void MarketEntry::mark_dirty(BuyerId j, ChannelId released) {
+  dirty.set(static_cast<std::size_t>(j));
+  if (released == kUnmatched) return;
+  // A released seat can only newly admit buyers from the leaver's
+  // interference component on that channel — mark them all as warm-solve
+  // participants so the restricted re-solve offers them the capacity.
+  const graph::ComponentIndex& index = market.graph(released).components();
+  for (const BuyerId v : index.vertices(index.component_of(j)))
+    dirty.set(static_cast<std::size_t>(v));
+}
+
 void MarketEntry::apply_join(BuyerId j) {
   const std::size_t jj = static_cast<std::size_t>(j);
   if (active[jj]) return;  // idempotent
@@ -51,6 +72,9 @@ void MarketEntry::apply_join(BuyerId j) {
   const std::size_t n = static_cast<std::size_t>(market.num_buyers());
   for (ChannelId i = 0; i < market.num_channels(); ++i)
     market.set_utility(i, j, base_prices[static_cast<std::size_t>(i) * n + jj]);
+  // A join releases no seat: the newcomer enters unmatched, and everyone
+  // else's current assignment and admissibility are untouched.
+  mark_dirty(j, kUnmatched);
   ++mutations;
 }
 
@@ -60,7 +84,9 @@ void MarketEntry::apply_leave(BuyerId j) {
   active[jj] = false;
   for (ChannelId i = 0; i < market.num_channels(); ++i)
     market.set_utility(i, j, 0.0);
+  const SellerId seat = last.seller_of(j);
   last.unmatch(j);
+  mark_dirty(j, seat);
   ++mutations;
 }
 
@@ -74,7 +100,12 @@ void MarketEntry::apply_price(BuyerId j, ChannelId i, double value) {
     // on changed (it may have dropped below the reserve, or no longer be
     // the price she'd accept). A change on another channel is Stage II's
     // job: phase 1 invites her to transfer if it now beats her seat.
-    if (last.seller_of(j) == static_cast<SellerId>(i)) last.unmatch(j);
+    if (last.seller_of(j) == static_cast<SellerId>(i)) {
+      last.unmatch(j);
+      mark_dirty(j, i);
+    } else {
+      mark_dirty(j, kUnmatched);
+    }
   }
   ++mutations;
 }

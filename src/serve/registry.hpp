@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bitset.hpp"
 #include "market/market.hpp"
 #include "market/scenario.hpp"
 #include "matching/matching.hpp"
@@ -36,12 +37,28 @@ struct MarketEntry {
   matching::Matching last;          ///< carried matching for warm solves
   bool has_matching = false;        ///< false until the first solve
 
+  /// Buyers whose assignment or opportunities a mutation may have changed
+  /// since the last solve: the mutated buyer herself, plus — when her seat
+  /// on a channel was released — her whole interference component on that
+  /// channel (the only buyers the departure can newly admit; edges never
+  /// cross components). The warm solve path restricts Stage II to this set,
+  /// so untouched components carry over verbatim.
+  DynamicBitset dirty;
+  /// True once a solve has absorbed every prior mutation, i.e. `dirty` is a
+  /// complete delta since the carried matching was produced.
+  bool dirty_valid = false;
+
   // Per-market serving stats, exposed verbatim by the `stats` request; all
   // are functions of the market's request prefix only, hence deterministic
   // across thread counts.
   std::int64_t solves_cold = 0;
   std::int64_t solves_warm = 0;
-  std::int64_t warm_fallbacks = 0;
+  std::int64_t warm_fallbacks = 0;  ///< total warm requests answered cold
+  /// The two disjoint reasons a warm request goes cold: no carried matching
+  /// to re-solve on top of vs. the re-solve regressing carried welfare
+  /// (their sum is warm_fallbacks).
+  std::int64_t warm_fallbacks_cold_start = 0;
+  std::int64_t warm_fallbacks_invariant = 0;
   std::int64_t mutations = 0;
 
   std::size_t bytes = 0;      ///< resident footprint estimate, set at build
@@ -62,6 +79,11 @@ struct MarketEntry {
   /// the updated channel is the one she is matched on (a change elsewhere is
   /// handled by Stage II transfers); everyone else's assignment survives.
   void apply_price(BuyerId j, ChannelId i, double value);
+
+ private:
+  /// Marks buyer j dirty; when `released` names a channel whose seat she
+  /// just gave up, her interference component there is marked too.
+  void mark_dirty(BuyerId j, ChannelId released);
 };
 
 class MarketRegistry {

@@ -70,6 +70,7 @@ ServeConfig ServeConfig::from_env() {
   config.mem_budget_mb =
       static_cast<std::size_t>(env_long("SPECMATCH_SERVE_MEM_MB", 4096));
   config.check_warm = env_flag("SPECMATCH_SERVE_CHECK_WARM");
+  config.warm_full = env_flag("SPECMATCH_SERVE_WARM_FULL");
   return config;
 }
 
@@ -373,6 +374,8 @@ Response MatchServer::process(const Request& request,
           << " welfare=" << format_double(welfare)
           << " solves=" << entry->solves_cold << "/" << entry->solves_warm
           << " fallbacks=" << entry->warm_fallbacks
+          << " fallbacks_cold_start=" << entry->warm_fallbacks_cold_start
+          << " fallbacks_invariant=" << entry->warm_fallbacks_invariant
           << " mutations=" << entry->mutations
           << " markets=" << registry_.size()
           << " bytes=" << registry_.total_bytes()
@@ -398,42 +401,61 @@ std::string MatchServer::solve_response(MarketEntry& entry,
   std::ostringstream out;
   out << "ok solve " << request.market_id << (request.warm ? " warm" : " cold");
 
+  // When a warm request ends up answered cold, the tag records which of the
+  // two disjoint reasons applied (both keep the `fallback=cold` prefix the
+  // protocol promises).
+  const char* fallback_tag = nullptr;
+
   if (request.warm && entry.has_matching) {
     // Warm path: Stage II alone on the carried matching. Mutations have
     // already invalidated exactly the assignments they touched, so the
     // carried matching is interference-free and admissible; Stage II only
-    // improves buyers, hence welfare can only grow (CHECKed on demand).
-    const double carried_welfare =
-        config_.check_warm ? entry.last.social_welfare(entry.market) : 0.0;
+    // improves buyers, hence welfare can only grow. Unless warm_full is
+    // set, the run is restricted to the mutations' dirty set — everyone
+    // else's assignment carries over verbatim without being rescanned.
+    const double carried_welfare = entry.last.social_welfare(entry.market);
+    const bool restricted = !config_.warm_full && entry.dirty_valid;
     matching::StageIIConfig stage2;
     stage2.coalition_policy = config_.coalition_policy;
+    if (restricted) stage2.participants = &entry.dirty;
     matching::StageIIResult result = matching::run_transfer_invitation(
         entry.market, entry.last, stage2, workspace);
     note_allocs(result.steady_allocs);
-    entry.last = std::move(result.matching);
-    ++entry.solves_warm;
-    const double welfare = entry.last.social_welfare(entry.market);
-    if (config_.check_warm) {
-      SPECMATCH_CHECK_MSG(
-          matching::is_interference_free(entry.market, entry.last),
-          "warm solve produced an interfering matching: "
-              << request.market_id);
-      SPECMATCH_CHECK_MSG(
-          matching::is_individual_rational(entry.market, entry.last),
-          "warm solve violated individual rationality: "
-              << request.market_id);
-      SPECMATCH_CHECK_MSG(welfare >= carried_welfare - 1e-9,
-                          "warm solve lost welfare: " << welfare << " < "
-                                                      << carried_welfare);
+    const double welfare = result.matching.social_welfare(entry.market);
+    if (welfare >= carried_welfare - 1e-9) {
+      entry.last = std::move(result.matching);
+      ++entry.solves_warm;
+      entry.dirty.clear();
+      entry.dirty_valid = true;
+      if (restricted) metrics::count("serve.warm_restricted");
+      if (config_.check_warm) {
+        SPECMATCH_CHECK_MSG(
+            matching::is_interference_free(entry.market, entry.last),
+            "warm solve produced an interfering matching: "
+                << request.market_id);
+        SPECMATCH_CHECK_MSG(
+            matching::is_individual_rational(entry.market, entry.last),
+            "warm solve violated individual rationality: "
+                << request.market_id);
+      }
+      out << " welfare=" << format_double(welfare)
+          << " matched=" << entry.last.num_matched()
+          << " rounds=" << (result.phase1_rounds + result.phase2_rounds);
+      return out.str();
     }
-    out << " welfare=" << format_double(welfare)
-        << " matched=" << entry.last.num_matched()
-        << " rounds=" << (result.phase1_rounds + result.phase2_rounds);
-    return out.str();
+    // The warm invariant failed: the re-solve lost welfare against the
+    // carried matching. Discard it and answer the request cold instead.
+    fallback_tag = "cold_invariant";
+    ++entry.warm_fallbacks_invariant;
+    metrics::count("serve.warm_fallbacks_invariant");
+  } else if (request.warm) {
+    // No carried matching yet: nothing to re-solve on top of.
+    fallback_tag = "cold_start";
+    ++entry.warm_fallbacks_cold_start;
+    metrics::count("serve.warm_fallbacks_cold_start");
   }
 
-  // Cold path (also the fallback for a warm request before any solve has
-  // produced a matching to carry).
+  // Cold path (also the fallback for warm requests, per fallback_tag).
   matching::TwoStageConfig cfg;
   cfg.coalition_policy = config_.coalition_policy;
   matching::TwoStageResult result =
@@ -442,6 +464,8 @@ std::string MatchServer::solve_response(MarketEntry& entry,
   note_allocs(result.stage2.steady_allocs);
   entry.last = result.final_matching();
   entry.has_matching = true;
+  entry.dirty.clear();
+  entry.dirty_valid = true;
   if (request.warm) {
     ++entry.solves_warm;
     ++entry.warm_fallbacks;
@@ -453,7 +477,7 @@ std::string MatchServer::solve_response(MarketEntry& entry,
       << " matched=" << entry.last.num_matched()
       << " rounds=" << (result.stage1.rounds + result.stage2.phase1_rounds +
                         result.stage2.phase2_rounds);
-  if (request.warm) out << " fallback=cold";
+  if (fallback_tag != nullptr) out << " fallback=" << fallback_tag;
   return out.str();
 }
 

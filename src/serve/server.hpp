@@ -57,9 +57,15 @@ struct ServeConfig {
   Overflow overflow = Overflow::kBlock;
   graph::MwisAlgorithm coalition_policy = graph::MwisAlgorithm::kGwmin;
   /// Escape hatch: after every warm solve, CHECK the result is
-  /// interference-free, individually rational, and no worse than the carried
-  /// matching it grew from. Default: SPECMATCH_SERVE_CHECK_WARM.
+  /// interference-free and individually rational. (The third warm invariant
+  /// — welfare no worse than the carried matching — is always enforced: a
+  /// regressing warm solve is discarded and the request re-answered cold,
+  /// counted in `fallbacks_invariant`.) Default: SPECMATCH_SERVE_CHECK_WARM.
   bool check_warm = false;
+  /// Escape hatch: run warm solves over the full buyer set instead of
+  /// restricting Stage II to the components touched by mutations since the
+  /// last solve. Default: SPECMATCH_SERVE_WARM_FULL.
+  bool warm_full = false;
   /// Tests only: submit() enqueues without scheduling; batches run when
   /// drain_pending_for_tests() is called, making coalescing observable and
   /// deterministic.

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# The bench_compare ctest: exercise run_bench.sh --compare against the
+# canned fixture pair. The clean pair must pass (exit 0) and the pair with
+# a planted warm-p99/throughput regression must fail non-zero — proving
+# the gate actually trips before anyone relies on it in CI.
+set -euo pipefail
+
+tools_dir="${1:?usage: bench_compare_smoke.sh TOOLS_DIR}"
+fixtures="$tools_dir/fixtures"
+status=0
+
+echo "bench_compare_smoke: clean pair (must pass)"
+if ! "$tools_dir/run_bench.sh" --compare \
+     "$fixtures/bench_compare_old.json" "$fixtures/bench_compare_ok.json"; then
+  echo "bench_compare_smoke: FAILED — clean pair reported a regression" >&2
+  status=1
+fi
+
+echo "bench_compare_smoke: regressed pair (must fail)"
+if "$tools_dir/run_bench.sh" --compare \
+     "$fixtures/bench_compare_old.json" \
+     "$fixtures/bench_compare_regressed.json"; then
+  echo "bench_compare_smoke: FAILED — planted regression was not detected" >&2
+  status=1
+fi
+
+# The planted regression is scoped to the warm serve leg; a tighter
+# threshold must also flag it, and a huge threshold must let it pass —
+# sanity that --threshold is actually honored.
+echo "bench_compare_smoke: regressed pair at --threshold 500 (must pass)"
+if ! "$tools_dir/run_bench.sh" --compare \
+     "$fixtures/bench_compare_old.json" \
+     "$fixtures/bench_compare_regressed.json" --threshold 500; then
+  echo "bench_compare_smoke: FAILED — threshold override not honored" >&2
+  status=1
+fi
+
+exit "$status"

@@ -16,9 +16,20 @@
 #   tools/run_bench.sh --smoke BINDIR  # smoke: run every bench binary in
 #                                      # BINDIR at SPECMATCH_TRIALS=1 (the
 #                                      # bench_smoke ctest)
+#   tools/run_bench.sh --compare OLD.json NEW.json [--threshold PCT]
+#                                      # regression gate: non-zero exit when
+#                                      # NEW regresses wall_ms/p99/throughput
+#                                      # past the threshold (default 25%)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+if [[ "${1:-}" == "--compare" ]]; then
+  old_json="${2:?usage: run_bench.sh --compare OLD.json NEW.json}"
+  new_json="${3:?usage: run_bench.sh --compare OLD.json NEW.json}"
+  shift 3
+  exec python3 "$repo_root/tools/bench_compare.py" "$old_json" "$new_json" "$@"
+fi
 
 if [[ "${1:-}" == "--scale" ]]; then
   build_dir="$repo_root/build-bench"
@@ -107,6 +118,39 @@ if [[ "${1:-}" == "--smoke" ]]; then
   fi
   grep -q '"steady_allocs": 0' "$tmpdir/BENCH_scale.json" || {
     echo "bench_smoke: BENCH_scale.json missing steady_allocs measurements" >&2
+    status=1
+  }
+  # Component-sharding leg: force every connected component into its own
+  # shard (SPECMATCH_COMPONENT_MIN=1, the maximally-sharded path) and
+  # require (a) the deterministic `result:` transcript is byte-identical
+  # to the default run above — the merge-order guarantee, enforced
+  # end-to-end — and (b) the steady state still allocates nothing with
+  # sharding at its finest grain.
+  echo "bench_smoke: large_market (scale, forced small components)"
+  if ! SPECMATCH_COUNT_ALLOCS=1 SPECMATCH_THREADS=1 \
+       SPECMATCH_COMPONENT_MIN=1 \
+       SPECMATCH_BENCH_JSON="$tmpdir/BENCH_scale_comp.json" \
+       "$bindir/large_market" > "$tmpdir/large_market_comp.log" 2>&1; then
+    echo "bench_smoke: FAILED large_market (forced small components)" >&2
+    tail -n 30 "$tmpdir/large_market_comp.log" >&2
+    status=1
+  fi
+  grep '^result:' "$tmpdir/large_market.log" > "$tmpdir/results_default.txt" || true
+  grep '^result:' "$tmpdir/large_market_comp.log" > "$tmpdir/results_comp.txt" || true
+  if [[ ! -s "$tmpdir/results_default.txt" ]]; then
+    echo "bench_smoke: large_market emitted no result: transcript lines" >&2
+    status=1
+  elif ! diff -u "$tmpdir/results_default.txt" "$tmpdir/results_comp.txt" >&2; then
+    echo "bench_smoke: forced-small-component transcript differs from default" >&2
+    status=1
+  fi
+  if grep -q '"steady_allocs": [1-9-]' "$tmpdir/BENCH_scale_comp.json"; then
+    echo "bench_smoke: forced-small-component leg reports non-zero steady allocations" >&2
+    grep '"steady_allocs"' "$tmpdir/BENCH_scale_comp.json" >&2
+    status=1
+  fi
+  grep -q '"steady_allocs": 0' "$tmpdir/BENCH_scale_comp.json" || {
+    echo "bench_smoke: forced-small-component leg missing steady_allocs measurements" >&2
     status=1
   }
   # CSR leg: force the sparse representation onto the smoke grid (60/200
