@@ -9,12 +9,22 @@
 // A final deterministic burst phase overflows a tiny kReject admission queue
 // to exercise the shed path and record its counters.
 //
+// With --net, the same load is driven through the TCP front-end instead
+// (serve/net_server.hpp): an in-process NetServer on an ephemeral loopback
+// port, one client thread per connection, closed-loop (1 request in flight
+// per connection) and open-loop (a pipeline window of 8) legs across a
+// connection-count grid — rows land in the same BENCH_serve.json under
+// bench "serve_net" with the connection count encoded in the algorithm
+// ("closed_c64", "open_c512"), so bench_compare keys them apart.
+//
 // Knobs: SPECMATCH_BENCH_SMOKE shrinks the sweep, SPECMATCH_TRIALS the ops
-// per client, SPECMATCH_BENCH_JSON the output path, SPECMATCH_METRICS adds
-// the serve.* instrument snapshot (latency histograms with p50/p90/p99) to
-// the JSON.
+// per client, SPECMATCH_BENCH_JSON the output path, SPECMATCH_NET_CONNS the
+// --net connection grid (comma-separated), SPECMATCH_METRICS adds the
+// serve.* / net.* instrument snapshot (latency histograms with p50/p90/p99)
+// to the JSON.
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -27,6 +37,8 @@
 #include "common/metrics.hpp"
 #include "common/rng.hpp"
 #include "market/scenario.hpp"
+#include "serve/net_client.hpp"
+#include "serve/net_server.hpp"
 #include "serve/server.hpp"
 #include "workload/generator.hpp"
 
@@ -190,6 +202,228 @@ void run_shed_burst(std::vector<bench::BenchRecord>& records) {
   std::cout << "shed burst: " << note.str() << "\n";
 }
 
+// --- the networked tier (--net) --------------------------------------------
+
+/// One request of the 4:1 mutation:solve mix, rendered to wire format.
+/// Solves are 80% warm / 20% cold — the serving mix the PR 5 bench showed
+/// clears the 2x warm-throughput target.
+std::string wire_op(Rng& rng, const std::string& id, int M, int N, int op) {
+  serve::Request request;
+  if (op % 5 == 4) {
+    request = make_request(serve::RequestType::kSolve, id);
+    request.warm = (op % 25) != 24;
+  } else {
+    const double kind = rng.uniform();
+    const auto buyer = static_cast<BuyerId>(rng.uniform_int(0, N - 1));
+    if (kind < 0.7) {
+      request = make_request(serve::RequestType::kUpdatePrice, id);
+      request.buyer = buyer;
+      request.channel = static_cast<ChannelId>(rng.uniform_int(0, M - 1));
+      request.value = rng.uniform(0.0, 1.0);
+    } else if (kind < 0.85) {
+      request = make_request(serve::RequestType::kLeave, id);
+      request.buyer = buyer;
+    } else {
+      request = make_request(serve::RequestType::kJoin, id);
+      request.buyer = buyer;
+    }
+  }
+  return serve::format_request(request);
+}
+
+struct NetLegResult {
+  LegResult leg;
+  std::int64_t bytes_sent = 0;
+};
+
+/// One networked leg: `conns` connections, each its own thread, each
+/// keeping up to `window` requests in flight (1 = closed loop). Latency is
+/// send-to-response per request, measured client-side.
+NetLegResult run_net_leg(int port, int conns, int window, int ops_per_conn,
+                         int M, int N, int markets, std::uint64_t seed) {
+  std::vector<std::vector<double>> latencies(static_cast<std::size_t>(conns));
+  std::vector<std::int64_t> bytes(static_cast<std::size_t>(conns), 0);
+  Rng root(seed);
+
+  bench::WallTimer timer;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < conns; ++c) {
+    Rng rng = root.fork(static_cast<std::uint64_t>(c) + 1);
+    threads.emplace_back([&latencies, &bytes, &timer, rng, c, port, window,
+                          ops_per_conn, M, N, markets]() mutable {
+      auto conn = serve::ClientConnection::connect_loopback(port);
+      const std::string id =
+          "net" + std::to_string(c % markets);  // market shared across conns
+      auto& mine = latencies[static_cast<std::size_t>(c)];
+      mine.reserve(static_cast<std::size_t>(ops_per_conn));
+      std::deque<double> sent_at;
+      std::string line;
+      const auto read_one = [&]() {
+        SPECMATCH_CHECK_MSG(conn.read_line(line), "server closed early");
+        SPECMATCH_CHECK_MSG(line.rfind("err", 0) != 0,
+                            "net leg request failed: " << line);
+        mine.push_back(timer.elapsed_ms() - sent_at.front());
+        sent_at.pop_front();
+      };
+      for (int op = 0; op < ops_per_conn; ++op) {
+        if (static_cast<int>(sent_at.size()) >= window) read_one();
+        const std::string wire = wire_op(rng, id, M, N, op);
+        sent_at.push_back(timer.elapsed_ms());
+        conn.send_all(wire);
+        bytes[static_cast<std::size_t>(c)] +=
+            static_cast<std::int64_t>(wire.size());
+      }
+      while (!sent_at.empty()) read_one();
+      conn.half_close();
+      SPECMATCH_CHECK_MSG(!conn.read_line(line),
+                          "unexpected trailing response: " << line);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  NetLegResult net;
+  net.leg.wall_ms = timer.elapsed_ms();
+  std::vector<double> all;
+  for (const auto& mine : latencies) {
+    all.insert(all.end(), mine.begin(), mine.end());
+  }
+  std::sort(all.begin(), all.end());
+  const auto quantile = [&all](double q) {
+    if (all.empty()) return 0.0;
+    const auto idx =
+        static_cast<std::size_t>(q * static_cast<double>(all.size() - 1));
+    return all[idx];
+  };
+  net.leg.p50_ms = quantile(0.50);
+  net.leg.p99_ms = quantile(0.99);
+  net.leg.requests = static_cast<std::int64_t>(all.size());
+  // Every 5th op of each connection's stream is a solve (wire_op).
+  net.leg.solves = static_cast<std::int64_t>(conns) * (ops_per_conn / 5);
+  net.leg.requests_per_sec =
+      net.leg.wall_ms > 0.0
+          ? 1000.0 * static_cast<double>(net.leg.requests) / net.leg.wall_ms
+          : 0.0;
+  for (const std::int64_t b : bytes) net.bytes_sent += b;
+  return net;
+}
+
+std::vector<int> conn_grid(bool smoke) {
+  const char* env = std::getenv("SPECMATCH_NET_CONNS");
+  std::vector<int> grid;
+  if (env != nullptr && env[0] != '\0') {
+    std::stringstream stream(env);
+    std::string token;
+    while (std::getline(stream, token, ',')) {
+      const int conns = std::stoi(token);
+      SPECMATCH_CHECK_MSG(conns >= 1, "bad SPECMATCH_NET_CONNS entry");
+      grid.push_back(conns);
+    }
+  }
+  if (grid.empty()) {
+    grid = smoke ? std::vector<int>{1, 8} : std::vector<int>{1, 64, 512};
+  }
+  return grid;
+}
+
+int run_net() {
+  const bool smoke = bench::env_int("SPECMATCH_BENCH_SMOKE", 0) != 0;
+  const char* json_env = std::getenv("SPECMATCH_BENCH_JSON");
+  const std::string json_path =
+      (json_env != nullptr && json_env[0] != '\0') ? json_env
+                                                   : "BENCH_serve.json";
+  const int M = smoke ? 4 : 16;
+  const int N = smoke ? 60 : 2000;
+  const int markets = smoke ? 2 : 8;
+  // A fixed total op budget split across connections keeps the sweep's wall
+  // clock flat as the grid widens.
+  const int total_ops = bench::env_trials(0) > 0
+                            ? bench::env_trials(0) * 100
+                            : (smoke ? 160 : 4000);
+  const std::vector<int> grid = conn_grid(smoke);
+
+  serve::ServeConfig config = serve::ServeConfig::from_env();
+  const int threads = config.drain_lanes;
+  serve::MatchServer server(config);
+  serve::NetConfig net_config = serve::NetConfig::from_env();
+  const int peak_conns = *std::max_element(grid.begin(), grid.end());
+  net_config.max_conns = std::max(net_config.max_conns, 2 * peak_conns);
+  // Every leg opens its whole connection grid at once. A backlog smaller
+  // than that loses the race between the clients' simultaneous connects and
+  // the (busy) event loop's accept sweep: the kernel drops overflow at
+  // final-ACK time, the client sits in ESTABLISHED, and its first send is
+  // answered with RST.
+  net_config.backlog = std::max(net_config.backlog, peak_conns);
+  serve::NetServer net(server, net_config);
+  const int port = net.listen_on_loopback();
+  std::thread loop([&net] { net.run(); });
+
+  // Markets created and primed once, over the wire, before any timed leg.
+  {
+    auto setup = serve::ClientConnection::connect_loopback(port);
+    for (int k = 0; k < markets; ++k) {
+      serve::Request create =
+          make_request(serve::RequestType::kCreate, "net" + std::to_string(k));
+      create.scenario = make_scenario(M, N);
+      setup.send_all(serve::format_request(create));
+      serve::Request prime =
+          make_request(serve::RequestType::kSolve, "net" + std::to_string(k));
+      setup.send_all(serve::format_request(prime));
+    }
+    std::string line;
+    for (int k = 0; k < 2 * markets; ++k) {
+      SPECMATCH_CHECK_MSG(setup.read_line(line) && line.rfind("ok ", 0) == 0,
+                          "net bench setup failed: " << line);
+    }
+    setup.half_close();
+  }
+
+  std::vector<bench::BenchRecord> records;
+  for (const int conns : grid) {
+    const int ops_per_conn = std::max(1, total_ops / conns);
+    for (const int window : {1, 8}) {
+      const char* mode = window == 1 ? "closed" : "open";
+      const NetLegResult net_leg =
+          run_net_leg(port, conns, window, ops_per_conn, M, N, markets,
+                      99991ull + static_cast<std::uint64_t>(conns));
+      bench::BenchRecord record(
+          "serve_net", M, N, std::string(mode) + "_c" + std::to_string(conns),
+          threads, net_leg.leg.wall_ms, 0);
+      std::ostringstream note;
+      note << leg_note(net_leg.leg) << " conns=" << conns
+           << " window=" << window << " bytes_sent=" << net_leg.bytes_sent;
+      record.note = note.str();
+      records.push_back(record);
+      std::cout << "conns=" << conns << " " << mode << ": " << record.note
+                << " wall_ms=" << net_leg.leg.wall_ms << "\n";
+    }
+  }
+
+  net.request_shutdown();
+  loop.join();
+  const serve::NetStats stats = net.stats();
+  SPECMATCH_CHECK_MSG(stats.requests == stats.responses,
+                      "net bench lost responses");
+  SPECMATCH_CHECK_MSG(stats.protocol_errors == 0,
+                      "net bench hit protocol errors");
+  bench::BenchRecord totals("serve_net", M, N, "totals", threads, 0.0, 0);
+  std::ostringstream note;
+  note << "accepted=" << stats.accepted << " requests=" << stats.requests
+       << " bytes_in=" << stats.bytes_in << " bytes_out=" << stats.bytes_out
+       << " shed_inline=" << stats.shed_inline;
+  totals.note = note.str();
+  records.push_back(totals);
+  std::cout << "net totals: " << note.str() << "\n";
+
+  if (metrics::enabled()) {
+    const metrics::Snapshot snapshot = metrics::Registry::global().snapshot();
+    bench::write_bench_json(json_path, records, &snapshot);
+  } else {
+    bench::write_bench_json(json_path, records);
+  }
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}
+
 int run() {
   const bool smoke = bench::env_int("SPECMATCH_BENCH_SMOKE", 0) != 0;
   const char* json_env = std::getenv("SPECMATCH_BENCH_JSON");
@@ -266,4 +500,9 @@ int run() {
 }  // namespace
 }  // namespace specmatch
 
-int main() { return specmatch::run(); }
+int main(int argc, char** argv) {
+  for (int a = 1; a < argc; ++a) {
+    if (std::string(argv[a]) == "--net") return specmatch::run_net();
+  }
+  return specmatch::run();
+}

@@ -76,6 +76,28 @@ constexpr EnvKnob kKnownEnvKnobs[] = {
     {"SPECMATCH_SERVE_WARM_FULL",
      "run warm solves over the full buyer set instead of restricting Stage "
      "II to the components touched since the last solve (serve/server.cpp)"},
+    {"SPECMATCH_SERVE_LISTEN_BACKLOG",
+     "listen(2) backlog of the TCP front-end, default 128 "
+     "(serve/net_server.cpp)"},
+    {"SPECMATCH_SERVE_MAX_CONNS",
+     "concurrent-connection cap of the TCP front-end, default 1024; accepts "
+     "beyond it are refused with one err! line (serve/net_server.cpp)"},
+    {"SPECMATCH_SERVE_CONN_WINDOW",
+     "per-connection in-flight request window, default 64; the event loop "
+     "stops reading a connection at the limit so backpressure propagates as "
+     "TCP flow control (serve/net_server.cpp)"},
+    {"SPECMATCH_SERVE_DRAIN_MS",
+     "graceful-drain budget of the TCP front-end in milliseconds, default "
+     "5000; past it, remaining connections are force-closed "
+     "(serve/net_server.cpp)"},
+    {"SPECMATCH_NET_CONNS",
+     "comma-separated connection-count grid of the serve_load --net bench, "
+     "default 1,64,512 (1,8 under SPECMATCH_BENCH_SMOKE) "
+     "(bench/serve_load.cpp)"},
+    {"SPECMATCH_SERVE_MAX_LINE",
+     "longest tolerated wire-protocol line in bytes, default 1048576; a "
+     "frame with no newline beyond it is a protocol error "
+     "(serve/net_server.cpp)"},
     {"SPECMATCH_COMPONENT_MIN",
      "minimum vertices per component shard of the coalition solves, default "
      "64; shards batch consecutive components up to the minimum "

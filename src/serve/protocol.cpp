@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "common/check.hpp"
 #include "workload/io.hpp"
 
 namespace specmatch::serve {
@@ -55,6 +56,36 @@ const char* request_keyword(RequestType type) {
 std::string format_double(double value) {
   std::ostringstream out;
   out << std::setprecision(std::numeric_limits<double>::max_digits10) << value;
+  return out.str();
+}
+
+std::string format_request(const Request& request) {
+  std::ostringstream out;
+  out << request_keyword(request.type);
+  switch (request.type) {
+    case RequestType::kCreate:
+      out << " " << request.market_id << "\n";
+      SPECMATCH_CHECK_MSG(request.scenario != nullptr,
+                          "create request has no scenario payload");
+      workload::save_scenario(out, *request.scenario);
+      return out.str();
+    case RequestType::kJoin:
+    case RequestType::kLeave:
+      out << " " << request.market_id << " " << request.buyer;
+      break;
+    case RequestType::kUpdatePrice:
+      out << " " << request.market_id << " " << request.buyer << " "
+          << request.channel << " " << format_double(request.value);
+      break;
+    case RequestType::kSolve:
+      out << " " << request.market_id << (request.warm ? " warm" : " cold");
+      break;
+    case RequestType::kQuery:
+    case RequestType::kStats:
+      out << " " << request.market_id;
+      break;
+  }
+  out << "\n";
   return out.str();
 }
 

@@ -76,10 +76,22 @@ struct Request {
 /// The keyword of a request type ("create", "join", ...).
 const char* request_keyword(RequestType type);
 
+/// The request re-serialized in wire format: the verb line (plus, for
+/// `create`, the embedded scenario block), newline-terminated. Feeding the
+/// result back through RequestReader yields an equivalent request — the
+/// round-trip discipline network clients rely on to replay a parsed stream.
+std::string format_request(const Request& request);
+
 /// Pulls requests off a line-oriented stream (file, stdin, or a string).
+///
+/// `line_offset` biases the reported line numbers: a socket session parses
+/// each frame from a fresh stream over the unconsumed bytes, so the reader
+/// is constructed with the number of lines the connection has already
+/// consumed and keeps reporting absolute per-connection line numbers.
 class RequestReader {
  public:
-  explicit RequestReader(std::istream& is) : is_(is) {}
+  explicit RequestReader(std::istream& is, int line_offset = 0)
+      : is_(is), line_(line_offset) {}
 
   /// Parses the next request into `out`; false at end of input. Throws
   /// ProtocolError on malformed input. Embedded scenarios of `create`

@@ -481,6 +481,11 @@ std::string MatchServer::solve_response(MarketEntry& entry,
   return out.str();
 }
 
+int MatchServer::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_;
+}
+
 std::size_t MatchServer::resident_markets() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return registry_.size();

@@ -117,6 +117,11 @@ class MatchServer {
   // flight; exact after drain()) ------------------------------------------
   std::size_t resident_markets() const;
   std::size_t resident_bytes() const;
+  /// Admitted-but-unanswered requests right now. The networked front-end
+  /// polls this before submitting: under Overflow::kBlock it stops reading
+  /// a connection instead of letting submit() park the event loop, so
+  /// backpressure propagates to the client as TCP flow control.
+  int pending() const;
   std::int64_t evictions() const;
   std::int64_t coalesced() const { return coalesced_; }
   std::int64_t shed() const { return shed_; }

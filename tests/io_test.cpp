@@ -224,6 +224,31 @@ TEST(ScenarioIoTest, MidStreamLoadReportsOffsetLinesAndConsumption) {
   }
 }
 
+TEST(ScenarioIoTest, MidStreamJunkBytesKeepOffsetCoordinates) {
+  // Junk (not truncation) inside an embedded scenario: the error must still
+  // come back in outer-stream line coordinates, since that is what a
+  // networked session reports to the peer (serve/net_server.cpp hands its
+  // per-connection line offset down through RequestReader).
+  workload::WorkloadParams params;
+  params.num_sellers = 2;
+  params.num_buyers = 4;
+  Rng rng(9);
+  const auto original = generate_scenario(params, rng);
+  std::stringstream full;
+  save_scenario(full, original);
+  std::string text = full.str();
+  const std::size_t pos = text.find("utilities");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 9, "garbage!!");
+  std::stringstream corrupt(text);
+  try {
+    (void)load_scenario(corrupt, 100, nullptr);
+    ADD_FAILURE() << "corrupt scenario parsed";
+  } catch (const ScenarioParseError& e) {
+    EXPECT_GT(e.line(), 100) << e.what();
+  }
+}
+
 TEST(ScenarioIoTest, MissingFileIsRejected) {
   EXPECT_THROW((void)load_scenario_file("/nonexistent/path.scenario"),
                ScenarioParseError);

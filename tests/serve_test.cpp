@@ -9,12 +9,15 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/alloc_count.hpp"
 #include "common/rng.hpp"
 #include "matching/stability.hpp"
 #include "matching/two_stage.hpp"
+#include "serve/net_client.hpp"
+#include "serve/net_server.hpp"
 #include "serve/protocol.hpp"
 #include "serve/registry.hpp"
 #include "workload/generator.hpp"
@@ -436,6 +439,265 @@ TEST(MatchServerTest, SteadyStateServingIsAllocationFree) {
         << "resident-workspace serving allocated in steady-state rounds";
   }
   alloc_count::set_counting(false);
+}
+
+// --- the wire: format_request / RequestReader line offsets ------------------
+
+TEST(ServeProtocolTest, FormatRequestRoundTripsEveryKind) {
+  const auto scenario = random_scenario(7, 2, 5);
+  std::vector<Request> originals;
+  originals.push_back(create_request("m", scenario));
+  Request join = make_request(RequestType::kJoin, "m");
+  join.buyer = 3;
+  originals.push_back(join);
+  Request leave = make_request(RequestType::kLeave, "m");
+  leave.buyer = 1;
+  originals.push_back(leave);
+  originals.push_back(price_request("m", 2, 1, 0.125));
+  originals.push_back(solve_request("m", false));
+  originals.push_back(solve_request("m", true));
+  originals.push_back(make_request(RequestType::kQuery, "m"));
+  originals.push_back(make_request(RequestType::kStats, "m"));
+
+  std::string wire;
+  for (const Request& request : originals) wire += format_request(request);
+
+  std::istringstream in(wire);
+  RequestReader reader(in);
+  Request parsed;
+  for (const Request& original : originals) {
+    ASSERT_TRUE(reader.next(parsed));
+    EXPECT_EQ(parsed.type, original.type);
+    EXPECT_EQ(parsed.market_id, original.market_id);
+    EXPECT_EQ(parsed.buyer, original.buyer);
+    EXPECT_EQ(parsed.channel, original.channel);
+    EXPECT_EQ(parsed.value, original.value);
+    EXPECT_EQ(parsed.warm, original.warm);
+    if (original.scenario != nullptr) {
+      ASSERT_NE(parsed.scenario, nullptr);
+      EXPECT_EQ(parsed.scenario->utilities, original.scenario->utilities);
+    }
+  }
+  EXPECT_FALSE(reader.next(parsed));
+}
+
+TEST(ServeProtocolTest, ReaderLineOffsetKeepsAbsoluteLineNumbers) {
+  // A socket session parses each frame from a fresh stream; the offset keeps
+  // ProtocolError line numbers absolute within the connection.
+  std::istringstream in("join m 1\nfrobnicate m\n");
+  RequestReader reader(in, 10);  // 10 lines already consumed
+  Request request;
+  ASSERT_TRUE(reader.next(request));
+  EXPECT_EQ(reader.line(), 11);
+  try {
+    reader.next(request);
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_EQ(e.line(), 12);
+    EXPECT_NE(std::string(e.what()).find("line 12"), std::string::npos);
+  }
+}
+
+TEST(ServeProtocolTest, TruncatedEmbeddedCreateThrowsAtEof) {
+  // The net server's framing heuristic relies on this: a create whose
+  // embedded scenario is cut off at the end of the available bytes throws
+  // with the stream at EOF (more bytes might complete it), while junk in
+  // the middle of complete lines throws without EOF.
+  std::string wire = format_request(create_request("m", random_scenario(8, 2, 4)));
+  wire.resize(wire.size() - 20);
+  std::istringstream in(wire);
+  RequestReader reader(in);
+  Request request;
+  EXPECT_THROW((void)reader.next(request), ProtocolError);
+  EXPECT_TRUE(in.eof());
+}
+
+// --- the TCP front-end ------------------------------------------------------
+
+/// A NetServer over a 1-lane MatchServer, event loop on its own thread,
+/// shut down (gracefully) on destruction.
+struct NetHarness {
+  explicit NetHarness(ServeConfig serve_config = test_config(),
+                      NetConfig net_config = NetConfig{})
+      : server(serve_config), net(server, net_config) {
+    port = net.listen_on_loopback();
+    loop = std::thread([this] { net.run(); });
+  }
+  ~NetHarness() { shutdown(); }
+
+  /// Graceful drain + join. NetStats reads are only race-free after this
+  /// (the event loop owns stats_ while it runs).
+  void shutdown() {
+    if (loop.joinable()) {
+      net.request_shutdown();
+      loop.join();
+    }
+  }
+
+  MatchServer server;
+  NetServer net;
+  std::thread loop;
+  int port = 0;
+};
+
+std::string scenario_wire(const std::string& id, std::uint64_t seed) {
+  return format_request(create_request(id, random_scenario(seed, 2, 4)));
+}
+
+TEST(NetServerTest, RoundTripOverSocket) {
+  NetHarness harness;
+  auto conn = ClientConnection::connect_loopback(harness.port);
+  conn.send_all(scenario_wire("m", 11));
+  conn.send_all("solve m cold\nquery m\n");
+  conn.half_close();
+
+  std::string line;
+  ASSERT_TRUE(conn.read_line(line));
+  EXPECT_EQ(line.rfind("ok create m ", 0), 0u) << line;
+  ASSERT_TRUE(conn.read_line(line));
+  EXPECT_EQ(line.rfind("ok solve m cold ", 0), 0u) << line;
+  ASSERT_TRUE(conn.read_line(line));
+  EXPECT_EQ(line.rfind("ok query m ", 0), 0u) << line;
+  EXPECT_FALSE(conn.read_line(line)) << "expected clean EOF, got: " << line;
+
+  harness.shutdown();
+  const NetStats stats = harness.net.stats();
+  EXPECT_EQ(stats.requests, 3);
+  EXPECT_EQ(stats.responses, 3);
+  EXPECT_EQ(stats.accepted, 1);
+}
+
+TEST(NetServerTest, PipelinedResponsesArriveInSeqOrder) {
+  ServeConfig config = test_config();
+  config.drain_lanes = 4;  // out-of-order completions exercise the reorder
+  NetHarness harness(config);
+  auto conn = ClientConnection::connect_loopback(harness.port);
+
+  std::string burst = scenario_wire("m", 12);
+  constexpr int kRounds = 20;
+  for (int i = 0; i < kRounds; ++i) {
+    burst += "price m 1 0 0." + std::to_string(10 + i) + "\n";
+    burst += "solve m warm\n";
+  }
+  conn.send_all(burst);
+  conn.half_close();
+
+  std::string line;
+  ASSERT_TRUE(conn.read_line(line));
+  EXPECT_EQ(line.rfind("ok create m ", 0), 0u) << line;
+  for (int i = 0; i < kRounds; ++i) {
+    ASSERT_TRUE(conn.read_line(line));
+    EXPECT_EQ(line.rfind("ok price m 1 0 ", 0), 0u) << "round " << i << ": "
+                                                    << line;
+    ASSERT_TRUE(conn.read_line(line));
+    EXPECT_EQ(line.rfind("ok solve m warm ", 0), 0u) << "round " << i << ": "
+                                                     << line;
+  }
+  EXPECT_FALSE(conn.read_line(line)) << "expected clean EOF, got: " << line;
+}
+
+TEST(NetServerTest, TruncatedCreateAtEofReportsConnAndSeq) {
+  NetHarness harness;
+  auto conn = ClientConnection::connect_loopback(harness.port);
+  // A create whose embedded scenario is cut off mid-block, then EOF.
+  conn.send_all("create m\nspecmatch-scenario v1\nsellers 2\n");
+  conn.half_close();
+
+  std::string line;
+  ASSERT_TRUE(conn.read_line(line));
+  EXPECT_EQ(line.rfind("err! protocol conn=", 0), 0u) << line;
+  EXPECT_NE(line.find(" seq=0:"), std::string::npos) << line;
+  EXPECT_FALSE(conn.read_line(line)) << "expected EOF after fatal: " << line;
+  harness.shutdown();
+  EXPECT_EQ(harness.net.stats().protocol_errors, 1);
+}
+
+TEST(NetServerTest, OversizedLineIsAProtocolError) {
+  NetConfig net_config;
+  net_config.max_line_bytes = 128;
+  NetHarness harness(test_config(), net_config);
+  auto conn = ClientConnection::connect_loopback(harness.port);
+  conn.send_all(std::string(300, 'x'));  // no newline, past the limit
+
+  std::string line;
+  ASSERT_TRUE(conn.read_line(line));
+  EXPECT_EQ(line.rfind("err! protocol conn=", 0), 0u) << line;
+  EXPECT_NE(line.find("oversized line"), std::string::npos) << line;
+  EXPECT_FALSE(conn.read_line(line)) << "expected EOF after fatal: " << line;
+}
+
+TEST(NetServerTest, JunkMidSessionStillAnswersEarlierRequests) {
+  NetHarness harness;
+  auto conn = ClientConnection::connect_loopback(harness.port);
+  conn.send_all(scenario_wire("m", 13));
+  conn.send_all("solve m cold\nfrobnicate m\nquery m\n");
+  conn.half_close();
+
+  // Everything admitted before the junk frame is answered, in order, then
+  // the fatal line names the poisoned slot; the trailing query is never
+  // answered.
+  std::string line;
+  ASSERT_TRUE(conn.read_line(line));
+  EXPECT_EQ(line.rfind("ok create m ", 0), 0u) << line;
+  ASSERT_TRUE(conn.read_line(line));
+  EXPECT_EQ(line.rfind("ok solve m cold ", 0), 0u) << line;
+  ASSERT_TRUE(conn.read_line(line));
+  EXPECT_EQ(line.rfind("err! protocol conn=", 0), 0u) << line;
+  EXPECT_NE(line.find(" seq=2:"), std::string::npos) << line;
+  EXPECT_NE(line.find("frobnicate"), std::string::npos) << line;
+  EXPECT_FALSE(conn.read_line(line)) << "expected EOF after fatal: " << line;
+}
+
+TEST(NetServerTest, RejectOverflowShedsInline) {
+  ServeConfig config = test_config();
+  config.manual_drain = true;  // nothing drains: the queue fills immediately
+  config.queue_capacity = 1;
+  config.overflow = ServeConfig::Overflow::kReject;
+  NetHarness harness(config);
+  auto conn = ClientConnection::connect_loopback(harness.port);
+  conn.send_all("query m\nquery m\nquery m\n");
+  conn.half_close();
+
+  // With capacity 1 and no draining, requests past the first are shed the
+  // moment they parse. Their inline answers still respect seq order, so
+  // nothing reaches the wire until the parked first request is released.
+  while (harness.server.shed() < 2) {
+    std::this_thread::yield();
+  }
+  harness.server.drain_pending_for_tests();
+
+  std::string line;
+  ASSERT_TRUE(conn.read_line(line));
+  EXPECT_EQ(line, "err query m: unknown market") << line;
+  ASSERT_TRUE(conn.read_line(line));
+  EXPECT_EQ(line, "err query m: shed (admission queue full)") << line;
+  ASSERT_TRUE(conn.read_line(line));
+  EXPECT_EQ(line, "err query m: shed (admission queue full)") << line;
+  EXPECT_FALSE(conn.read_line(line));
+  harness.shutdown();
+  EXPECT_EQ(harness.net.stats().shed_inline, 2);
+}
+
+TEST(NetServerTest, ReplayClientReturnsTranscriptInRequestOrder) {
+  NetHarness harness;
+  std::vector<Request> requests;
+  requests.push_back(create_request("a", random_scenario(21, 2, 4)));
+  requests.push_back(create_request("b", random_scenario(22, 2, 4)));
+  requests.push_back(solve_request("a", false));
+  requests.push_back(solve_request("b", false));
+  requests.push_back(make_request(RequestType::kQuery, "a"));
+  requests.push_back(make_request(RequestType::kStats, "b"));
+
+  const ReplayResult result =
+      replay_over_network(harness.port, requests, /*conns=*/3);
+  ASSERT_EQ(result.transcript.size(), requests.size());
+  EXPECT_EQ(result.transcript[0].rfind("ok create a ", 0), 0u);
+  EXPECT_EQ(result.transcript[1].rfind("ok create b ", 0), 0u);
+  EXPECT_EQ(result.transcript[2].rfind("ok solve a cold ", 0), 0u);
+  EXPECT_EQ(result.transcript[3].rfind("ok solve b cold ", 0), 0u);
+  EXPECT_EQ(result.transcript[4].rfind("ok query a ", 0), 0u);
+  EXPECT_EQ(result.transcript[5].rfind("ok stats b ", 0), 0u);
+  EXPECT_GT(result.bytes_sent, 0);
 }
 
 }  // namespace

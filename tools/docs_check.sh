@@ -7,6 +7,10 @@
 #    registered in src/common/config.* (known_env_knobs), so docs and code
 #    cannot drift apart. The checking macros (SPECMATCH_CHECK etc.) are code
 #    identifiers, not env knobs, and are whitelisted.
+# 3. Every wire-protocol verb the server implements (the request_keyword
+#    switch in src/serve/protocol.cpp) must be documented in
+#    docs/PROTOCOL.md, so the protocol spec cannot silently fall behind the
+#    implementation.
 #
 # Usage: tools/docs_check.sh [repo_root]
 set -uo pipefail
@@ -51,6 +55,29 @@ for doc in "${docs[@]}"; do
     fi
   done < <(grep -ohE 'SPECMATCH_[A-Z_]+' "$doc" | sort -u)
 done
+
+# ---- 3. Every protocol verb appears in docs/PROTOCOL.md ---------------------
+protocol_src=src/serve/protocol.cpp
+protocol_doc=docs/PROTOCOL.md
+if [[ ! -f "$protocol_doc" ]]; then
+  echo "docs_check: MISSING $protocol_doc" >&2
+  status=1
+else
+  # The verbs are the string literals returned by request_keyword().
+  verbs="$(sed -n '/request_keyword/,/^}/p' "$protocol_src" \
+           | grep -oE 'return "[a-z]+"' | grep -oE '"[a-z]+"' | tr -d '"' \
+           | sort -u)"
+  if [[ -z "$verbs" ]]; then
+    echo "docs_check: no verbs extracted from $protocol_src (request_keyword moved?)" >&2
+    status=1
+  fi
+  for verb in $verbs; do
+    if ! grep -qE "(^|[\` ])$verb([\` ]|$)" "$protocol_doc"; then
+      echo "docs_check: verb '$verb' ($protocol_src) undocumented in $protocol_doc" >&2
+      status=1
+    fi
+  done
+fi
 
 if [[ "$status" -eq 0 ]]; then
   echo "docs_check: OK (${#docs[@]} docs checked)"

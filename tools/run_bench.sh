@@ -13,6 +13,10 @@
 #   tools/run_bench.sh --serve         # closed-loop serving load run, writes
 #                                      # BENCH_serve.json (cold/warm latency
 #                                      # percentiles, throughput, shed burst)
+#   tools/run_bench.sh --serve --net   # networked serving load run over the
+#                                      # loopback TCP front-end (closed- and
+#                                      # open-loop legs at conns {1,64,512}),
+#                                      # writes BENCH_serve_net.json
 #   tools/run_bench.sh --smoke BINDIR  # smoke: run every bench binary in
 #                                      # BINDIR at SPECMATCH_TRIALS=1 (the
 #                                      # bench_smoke ctest)
@@ -48,6 +52,19 @@ if [[ "${1:-}" == "--serve" ]]; then
   build_dir="$repo_root/build-bench"
   cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
   cmake --build "$build_dir" -j"$(nproc)" --target serve_load
+  if [[ "${2:-}" == "--net" ]]; then
+    # Networked leg: the same mutation/solve mix driven through the loopback
+    # TCP front-end, closed- and open-loop, conns {1, 64, 512} (override
+    # with SPECMATCH_NET_CONNS). Rows land under bench "serve_net" with the
+    # connection count in the algorithm field, so --compare keys them apart
+    # from the in-process rows. Single-core containers serialize client and
+    # server on one CPU — see EXPERIMENTS.md before reading these numbers
+    # as network overhead.
+    SPECMATCH_METRICS=1 \
+    SPECMATCH_BENCH_JSON="$repo_root/BENCH_serve_net.json" \
+      "$build_dir/bench/serve_load" --net
+    exit 0
+  fi
   # Metrics on, so the JSON carries the serve.* instrument snapshot (latency
   # histograms with p50/p90/p99 alongside the client-side exact percentiles).
   SPECMATCH_METRICS=1 \
@@ -207,6 +224,24 @@ if [[ "${1:-}" == "--smoke" ]]; then
                 '"bench": "serve_shed"' 'serve.latency_ms'; do
     if ! grep -q "$marker" "$tmpdir/BENCH_serve.json"; then
       echo "bench_smoke: BENCH_serve.json missing $marker" >&2
+      status=1
+    fi
+  done
+  # Networked serving leg: the same smoke-sized load through the loopback
+  # TCP front-end at conns {1, 8}, closed- and open-loop. The JSON must
+  # carry both legs plus the totals row, and the bench itself asserts no
+  # request was lost and no protocol error occurred.
+  echo "bench_smoke: serve_load --net"
+  if ! SPECMATCH_BENCH_JSON="$tmpdir/BENCH_serve_net.json" \
+       "$bindir/serve_load" --net > "$tmpdir/serve_load_net.log" 2>&1; then
+    echo "bench_smoke: FAILED serve_load --net" >&2
+    tail -n 30 "$tmpdir/serve_load_net.log" >&2
+    status=1
+  fi
+  for marker in '"algorithm": "closed_c1"' '"algorithm": "open_c8"' \
+                '"algorithm": "totals"'; do
+    if ! grep -q "$marker" "$tmpdir/BENCH_serve_net.json"; then
+      echo "bench_smoke: BENCH_serve_net.json missing $marker" >&2
       status=1
     fi
   done

@@ -12,6 +12,7 @@
 // Scenarios use the text format of workload/io.hpp, so generated markets can
 // be archived and replayed bit-for-bit.
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -22,6 +23,8 @@
 
 #include "auction/group_auction.hpp"
 #include "dist/runtime.hpp"
+#include "serve/net_client.hpp"
+#include "serve/net_server.hpp"
 #include "serve/server.hpp"
 #include "matching/export_dot.hpp"
 #include "matching/paper_examples.hpp"
@@ -54,7 +57,14 @@ using namespace specmatch;
       "  specmatch_cli dot FILE [--out FILE.dot]   (matching as graphviz)\n"
       "  specmatch_cli paper toy|counter           (run the paper's fixtures)\n"
       "  specmatch_cli serve [FILE] [--out FILE]   (request file or stdin;\n"
-      "                see docs/SERVING.md for the protocol)\n";
+      "                see docs/SERVING.md for the protocol)\n"
+      "  specmatch_cli serve --listen PORT [--port-file F]\n"
+      "                [--overflow block|reject]   (TCP front-end on\n"
+      "                127.0.0.1; port 0 = ephemeral, choice written to\n"
+      "                --port-file; SIGTERM drains. docs/PROTOCOL.md)\n"
+      "  specmatch_cli serve FILE --connect PORT [--conns N] [--out FILE]\n"
+      "                (replay FILE over N connections; transcript in\n"
+      "                request order)\n";
   std::exit(2);
 }
 
@@ -251,6 +261,58 @@ int cmd_serve(int argc, char** argv) {
   const auto flags = parse_flags(argc, argv, flag_start);
   const std::string out_path = flag_string(flags, "out", "");
 
+  if (flags.count("listen") != 0) {
+    if (!input_path.empty()) usage("--listen takes no request file");
+    serve::ServeConfig config = serve::ServeConfig::from_env();
+    const std::string overflow = flag_string(flags, "overflow", "block");
+    if (overflow == "block") {
+      config.overflow = serve::ServeConfig::Overflow::kBlock;
+    } else if (overflow == "reject") {
+      config.overflow = serve::ServeConfig::Overflow::kReject;
+    } else {
+      usage("unknown --overflow '" + overflow + "' (block|reject)");
+    }
+    serve::MatchServer server(config);
+    serve::NetConfig net = serve::NetConfig::from_env();
+    net.port = flag_int(flags, "listen", 0);
+    serve::NetServer listener(server, net);
+    const int port = listener.listen_on_loopback();
+    const std::string port_file = flag_string(flags, "port-file", "");
+    if (!port_file.empty()) {
+      // Written to a temp name and renamed so a poller never reads a
+      // partially written port number.
+      const std::string tmp = port_file + ".tmp";
+      std::ofstream pf(tmp);
+      if (!pf.good()) usage("cannot open " + tmp);
+      pf << port << "\n";
+      pf.close();
+      if (std::rename(tmp.c_str(), port_file.c_str()) != 0) {
+        usage("cannot rename " + tmp + " to " + port_file);
+      }
+    }
+    listener.install_signal_handlers();
+    std::cerr << "serve: listening on 127.0.0.1:" << port << "\n";
+    listener.run();
+    const serve::NetStats net_stats = listener.stats();
+    std::cerr << "serve: net accepted=" << net_stats.accepted
+              << " rejected=" << net_stats.rejected
+              << " closed=" << net_stats.closed
+              << " requests=" << net_stats.requests
+              << " responses=" << net_stats.responses
+              << " shed_inline=" << net_stats.shed_inline
+              << " protocol_errors=" << net_stats.protocol_errors
+              << " bytes_in=" << net_stats.bytes_in
+              << " bytes_out=" << net_stats.bytes_out << "\n";
+    std::cerr << "serve: markets=" << server.resident_markets()
+              << " bytes=" << server.resident_bytes()
+              << " evictions=" << server.evictions()
+              << " coalesced=" << server.coalesced()
+              << " deduped=" << server.solves_deduped()
+              << " shed=" << server.shed()
+              << " steady_allocs=" << server.steady_allocs() << "\n";
+    return 0;
+  }
+
   std::ifstream file_in;
   if (!input_path.empty() && input_path != "-") {
     file_in.open(input_path);
@@ -264,6 +326,25 @@ int cmd_serve(int argc, char** argv) {
     if (!file_out.good()) usage("cannot open " + out_path);
   }
   std::ostream& out = file_out.is_open() ? file_out : std::cout;
+
+  if (flags.count("connect") != 0) {
+    const int port = flag_int(flags, "connect", 0);
+    if (port <= 0) usage("--connect needs a port");
+    const int conns = flag_int(flags, "conns", 1);
+    if (conns < 1) usage("--conns must be >= 1");
+    std::vector<serve::Request> requests;
+    serve::RequestReader reader(in);
+    serve::Request request;
+    while (reader.next(request)) requests.push_back(std::move(request));
+    const serve::ReplayResult result =
+        serve::replay_over_network(port, requests, conns);
+    for (const std::string& line : result.transcript) out << line;
+    out.flush();
+    std::cerr << "serve: replayed requests=" << requests.size()
+              << " conns=" << conns << " bytes_sent=" << result.bytes_sent
+              << "\n";
+    return 0;
+  }
 
   // Replay mode is lossless: a full queue blocks admission instead of
   // shedding, so a transcript always answers every request.
