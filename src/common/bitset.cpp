@@ -1,7 +1,8 @@
 #include "common/bitset.hpp"
 
 #include <algorithm>
-#include <bit>
+
+#include "common/simd.hpp"
 
 namespace specmatch {
 
@@ -16,16 +17,16 @@ void DynamicBitset::assign_and(const DynamicBitset& a, const DynamicBitset& b) {
   a.check_same_size(b);
   size_ = a.size_;
   words_.resize(a.words_.size());
-  for (std::size_t w = 0; w < words_.size(); ++w)
-    words_[w] = a.words_[w] & b.words_[w];
+  simd::store_and(words_.data(), a.words_.data(), b.words_.data(),
+                  words_.size());
 }
 
 void DynamicBitset::assign_or(const DynamicBitset& a, const DynamicBitset& b) {
   a.check_same_size(b);
   size_ = a.size_;
   words_.resize(a.words_.size());
-  for (std::size_t w = 0; w < words_.size(); ++w)
-    words_[w] = a.words_[w] | b.words_[w];
+  simd::store_or(words_.data(), a.words_.data(), b.words_.data(),
+                 words_.size());
 }
 
 void DynamicBitset::assign_difference(const DynamicBitset& a,
@@ -33,88 +34,89 @@ void DynamicBitset::assign_difference(const DynamicBitset& a,
   a.check_same_size(b);
   size_ = a.size_;
   words_.resize(a.words_.size());
-  for (std::size_t w = 0; w < words_.size(); ++w)
-    words_[w] = a.words_[w] & ~b.words_[w];
+  simd::store_andnot(words_.data(), a.words_.data(), b.words_.data(),
+                     words_.size());
+}
+
+void DynamicBitset::assign_andnot(const DynamicBitset& a,
+                                  const DynamicBitset& b) {
+  a.check_same_size(b);
+  size_ = a.size_;
+  words_.resize(a.words_.size());
+  // ~a & b == b & ~a: reuse the andnot store with the operands swapped.
+  simd::store_andnot(words_.data(), b.words_.data(), a.words_.data(),
+                     words_.size());
 }
 
 std::size_t DynamicBitset::count() const {
-  std::size_t total = 0;
-  for (std::uint64_t word : words_) total += std::popcount(word);
-  return total;
+  return simd::popcount_words(words_.data(), words_.size());
 }
 
 bool DynamicBitset::any() const {
-  for (std::uint64_t word : words_)
-    if (word != 0) return true;
-  return false;
+  return simd::any_word(words_.data(), words_.size());
 }
 
 bool DynamicBitset::intersects(const DynamicBitset& other) const {
   check_same_size(other);
-  for (std::size_t w = 0; w < words_.size(); ++w)
-    if ((words_[w] & other.words_[w]) != 0) return true;
-  return false;
+  return simd::intersects(words_.data(), other.words_.data(), words_.size());
 }
 
 std::size_t DynamicBitset::intersection_count(const DynamicBitset& other) const {
   check_same_size(other);
-  std::size_t total = 0;
-  for (std::size_t w = 0; w < words_.size(); ++w)
-    total += std::popcount(words_[w] & other.words_[w]);
-  return total;
+  return simd::and_popcount(words_.data(), other.words_.data(), words_.size());
 }
 
 std::size_t DynamicBitset::difference_count(const DynamicBitset& other) const {
   check_same_size(other);
-  std::size_t total = 0;
-  for (std::size_t w = 0; w < words_.size(); ++w)
-    total += std::popcount(words_[w] & ~other.words_[w]);
-  return total;
+  return simd::andnot_popcount(words_.data(), other.words_.data(),
+                               words_.size());
 }
 
 bool DynamicBitset::is_subset_of(const DynamicBitset& other) const {
   check_same_size(other);
-  for (std::size_t w = 0; w < words_.size(); ++w)
-    if ((words_[w] & ~other.words_[w]) != 0) return false;
-  return true;
+  return simd::is_subset(words_.data(), other.words_.data(), words_.size());
 }
 
 DynamicBitset& DynamicBitset::operator|=(const DynamicBitset& other) {
   check_same_size(other);
-  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  simd::store_or(words_.data(), words_.data(), other.words_.data(),
+                 words_.size());
   return *this;
 }
 
 DynamicBitset& DynamicBitset::operator&=(const DynamicBitset& other) {
   check_same_size(other);
-  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+  simd::store_and(words_.data(), words_.data(), other.words_.data(),
+                  words_.size());
   return *this;
 }
 
 DynamicBitset& DynamicBitset::operator-=(const DynamicBitset& other) {
   check_same_size(other);
-  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= ~other.words_[w];
+  simd::store_andnot(words_.data(), words_.data(), other.words_.data(),
+                     words_.size());
   return *this;
 }
 
 std::size_t DynamicBitset::find_first() const {
-  for (std::size_t w = 0; w < words_.size(); ++w)
-    if (words_[w] != 0)
-      return w * kBits + static_cast<std::size_t>(__builtin_ctzll(words_[w]));
-  return size_;
+  const std::size_t w =
+      simd::find_nonzero_word(words_.data(), 0, words_.size());
+  if (w == words_.size()) return size_;
+  return w * kBits + static_cast<std::size_t>(__builtin_ctzll(words_[w]));
 }
 
 std::size_t DynamicBitset::find_next(std::size_t pos) const {
   ++pos;
   if (pos >= size_) return size_;
   std::size_t w = pos / kBits;
-  std::uint64_t word = words_[w] & (~std::uint64_t{0} << (pos % kBits));
-  while (true) {
-    if (word != 0)
-      return w * kBits + static_cast<std::size_t>(__builtin_ctzll(word));
-    if (++w == words_.size()) return size_;
-    word = words_[w];
-  }
+  // The word containing `pos` needs its low bits masked off, so it cannot go
+  // through the plain nonzero scan; the rest of the row can.
+  const std::uint64_t masked = words_[w] & (~std::uint64_t{0} << (pos % kBits));
+  if (masked != 0)
+    return w * kBits + static_cast<std::size_t>(__builtin_ctzll(masked));
+  w = simd::find_nonzero_word(words_.data(), w + 1, words_.size());
+  if (w == words_.size()) return size_;
+  return w * kBits + static_cast<std::size_t>(__builtin_ctzll(words_[w]));
 }
 
 std::vector<std::size_t> DynamicBitset::to_indices() const {

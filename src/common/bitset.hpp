@@ -3,7 +3,10 @@
 // Interference graphs over N buyers store one DynamicBitset adjacency row per
 // vertex; seller coalition feasibility checks reduce to word-parallel
 // intersection tests, which keeps the N = 500 sweeps of Figs. 7-8 fast on a
-// single core. The interface is deliberately small and bounds-checked.
+// single core. The interface is deliberately small and bounds-checked. The
+// word loops themselves live in common/simd.hpp: every counting, masking,
+// and scanning method routes through the runtime-dispatched kernel layer
+// (AVX2/SSE2/scalar, bit-identical across tiers by contract).
 #pragma once
 
 #include <cstddef>
@@ -11,6 +14,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/simd.hpp"
 
 namespace specmatch {
 
@@ -58,6 +62,10 @@ class DynamicBitset {
   void assign_and(const DynamicBitset& a, const DynamicBitset& b);
   void assign_or(const DynamicBitset& a, const DynamicBitset& b);
   void assign_difference(const DynamicBitset& a, const DynamicBitset& b);
+  /// Sets this to `~a & b` (ANDNOT operand order — the mirror image of
+  /// assign_difference). Tail bits past size() stay clear because `b`'s
+  /// tail is clear and the complement of `a` is masked by it.
+  void assign_andnot(const DynamicBitset& a, const DynamicBitset& b);
 
   /// Number of set bits.
   std::size_t count() const;
@@ -105,32 +113,65 @@ class DynamicBitset {
   /// Index of the first set bit strictly after `pos`, or size() if none.
   std::size_t find_next(std::size_t pos) const;
 
-  /// Calls `fn(index)` for every set bit in ascending order.
+  /// Calls `fn(index)` for every set bit in ascending order. Rows up to
+  /// kSkipScanWords stay on the plain inline word loop (paper-scale markets;
+  /// an indirect kernel call per word would cost more than it saves); larger
+  /// rows skip runs of zero words through the dispatched nonzero-word scan.
   template <typename Fn>
   void for_each_set(Fn&& fn) const {
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-      std::uint64_t word = words_[w];
-      while (word != 0) {
+    const std::size_t nw = words_.size();
+    const std::uint64_t* wp = words_.data();
+    if (nw <= kSkipScanWords) {
+      for (std::size_t w = 0; w < nw; ++w) {
+        std::uint64_t word = wp[w];
+        while (word != 0) {
+          const int bit = __builtin_ctzll(word);
+          fn(w * kBits + static_cast<std::size_t>(bit));
+          word &= word - 1;
+        }
+      }
+      return;
+    }
+    for (std::size_t w = simd::find_nonzero_word(wp, 0, nw); w < nw;
+         w = simd::find_nonzero_word(wp, w + 1, nw)) {
+      std::uint64_t word = wp[w];
+      do {
         const int bit = __builtin_ctzll(word);
         fn(w * kBits + static_cast<std::size_t>(bit));
         word &= word - 1;
-      }
+      } while (word != 0);
     }
   }
 
   /// Calls `fn(index)` for every bit set in both this bitset and `other`,
   /// in ascending order — for_each_set over (*this & other) without the
-  /// temporary (hot path of the incremental MWIS scoring).
+  /// temporary (hot path of the incremental MWIS scoring). Same small/large
+  /// split as for_each_set, with the masked nonzero-word scan kernel.
   template <typename Fn>
   void for_each_set_and(const DynamicBitset& other, Fn&& fn) const {
     check_same_size(other);
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-      std::uint64_t word = words_[w] & other.words_[w];
-      while (word != 0) {
+    const std::size_t nw = words_.size();
+    const std::uint64_t* wp = words_.data();
+    const std::uint64_t* op = other.words_.data();
+    if (nw <= kSkipScanWords) {
+      for (std::size_t w = 0; w < nw; ++w) {
+        std::uint64_t word = wp[w] & op[w];
+        while (word != 0) {
+          const int bit = __builtin_ctzll(word);
+          fn(w * kBits + static_cast<std::size_t>(bit));
+          word &= word - 1;
+        }
+      }
+      return;
+    }
+    for (std::size_t w = simd::find_nonzero_word_and(wp, op, 0, nw); w < nw;
+         w = simd::find_nonzero_word_and(wp, op, w + 1, nw)) {
+      std::uint64_t word = wp[w] & op[w];
+      do {
         const int bit = __builtin_ctzll(word);
         fn(w * kBits + static_cast<std::size_t>(bit));
         word &= word - 1;
-      }
+      } while (word != 0);
     }
   }
 
@@ -139,6 +180,11 @@ class DynamicBitset {
 
  private:
   static constexpr std::size_t kBits = 64;
+
+  /// Word-count threshold below which iteration sticks to the plain inline
+  /// loop instead of the dispatched zero-word skip scan (16 words = 1024
+  /// bits, comfortably above the paper's N = 500 markets).
+  static constexpr std::size_t kSkipScanWords = 16;
 
   void check_same_size(const DynamicBitset& other) const {
     SPECMATCH_CHECK_MSG(size_ == other.size_,

@@ -56,6 +56,10 @@ constexpr EnvKnob kKnownEnvKnobs[] = {
      "largest vertex count stored as dense bitset adjacency; bigger graphs "
      "use the CSR representation, default 2048 "
      "(graph/interference_graph.cpp)"},
+    {"SPECMATCH_SIMD",
+     "kernel dispatch tier: auto|avx2|sse2|scalar, default auto (highest "
+     "tier the CPU supports); results are bit-identical at every setting "
+     "(common/simd.cpp)"},
     {"SPECMATCH_BENCH_THREADS",
      "parallel lane count of the micro_core trajectory, default 4 "
      "(bench/micro_core.cpp)"},

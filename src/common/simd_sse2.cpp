@@ -1,0 +1,150 @@
+// SSE2 kernel tier (128-bit). Built with -msse2 on x86 (see src/CMakeLists);
+// on other architectures this file compiles to a null table and the dispatch
+// stays scalar. SSE2 predates both PSHUFB and the POPCNT instruction, so the
+// popcount kernels here are the same per-word scalar loops as the reference
+// tier — the 128-bit wins are the bulk stores and the emptiness/subset/scan
+// tests, which reduce to PAND/POR/PANDN plus a compare-movemask emptiness
+// check. Results are bit-identical to scalar by construction (integer only).
+#include "common/simd.hpp"
+
+#include <bit>
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__SSE2__)
+#include <emmintrin.h>
+
+namespace specmatch::simd {
+namespace {
+
+/// True iff any bit of v is set (SSE2 has no PTEST; compare bytes against
+/// zero and check the 16-bit mask).
+inline bool m128_nonzero(__m128i v) {
+  return _mm_movemask_epi8(_mm_cmpeq_epi8(v, _mm_setzero_si128())) != 0xFFFF;
+}
+
+inline __m128i load2(const std::uint64_t* p) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+}
+
+inline void store2(std::uint64_t* p, __m128i v) {
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+}
+
+std::size_t sse2_popcount(const std::uint64_t* a, std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += std::popcount(a[i]);
+  return total;
+}
+
+std::size_t sse2_and_popcount(const std::uint64_t* a, const std::uint64_t* b,
+                              std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += std::popcount(a[i] & b[i]);
+  return total;
+}
+
+std::size_t sse2_andnot_popcount(const std::uint64_t* a,
+                                 const std::uint64_t* b, std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) total += std::popcount(a[i] & ~b[i]);
+  return total;
+}
+
+void sse2_store_and(std::uint64_t* dst, const std::uint64_t* a,
+                    const std::uint64_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    store2(dst + i, _mm_and_si128(load2(a + i), load2(b + i)));
+  for (; i < n; ++i) dst[i] = a[i] & b[i];
+}
+
+void sse2_store_or(std::uint64_t* dst, const std::uint64_t* a,
+                   const std::uint64_t* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    store2(dst + i, _mm_or_si128(load2(a + i), load2(b + i)));
+  for (; i < n; ++i) dst[i] = a[i] | b[i];
+}
+
+void sse2_store_andnot(std::uint64_t* dst, const std::uint64_t* a,
+                       const std::uint64_t* b, std::size_t n) {
+  std::size_t i = 0;
+  // PANDN computes ~x & y, so the mask goes in the first operand.
+  for (; i + 2 <= n; i += 2)
+    store2(dst + i, _mm_andnot_si128(load2(b + i), load2(a + i)));
+  for (; i < n; ++i) dst[i] = a[i] & ~b[i];
+}
+
+bool sse2_intersects(const std::uint64_t* a, const std::uint64_t* b,
+                     std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    if (m128_nonzero(_mm_and_si128(load2(a + i), load2(b + i)))) return true;
+  for (; i < n; ++i)
+    if ((a[i] & b[i]) != 0) return true;
+  return false;
+}
+
+bool sse2_is_subset(const std::uint64_t* a, const std::uint64_t* b,
+                    std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    if (m128_nonzero(_mm_andnot_si128(load2(b + i), load2(a + i))))
+      return false;
+  for (; i < n; ++i)
+    if ((a[i] & ~b[i]) != 0) return false;
+  return true;
+}
+
+bool sse2_any(const std::uint64_t* a, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2)
+    if (m128_nonzero(load2(a + i))) return true;
+  for (; i < n; ++i)
+    if (a[i] != 0) return true;
+  return false;
+}
+
+std::size_t sse2_find_nonzero(const std::uint64_t* a, std::size_t begin,
+                              std::size_t n) {
+  std::size_t i = begin;
+  for (; i + 2 <= n; i += 2)
+    if (m128_nonzero(load2(a + i))) break;
+  for (; i < n; ++i)
+    if (a[i] != 0) return i;
+  return n;
+}
+
+std::size_t sse2_find_nonzero_and(const std::uint64_t* a,
+                                  const std::uint64_t* b, std::size_t begin,
+                                  std::size_t n) {
+  std::size_t i = begin;
+  for (; i + 2 <= n; i += 2)
+    if (m128_nonzero(_mm_and_si128(load2(a + i), load2(b + i)))) break;
+  for (; i < n; ++i)
+    if ((a[i] & b[i]) != 0) return i;
+  return n;
+}
+
+constexpr Kernels kSse2Kernels = {
+    sse2_popcount, sse2_and_popcount, sse2_andnot_popcount,
+    sse2_store_and, sse2_store_or, sse2_store_andnot,
+    sse2_intersects, sse2_is_subset, sse2_any,
+    sse2_find_nonzero, sse2_find_nonzero_and,
+    Tier::kSse2,
+};
+
+}  // namespace
+
+namespace detail {
+const Kernels* sse2_kernels_or_null() { return &kSse2Kernels; }
+}  // namespace detail
+
+}  // namespace specmatch::simd
+
+#else  // non-x86 build (or SSE2 disabled): tier absent, dispatch skips it.
+
+namespace specmatch::simd::detail {
+const Kernels* sse2_kernels_or_null() { return nullptr; }
+}  // namespace specmatch::simd::detail
+
+#endif

@@ -6,8 +6,10 @@
 //
 //  * kDense — one DynamicBitset adjacency row per vertex, so "does buyer j
 //    interfere with anyone in coalition C" is a word-parallel intersection
-//    test. O(N²) bits per graph: perfect for the paper-sized markets, ruinous
-//    at ROADMAP scale (M dense graphs at N = 20000 cost gigabytes).
+//    test running on the runtime-dispatched kernels of common/simd.hpp
+//    (AVX2/SSE2/scalar, bit-identical across tiers). O(N²) bits per graph:
+//    perfect for the paper-sized markets, ruinous at ROADMAP scale (M dense
+//    graphs at N = 20000 cost gigabytes).
 //  * kCsr — compressed sparse rows: each vertex's neighbour list, ascending,
 //    concatenated into one flat array (16-bit ids when N <= 65536, 32-bit
 //    above) behind an offsets table. Memory scales with edges, and every
@@ -176,7 +178,8 @@ class InterferenceGraph {
     });
   }
 
-  /// |N(v) ∩ mask| — the degree of `v` inside `mask`.
+  /// |N(v) ∩ mask| — the degree of `v` inside `mask`. Dense graphs answer
+  /// with one fused and-popcount kernel pass over the adjacency row.
   std::size_t degree_in(BuyerId v, const DynamicBitset& mask) const {
     check_vertex(v);
     SPECMATCH_CHECK(mask.size() == num_vertices_);

@@ -53,9 +53,10 @@ struct GreedyWork {
   std::uint64_t scan_evals = 0;  ///< scan path: score evaluations
 };
 
-/// GWMIN pick score: w(v) / (deg_R(v) + 1). degree_in is the word-parallel
-/// intersection count on dense graphs and an O(deg) row walk on CSR — the
-/// integer degree (and hence the score bits) is identical either way.
+/// GWMIN pick score: w(v) / (deg_R(v) + 1). degree_in is the fused
+/// and-popcount kernel (common/simd.hpp) on dense graphs and an O(deg) row
+/// walk on CSR — the integer degree (and hence the score bits) is identical
+/// either way, and across every SIMD dispatch tier.
 struct GwminScanScore {
   const InterferenceGraph& graph;
   std::span<const double> weights;
@@ -69,7 +70,9 @@ struct GwminScanScore {
 
 /// GWMIN2 pick score: w(v) / (w(v) + w(N_R(v))). for_each_neighbor_in visits
 /// the surviving neighbours in ascending order under both representations,
-/// so the floating-point sum — and the score — is bit-identical.
+/// so the floating-point sum — and the score — is bit-identical. The SIMD
+/// kernels only find the set bits to visit; the weight accumulation itself
+/// deliberately stays scalar, in ascending index order, on every tier.
 struct Gwmin2ScanScore {
   const InterferenceGraph& graph;
   std::span<const double> weights;

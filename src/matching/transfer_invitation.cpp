@@ -74,7 +74,12 @@ StageIIResult run_transfer_invitation_prepared(
 
   /// Computes buyer j's strictly-better prefix length against her current
   /// assignment (the preference CSR rows are descending by utility, so the
-  /// strictly-better channels are exactly a prefix).
+  /// strictly-better channels are exactly a prefix). This scan gathers
+  /// floating-point utilities through the preference indirection, so it
+  /// stays scalar by design — vectorising it would not change results (it
+  /// is compare-only) but the gather dominates; the SIMD kernel layer
+  /// (common/simd.hpp) instead accelerates the round bitsets below
+  /// (applicants/accepted/invite_list set algebra and iteration).
   auto better_prefix = [&](BuyerId j) {
     const double now = current_utility(market, result.matching, j);
     const auto prefs = ws.pref_order(j);

@@ -17,6 +17,10 @@ TwoStageResult run_two_stage(const market::SpectrumMarket& market,
                              MatchWorkspace& workspace) {
   trace::ScopedSpan span("two_stage");
   metrics::count("two_stage.runs");
+  // Both stages run their bitset hot loops on the runtime-dispatched SIMD
+  // kernels (common/simd.hpp); the SPECMATCH_SIMD tier never changes the
+  // matching — tiers are bit-identical by contract, enforced by the
+  // simd_equivalence ctest.
   workspace.prepare(market, config.component_min);
   TwoStageResult result;
 

@@ -69,6 +69,10 @@ struct MatchWorkspace {
   std::vector<DynamicBitset> selections;  ///< per-active-seller result slot
 
   // --- Stage II round state -----------------------------------------------
+  // The per-seller bitsets below are the Stage II hot state: their set
+  // algebra (assign_difference, |=, any, for_each_set) runs on the runtime-
+  // dispatched SIMD kernels of common/simd.hpp. The better_end/cursor prefix
+  // scans stay scalar — they gather FP utilities through the preference CSR.
   std::vector<std::size_t> better_end;  ///< per-buyer better-list prefix len
   std::vector<std::size_t> cursor;      ///< per-buyer transfer cursor
   std::vector<DynamicBitset> applicants;   ///< D_i per seller

@@ -7,6 +7,7 @@
 #include <tuple>
 
 #include "common/config.hpp"
+#include "common/simd.hpp"
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "matching/stability.hpp"
@@ -192,6 +193,59 @@ TEST(GraphRepresentationEquivalenceTest, TwoStageMatchingsBitForBitIdentical) {
         EXPECT_EQ(from_dense.welfare_stage1, from_csr.welfare_stage1);
         EXPECT_EQ(from_dense.welfare_phase1, from_csr.welfare_phase1);
         EXPECT_EQ(from_dense.welfare_final, from_csr.welfare_final);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar vs dispatched SIMD: the kernel dispatch tier must be as invisible
+// as the graph representation. Same markets, scalar-forced vs the highest
+// supported tier, at 1 and 4 threads — matchings, rounds, and welfare series
+// bit-for-bit identical.
+// ---------------------------------------------------------------------------
+
+class ScopedSimdTier {
+ public:
+  explicit ScopedSimdTier(simd::Tier tier) : saved_(simd::active_tier()) {
+    EXPECT_TRUE(simd::force_tier(tier));
+  }
+  ~ScopedSimdTier() { simd::force_tier(saved_); }
+
+ private:
+  simd::Tier saved_;
+};
+
+TEST(SimdEquivalenceTest, TwoStageMatchingsBitForBitIdenticalAcrossTiers) {
+  const simd::Tier best = simd::active_tier();
+  if (best == simd::Tier::kScalar)
+    GTEST_SKIP() << "no SIMD tier on this CPU/build; nothing to compare";
+  for (auto [seed, M, N] : {std::make_tuple(11u, 4, 20),
+                            std::make_tuple(12u, 6, 40),
+                            std::make_tuple(13u, 8, 60)}) {
+    const auto market = random_market(seed, M, N);
+    for (auto policy :
+         {graph::MwisAlgorithm::kGwmin, graph::MwisAlgorithm::kGwmin2}) {
+      TwoStageConfig config;
+      config.coalition_policy = policy;
+      for (int threads : {1, 4}) {
+        ScopedThreads scope(threads);
+        TwoStageResult scalar_result = [&] {
+          ScopedSimdTier tier(simd::Tier::kScalar);
+          return run_two_stage(market, config);
+        }();
+        TwoStageResult simd_result = [&] {
+          ScopedSimdTier tier(best);
+          return run_two_stage(market, config);
+        }();
+        EXPECT_EQ(scalar_result.final_matching(), simd_result.final_matching())
+            << "seed " << seed << " threads " << threads << " tier "
+            << to_string(best);
+        EXPECT_EQ(scalar_result.stage1.matching, simd_result.stage1.matching);
+        EXPECT_EQ(scalar_result.stage1.rounds, simd_result.stage1.rounds);
+        EXPECT_EQ(scalar_result.welfare_stage1, simd_result.welfare_stage1);
+        EXPECT_EQ(scalar_result.welfare_phase1, simd_result.welfare_phase1);
+        EXPECT_EQ(scalar_result.welfare_final, simd_result.welfare_final);
       }
     }
   }

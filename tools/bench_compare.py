@@ -3,22 +3,30 @@
 
 Usage:
     bench_compare.py OLD.json NEW.json [--threshold PCT] [--min-ms MS]
+                                       [--min-ns NS]
 
-Records are keyed by (bench, M, N, algorithm, threads). For every key
-present in both files the following metrics are compared:
+Two record shapes are understood and may coexist in one file:
 
-  * wall_ms            lower is better (skipped when the old value is 0)
-  * p99_ms  (note)     lower is better
-  * p50_ms  (note)     lower is better
-  * rps     (note)     higher is better
+  * engine rows (specmatch-bench-v2), keyed by (bench, M, N, algorithm,
+    threads), comparing:
+      - wall_ms            lower is better (skipped when the old value is 0)
+      - p99_ms  (note)     lower is better
+      - p50_ms  (note)     lower is better
+      - rps     (note)     higher is better
+  * kernel rows (specmatch-kernels-v1, written by bench/micro_kernels),
+    keyed by (kernel, words, dispatch), comparing:
+      - ns_per_word        lower is better
+      - ns_per_call        lower is better
 
 "note" metrics are parsed from the free-form `key=value` tokens the bench
 binaries embed (e.g. "p50_ms=0.015 p99_ms=2.5 rps=4242.16 solves=48").
 
 A metric regresses when it moves past --threshold percent (default 25) in
-the bad direction AND, for millisecond metrics, by more than --min-ms
-(default 0.25 ms) absolutely — the absolute floor keeps sub-millisecond
-smoke points from tripping the gate on scheduler noise.
+the bad direction AND by more than an absolute floor — --min-ms (default
+0.25 ms) for millisecond metrics, --min-ns (default 2 ns) for the
+nanosecond kernel metrics. The floors keep sub-millisecond smoke points
+and single-digit-ns kernel calls from tripping the gate on scheduler
+noise.
 
 Keys present in only one file are reported as coverage drift but are not
 fatal: bench grids legitimately grow and shrink across PRs.
@@ -48,21 +56,38 @@ def load_records(path):
         sys.exit(f"bench_compare: {path} has no 'records' array")
     table = {}
     for rec in records:
-        key = (
-            rec.get("bench"),
-            rec.get("M"),
-            rec.get("N"),
-            rec.get("algorithm"),
-            rec.get("threads"),
-        )
+        if "kernel" in rec:
+            # micro_kernels row (specmatch-kernels-v1).
+            key = ("kernel", rec.get("kernel"), rec.get("words"),
+                   rec.get("dispatch"))
+        else:
+            key = (
+                rec.get("bench"),
+                rec.get("M"),
+                rec.get("N"),
+                rec.get("algorithm"),
+                rec.get("threads"),
+            )
         # Duplicate keys (e.g. repeated representation legs) keep the first
         # occurrence so OLD and NEW pair up the same way.
         table.setdefault(key, rec)
     return table
 
 
+def label_of(key):
+    if key[0] == "kernel":
+        return "kernel {}[words={} {}]".format(*key[1:])
+    return "{}[M={} N={} {} t={}]".format(*key)
+
+
 def metrics_of(rec):
     out = {}
+    if "kernel" in rec:
+        for name in ("ns_per_word", "ns_per_call"):
+            value = rec.get(name)
+            if isinstance(value, (int, float)) and value > 0:
+                out[name] = (float(value), -1)
+        return out
     wall = rec.get("wall_ms")
     if isinstance(wall, (int, float)) and wall > 0:
         out["wall_ms"] = (float(wall), -1)
@@ -80,6 +105,9 @@ def main(argv):
                         help="regression threshold in percent (default 25)")
     parser.add_argument("--min-ms", type=float, default=0.25,
                         help="absolute slack for *_ms metrics (default 0.25)")
+    parser.add_argument("--min-ns", type=float, default=2.0,
+                        help="absolute slack for ns_* kernel metrics "
+                             "(default 2)")
     args = parser.parse_args(argv)
     if args.threshold <= 0:
         parser.error("--threshold must be positive")
@@ -95,7 +123,7 @@ def main(argv):
             continue
         old_metrics = metrics_of(old_table[key])
         new_metrics = metrics_of(new_table[key])
-        label = "{}[M={} N={} {} t={}]".format(*key)
+        label = label_of(key)
         for name, (old_val, direction) in sorted(old_metrics.items()):
             if name not in new_metrics:
                 continue
@@ -111,6 +139,8 @@ def main(argv):
                     improvements += 1
                 continue
             if name.endswith("_ms") and abs(new_val - old_val) < args.min_ms:
+                continue
+            if name.startswith("ns_") and abs(new_val - old_val) < args.min_ns:
                 continue
             regressions.append(
                 f"  {label} {name}: {old_val:g} -> {new_val:g} "

@@ -35,4 +35,36 @@ if ! "$tools_dir/run_bench.sh" --compare \
   status=1
 fi
 
+# Kernel-schema pair (specmatch-kernels-v1, bench/micro_kernels rows keyed
+# by kernel/words/dispatch). Clean pair passes; the regressed pair plants a
+# 4x ns_per_call jump on and_popcount@1024/avx2 which must trip the gate.
+# Its ns_per_word twin moves by the same ratio but only ~0.35 ns absolute,
+# which the --min-ns floor (default 2 ns) must swallow — so exactly one
+# regression line is expected.
+echo "bench_compare_smoke: kernel clean pair (must pass)"
+if ! "$tools_dir/run_bench.sh" --compare \
+     "$fixtures/bench_compare_kernels_old.json" \
+     "$fixtures/bench_compare_kernels_ok.json"; then
+  echo "bench_compare_smoke: FAILED — clean kernel pair reported a regression" >&2
+  status=1
+fi
+
+echo "bench_compare_smoke: kernel regressed pair (must fail)"
+if "$tools_dir/run_bench.sh" --compare \
+     "$fixtures/bench_compare_kernels_old.json" \
+     "$fixtures/bench_compare_kernels_regressed.json"; then
+  echo "bench_compare_smoke: FAILED — planted kernel regression not detected" >&2
+  status=1
+fi
+
+# With the absolute floor raised past the planted 360 ns jump the same pair
+# must pass — sanity that --min-ns is actually honored.
+echo "bench_compare_smoke: kernel regressed pair at --min-ns 1000 (must pass)"
+if ! "$tools_dir/run_bench.sh" --compare \
+     "$fixtures/bench_compare_kernels_old.json" \
+     "$fixtures/bench_compare_kernels_regressed.json" --min-ns 1000; then
+  echo "bench_compare_smoke: FAILED — --min-ns override not honored" >&2
+  status=1
+fi
+
 exit "$status"

@@ -17,13 +17,18 @@
 #                                      # loopback TCP front-end (closed- and
 #                                      # open-loop legs at conns {1,64,512}),
 #                                      # writes BENCH_serve_net.json
+#   tools/run_bench.sh --kernels       # SIMD kernel microbench: per-kernel
+#                                      # ns/word at words {4,64,1024,16384},
+#                                      # scalar vs the dispatched tier, writes
+#                                      # BENCH_kernels.json
 #   tools/run_bench.sh --smoke BINDIR  # smoke: run every bench binary in
 #                                      # BINDIR at SPECMATCH_TRIALS=1 (the
 #                                      # bench_smoke ctest)
 #   tools/run_bench.sh --compare OLD.json NEW.json [--threshold PCT]
 #                                      # regression gate: non-zero exit when
 #                                      # NEW regresses wall_ms/p99/throughput
-#                                      # past the threshold (default 25%)
+#                                      # (or kernel ns/word rows) past the
+#                                      # threshold (default 25%)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -70,6 +75,17 @@ if [[ "${1:-}" == "--serve" ]]; then
   SPECMATCH_METRICS=1 \
   SPECMATCH_BENCH_JSON="$repo_root/BENCH_serve.json" \
     "$build_dir/bench/serve_load"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--kernels" ]]; then
+  build_dir="$repo_root/build-bench"
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" -j"$(nproc)" --target micro_kernels
+  # The bench re-proves scalar/dispatched bit-equivalence before timing, so
+  # a broken tier fails here rather than producing fast-but-wrong numbers.
+  SPECMATCH_BENCH_JSON="$repo_root/BENCH_kernels.json" \
+    "$build_dir/bench/micro_kernels"
   exit 0
 fi
 
@@ -245,6 +261,24 @@ if [[ "${1:-}" == "--smoke" ]]; then
       status=1
     fi
   done
+  # SIMD kernel leg: smoke-sized micro_kernels run. The bench itself CHECKs
+  # every dispatch tier against the scalar reference before timing, and the
+  # JSON must carry the kernels-v1 schema with both scalar and dispatched
+  # rows (on x86 the dispatched tier differs from scalar).
+  echo "bench_smoke: micro_kernels"
+  if ! SPECMATCH_BENCH_JSON="$tmpdir/BENCH_kernels.json" \
+       "$bindir/micro_kernels" > "$tmpdir/micro_kernels.log" 2>&1; then
+    echo "bench_smoke: FAILED micro_kernels" >&2
+    tail -n 30 "$tmpdir/micro_kernels.log" >&2
+    status=1
+  fi
+  for marker in '"schema": "specmatch-kernels-v1"' \
+                '"kernel": "and_popcount"' '"dispatch": "scalar"'; do
+    if ! grep -q "$marker" "$tmpdir/BENCH_kernels.json"; then
+      echo "bench_smoke: BENCH_kernels.json missing $marker" >&2
+      status=1
+    fi
+  done
   # Metrics leg: with SPECMATCH_METRICS on, the bench JSON must carry the
   # algorithmic-counters section with non-zero Stage I, MWIS, and dist
   # counts (the observability acceptance bar; see docs/OBSERVABILITY.md).
@@ -262,6 +296,18 @@ if [[ "${1:-}" == "--smoke" ]]; then
       status=1
     fi
   done
+  # SIMD observability: the dispatch gauge and at least one per-kernel call
+  # counter must surface in the same dump (docs/OBSERVABILITY.md "Kernel
+  # dispatch"). The tier gauge exists on every platform (scalar included).
+  if ! grep -q '"simd.dispatch.tier"' "$tmpdir/BENCH_metrics.json"; then
+    echo "bench_smoke: BENCH_metrics.json missing simd.dispatch.tier gauge" >&2
+    status=1
+  fi
+  if ! grep -Eq '"simd\.(and_popcount|popcount)\.calls": [1-9][0-9]*' \
+       "$tmpdir/BENCH_metrics.json"; then
+    echo "bench_smoke: BENCH_metrics.json missing non-zero simd.*.calls" >&2
+    status=1
+  fi
   exit "$status"
 fi
 
