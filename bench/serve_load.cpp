@@ -17,6 +17,14 @@
 // bench "serve_net" with the connection count encoded in the algorithm
 // ("closed_c64", "open_c512"), so bench_compare keys them apart.
 //
+// With --store, the persistence tier is measured instead (src/store/,
+// docs/PERSISTENCE.md): BENCH_store.json. Leg one times cold start both
+// ways — rebuild (create + cold solve from the scenario) vs cold boot (one
+// fault-in from an mmap snapshot that already carries the matching) — and
+// checks the faulted market answers `query` byte-identically. Leg two runs
+// a memory-capped multi-market stream that spills and faults back on every
+// market switch and must finish with zero discarded markets.
+//
 // Knobs: SPECMATCH_BENCH_SMOKE shrinks the sweep, SPECMATCH_TRIALS the ops
 // per client, SPECMATCH_BENCH_JSON the output path, SPECMATCH_NET_CONNS the
 // --net connection grid (comma-separated), SPECMATCH_METRICS adds the
@@ -25,6 +33,7 @@
 #include <algorithm>
 #include <cmath>
 #include <deque>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <sstream>
@@ -424,6 +433,201 @@ int run_net() {
   return 0;
 }
 
+// --- the persistence tier (--store) ----------------------------------------
+
+/// Scratch snapshot directory under the system temp dir, wiped on entry so
+/// reruns start clean.
+std::filesystem::path store_scratch(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() / ("specmatch_bench_" + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Cold start, both ways, at one market size. "Rebuild" is the no-store
+/// baseline: create from the scenario (graph construction + component
+/// indices) plus the cold solve a fresh replica needs before it can serve
+/// warm. "Snapshot load" is one fault-in from the mmap snapshot, which
+/// already carries the matching — the first touch of a cold-booted server.
+/// The faulted market must answer `query` byte-identically to the builder.
+void run_cold_start(int M, int N, int reps,
+                    std::vector<bench::BenchRecord>& records) {
+  const std::filesystem::path dir =
+      store_scratch("store_n" + std::to_string(N));
+  serve::ServeConfig config = serve::ServeConfig::from_env();
+  config.store.dir = dir.string();
+  const int threads = config.drain_lanes;
+  const std::string id = "cold" + std::to_string(N);
+  const auto scenario = make_scenario(M, N);
+
+  // Populate the snapshot (and record the reference query answer) once.
+  std::string reference_query;
+  {
+    serve::MatchServer server(config);
+    serve::Request create = make_request(serve::RequestType::kCreate, id);
+    create.scenario = scenario;
+    SPECMATCH_CHECK_MSG(server.handle(std::move(create)).ok, "create failed");
+    serve::Request solve = make_request(serve::RequestType::kSolve, id);
+    solve.warm = false;
+    SPECMATCH_CHECK_MSG(server.handle(std::move(solve)).ok, "solve failed");
+    reference_query =
+        server.handle(make_request(serve::RequestType::kQuery, id)).text;
+    const serve::Response snap =
+        server.handle(make_request(serve::RequestType::kSnapshot, id));
+    SPECMATCH_CHECK_MSG(snap.ok, snap.text);
+  }
+
+  double rebuild_ms = 0.0;
+  double load_ms = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    // Rebuild path: a fresh store-less server brought to serving-ready.
+    {
+      serve::MatchServer server(serve::ServeConfig::from_env());
+      bench::WallTimer timer;
+      serve::Request create = make_request(serve::RequestType::kCreate, id);
+      create.scenario = scenario;
+      SPECMATCH_CHECK_MSG(server.handle(std::move(create)).ok, "create failed");
+      serve::Request solve = make_request(serve::RequestType::kSolve, id);
+      solve.warm = false;
+      SPECMATCH_CHECK_MSG(server.handle(std::move(solve)).ok, "solve failed");
+      const double ms = timer.elapsed_ms();
+      rebuild_ms = rep == 0 ? ms : std::min(rebuild_ms, ms);
+    }
+    // Snapshot path: a cold boot whose first touch faults the market in.
+    {
+      serve::MatchServer server(config);
+      bench::WallTimer timer;
+      const serve::Response query =
+          server.handle(make_request(serve::RequestType::kQuery, id));
+      const double ms = timer.elapsed_ms();
+      load_ms = rep == 0 ? ms : std::min(load_ms, ms);
+      SPECMATCH_CHECK_MSG(query.ok, query.text);
+      SPECMATCH_CHECK_MSG(query.text == reference_query,
+                          "cold boot query diverged from builder:\n  built:  "
+                              << reference_query << "\n  mapped: "
+                              << query.text);
+      SPECMATCH_CHECK_MSG(server.faults() == 1, "expected exactly one fault");
+    }
+  }
+
+  const double speedup = load_ms > 0.0 ? rebuild_ms / load_ms : 0.0;
+  bench::BenchRecord rebuild("store_cold_start", M, N, "rebuild", threads,
+                             rebuild_ms, reps);
+  records.push_back(rebuild);
+  bench::BenchRecord mapped("store_cold_start", M, N, "snapshot_load", threads,
+                            load_ms, reps);
+  std::ostringstream note;
+  note << "speedup_vs_rebuild=" << speedup << " snapshot_bytes="
+       << std::filesystem::file_size(dir / (id + ".spms"));
+  mapped.note = note.str();
+  records.push_back(mapped);
+  std::cout << "N=" << N << " cold start: rebuild_ms=" << rebuild_ms
+            << " snapshot_load_ms=" << load_ms << " " << note.str() << "\n";
+  if (speedup < 1.0) {
+    std::cerr << "WARNING: snapshot load did not beat rebuild at N=" << N
+              << " (speedup=" << speedup << ")\n";
+  }
+  std::filesystem::remove_all(dir);
+}
+
+/// Memory-capped spill / fault-back stream: `markets` markets under a budget
+/// that holds only one or two resident, driven round-robin so nearly every
+/// touch faults a spilled market back in. The store contract: the run ends
+/// with zero discarded markets and every request answered.
+void run_capped_stream(int M, int N, int markets, int ops,
+                       std::size_t budget_mb,
+                       std::vector<bench::BenchRecord>& records) {
+  const std::filesystem::path dir = store_scratch("store_capped");
+  serve::ServeConfig config = serve::ServeConfig::from_env();
+  config.store.dir = dir.string();
+  config.mem_budget_mb = budget_mb;
+  const int threads = config.drain_lanes;
+  serve::MatchServer server(config);
+
+  for (int k = 0; k < markets; ++k) {
+    const std::string id = "cap" + std::to_string(k);
+    serve::Request create = make_request(serve::RequestType::kCreate, id);
+    create.scenario = make_scenario(M, N);
+    SPECMATCH_CHECK_MSG(server.handle(std::move(create)).ok, "create failed");
+    serve::Request solve = make_request(serve::RequestType::kSolve, id);
+    solve.warm = false;
+    SPECMATCH_CHECK_MSG(server.handle(std::move(solve)).ok, "solve failed");
+  }
+
+  Rng rng(4242ull + static_cast<std::uint64_t>(N));
+  bench::WallTimer timer;
+  for (int op = 0; op < ops; ++op) {
+    const std::string id = "cap" + std::to_string(op % markets);
+    serve::Request request;
+    if (op % 2 == 0) {
+      request = make_request(serve::RequestType::kUpdatePrice, id);
+      request.buyer = static_cast<BuyerId>(rng.uniform_int(0, N - 1));
+      request.channel = static_cast<ChannelId>(rng.uniform_int(0, M - 1));
+      request.value = rng.uniform(0.0, 1.0);
+    } else {
+      request = make_request(serve::RequestType::kSolve, id);
+      request.warm = true;
+    }
+    const serve::Response response = server.handle(std::move(request));
+    SPECMATCH_CHECK_MSG(response.ok, "capped stream request failed: "
+                                         << response.text);
+  }
+  const double wall_ms = timer.elapsed_ms();
+
+  SPECMATCH_CHECK_MSG(server.discarded() == 0,
+                      "memory-capped run discarded markets");
+  SPECMATCH_CHECK_MSG(server.spills() > 0, "capped run never spilled");
+  SPECMATCH_CHECK_MSG(server.faults() > 0, "capped run never faulted");
+
+  bench::BenchRecord record("store_spill_stream", M, N, "capped", threads,
+                            wall_ms, 0);
+  std::ostringstream note;
+  note << "markets=" << markets << " budget_mb=" << budget_mb
+       << " ops=" << ops << " rps="
+       << (wall_ms > 0.0 ? 1000.0 * ops / wall_ms : 0.0)
+       << " spills=" << server.spills() << " faults=" << server.faults()
+       << " discarded=" << server.discarded()
+       << " disk_bytes=" << server.store_disk_bytes()
+       << " spilled=" << server.spilled_markets();
+  record.note = note.str();
+  records.push_back(record);
+  std::cout << "capped stream: " << note.str() << " wall_ms=" << wall_ms
+            << "\n";
+  std::filesystem::remove_all(dir);
+}
+
+int run_store() {
+  const bool smoke = bench::env_int("SPECMATCH_BENCH_SMOKE", 0) != 0;
+  const char* json_env = std::getenv("SPECMATCH_BENCH_JSON");
+  const std::string json_path =
+      (json_env != nullptr && json_env[0] != '\0') ? json_env
+                                                   : "BENCH_store.json";
+  const int M = smoke ? 4 : 16;
+  const std::vector<int> n_grid =
+      smoke ? std::vector<int>{200} : std::vector<int>{2000, 20000};
+
+  std::vector<bench::BenchRecord> records;
+  for (const int N : n_grid) {
+    const int reps = bench::env_trials(N >= 8000 ? 1 : 3);
+    run_cold_start(M, N, reps, records);
+  }
+  if (smoke) {
+    run_capped_stream(M, 200, 4, 24, 0, records);
+  } else {
+    run_capped_stream(M, 2000, 8, 80, 2, records);
+  }
+
+  if (metrics::enabled()) {
+    const metrics::Snapshot snapshot = metrics::Registry::global().snapshot();
+    bench::write_bench_json(json_path, records, &snapshot);
+  } else {
+    bench::write_bench_json(json_path, records);
+  }
+  std::cout << "wrote " << json_path << "\n";
+  return 0;
+}
+
 int run() {
   const bool smoke = bench::env_int("SPECMATCH_BENCH_SMOKE", 0) != 0;
   const char* json_env = std::getenv("SPECMATCH_BENCH_JSON");
@@ -503,6 +707,7 @@ int run() {
 int main(int argc, char** argv) {
   for (int a = 1; a < argc; ++a) {
     if (std::string(argv[a]) == "--net") return specmatch::run_net();
+    if (std::string(argv[a]) == "--store") return specmatch::run_store();
   }
   return specmatch::run();
 }

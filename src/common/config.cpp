@@ -102,6 +102,18 @@ constexpr EnvKnob kKnownEnvKnobs[] = {
      "longest tolerated wire-protocol line in bytes, default 1048576; a "
      "frame with no newline beyond it is a protocol error "
      "(serve/net_server.cpp)"},
+    {"SPECMATCH_STORE_DIR",
+     "snapshot directory of the persistent market store; empty (the "
+     "default) disables the store — no spill tier, no cold boot, snapshot/"
+     "restore verbs answer err (store/market_store.cpp)"},
+    {"SPECMATCH_STORE_SPILL",
+     "spill-on-evict: when the store is enabled, registry eviction writes "
+     "the market to disk instead of discarding it, default on; 0 turns "
+     "eviction back into discard (store/market_store.cpp)"},
+    {"SPECMATCH_STORE_FSYNC",
+     "fsync every snapshot file before its rename-commit, default off; "
+     "turn on when snapshots must survive power loss "
+     "(store/market_store.cpp)"},
     {"SPECMATCH_COMPONENT_MIN",
      "minimum vertices per component shard of the coalition solves, default "
      "64; shards batch consecutive components up to the minimum "

@@ -27,8 +27,15 @@ InterferenceGraph::InterferenceGraph(const InterferenceGraph& other)
       rows_(other.rows_),
       offsets_(other.offsets_),
       flat16_(other.flat16_),
-      flat32_(other.flat32_) {
+      flat32_(other.flat32_),
+      ext_offsets_(other.ext_offsets_),
+      ext_degrees_(other.ext_degrees_),
+      ext_ids16_(other.ext_ids16_),
+      ext_ids32_(other.ext_ids32_) {
   // components_ stays null: the copy rebuilds its own index on first use.
+  // A copy must not alias the source's snapshot backing, whose lifetime it
+  // does not control — deep-copy any borrowed arrays into owned storage.
+  materialize();
 }
 
 InterferenceGraph& InterferenceGraph::operator=(
@@ -46,8 +53,70 @@ InterferenceGraph& InterferenceGraph::operator=(
   offsets_ = other.offsets_;
   flat16_ = other.flat16_;
   flat32_ = other.flat32_;
+  ext_offsets_ = other.ext_offsets_;
+  ext_degrees_ = other.ext_degrees_;
+  ext_ids16_ = other.ext_ids16_;
+  ext_ids32_ = other.ext_ids32_;
   components_.reset();
+  materialize();  // same no-alias rule as the copy constructor
   return *this;
+}
+
+void InterferenceGraph::materialize() {
+  if (ext_offsets_ == nullptr) return;
+  offsets_.assign(ext_offsets_, ext_offsets_ + num_vertices_ + 1);
+  degrees_.assign(ext_degrees_, ext_degrees_ + num_vertices_);
+  if (narrow_ && ext_ids16_ != nullptr)
+    flat16_.assign(ext_ids16_, ext_ids16_ + 2 * num_edges_);
+  else if (!narrow_ && ext_ids32_ != nullptr)
+    flat32_.assign(ext_ids32_, ext_ids32_ + 2 * num_edges_);
+  ext_offsets_ = nullptr;
+  ext_degrees_ = nullptr;
+  ext_ids16_ = nullptr;
+  ext_ids32_ = nullptr;
+}
+
+CsrView InterferenceGraph::csr_export() const {
+  SPECMATCH_CHECK_MSG(rep_ == GraphRep::kCsr && finalized_,
+                      "csr_export requires a finalized CSR graph (convert "
+                      "dense graphs through with_representation first)");
+  CsrView view;
+  view.num_vertices = num_vertices_;
+  view.num_edges = num_edges_;
+  view.max_degree = max_degree_;
+  view.narrow = narrow_;
+  view.offsets = offsets_data();
+  view.degrees = degrees_data();
+  if (narrow_)
+    view.ids16 = flat16_data();
+  else
+    view.ids32 = flat32_data();
+  return view;
+}
+
+InterferenceGraph InterferenceGraph::from_csr_view(const CsrView& view) {
+  SPECMATCH_CHECK_MSG(view.offsets != nullptr && view.degrees != nullptr,
+                      "CSR view missing offsets/degrees arrays");
+  SPECMATCH_CHECK_MSG(
+      view.offsets[view.num_vertices] == 2 * view.num_edges,
+      "CSR view offsets end " << view.offsets[view.num_vertices]
+                              << " != 2*num_edges " << 2 * view.num_edges);
+  if (view.num_edges > 0)
+    SPECMATCH_CHECK_MSG(
+        view.narrow ? view.ids16 != nullptr : view.ids32 != nullptr,
+        "CSR view missing neighbour-id array");
+  InterferenceGraph g;
+  g.rep_ = GraphRep::kCsr;
+  g.finalized_ = true;
+  g.narrow_ = view.narrow;
+  g.num_vertices_ = view.num_vertices;
+  g.num_edges_ = view.num_edges;
+  g.max_degree_ = view.max_degree;
+  g.ext_offsets_ = view.offsets;
+  g.ext_degrees_ = view.degrees;
+  g.ext_ids16_ = view.ids16;
+  g.ext_ids32_ = view.ids32;
+  return g;
 }
 
 const ComponentIndex& InterferenceGraph::components() const {
@@ -196,6 +265,9 @@ void InterferenceGraph::finalize() {
 }
 
 void InterferenceGraph::definalize() {
+  // Mutation needs owned arrays (add_edge bumps degrees_ in place), so a
+  // view-backed graph copies its borrowed sections down first.
+  materialize();
   rows_.resize(num_vertices_);
   for (std::size_t v = 0; v < num_vertices_; ++v) {
     auto& row = rows_[v];
@@ -254,17 +326,17 @@ bool InterferenceGraph::has_edge(BuyerId a, BuyerId b) const {
     return std::binary_search(row.begin(), row.end(),
                               static_cast<std::uint32_t>(ub));
   }
-  const std::size_t begin = offsets_[ua];
-  const std::size_t end = offsets_[ua + 1];
-  if (narrow_)
-    return std::binary_search(
-        flat16_.begin() + static_cast<std::ptrdiff_t>(begin),
-        flat16_.begin() + static_cast<std::ptrdiff_t>(end),
-        static_cast<std::uint16_t>(ub));
-  return std::binary_search(
-      flat32_.begin() + static_cast<std::ptrdiff_t>(begin),
-      flat32_.begin() + static_cast<std::ptrdiff_t>(end),
-      static_cast<std::uint32_t>(ub));
+  const std::uint32_t* offs = offsets_data();
+  const std::size_t begin = offs[ua];
+  const std::size_t end = offs[ua + 1];
+  if (narrow_) {
+    const std::uint16_t* ids = flat16_data();
+    return std::binary_search(ids + begin, ids + end,
+                              static_cast<std::uint16_t>(ub));
+  }
+  const std::uint32_t* ids = flat32_data();
+  return std::binary_search(ids + begin, ids + end,
+                            static_cast<std::uint32_t>(ub));
 }
 
 const DynamicBitset& InterferenceGraph::neighbors(BuyerId v) const {
@@ -334,10 +406,15 @@ std::size_t InterferenceGraph::adjacency_bytes() const {
     return bytes + num_vertices_ * words_per_row * sizeof(std::uint64_t);
   }
   if (finalized_) {
-    bytes += offsets_.size() * sizeof(std::uint32_t);
-    bytes += flat16_.size() * sizeof(std::uint16_t);
-    bytes += flat32_.size() * sizeof(std::uint32_t);
-  } else {
+    // Computed from counts so owned and view-backed graphs report the same
+    // footprint (mapped pages occupy RSS once touched, just like owned
+    // arrays).
+    return num_vertices_ * sizeof(std::uint32_t) +
+           (num_vertices_ + 1) * sizeof(std::uint32_t) +
+           2 * num_edges_ *
+               (narrow_ ? sizeof(std::uint16_t) : sizeof(std::uint32_t));
+  }
+  {
     for (const auto& row : rows_)
       bytes += row.capacity() * sizeof(std::uint32_t);
     bytes += rows_.capacity() * sizeof(std::vector<std::uint32_t>);
@@ -346,9 +423,12 @@ std::size_t InterferenceGraph::adjacency_bytes() const {
 }
 
 bool InterferenceGraph::operator==(const InterferenceGraph& other) const {
-  if (num_vertices_ != other.num_vertices_ ||
-      num_edges_ != other.num_edges_ || degrees_ != other.degrees_)
+  if (num_vertices_ != other.num_vertices_ || num_edges_ != other.num_edges_)
     return false;
+  for (std::size_t v = 0; v < num_vertices_; ++v)
+    if (degree(static_cast<BuyerId>(v)) !=
+        other.degree(static_cast<BuyerId>(v)))
+      return false;
   if (rep_ == GraphRep::kDense && other.rep_ == GraphRep::kDense)
     return adjacency_ == other.adjacency_;
   return edges() == other.edges();

@@ -50,6 +50,23 @@ enum class GraphRep : std::uint8_t {
   kCsr,    ///< compressed sparse rows (degree-proportional, O(E) ids)
 };
 
+/// Borrowed pointers into a finalized CSR adjacency: the exact arrays
+/// visit_row walks, suitable for writing to (or mapping from) a snapshot
+/// file. `ids16` is populated when `narrow`, `ids32` otherwise; the live one
+/// holds 2 * num_edges entries. The pointed-to memory is NOT owned — the
+/// producer (an InterferenceGraph, or a mapped snapshot) must outlive every
+/// use of the view.
+struct CsrView {
+  std::size_t num_vertices = 0;
+  std::size_t num_edges = 0;
+  std::size_t max_degree = 0;
+  bool narrow = true;                      ///< 16-bit neighbour ids
+  const std::uint32_t* offsets = nullptr;  ///< num_vertices + 1 row starts
+  const std::uint32_t* degrees = nullptr;  ///< num_vertices cached degrees
+  const std::uint16_t* ids16 = nullptr;
+  const std::uint32_t* ids32 = nullptr;
+};
+
 class InterferenceGraph {
  public:
   InterferenceGraph() = default;
@@ -118,8 +135,26 @@ class InterferenceGraph {
   /// loop; recomputing neighbors(v).count() was a word scan per call).
   std::size_t degree(BuyerId v) const {
     check_vertex(v);
-    return degrees_[static_cast<std::size_t>(v)];
+    return degrees_data()[static_cast<std::size_t>(v)];
   }
+
+  /// Borrowed view of the finalized CSR arrays, valid until the next
+  /// non-const call on this graph. Requires a finalized kCsr graph (the
+  /// snapshot writer converts dense graphs through with_representation
+  /// first).
+  CsrView csr_export() const;
+
+  /// A finalized kCsr graph whose adjacency reads THROUGH `view`'s pointers
+  /// — no copy. The caller guarantees the pointed-to memory (typically an
+  /// mmap'd snapshot) outlives the graph. Copying a view-backed graph
+  /// deep-copies into owned arrays; add_edge materializes first. `view` must
+  /// be structurally valid (the snapshot reader checksum- and
+  /// bounds-verifies before calling).
+  static InterferenceGraph from_csr_view(const CsrView& view);
+
+  /// True when adjacency reads through external (borrowed) pointers rather
+  /// than owned arrays.
+  bool csr_view_backed() const { return ext_offsets_ != nullptr; }
 
   /// Largest vertex degree; 0 for the edgeless graph. O(1).
   std::size_t max_degree() const { return max_degree_; }
@@ -299,16 +334,39 @@ class InterferenceGraph {
         if (!fn(static_cast<std::size_t>(u))) return;
       return;
     }
-    const std::size_t begin = offsets_[vu];
-    const std::size_t end = offsets_[vu + 1];
+    const std::uint32_t* offs = offsets_data();
+    const std::size_t begin = offs[vu];
+    const std::size_t end = offs[vu + 1];
     if (narrow_) {
+      const std::uint16_t* ids = flat16_data();
       for (std::size_t k = begin; k < end; ++k)
-        if (!fn(static_cast<std::size_t>(flat16_[k]))) return;
+        if (!fn(static_cast<std::size_t>(ids[k]))) return;
     } else {
+      const std::uint32_t* ids = flat32_data();
       for (std::size_t k = begin; k < end; ++k)
-        if (!fn(static_cast<std::size_t>(flat32_[k]))) return;
+        if (!fn(static_cast<std::size_t>(ids[k]))) return;
     }
   }
+
+  // Finalized-phase array access: borrowed snapshot pages when view-backed,
+  // the owned vectors otherwise. One predictable branch per row walk.
+  const std::uint32_t* offsets_data() const {
+    return ext_offsets_ != nullptr ? ext_offsets_ : offsets_.data();
+  }
+  const std::uint32_t* degrees_data() const {
+    return ext_degrees_ != nullptr ? ext_degrees_ : degrees_.data();
+  }
+  const std::uint16_t* flat16_data() const {
+    return ext_ids16_ != nullptr ? ext_ids16_ : flat16_.data();
+  }
+  const std::uint32_t* flat32_data() const {
+    return ext_ids32_ != nullptr ? ext_ids32_ : flat32_.data();
+  }
+
+  /// Copies externally viewed arrays into owned storage and drops the
+  /// borrowed pointers. Called before any mutation (add_edge) and by the
+  /// copy operations — a copy must never alias another graph's backing.
+  void materialize();
 
   /// Moves a finalized CSR graph back to build rows so add_edge can mutate.
   void definalize();
@@ -335,6 +393,13 @@ class InterferenceGraph {
   std::vector<std::uint32_t> offsets_;  ///< num_vertices_ + 1 row starts
   std::vector<std::uint16_t> flat16_;
   std::vector<std::uint32_t> flat32_;
+
+  // from_csr_view borrowed pointers (mmap'd snapshot pages). When non-null
+  // they supersede the owned vectors above; materialize() copies them down.
+  const std::uint32_t* ext_offsets_ = nullptr;
+  const std::uint32_t* ext_degrees_ = nullptr;
+  const std::uint16_t* ext_ids16_ = nullptr;
+  const std::uint32_t* ext_ids32_ = nullptr;
 
   /// Lazily built connected-component index (components()); never copied —
   /// a copy rebuilds its own on first use. add_edge resets it.

@@ -161,12 +161,13 @@ ReplayResult replay_over_network(int port,
   // half-open index range [phase_start[p], phase_start[p+1]); each barrier
   // request is a phase of its own. Workers may only send a request once its
   // phase is open, and a phase opens only after every earlier request has
-  // been answered — giving create/stats exclusive access to global registry
+  // been answered — giving create/stats/restore exclusive access to global registry
   // state, exactly like the single-stream in-process replay.
   std::vector<std::size_t> phase_start{0};
   for (std::size_t i = 0; i < requests.size(); ++i) {
     bool barrier = requests[i].type == RequestType::kCreate ||
-                   requests[i].type == RequestType::kStats;
+                   requests[i].type == RequestType::kStats ||
+                   requests[i].type == RequestType::kRestore;
     if (barrier) {
       if (phase_start.back() != i) phase_start.push_back(i);
       phase_start.push_back(i + 1);
@@ -204,7 +205,8 @@ ReplayResult replay_over_network(int port,
             std::size_t i = lane.owned[lane.next];
             std::size_t p = phase_of[i];
             bool exclusive = requests[i].type == RequestType::kCreate ||
-                             requests[i].type == RequestType::kStats;
+                             requests[i].type == RequestType::kStats ||
+                             requests[i].type == RequestType::kRestore;
             // Wait until the request's phase is the open one. For barrier
             // requests the phase contains only this request, so opening it
             // means everything earlier is answered.

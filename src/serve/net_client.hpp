@@ -10,10 +10,11 @@
 //   * all requests of one market ride one connection (assigned round-robin
 //     by first appearance), preserving per-market order — the only order
 //     response content depends on;
-//   * `create` and `stats` are client-side barriers (every earlier request
-//     must be answered first; `create` additionally completes before
-//     anything later is dispatched), because their responses read global
-//     registry state (market count, resident bytes, evictions);
+//   * `create`, `stats`, and `restore` are client-side barriers (every
+//     earlier request must be answered first; `create` additionally
+//     completes before anything later is dispatched), because their
+//     responses read global registry state (market count, resident bytes,
+//     evictions, spill/fault counters);
 //   * per-connection, the server answers in request order (its seq-ordered
 //     session contract), so responses need no tags to be re-attributed.
 //

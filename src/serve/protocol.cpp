@@ -49,6 +49,8 @@ const char* request_keyword(RequestType type) {
     case RequestType::kSolve: return "solve";
     case RequestType::kQuery: return "query";
     case RequestType::kStats: return "stats";
+    case RequestType::kSnapshot: return "snapshot";
+    case RequestType::kRestore: return "restore";
   }
   return "?";
 }
@@ -82,6 +84,8 @@ std::string format_request(const Request& request) {
       break;
     case RequestType::kQuery:
     case RequestType::kStats:
+    case RequestType::kSnapshot:
+    case RequestType::kRestore:
       out << " " << request.market_id;
       break;
   }
@@ -153,11 +157,18 @@ bool RequestReader::next(Request& out) {
                         "'");
       return true;
     }
-    if (verb == "query" || verb == "stats") {
+    if (verb == "query" || verb == "stats" || verb == "snapshot" ||
+        verb == "restore") {
       require_args(line_, tokens, 2,
-                   verb == "query" ? "query <market-id>" : "stats <market-id>");
-      out.type =
-          verb == "query" ? RequestType::kQuery : RequestType::kStats;
+                   (verb + " <market-id>").c_str());
+      if (verb == "query")
+        out.type = RequestType::kQuery;
+      else if (verb == "stats")
+        out.type = RequestType::kStats;
+      else if (verb == "snapshot")
+        out.type = RequestType::kSnapshot;
+      else
+        out.type = RequestType::kRestore;
       out.market_id = tokens[1];
       return true;
     }

@@ -14,6 +14,8 @@
 //   solve <market-id> cold|warm   full two-stage rerun vs Stage-II-only
 //   query <market-id>             dump the current matching
 //   stats <market-id>             deterministic per-market/serving stats
+//   snapshot <market-id>          persist the market to the snapshot store
+//   restore <market-id>           fault a spilled market back in (barrier)
 //
 // Responses are one "ok ..." / "err ..." line per request, emitted in
 // request order; every numeric field is printed with max_digits10 so a
@@ -55,6 +57,8 @@ enum class RequestType : std::uint8_t {
   kSolve,
   kQuery,
   kStats,
+  kSnapshot,
+  kRestore,
 };
 
 struct Request {

@@ -1,51 +1,101 @@
 #include "serve/registry.hpp"
 
+#include <chrono>
+#include <iostream>
 #include <limits>
 #include <utility>
 
 #include "common/check.hpp"
+#include "common/metrics.hpp"
 #include "graph/components.hpp"
 
 namespace specmatch::serve {
 
 namespace {
 
-/// Resident footprint of one built market: the interference graphs (with
-/// their component indices) plus the live and base price matrices and the
-/// activity mask. An estimate — the registry budgets the dominant buffers,
-/// not every map node.
-std::size_t entry_bytes(const market::SpectrumMarket& market) {
-  std::size_t bytes = 0;
-  for (ChannelId i = 0; i < market.num_channels(); ++i) {
-    bytes += market.graph(i).adjacency_bytes();
-    bytes += market.graph(i).component_index_bytes();
-  }
-  const std::size_t cells = static_cast<std::size_t>(market.num_channels()) *
-                            static_cast<std::size_t>(market.num_buyers());
-  bytes += 2 * cells * sizeof(double);  // live + base prices
-  bytes += static_cast<std::size_t>(market.num_buyers());
-  return bytes;
+/// Heap bytes of the scenario's own vectors (utilities dominate).
+std::size_t scenario_bytes(const market::Scenario& scenario) {
+  return scenario.seller_channel_counts.size() * sizeof(int) +
+         scenario.buyer_demands.size() * sizeof(int) +
+         scenario.buyer_locations.size() * sizeof(graph::Point) +
+         scenario.channel_ranges.size() * sizeof(double) +
+         scenario.utilities.size() * sizeof(double) +
+         scenario.channel_reserves.size() * sizeof(double);
 }
 
 }  // namespace
 
-MarketEntry::MarketEntry(const market::Scenario& scenario)
-    : market(market::build_market(scenario)),
+MarketEntry::MarketEntry(std::shared_ptr<const market::Scenario> scenario_in)
+    : market(market::build_market(*scenario_in)),
       active(static_cast<std::size_t>(market.num_buyers()), true),
-      last(market.num_channels(), market.num_buyers()) {
+      last(market.num_channels(), market.num_buyers()),
+      scenario(std::move(scenario_in)) {
   const std::size_t cells = static_cast<std::size_t>(market.num_channels()) *
                             static_cast<std::size_t>(market.num_buyers());
   base_prices.reserve(cells);
   for (ChannelId i = 0; i < market.num_channels(); ++i)
     for (BuyerId j = 0; j < market.num_buyers(); ++j)
       base_prices.push_back(market.utility(i, j));
+  finish_construction();
+}
+
+MarketEntry::MarketEntry(store::LoadedMarket&& loaded)
+    : market(std::move(*loaded.market)),
+      base_prices(std::move(loaded.base_prices)),
+      active(loaded.active.begin(), loaded.active.end()),
+      last(market.num_channels(), market.num_buyers()),
+      has_matching(loaded.has_matching),
+      scenario(std::move(loaded.scenario)),
+      backing(std::move(loaded.backing)),
+      dirty_valid(loaded.dirty_valid),
+      solves_cold(loaded.counters[0]),
+      solves_warm(loaded.counters[1]),
+      warm_fallbacks(loaded.counters[2]),
+      warm_fallbacks_cold_start(loaded.counters[3]),
+      warm_fallbacks_invariant(loaded.counters[4]),
+      mutations(loaded.counters[5]) {
+  for (BuyerId j = 0; j < market.num_buyers(); ++j) {
+    const std::int32_t seller = loaded.matching[static_cast<std::size_t>(j)];
+    if (seller >= 0) last.match(j, static_cast<SellerId>(seller));
+  }
+  finish_construction();
+  for (BuyerId j = 0; j < market.num_buyers(); ++j)
+    if (loaded.dirty[static_cast<std::size_t>(j)] != 0)
+      dirty.set(static_cast<std::size_t>(j));
+}
+
+void MarketEntry::finish_construction() {
   // Force the per-channel component indices now: mutations and warm solves
   // read them on the serving hot path, and building here keeps first-request
   // latency flat and the byte estimate complete.
   for (ChannelId i = 0; i < market.num_channels(); ++i)
     (void)market.graph(i).components();
   dirty.assign_zero(static_cast<std::size_t>(market.num_buyers()));
-  bytes = entry_bytes(market);
+  bytes = resident_bytes();
+}
+
+std::size_t MarketEntry::resident_bytes() const {
+  const auto m = static_cast<std::size_t>(market.num_channels());
+  const auto n = static_cast<std::size_t>(market.num_buyers());
+  const std::size_t cells = m * n;
+  const std::size_t mask_words = (n + 63) / 64;
+  std::size_t total = 0;
+  for (ChannelId i = 0; i < market.num_channels(); ++i) {
+    total += market.graph(i).adjacency_bytes();
+    total += market.graph(i).component_index_bytes();
+  }
+  total += 2 * cells * sizeof(double);   // live + base prices
+  total += n / 8 + 1;                    // activity mask (vector<bool>)
+  total += mask_words * sizeof(std::uint64_t);  // dirty set
+  // Carried matching: buyer -> seller plus one member bitset per seller.
+  total += n * sizeof(SellerId) + m * mask_words * sizeof(std::uint64_t);
+  if (scenario != nullptr) total += scenario_bytes(*scenario);
+  // Per-solve workspace scratch this market induces in a drain lane: the
+  // flattened preference table (up to one ChannelId per admissible pair)
+  // plus a handful of N-sized arrays. An estimate, deliberately on the
+  // generous side — the budget should reflect RSS, not undercount it.
+  total += cells * sizeof(ChannelId) + 8 * n * sizeof(double);
+  return total;
 }
 
 int MarketEntry::active_count() const {
@@ -110,6 +160,10 @@ void MarketEntry::apply_price(BuyerId j, ChannelId i, double value) {
   ++mutations;
 }
 
+MarketRegistry::MarketRegistry(std::size_t budget_bytes,
+                               store::StoreConfig store_config)
+    : budget_bytes_(budget_bytes), store_(std::move(store_config)) {}
+
 MarketEntry* MarketRegistry::find(const std::string& id, std::uint64_t seq) {
   auto it = entries_.find(id);
   if (it == entries_.end()) return nullptr;
@@ -126,34 +180,139 @@ bool MarketRegistry::contains(const std::string& id) const {
   return entries_.count(id) != 0;
 }
 
-MarketEntry& MarketRegistry::create(const std::string& id,
-                                    const market::Scenario& scenario,
-                                    std::uint64_t seq,
-                                    std::vector<std::string>* evicted) {
-  SPECMATCH_CHECK_MSG(entries_.find(id) == entries_.end(),
-                      "market id already registered: " << id);
-  auto [it, inserted] = entries_.emplace(id, MarketEntry(scenario));
-  MarketEntry& entry = it->second;
-  entry.last_used = seq;
-  total_bytes_ += entry.bytes;
+bool MarketRegistry::is_spilled(const std::string& id) const {
+  return entries_.count(id) == 0 && store_.enabled() && store_.contains(id);
+}
 
+bool MarketRegistry::known(const std::string& id) const {
+  return contains(id) || is_spilled(id);
+}
+
+std::size_t MarketRegistry::spilled_count() const {
+  if (!store_.enabled()) return 0;
+  std::size_t count = 0;
+  for (const std::string& id : store_.ids())
+    if (entries_.count(id) == 0) ++count;
+  return count;
+}
+
+std::uint64_t MarketRegistry::spill_entry(const std::string& id,
+                                          const MarketEntry& entry) {
+  SPECMATCH_CHECK_MSG(entry.scenario != nullptr,
+                      "entry " << id << " has no retained scenario to spill");
+  const auto n = static_cast<std::size_t>(entry.market.num_buyers());
+  std::vector<std::uint8_t> active(n);
+  std::vector<std::uint8_t> dirty(n);
+  std::vector<std::int32_t> matching(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    active[j] = entry.active[j] ? 1 : 0;
+    dirty[j] = entry.dirty.test(j) ? 1 : 0;
+    matching[j] =
+        static_cast<std::int32_t>(entry.last.seller_of(static_cast<BuyerId>(j)));
+  }
+  store::MarketStateView view;
+  view.market = &entry.market;
+  view.scenario = entry.scenario.get();
+  view.base_prices = entry.base_prices;
+  view.active = active;
+  view.dirty = dirty;
+  view.matching = matching;
+  view.has_matching = entry.has_matching;
+  view.dirty_valid = entry.dirty_valid;
+  view.counters = {entry.solves_cold,
+                   entry.solves_warm,
+                   entry.warm_fallbacks,
+                   entry.warm_fallbacks_cold_start,
+                   entry.warm_fallbacks_invariant,
+                   entry.mutations};
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t bytes = store_.write(id, view);
+  if (metrics::enabled())
+    metrics::observe("serve.store.spill_ms",
+                     std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count());
+  return bytes;
+}
+
+void MarketRegistry::evict_over_budget(const MarketEntry* protect,
+                                       std::vector<std::string>* evicted) {
   while (total_bytes_ > budget_bytes_ && entries_.size() > 1) {
     auto victim = entries_.end();
     std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
     for (auto jt = entries_.begin(); jt != entries_.end(); ++jt) {
-      if (&jt->second == &entry) continue;  // never evict the newcomer
+      if (&jt->second == protect) continue;  // never evict the newcomer
       if (jt->second.last_used < oldest) {
         oldest = jt->second.last_used;
         victim = jt;
       }
     }
     if (victim == entries_.end()) break;
+    if (store_.enabled() && store_.config().spill) {
+      try {
+        spill_entry(victim->first, victim->second);
+        ++spills_;
+        metrics::count("serve.store.spills");
+      } catch (const store::SnapshotError& e) {
+        // Fail loud but keep serving: the eviction demotes to a discard and
+        // the loss is visible in discarded() and on stderr.
+        std::cerr << "specmatch: spill of market '" << victim->first
+                  << "' failed, discarding: " << e.what() << "\n";
+      }
+    }
+    if (!store_.contains(victim->first)) {
+      ++discarded_;
+      metrics::count("serve.store.discarded");
+    }
     total_bytes_ -= victim->second.bytes;
     if (evicted != nullptr) evicted->push_back(victim->first);
     entries_.erase(victim);
     ++evictions_;
   }
+}
+
+MarketEntry& MarketRegistry::create(
+    const std::string& id, std::shared_ptr<const market::Scenario> scenario,
+    std::uint64_t seq, std::vector<std::string>* evicted) {
+  SPECMATCH_CHECK_MSG(entries_.find(id) == entries_.end(),
+                      "market id already registered: " << id);
+  auto [it, inserted] = entries_.emplace(id, MarketEntry(std::move(scenario)));
+  MarketEntry& entry = it->second;
+  entry.last_used = seq;
+  total_bytes_ += entry.bytes;
+  evict_over_budget(&entry, evicted);
   return entry;
+}
+
+MarketEntry& MarketRegistry::fault_in(const std::string& id, std::uint64_t seq,
+                                      std::vector<std::string>* evicted) {
+  SPECMATCH_CHECK_MSG(entries_.find(id) == entries_.end(),
+                      "market id already resident: " << id);
+  const auto start = std::chrono::steady_clock::now();
+  store::LoadedMarket loaded = store_.load(id);  // throws SnapshotError
+  auto [it, inserted] = entries_.emplace(id, MarketEntry(std::move(loaded)));
+  if (metrics::enabled())
+    metrics::observe("serve.store.fault_ms",
+                     std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count());
+  MarketEntry& entry = it->second;
+  entry.last_used = seq;
+  total_bytes_ += entry.bytes;
+  ++faults_;
+  metrics::count("serve.store.faults");
+  // The snapshot stays on disk: a later eviction of an unchanged market
+  // re-spills over it, and a crash before then still has last-spill state.
+  evict_over_budget(&entry, evicted);
+  return entry;
+}
+
+std::uint64_t MarketRegistry::snapshot_resident(const std::string& id) {
+  MarketEntry* entry = peek(id);
+  SPECMATCH_CHECK_MSG(entry != nullptr, "market not resident: " << id);
+  const std::uint64_t bytes = spill_entry(id, *entry);
+  metrics::count("serve.store.snapshots");
+  return bytes;
 }
 
 }  // namespace specmatch::serve

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <iostream>
 #include <sstream>
 #include <utility>
 
@@ -44,6 +45,8 @@ const char* latency_metric(RequestType type, bool warm) {
                   : "serve.latency_solve_cold_ms";
     case RequestType::kQuery:
     case RequestType::kStats: return "serve.latency_query_ms";
+    case RequestType::kSnapshot:
+    case RequestType::kRestore: return "serve.latency_store_ms";
   }
   return "serve.latency_ms";
 }
@@ -71,13 +74,15 @@ ServeConfig ServeConfig::from_env() {
       static_cast<std::size_t>(env_long("SPECMATCH_SERVE_MEM_MB", 4096));
   config.check_warm = env_flag("SPECMATCH_SERVE_CHECK_WARM");
   config.warm_full = env_flag("SPECMATCH_SERVE_WARM_FULL");
+  config.store = store::StoreConfig::from_env();
   return config;
 }
 
 MatchServer::MatchServer(ServeConfig config)
     : config_(config),
       pool_(static_cast<std::size_t>(std::max(1, config.drain_lanes))),
-      registry_(config.mem_budget_mb * std::size_t{1024} * 1024) {
+      registry_(config.mem_budget_mb * std::size_t{1024} * 1024,
+                config.store) {
   config_.drain_lanes = std::max(1, config_.drain_lanes);
   config_.queue_capacity = std::max(1, config_.queue_capacity);
   for (int lane = 0; lane < config_.drain_lanes; ++lane)
@@ -92,20 +97,28 @@ bool MatchServer::submit(Request request, ResponseCallback callback) {
                             ? std::chrono::steady_clock::now()
                             : std::chrono::steady_clock::time_point{};
 
-  if (request.type == RequestType::kCreate) {
-    // Creates are barriers: everything in flight finishes first, so the LRU
-    // eviction a create may trigger sees final recency values and never
+  if (request.type == RequestType::kCreate ||
+      request.type == RequestType::kRestore) {
+    // Creates and restores are barriers: everything in flight finishes
+    // first, so the structural registry mutation (build / fault-in, plus the
+    // LRU eviction either may trigger) sees final recency values and never
     // races a drain task holding a MarketEntry.
     if (config_.manual_drain) drain_pending_for_tests();
     Envelope envelope{std::move(request), std::move(callback), admitted};
     std::unique_lock<std::mutex> lock(mutex_);
     envelope.request.seq = next_seq_++;
     idle_.wait(lock, [&] { return pending_ == 0 && active_ == 0; });
-    Response response = process_create(envelope.request);
+    Response response = envelope.request.type == RequestType::kCreate
+                            ? process_create(envelope.request)
+                            : process_restore(envelope.request);
     lock.unlock();
     finish(envelope, std::move(response), /*counted_pending=*/false);
     return true;
   }
+
+  // Any other verb naming a spilled market faults it back in first — the
+  // disk tier is transparent to clients that simply keep using an id.
+  if (registry_.store_enabled()) fault_in_if_spilled(request.market_id);
 
   Envelope envelope{std::move(request), std::move(callback), admitted};
   std::string id;
@@ -277,14 +290,77 @@ void MatchServer::finish(Envelope& envelope, Response response,
   space_.notify_one();
 }
 
+void MatchServer::fault_in_if_spilled(const std::string& id) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (registry_.contains(id) || !registry_.is_spilled(id)) return;
+  }
+  // Same discipline as create: drain, then mutate the registry with nothing
+  // in flight. (Under manual drain the pending batches must run first or
+  // the idle wait below would never finish.)
+  if (config_.manual_drain) drain_pending_for_tests();
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (registry_.contains(id) || !registry_.is_spilled(id)) return;  // raced
+  idle_.wait(lock, [&] { return pending_ == 0 && active_ == 0; });
+  std::vector<std::string> evicted;
+  try {
+    registry_.fault_in(id, next_seq_, &evicted);
+    metrics::count("serve.evictions",
+                   static_cast<std::int64_t>(evicted.size()));
+  } catch (const store::SnapshotError& e) {
+    // Leave the id non-resident: the request this fault-in was serving will
+    // be answered with an err line naming the spilled state; the corruption
+    // detail goes to stderr once, here.
+    std::cerr << "specmatch: fault-in of market '" << id
+              << "' failed: " << e.what() << "\n";
+  }
+}
+
+Response MatchServer::process_restore(const Request& request) {
+  if (!registry_.store_enabled())
+    return error_response(request,
+                          "no snapshot store configured "
+                          "(set SPECMATCH_STORE_DIR or pass --store)");
+  std::ostringstream out;
+  if (registry_.contains(request.market_id)) {
+    // Already resident: an idempotent no-op that still bumps recency.
+    registry_.find(request.market_id, request.seq);
+    out << "ok restore " << request.market_id << " faulted=0 evicted=0";
+    Response response;
+    response.ok = true;
+    response.seq = request.seq;
+    response.text = out.str();
+    return response;
+  }
+  if (!registry_.is_spilled(request.market_id))
+    return error_response(request, "unknown market (no snapshot on disk)");
+  std::vector<std::string> evicted;
+  try {
+    registry_.fault_in(request.market_id, request.seq, &evicted);
+  } catch (const store::SnapshotError& e) {
+    return error_response(request, e.what());
+  }
+  metrics::count("serve.evictions", static_cast<std::int64_t>(evicted.size()));
+  out << "ok restore " << request.market_id
+      << " faulted=1 evicted=" << evicted.size();
+  Response response;
+  response.ok = true;
+  response.seq = request.seq;
+  response.text = out.str();
+  return response;
+}
+
 Response MatchServer::process_create(const Request& request) {
   if (!request.scenario)
     return error_response(request, "missing scenario payload");
   if (registry_.contains(request.market_id))
     return error_response(request, "market already exists");
+  if (registry_.is_spilled(request.market_id))
+    return error_response(
+        request, "market already exists (spilled to disk; restore it)");
   std::vector<std::string> evicted;
   try {
-    MarketEntry& entry = registry_.create(request.market_id, *request.scenario,
+    MarketEntry& entry = registry_.create(request.market_id, request.scenario,
                                           request.seq, &evicted);
     metrics::count("serve.evictions",
                    static_cast<std::int64_t>(evicted.size()));
@@ -306,7 +382,16 @@ Response MatchServer::process_create(const Request& request) {
 Response MatchServer::process(const Request& request,
                               matching::MatchWorkspace& workspace) {
   MarketEntry* entry = registry_.find(request.market_id, request.seq);
-  if (entry == nullptr) return error_response(request, "unknown market");
+  if (entry == nullptr) {
+    // Distinguish never-heard-of from spilled-but-not-faulted: the latter
+    // means the submit-time fault-in failed (corrupt snapshot — details went
+    // to stderr) or an eviction raced it; either way the fix is actionable.
+    if (registry_.is_spilled(request.market_id))
+      return error_response(request,
+                            "market is spilled and could not be faulted in "
+                            "(see server log; try 'restore')");
+    return error_response(request, "unknown market");
+  }
 
   const int num_buyers = entry->market.num_buyers();
   const int num_channels = entry->market.num_channels();
@@ -379,9 +464,30 @@ Response MatchServer::process(const Request& request,
           << " mutations=" << entry->mutations
           << " markets=" << registry_.size()
           << " bytes=" << registry_.total_bytes()
-          << " evictions=" << registry_.evictions();
+          << " evictions=" << registry_.evictions()
+          << " spilled=" << registry_.spilled_count()
+          << " spills=" << registry_.spills()
+          << " faults=" << registry_.faults()
+          << " discarded=" << registry_.discarded()
+          << " disk_bytes=" << registry_.disk_bytes();
       break;
     }
+    case RequestType::kSnapshot: {
+      if (!registry_.store_enabled())
+        return error_response(request,
+                              "no snapshot store configured "
+                              "(set SPECMATCH_STORE_DIR or pass --store)");
+      try {
+        const std::uint64_t bytes =
+            registry_.snapshot_resident(request.market_id);
+        out << "ok snapshot " << request.market_id << " bytes=" << bytes;
+      } catch (const store::SnapshotError& e) {
+        return error_response(request, e.what());
+      }
+      break;
+    }
+    case RequestType::kRestore:
+      return error_response(request, "restore must go through the barrier");
     case RequestType::kCreate:
       return error_response(request, "create must go through the barrier");
   }
@@ -499,6 +605,33 @@ std::size_t MatchServer::resident_bytes() const {
 std::int64_t MatchServer::evictions() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return registry_.evictions();
+}
+
+bool MatchServer::store_enabled() const { return registry_.store_enabled(); }
+
+std::size_t MatchServer::spilled_markets() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return registry_.spilled_count();
+}
+
+std::int64_t MatchServer::spills() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return registry_.spills();
+}
+
+std::int64_t MatchServer::faults() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return registry_.faults();
+}
+
+std::int64_t MatchServer::discarded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return registry_.discarded();
+}
+
+std::uint64_t MatchServer::store_disk_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return registry_.disk_bytes();
 }
 
 const matching::Matching* MatchServer::last_matching(const std::string& id) {

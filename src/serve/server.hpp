@@ -70,8 +70,13 @@ struct ServeConfig {
   /// drain_pending_for_tests() is called, making coalescing observable and
   /// deterministic.
   bool manual_drain = false;
+  /// Snapshot store (disk spill tier + snapshot/restore verbs). An empty
+  /// dir disables it: evictions discard, store verbs answer "err". Default:
+  /// SPECMATCH_STORE_DIR / SPECMATCH_STORE_SPILL / SPECMATCH_STORE_FSYNC.
+  store::StoreConfig store;
 
-  /// Defaults with the SPECMATCH_SERVE_* environment overrides applied.
+  /// Defaults with the SPECMATCH_SERVE_* / SPECMATCH_STORE_* environment
+  /// overrides applied.
   static ServeConfig from_env();
 };
 
@@ -123,6 +128,13 @@ class MatchServer {
   /// backpressure propagates to the client as TCP flow control.
   int pending() const;
   std::int64_t evictions() const;
+  // Store tier counters (0 / false when no store is configured).
+  bool store_enabled() const;
+  std::size_t spilled_markets() const;
+  std::int64_t spills() const;
+  std::int64_t faults() const;
+  std::int64_t discarded() const;
+  std::uint64_t store_disk_bytes() const;
   std::int64_t coalesced() const { return coalesced_; }
   std::int64_t shed() const { return shed_; }
   std::int64_t solves_deduped() const { return deduped_; }
@@ -159,6 +171,11 @@ class MatchServer {
                    matching::MatchWorkspace& workspace);
 
   Response process_create(const Request& request);
+  Response process_restore(const Request& request);
+  /// Faults `id` in at the admission barrier when it is spilled; called by
+  /// submit() before enqueueing a non-barrier request. Load errors are left
+  /// for process() to report (the id simply stays non-resident).
+  void fault_in_if_spilled(const std::string& id);
   std::string solve_response(MarketEntry& entry, const Request& request,
                              matching::MatchWorkspace& workspace);
   void finish(Envelope& envelope, Response response, bool counted_pending);

@@ -1,0 +1,243 @@
+#include "store/snapshot.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+namespace specmatch::store {
+
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+[[noreturn]] void fail_path(const std::string& path, const std::string& what) {
+  throw SnapshotError("snapshot " + path + ": " + what);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t hash = 1469598103934665603ull;
+  for (std::size_t k = 0; k < bytes; ++k) {
+    hash ^= p[k];
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+void SnapshotBuilder::add_section(SectionKind kind, const void* data,
+                                  std::size_t bytes, std::size_t count) {
+  Pending pending;
+  pending.kind = kind;
+  pending.count = count;
+  pending.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(pending.payload.data(), data, bytes);
+  sections_.push_back(std::move(pending));
+}
+
+std::vector<std::byte> SnapshotBuilder::finish(std::uint32_t num_channels,
+                                               std::uint32_t num_buyers,
+                                               std::uint32_t flags) {
+  const auto align_up = [](std::size_t n) {
+    return (n + kSectionAlign - 1) / kSectionAlign * kSectionAlign;
+  };
+  std::vector<SectionEntry> table(sections_.size());
+  std::size_t cursor =
+      align_up(sizeof(SnapshotHeader) + sections_.size() * sizeof(SectionEntry));
+  for (std::size_t s = 0; s < sections_.size(); ++s) {
+    table[s].kind = static_cast<std::uint32_t>(sections_[s].kind);
+    table[s].offset = cursor;
+    table[s].bytes = sections_[s].payload.size();
+    table[s].count = sections_[s].count;
+    cursor = align_up(cursor + sections_[s].payload.size());
+  }
+
+  std::vector<std::byte> image(cursor, std::byte{0});
+  SnapshotHeader header;
+  header.file_bytes = image.size();
+  header.section_count = static_cast<std::uint32_t>(sections_.size());
+  header.num_channels = num_channels;
+  header.num_buyers = num_buyers;
+  header.flags = flags;
+  std::memcpy(image.data() + sizeof(SnapshotHeader), table.data(),
+              table.size() * sizeof(SectionEntry));
+  for (std::size_t s = 0; s < sections_.size(); ++s)
+    if (!sections_[s].payload.empty())
+      std::memcpy(image.data() + table[s].offset, sections_[s].payload.data(),
+                  sections_[s].payload.size());
+  header.checksum = fnv1a64(image.data() + sizeof(SnapshotHeader),
+                            image.size() - sizeof(SnapshotHeader));
+  std::memcpy(image.data(), &header, sizeof(header));
+  return image;
+}
+
+std::uint64_t write_snapshot_file(const std::string& path,
+                                  std::span<const std::byte> image,
+                                  bool sync) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail_path(tmp, "cannot create: " + errno_text());
+  std::size_t written = 0;
+  while (written < image.size()) {
+    const ssize_t n = ::write(fd, image.data() + written,
+                              image.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string detail = errno_text();
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      fail_path(tmp, "write failed: " + detail);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (sync && ::fsync(fd) != 0) {
+    const std::string detail = errno_text();
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail_path(tmp, "fsync failed: " + detail);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail_path(tmp, "close failed: " + errno_text());
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string detail = errno_text();
+    ::unlink(tmp.c_str());
+    fail_path(path, "rename failed: " + detail);
+  }
+  return image.size();
+}
+
+MappedSnapshot::MappedSnapshot(std::string path) : path_(std::move(path)) {
+  const int fd = ::open(path_.c_str(), O_RDONLY);
+  if (fd < 0) fail("cannot open: " + errno_text());
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const std::string detail = errno_text();
+    ::close(fd);
+    fail("cannot stat: " + detail);
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ < sizeof(SnapshotHeader)) {
+    ::close(fd);
+    fail("truncated: " + std::to_string(size_) + " bytes, the header alone is " +
+         std::to_string(sizeof(SnapshotHeader)));
+  }
+  void* map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (map == MAP_FAILED) fail("mmap failed: " + errno_text());
+  data_ = static_cast<const std::byte*>(map);
+  try {
+    verify();
+  } catch (...) {
+    // A throwing constructor never runs the destructor: drop the mapping
+    // here or it leaks on every rejected file.
+    ::munmap(map, size_);
+    data_ = nullptr;
+    throw;
+  }
+}
+
+void MappedSnapshot::verify() const {
+  const SnapshotHeader& h = header();
+  if (h.magic != kSnapshotMagic) {
+    std::ostringstream what;
+    what << "not a specmatch snapshot (magic 0x" << std::hex << h.magic
+         << ", expected 0x" << kSnapshotMagic << ")";
+    fail(what.str());
+  }
+  if (h.version != kSnapshotVersion)
+    fail("unsupported snapshot version " + std::to_string(h.version) +
+         " (this build reads version " + std::to_string(kSnapshotVersion) +
+         "); rebuild the market from its create request");
+  if (h.endian != kEndianStamp) {
+    std::ostringstream what;
+    what << "written on a different-endianness machine (stamp 0x" << std::hex
+         << h.endian << ", expected 0x" << kEndianStamp
+         << "); snapshots do not migrate across byte orders";
+    fail(what.str());
+  }
+  if (h.file_bytes != size_)
+    fail("truncated or overlong: header declares " +
+         std::to_string(h.file_bytes) + " bytes, the file has " +
+         std::to_string(size_));
+  const std::size_t table_end =
+      sizeof(SnapshotHeader) + h.section_count * sizeof(SectionEntry);
+  if (table_end > size_)
+    fail("section table (" + std::to_string(h.section_count) +
+         " entries) runs past the end of the file");
+  const std::uint64_t computed = fnv1a64(data_ + sizeof(SnapshotHeader),
+                                         size_ - sizeof(SnapshotHeader));
+  if (computed != h.checksum) {
+    std::ostringstream what;
+    what << "checksum mismatch (stored 0x" << std::hex << h.checksum
+         << ", computed 0x" << computed << "): the file is corrupt";
+    fail(what.str());
+  }
+  for (const SectionEntry& entry : sections()) {
+    if (entry.offset % kSectionAlign != 0)
+      fail("section kind " + std::to_string(entry.kind) +
+           " is misaligned (offset " + std::to_string(entry.offset) + ")");
+    if (entry.offset > size_ || entry.bytes > size_ - entry.offset)
+      fail("section kind " + std::to_string(entry.kind) +
+           " runs past the end of the file");
+  }
+}
+
+MappedSnapshot::~MappedSnapshot() {
+  if (data_ != nullptr)
+    ::munmap(const_cast<std::byte*>(data_), size_);
+}
+
+const SnapshotHeader& MappedSnapshot::header() const {
+  return *reinterpret_cast<const SnapshotHeader*>(data_);
+}
+
+std::span<const SectionEntry> MappedSnapshot::sections() const {
+  return {reinterpret_cast<const SectionEntry*>(data_ + sizeof(SnapshotHeader)),
+          header().section_count};
+}
+
+const SectionEntry* MappedSnapshot::find(SectionKind kind) const {
+  for (const SectionEntry& entry : sections())
+    if (entry.kind == static_cast<std::uint32_t>(kind)) return &entry;
+  return nullptr;
+}
+
+const SectionEntry& MappedSnapshot::require(SectionKind kind) const {
+  const SectionEntry* entry = find(kind);
+  if (entry == nullptr)
+    fail("missing section kind " +
+         std::to_string(static_cast<std::uint32_t>(kind)));
+  return *entry;
+}
+
+const std::byte* MappedSnapshot::section_bytes(const SectionEntry& entry,
+                                               std::uint64_t offset,
+                                               std::uint64_t bytes) const {
+  if (offset > entry.bytes || bytes > entry.bytes - offset)
+    fail("sub-array [" + std::to_string(offset) + ", +" +
+         std::to_string(bytes) + ") runs past section kind " +
+         std::to_string(entry.kind));
+  return data_ + entry.offset + offset;
+}
+
+void MappedSnapshot::check_array(const SectionEntry& entry,
+                                 std::size_t elem) const {
+  if (entry.bytes != entry.count * elem)
+    fail("section kind " + std::to_string(entry.kind) + " declares " +
+         std::to_string(entry.count) + " elements of " + std::to_string(elem) +
+         " bytes but holds " + std::to_string(entry.bytes) + " bytes");
+}
+
+void MappedSnapshot::fail(const std::string& what) const {
+  throw SnapshotError("snapshot " + path_ + ": " + what);
+}
+
+}  // namespace specmatch::store

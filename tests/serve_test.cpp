@@ -325,18 +325,18 @@ TEST(MarketRegistryTest, EvictsLeastRecentlyUsedUnderByteBudget) {
   const auto a = random_scenario(31, 2, 6);
 
   MarketRegistry probe(std::size_t{1} << 30);
-  const std::size_t one = probe.create("a", *a, 0, nullptr).bytes;
+  const std::size_t one = probe.create("a", a, 0, nullptr).bytes;
 
   // Room for two resident markets, not three.
   MarketRegistry registry(2 * one + one / 2);
-  registry.create("a", *a, 1, nullptr);
-  registry.create("b", *a, 2, nullptr);
+  registry.create("a", a, 1, nullptr);
+  registry.create("b", a, 2, nullptr);
   EXPECT_EQ(registry.size(), 2u);
 
   // Touch "a" so "b" is the LRU victim.
   ASSERT_NE(registry.find("a", 3), nullptr);
   std::vector<std::string> evicted;
-  registry.create("c", *a, 4, &evicted);
+  registry.create("c", a, 4, &evicted);
   ASSERT_EQ(evicted.size(), 1u);
   EXPECT_EQ(evicted[0], "b");
   EXPECT_EQ(registry.size(), 2u);
@@ -350,10 +350,10 @@ TEST(MarketRegistryTest, OversizedMarketIsAdmittedAlone) {
   const auto a = random_scenario(41, 2, 6);
   const auto b = random_scenario(42, 3, 12);
   MarketRegistry registry(1);  // budget smaller than any market
-  registry.create("a", *a, 0, nullptr);
+  registry.create("a", a, 0, nullptr);
   EXPECT_EQ(registry.size(), 1u);
   std::vector<std::string> evicted;
-  registry.create("b", *b, 1, &evicted);
+  registry.create("b", b, 1, &evicted);
   // The newcomer is never evicted; the old entry goes.
   EXPECT_EQ(registry.size(), 1u);
   ASSERT_EQ(evicted.size(), 1u);

@@ -1,0 +1,476 @@
+// Persistent market store: snapshot format integrity (corrupt files of every
+// flavour fail loudly), mmap-backed load fidelity (view-backed CSR graphs and
+// matchings bit-identical to the originals at 1 and 4 threads), registry
+// spill/fault-back under a byte budget with zero discards, and server-level
+// transparency (a spilled market faults back in and warm-serves with its
+// carried matching and stats intact).
+#include "store/market_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "market/market.hpp"
+#include "matching/two_stage.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+#include "store/snapshot.hpp"
+#include "workload/generator.hpp"
+
+namespace specmatch::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Sets the engine thread count for a scope (parallel_determinism_test's
+/// idiom) so load fidelity can be asserted at 1 and 4 lanes.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int num_threads)
+      : saved_(SpecmatchConfig::global().num_threads) {
+    SpecmatchConfig::global().num_threads = num_threads;
+    (void)ThreadPool::global();
+  }
+  ~ScopedThreads() {
+    SpecmatchConfig::global().num_threads = saved_;
+    (void)ThreadPool::global();
+  }
+
+ private:
+  int saved_;
+};
+
+std::shared_ptr<const market::Scenario> random_scenario(std::uint64_t seed,
+                                                        int sellers,
+                                                        int buyers) {
+  Rng rng(seed);
+  workload::WorkloadParams params;
+  params.num_sellers = sellers;
+  params.num_buyers = buyers;
+  return std::make_shared<const market::Scenario>(
+      workload::generate_scenario(params, rng));
+}
+
+/// A fresh, empty snapshot directory under the system temp dir.
+fs::path scratch_dir(const std::string& name) {
+  const fs::path dir = fs::temp_directory_path() / ("specmatch_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+StoreConfig dir_config(const fs::path& dir) {
+  StoreConfig config;
+  config.dir = dir.string();
+  return config;
+}
+
+/// A complete snapshot image of a freshly built market (no carried matching).
+std::vector<std::byte> sample_image(
+    std::shared_ptr<const market::Scenario> scenario) {
+  const market::SpectrumMarket market = market::build_market(*scenario);
+  const auto n = static_cast<std::size_t>(market.num_buyers());
+  std::vector<double> base;
+  for (ChannelId i = 0; i < market.num_channels(); ++i)
+    for (BuyerId j = 0; j < market.num_buyers(); ++j)
+      base.push_back(market.utility(i, j));
+  std::vector<std::uint8_t> active(n, 1);
+  std::vector<std::uint8_t> dirty(n, 0);
+  std::vector<std::int32_t> matching(n, -1);
+  MarketStateView view;
+  view.market = &market;
+  view.scenario = scenario.get();
+  view.base_prices = base;
+  view.active = active;
+  view.dirty = dirty;
+  view.matching = matching;
+  return build_snapshot_image(view);
+}
+
+void write_raw(const fs::path& path, std::span<const std::byte> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good());
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Expects MappedSnapshot construction (or load) to throw a SnapshotError
+/// whose message contains `needle`.
+void expect_load_error(const fs::path& path, const std::string& needle) {
+  try {
+    LoadedMarket loaded = load_market(std::make_shared<MappedSnapshot>(
+        path.string()));
+    FAIL() << "load of " << path << " unexpectedly succeeded";
+  } catch (const SnapshotError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message '" << e.what() << "' lacks '" << needle << "'";
+  }
+}
+
+// --- corruption ------------------------------------------------------------
+
+TEST(SnapshotIntegrityTest, TruncatedFileFailsLoudly) {
+  const fs::path dir = scratch_dir("store_truncated");
+  const auto image = sample_image(random_scenario(11, 3, 8));
+
+  // Shorter than the header alone.
+  write_raw(dir / "tiny.spms", std::span(image).subspan(0, 40));
+  expect_load_error(dir / "tiny.spms", "truncated");
+
+  // Header intact, payload cut off.
+  write_raw(dir / "cut.spms", std::span(image).subspan(0, image.size() - 64));
+  expect_load_error(dir / "cut.spms", "truncated");
+}
+
+TEST(SnapshotIntegrityTest, BitFlipFailsChecksum) {
+  const fs::path dir = scratch_dir("store_bitflip");
+  auto image = sample_image(random_scenario(12, 3, 8));
+  // Flip one payload bit past the header; the checksum must catch it.
+  image[image.size() - 7] ^= std::byte{0x10};
+  write_raw(dir / "flip.spms", image);
+  expect_load_error(dir / "flip.spms", "checksum mismatch");
+}
+
+TEST(SnapshotIntegrityTest, WrongMagicVersionAndEndiannessFailLoudly) {
+  const fs::path dir = scratch_dir("store_header");
+  const auto image = sample_image(random_scenario(13, 3, 8));
+
+  // None of these header fields are covered by the checksum (it spans
+  // [64, file_bytes)), so patching them isolates each check.
+  auto patched = image;
+  std::memcpy(patched.data(), "NOTSPMS!", 8);
+  write_raw(dir / "magic.spms", patched);
+  expect_load_error(dir / "magic.spms", "not a specmatch snapshot");
+
+  patched = image;
+  const std::uint32_t future_version = 99;
+  std::memcpy(patched.data() + 8, &future_version, sizeof(future_version));
+  write_raw(dir / "version.spms", patched);
+  expect_load_error(dir / "version.spms", "unsupported snapshot version");
+
+  patched = image;
+  const std::uint32_t swapped_stamp = 0x04030201;  // byte-swapped kEndianStamp
+  std::memcpy(patched.data() + 12, &swapped_stamp, sizeof(swapped_stamp));
+  write_raw(dir / "endian.spms", patched);
+  expect_load_error(dir / "endian.spms", "endianness");
+}
+
+TEST(SnapshotIntegrityTest, OverlongFileFailsLoudly) {
+  const fs::path dir = scratch_dir("store_overlong");
+  auto image = sample_image(random_scenario(14, 3, 8));
+  image.resize(image.size() + 128);  // trailing garbage past file_bytes
+  write_raw(dir / "long.spms", image);
+  expect_load_error(dir / "long.spms", "truncated or overlong");
+}
+
+// --- load fidelity ---------------------------------------------------------
+
+TEST(SnapshotRoundTripTest, ViewBackedGraphsAndMatchingsAreBitIdentical) {
+  for (const std::uint64_t seed : {21u, 22u, 23u}) {
+    const auto scenario = random_scenario(seed, 4, 12);
+    const market::SpectrumMarket built = market::build_market(*scenario);
+
+    const fs::path dir = scratch_dir("store_roundtrip");
+    MarketStore store(dir_config(dir));
+    const auto n = static_cast<std::size_t>(built.num_buyers());
+    std::vector<double> base;
+    for (ChannelId i = 0; i < built.num_channels(); ++i)
+      for (BuyerId j = 0; j < built.num_buyers(); ++j)
+        base.push_back(built.utility(i, j));
+    std::vector<std::uint8_t> active(n, 1);
+    std::vector<std::uint8_t> dirty(n, 0);
+    std::vector<std::int32_t> match(n, -1);
+    MarketStateView view;
+    view.market = &built;
+    view.scenario = scenario.get();
+    view.base_prices = base;
+    view.active = active;
+    view.dirty = dirty;
+    view.matching = match;
+    store.write("m", view);
+
+    LoadedMarket loaded = store.load("m");
+    ASSERT_NE(loaded.market, nullptr);
+    ASSERT_NE(loaded.backing, nullptr);
+    for (ChannelId i = 0; i < built.num_channels(); ++i)
+      EXPECT_EQ(built.graph(i), loaded.market->graph(i)) << "channel " << i;
+
+    // The loaded market must produce the exact matching of the original, at
+    // any thread count (the ISSUE's mapped-vs-rebuilt contract).
+    for (const int threads : {1, 4}) {
+      ScopedThreads scope(threads);
+      const auto a = matching::run_two_stage(built);
+      const auto b = matching::run_two_stage(*loaded.market);
+      EXPECT_EQ(a.final_matching(), b.final_matching())
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+TEST(SnapshotRoundTripTest, CarriedStateSurvives) {
+  const auto scenario = random_scenario(31, 3, 9);
+  const fs::path dir = scratch_dir("store_carried");
+  serve::MarketRegistry registry(std::size_t{1} << 30, dir_config(dir));
+  serve::MarketEntry& entry = registry.create("m", scenario, 0, nullptr);
+
+  // Give the entry some history: a matching, a mutation, stats.
+  const auto result = matching::run_two_stage(entry.market);
+  entry.last = result.final_matching();
+  entry.has_matching = true;
+  entry.dirty_valid = true;
+  entry.solves_cold = 3;
+  entry.apply_leave(1);
+
+  const std::uint64_t bytes = registry.snapshot_resident("m");
+  EXPECT_GT(bytes, 0u);
+  MarketStore probe(dir_config(dir));
+  LoadedMarket loaded = probe.load("m");
+  EXPECT_TRUE(loaded.has_matching);
+  EXPECT_TRUE(loaded.dirty_valid);
+  EXPECT_EQ(loaded.counters[0], 3);  // solves_cold
+  EXPECT_EQ(loaded.counters[5], 1);  // mutations
+  EXPECT_EQ(loaded.active[1], 0);
+  for (BuyerId j = 0; j < entry.market.num_buyers(); ++j)
+    EXPECT_EQ(loaded.matching[static_cast<std::size_t>(j)],
+              static_cast<std::int32_t>(entry.last.seller_of(j)))
+        << "buyer " << j;
+
+  // Adopting the loaded market reports the same resident footprint as the
+  // built one — eviction decisions are identical either way.
+  serve::MarketEntry faulted{std::move(loaded)};
+  EXPECT_EQ(faulted.bytes, entry.bytes);
+  EXPECT_EQ(faulted.solves_cold, 3);
+  EXPECT_FALSE(faulted.active[1]);
+}
+
+// --- registry spill / fault-back -------------------------------------------
+
+TEST(RegistrySpillTest, EvictionSpillsAndFaultBackRestoresWithZeroDiscards) {
+  const auto scenario = random_scenario(41, 2, 6);
+  const fs::path dir = scratch_dir("store_spill");
+
+  serve::MarketRegistry probe(std::size_t{1} << 30, dir_config(dir));
+  const std::size_t one = probe.create("probe", scenario, 0, nullptr).bytes;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  serve::MarketRegistry registry(2 * one + one / 2, dir_config(dir));
+  registry.create("a", scenario, 1, nullptr);
+  registry.create("b", scenario, 2, nullptr);
+  ASSERT_NE(registry.find("a", 3), nullptr);
+  std::vector<std::string> evicted;
+  registry.create("c", scenario, 4, &evicted);
+
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], "b");
+  EXPECT_EQ(registry.spills(), 1);
+  EXPECT_EQ(registry.discarded(), 0);
+  EXPECT_TRUE(registry.is_spilled("b"));
+  EXPECT_TRUE(registry.known("b"));
+  EXPECT_FALSE(registry.contains("b"));
+  EXPECT_EQ(registry.spilled_count(), 1u);
+  EXPECT_GT(registry.disk_bytes(), 0u);
+
+  // Fault "b" back: someone else gets evicted (and spilled), never lost.
+  evicted.clear();
+  serve::MarketEntry& back = registry.fault_in("b", 5, &evicted);
+  EXPECT_EQ(back.bytes, one);
+  EXPECT_EQ(registry.faults(), 1);
+  EXPECT_EQ(registry.discarded(), 0);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_TRUE(registry.is_spilled(evicted[0]));
+}
+
+TEST(RegistrySpillTest, SpillDisabledDiscardsButCountsHonestly) {
+  const auto scenario = random_scenario(42, 2, 6);
+  const fs::path dir = scratch_dir("store_nospill");
+
+  serve::MarketRegistry probe(std::size_t{1} << 30, dir_config(dir));
+  const std::size_t one = probe.create("probe", scenario, 0, nullptr).bytes;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  StoreConfig config = dir_config(dir);
+  config.spill = false;
+  serve::MarketRegistry registry(one + one / 2, config);
+  registry.create("a", scenario, 1, nullptr);
+  registry.create("b", scenario, 2, nullptr);
+  EXPECT_EQ(registry.spills(), 0);
+  EXPECT_EQ(registry.discarded(), 1);
+  EXPECT_FALSE(registry.known("a"));
+}
+
+// --- server-level transparency ---------------------------------------------
+
+serve::ServeConfig store_server_config(const fs::path& dir, int lanes) {
+  serve::ServeConfig config;
+  config.drain_lanes = lanes;
+  config.queue_capacity = 1024;
+  config.mem_budget_mb = 4096;
+  config.check_warm = true;
+  config.store = dir_config(dir);
+  return config;
+}
+
+serve::Request create_request(const std::string& id,
+                              std::shared_ptr<const market::Scenario> s) {
+  serve::Request request;
+  request.type = serve::RequestType::kCreate;
+  request.market_id = id;
+  request.scenario = std::move(s);
+  return request;
+}
+
+serve::Request verb_request(serve::RequestType type, const std::string& id) {
+  serve::Request request;
+  request.type = type;
+  request.market_id = id;
+  return request;
+}
+
+TEST(ServerStoreTest, ColdBootServesIdenticalTranscript) {
+  const auto scenario = random_scenario(51, 3, 10);
+  const fs::path dir = scratch_dir("store_coldboot");
+
+  // Warm a server, snapshot, and record what the resident market answers.
+  std::string live_query, live_stats;
+  {
+    serve::MatchServer server(store_server_config(dir, 1));
+    ASSERT_TRUE(server.handle(create_request("m", scenario)).ok);
+    serve::Request solve = verb_request(serve::RequestType::kSolve, "m");
+    ASSERT_TRUE(server.handle(solve).ok);
+    serve::Request price = verb_request(serve::RequestType::kUpdatePrice, "m");
+    price.buyer = 2;
+    price.channel = 0;
+    price.value = 4.25;
+    ASSERT_TRUE(server.handle(price).ok);
+    serve::Request warm = verb_request(serve::RequestType::kSolve, "m");
+    warm.warm = true;
+    ASSERT_TRUE(server.handle(warm).ok);
+    const serve::Response snap =
+        server.handle(verb_request(serve::RequestType::kSnapshot, "m"));
+    ASSERT_TRUE(snap.ok) << snap.text;
+    live_query =
+        server.handle(verb_request(serve::RequestType::kQuery, "m")).text;
+    live_stats =
+        server.handle(verb_request(serve::RequestType::kStats, "m")).text;
+  }
+
+  // Cold-boot from the snapshot dir at 1 and 4 lanes: the first touch faults
+  // the market in; query and stats must match the live server byte for byte.
+  for (const int lanes : {1, 4}) {
+    serve::MatchServer server(store_server_config(dir, lanes));
+    EXPECT_EQ(server.resident_markets(), 0u);
+    const serve::Response query =
+        server.handle(verb_request(serve::RequestType::kQuery, "m"));
+    ASSERT_TRUE(query.ok) << query.text;
+    EXPECT_EQ(query.text, live_query) << "lanes " << lanes;
+    // Per-market stats must match exactly; the registry-wide tail (markets=
+    // onwards) legitimately differs — the cold server counts a fault the
+    // live one never had.
+    const std::string stats =
+        server.handle(verb_request(serve::RequestType::kStats, "m")).text;
+    EXPECT_EQ(stats.substr(0, stats.find(" markets=")),
+              live_stats.substr(0, live_stats.find(" markets=")))
+        << "lanes " << lanes;
+    EXPECT_EQ(server.faults(), 1);
+    EXPECT_EQ(server.discarded(), 0);
+
+    // The restored market warm-serves immediately off its carried matching.
+    serve::Request warm = verb_request(serve::RequestType::kSolve, "m");
+    warm.warm = true;
+    const serve::Response response = server.handle(warm);
+    ASSERT_TRUE(response.ok);
+    EXPECT_EQ(response.text.find("fallback="), std::string::npos)
+        << response.text;
+  }
+}
+
+TEST(ServerStoreTest, RestoreVerbAndErrors) {
+  const auto scenario = random_scenario(52, 2, 6);
+  const fs::path dir = scratch_dir("store_restore");
+  {
+    serve::MatchServer server(store_server_config(dir, 1));
+    ASSERT_TRUE(server.handle(create_request("m", scenario)).ok);
+    ASSERT_TRUE(
+        server.handle(verb_request(serve::RequestType::kSnapshot, "m")).ok);
+  }
+
+  serve::MatchServer server(store_server_config(dir, 1));
+  const serve::Response restored =
+      server.handle(verb_request(serve::RequestType::kRestore, "m"));
+  ASSERT_TRUE(restored.ok);
+  EXPECT_NE(restored.text.find("faulted=1"), std::string::npos);
+  // Idempotent when already resident.
+  const serve::Response again =
+      server.handle(verb_request(serve::RequestType::kRestore, "m"));
+  ASSERT_TRUE(again.ok);
+  EXPECT_NE(again.text.find("faulted=0"), std::string::npos);
+  // Unknown ids and duplicate creates are errors.
+  EXPECT_FALSE(
+      server.handle(verb_request(serve::RequestType::kRestore, "ghost")).ok);
+  const serve::Response duplicate =
+      server.handle(create_request("m", scenario));
+  EXPECT_FALSE(duplicate.ok);
+
+  // A corrupt snapshot is reported, not served: damage the file, evict the
+  // resident copy out of the picture by using a fresh server, and restore.
+  {
+    MarketStore store(dir_config(dir));
+    const std::string path = store.path_for("m");
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(100);
+    f.put('\x7f');
+  }
+  serve::MatchServer fresh(store_server_config(dir, 1));
+  const serve::Response corrupt =
+      fresh.handle(verb_request(serve::RequestType::kRestore, "m"));
+  EXPECT_FALSE(corrupt.ok);
+  EXPECT_NE(corrupt.text.find("checksum"), std::string::npos) << corrupt.text;
+}
+
+TEST(ServerStoreTest, MemoryCappedServingSpillsWithZeroDiscards) {
+  // A budget of 0 MB keeps exactly one market resident: every create spills
+  // the previous one, and touching an old id faults it back while spilling
+  // the current resident. Nothing is ever lost.
+  const fs::path dir = scratch_dir("store_capped");
+  serve::ServeConfig config = store_server_config(dir, 1);
+  config.mem_budget_mb = 0;
+  serve::MatchServer server(config);
+
+  constexpr int kMarkets = 6;
+  for (int k = 0; k < kMarkets; ++k) {
+    const std::string id = "m" + std::to_string(k);
+    ASSERT_TRUE(
+        server.handle(create_request(id, random_scenario(60 + k, 2, 6))).ok);
+    ASSERT_TRUE(server.handle(verb_request(serve::RequestType::kSolve, id)).ok);
+  }
+  EXPECT_EQ(server.resident_markets(), 1u);
+  EXPECT_EQ(server.spilled_markets(),
+            static_cast<std::size_t>(kMarkets - 1));
+  EXPECT_EQ(server.discarded(), 0);
+
+  // Every market, resident or spilled, still answers — with its own state.
+  for (int k = 0; k < kMarkets; ++k) {
+    const std::string id = "m" + std::to_string(k);
+    const serve::Response query =
+        server.handle(verb_request(serve::RequestType::kQuery, id));
+    ASSERT_TRUE(query.ok) << query.text;
+    EXPECT_EQ(query.text.find("matched=0"), std::string::npos) << query.text;
+  }
+  EXPECT_EQ(server.discarded(), 0);
+  EXPECT_GE(server.faults(), kMarkets - 1);
+}
+
+}  // namespace
+}  // namespace specmatch::store

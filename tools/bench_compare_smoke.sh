@@ -24,9 +24,9 @@ if "$tools_dir/run_bench.sh" --compare \
   status=1
 fi
 
-# The planted regression is scoped to the warm serve leg; a tighter
-# threshold must also flag it, and a huge threshold must let it pass —
-# sanity that --threshold is actually honored.
+# The planted regressions (warm serve leg, store snapshot_load wall time)
+# all stay under 500%; a huge threshold must let the pair pass — sanity
+# that --threshold is actually honored.
 echo "bench_compare_smoke: regressed pair at --threshold 500 (must pass)"
 if ! "$tools_dir/run_bench.sh" --compare \
      "$fixtures/bench_compare_old.json" \

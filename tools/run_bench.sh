@@ -17,6 +17,11 @@
 #                                      # loopback TCP front-end (closed- and
 #                                      # open-loop legs at conns {1,64,512}),
 #                                      # writes BENCH_serve_net.json
+#   tools/run_bench.sh --store         # persistence-tier run, writes
+#                                      # BENCH_store.json (cold boot from an
+#                                      # mmap snapshot vs rebuild at N=20000,
+#                                      # memory-capped spill/fault-back
+#                                      # stream with zero discards)
 #   tools/run_bench.sh --kernels       # SIMD kernel microbench: per-kernel
 #                                      # ns/word at words {4,64,1024,16384},
 #                                      # scalar vs the dispatched tier, writes
@@ -75,6 +80,18 @@ if [[ "${1:-}" == "--serve" ]]; then
   SPECMATCH_METRICS=1 \
   SPECMATCH_BENCH_JSON="$repo_root/BENCH_serve.json" \
     "$build_dir/bench/serve_load"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--store" ]]; then
+  build_dir="$repo_root/build-bench"
+  cmake -B "$build_dir" -S "$repo_root" -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$build_dir" -j"$(nproc)" --target serve_load
+  # Metrics on, so the JSON carries the serve.store.* counters and the
+  # spill/fault-in latency histograms next to the wall-clock legs.
+  SPECMATCH_METRICS=1 \
+  SPECMATCH_BENCH_JSON="$repo_root/BENCH_store.json" \
+    "$build_dir/bench/serve_load" --store
   exit 0
 fi
 
@@ -261,6 +278,34 @@ if [[ "${1:-}" == "--smoke" ]]; then
       status=1
     fi
   done
+  # Persistence leg: smoke-sized store run. The bench itself CHECKs the
+  # cold-booted market answers byte-identically and that the capped stream
+  # discards nothing; the JSON must carry both cold-start legs, the capped
+  # stream, and the serve.store.* counters — and it must flow through the
+  # bench_compare gate (self-compare: proves store rows parse and key).
+  echo "bench_smoke: serve_load --store"
+  if ! SPECMATCH_METRICS=1 \
+       SPECMATCH_BENCH_JSON="$tmpdir/BENCH_store.json" \
+       "$bindir/serve_load" --store > "$tmpdir/serve_load_store.log" 2>&1; then
+    echo "bench_smoke: FAILED serve_load --store" >&2
+    tail -n 30 "$tmpdir/serve_load_store.log" >&2
+    status=1
+  fi
+  for marker in '"algorithm": "rebuild"' '"algorithm": "snapshot_load"' \
+                '"bench": "store_spill_stream"' 'discarded=0' \
+                'serve.store.spills' 'serve.store.fault_ms'; do
+    if ! grep -q "$marker" "$tmpdir/BENCH_store.json"; then
+      echo "bench_smoke: BENCH_store.json missing $marker" >&2
+      status=1
+    fi
+  done
+  if ! "$repo_root/tools/run_bench.sh" --compare \
+       "$tmpdir/BENCH_store.json" "$tmpdir/BENCH_store.json" \
+       > "$tmpdir/store_compare.log" 2>&1; then
+    echo "bench_smoke: BENCH_store.json did not pass the bench_compare gate" >&2
+    tail -n 20 "$tmpdir/store_compare.log" >&2
+    status=1
+  fi
   # SIMD kernel leg: smoke-sized micro_kernels run. The bench itself CHECKs
   # every dispatch tier against the scalar reference before timing, and the
   # JSON must carry the kernels-v1 schema with both scalar and dispatched

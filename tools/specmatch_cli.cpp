@@ -56,9 +56,11 @@ using namespace specmatch;
       "                [--delay D] [--window W]\n"
       "  specmatch_cli dot FILE [--out FILE.dot]   (matching as graphviz)\n"
       "  specmatch_cli paper toy|counter           (run the paper's fixtures)\n"
-      "  specmatch_cli serve [FILE] [--out FILE]   (request file or stdin;\n"
-      "                see docs/SERVING.md for the protocol)\n"
-      "  specmatch_cli serve --listen PORT [--port-file F]\n"
+      "  specmatch_cli serve [FILE] [--out FILE] [--store DIR]\n"
+      "                (request file or stdin; --store enables the snapshot\n"
+      "                store: spill-on-evict, snapshot/restore verbs, cold\n"
+      "                boot from DIR. docs/SERVING.md, docs/PERSISTENCE.md)\n"
+      "  specmatch_cli serve --listen PORT [--port-file F] [--store DIR]\n"
       "                [--overflow block|reject]   (TCP front-end on\n"
       "                127.0.0.1; port 0 = ephemeral, choice written to\n"
       "                --port-file; SIGTERM drains. docs/PROTOCOL.md)\n"
@@ -260,10 +262,14 @@ int cmd_serve(int argc, char** argv) {
   }
   const auto flags = parse_flags(argc, argv, flag_start);
   const std::string out_path = flag_string(flags, "out", "");
+  // --store DIR overrides SPECMATCH_STORE_DIR: snapshots land in (and cold
+  // boots fault from) DIR.
+  const std::string store_dir = flag_string(flags, "store", "");
 
   if (flags.count("listen") != 0) {
     if (!input_path.empty()) usage("--listen takes no request file");
     serve::ServeConfig config = serve::ServeConfig::from_env();
+    if (!store_dir.empty()) config.store.dir = store_dir;
     const std::string overflow = flag_string(flags, "overflow", "block");
     if (overflow == "block") {
       config.overflow = serve::ServeConfig::Overflow::kBlock;
@@ -310,6 +316,12 @@ int cmd_serve(int argc, char** argv) {
               << " deduped=" << server.solves_deduped()
               << " shed=" << server.shed()
               << " steady_allocs=" << server.steady_allocs() << "\n";
+    if (server.store_enabled())
+      std::cerr << "serve: store spilled=" << server.spilled_markets()
+                << " spills=" << server.spills()
+                << " faults=" << server.faults()
+                << " discarded=" << server.discarded()
+                << " disk_bytes=" << server.store_disk_bytes() << "\n";
     return 0;
   }
 
@@ -350,6 +362,7 @@ int cmd_serve(int argc, char** argv) {
   // shedding, so a transcript always answers every request.
   serve::ServeConfig config = serve::ServeConfig::from_env();
   config.overflow = serve::ServeConfig::Overflow::kBlock;
+  if (!store_dir.empty()) config.store.dir = store_dir;
   serve::MatchServer server(config);
   TranscriptWriter transcript(out);
 
@@ -377,6 +390,12 @@ int cmd_serve(int argc, char** argv) {
             << " deduped=" << server.solves_deduped()
             << " shed=" << server.shed()
             << " steady_allocs=" << server.steady_allocs() << "\n";
+  if (server.store_enabled())
+    std::cerr << "serve: store spilled=" << server.spilled_markets()
+              << " spills=" << server.spills()
+              << " faults=" << server.faults()
+              << " discarded=" << server.discarded()
+              << " disk_bytes=" << server.store_disk_bytes() << "\n";
   return 0;
 }
 
