@@ -1,0 +1,907 @@
+#include "serve/cluster/coordinator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <numeric>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/metrics.hpp"
+#include "matching/stability.hpp"
+#include "matching/two_stage.hpp"
+#include "serve/cluster/migration.hpp"
+#include "serve/cluster/placement.hpp"
+
+namespace specmatch::serve::cluster {
+
+namespace {
+
+long env_long(const char* name, long fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  return (end == raw || *end != '\0' || value <= 0) ? fallback : value;
+}
+
+bool env_flag(const char* name) {
+  const char* raw = std::getenv(name);
+  return raw != nullptr && *raw != '\0' && std::string(raw) != "0";
+}
+
+Response error_response(const Request& request, const std::string& detail) {
+  Response response;
+  response.ok = false;
+  response.seq = request.seq;
+  std::ostringstream out;
+  out << "err " << request_keyword(request.type) << " " << request.market_id
+      << ": " << detail;
+  response.text = out.str();
+  return response;
+}
+
+Response ok_response(const Request& request, std::string text) {
+  Response response;
+  response.ok = true;
+  response.seq = request.seq;
+  response.text = std::move(text);
+  return response;
+}
+
+bool contains_sorted(const std::vector<BuyerId>& sorted, BuyerId v) {
+  return std::binary_search(sorted.begin(), sorted.end(), v);
+}
+
+int index_sorted(const std::vector<BuyerId>& sorted, BuyerId v) {
+  const auto it = std::lower_bound(sorted.begin(), sorted.end(), v);
+  SPECMATCH_CHECK_MSG(it != sorted.end() && *it == v,
+                      "buyer " << v << " is not in the shard");
+  return static_cast<int>(it - sorted.begin());
+}
+
+/// larger == smaller with exactly `extra` inserted?
+bool is_plus_one(const std::vector<BuyerId>& smaller,
+                 const std::vector<BuyerId>& larger, BuyerId extra) {
+  if (larger.size() != smaller.size() + 1) return false;
+  std::size_t s = 0;
+  bool seen = false;
+  for (const BuyerId v : larger) {
+    if (v == extra) {
+      seen = true;
+      continue;
+    }
+    if (s >= smaller.size() || smaller[s] != v) return false;
+    ++s;
+  }
+  return seen && s == smaller.size();
+}
+
+/// Moves buyer j's seat in `matching` to `seat` (kUnmatched clears it).
+void set_seat(matching::Matching& matching, BuyerId j, SellerId seat) {
+  if (matching.seller_of(j) == seat) return;
+  matching.unmatch(j);
+  if (seat != kUnmatched) matching.match(j, seat);
+}
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+ClusterConfig ClusterConfig::from_env() {
+  ClusterConfig config;
+  config.connect_attempts = static_cast<int>(
+      env_long("SPECMATCH_CLUSTER_CONNECT_ATTEMPTS", config.connect_attempts));
+  config.connect_backoff_ms = static_cast<int>(env_long(
+      "SPECMATCH_CLUSTER_CONNECT_BACKOFF_MS", config.connect_backoff_ms));
+  config.scatter_timeout_ms = static_cast<int>(env_long(
+      "SPECMATCH_CLUSTER_SCATTER_TIMEOUT_MS", config.scatter_timeout_ms));
+  config.cluster_stats = env_flag("SPECMATCH_CLUSTER_STATS");
+  config.serve = ServeConfig::from_env();
+  // The coordinator is storeless: its registry is a mirror whose lifetime
+  // the client drives; snapshot/restore answer the storeless error.
+  config.serve.store = store::StoreConfig{};
+  return config;
+}
+
+Coordinator::Coordinator(ClusterConfig config)
+    : config_(std::move(config)),
+      registry_(config_.serve.mem_budget_mb * std::size_t{1024} * 1024,
+                store::StoreConfig{}) {
+  SPECMATCH_CHECK_MSG(!config_.worker_ports.empty(),
+                      "cluster coordinator needs at least one worker port");
+  conns_.reserve(config_.worker_ports.size());
+  for (const int port : config_.worker_ports) {
+    ClientConnection conn = ClientConnection::connect_loopback_retry(
+        port, config_.connect_attempts, config_.connect_backoff_ms);
+    if (config_.scatter_timeout_ms > 0)
+      conn.set_recv_timeout_ms(config_.scatter_timeout_ms);
+    conns_.emplace_back(std::move(conn));
+  }
+  alive_.assign(conns_.size(), 1);
+}
+
+int Coordinator::live_workers() const {
+  int live = 0;
+  for (const char a : alive_) live += a ? 1 : 0;
+  return live;
+}
+
+bool Coordinator::submit(Request request, ResponseCallback callback) {
+  metrics::count("serve.requests");
+  const auto admitted = metrics::enabled()
+                            ? std::chrono::steady_clock::now()
+                            : std::chrono::steady_clock::time_point{};
+  request.seq = next_seq_++;
+  Response response = process(request);
+  if (metrics::enabled())
+    metrics::observe("serve.latency_ms", ms_since(admitted));
+  if (callback) callback(response);
+  return true;
+}
+
+Response Coordinator::handle(Request request) {
+  Response out;
+  submit(std::move(request), [&](const Response& response) { out = response; });
+  return out;
+}
+
+Response Coordinator::process(Request& request) {
+  switch (request.type) {
+    case RequestType::kCreate:
+      return process_create(request);
+    case RequestType::kRestore:
+      // Storeless by design; same text as a storeless MatchServer.
+      return error_response(request,
+                            "no snapshot store configured "
+                            "(set SPECMATCH_STORE_DIR or pass --store)");
+    case RequestType::kXdrop:
+      return error_response(request,
+                            "internal verb requires a --worker server");
+    default:
+      break;
+  }
+
+  MarketEntry* entry = registry_.find(request.market_id, request.seq);
+  if (entry == nullptr) return error_response(request, "unknown market");
+
+  const int num_buyers = entry->market.num_buyers();
+  const int num_channels = entry->market.num_channels();
+  std::ostringstream out;
+
+  switch (request.type) {
+    case RequestType::kJoin:
+    case RequestType::kLeave: {
+      if (request.buyer < 0 || request.buyer >= num_buyers)
+        return error_response(
+            request, "buyer " + std::to_string(request.buyer) +
+                         " out of range [0, " + std::to_string(num_buyers) +
+                         ")");
+      const bool was_active =
+          entry->active[static_cast<std::size_t>(request.buyer)];
+      if (request.type == RequestType::kJoin)
+        entry->apply_join(request.buyer);
+      else
+        entry->apply_leave(request.buyer);
+      // Idempotent mutations change nothing, so nothing is routed.
+      const bool changed = (request.type == RequestType::kJoin) != was_active;
+      if (changed)
+        reconcile_safe(request.market_id, *entry,
+                       state_of(request.market_id), &request,
+                       /*initial=*/false);
+      out << "ok " << request_keyword(request.type) << " "
+          << request.market_id << " " << request.buyer
+          << " active=" << entry->active_count();
+      break;
+    }
+    case RequestType::kUpdatePrice: {
+      if (request.buyer < 0 || request.buyer >= num_buyers)
+        return error_response(
+            request, "buyer " + std::to_string(request.buyer) +
+                         " out of range [0, " + std::to_string(num_buyers) +
+                         ")");
+      if (request.channel < 0 || request.channel >= num_channels)
+        return error_response(
+            request, "channel " + std::to_string(request.channel) +
+                         " out of range [0, " + std::to_string(num_channels) +
+                         ")");
+      entry->apply_price(request.buyer, request.channel, request.value);
+      reconcile_safe(request.market_id, *entry, state_of(request.market_id),
+                     &request, /*initial=*/false);
+      out << "ok price " << request.market_id << " " << request.buyer << " "
+          << request.channel << " " << format_double(request.value);
+      break;
+    }
+    case RequestType::kSolve:
+      return process_solve(*entry, request);
+    case RequestType::kQuery: {
+      out << "ok query " << request.market_id
+          << " matched=" << entry->last.num_matched() << " matching=";
+      for (BuyerId j = 0; j < num_buyers; ++j) {
+        if (j > 0) out << ",";
+        const SellerId seller = entry->last.seller_of(j);
+        if (seller == kUnmatched)
+          out << "-";
+        else
+          out << seller;
+      }
+      break;
+    }
+    case RequestType::kStats: {
+      const double welfare =
+          entry->has_matching ? entry->last.social_welfare(entry->market)
+                              : 0.0;
+      StatsTailBuilder tail;
+      tail.add("active", static_cast<std::int64_t>(entry->active_count()))
+          .add("matched",
+               static_cast<std::int64_t>(entry->last.num_matched()))
+          .add("welfare", welfare)
+          .add("solves", std::to_string(entry->solves_cold) + "/" +
+                             std::to_string(entry->solves_warm))
+          .add("fallbacks", entry->warm_fallbacks)
+          .add("fallbacks_cold_start", entry->warm_fallbacks_cold_start)
+          .add("fallbacks_invariant", entry->warm_fallbacks_invariant)
+          .add("mutations", entry->mutations)
+          .add("markets", static_cast<std::int64_t>(registry_.size()))
+          .add("bytes", static_cast<std::int64_t>(registry_.total_bytes()))
+          .add("evictions", registry_.evictions())
+          .add("spilled",
+               static_cast<std::int64_t>(registry_.spilled_count()))
+          .add("spills", registry_.spills())
+          .add("faults", registry_.faults())
+          .add("discarded", registry_.discarded())
+          .add("disk_bytes",
+               static_cast<std::int64_t>(registry_.disk_bytes()));
+      // Off by default: the tail above is byte-identical to a single-process
+      // server's, which is what the smoke transcripts cmp.
+      if (config_.cluster_stats) {
+        tail.add("cluster_workers", static_cast<std::int64_t>(live_workers()))
+            .add("cluster_scatters", scatters_)
+            .add("cluster_migrations", migrations_)
+            .add("cluster_consolidations", consolidations_);
+      }
+      out << "ok stats " << request.market_id << tail.str();
+      break;
+    }
+    case RequestType::kSnapshot:
+      return error_response(request,
+                            "no snapshot store configured "
+                            "(set SPECMATCH_STORE_DIR or pass --store)");
+    case RequestType::kXsolve:
+    case RequestType::kXset:
+    case RequestType::kXimport:
+      return error_response(request,
+                            "internal verb requires a --worker server");
+    case RequestType::kCreate:
+    case RequestType::kRestore:
+    case RequestType::kXdrop:
+      SPECMATCH_CHECK_MSG(false, "barrier verb reached process()");
+  }
+
+  return ok_response(request, out.str());
+}
+
+Response Coordinator::process_create(const Request& request) {
+  if (!request.scenario)
+    return error_response(request, "missing scenario payload");
+  if (registry_.contains(request.market_id))
+    return error_response(request, "market already exists");
+  std::vector<std::string> evicted;
+  MarketEntry* entry = nullptr;
+  try {
+    entry = &registry_.create(request.market_id, request.scenario,
+                              request.seq, &evicted);
+  } catch (const CheckError& e) {
+    return error_response(request,
+                          std::string("invalid scenario: ") + e.what());
+  }
+  metrics::count("serve.evictions", static_cast<std::int64_t>(evicted.size()));
+  // The coordinator owns market lifetime cluster-wide: a mirror eviction
+  // retires the market's shards on the workers too.
+  for (const std::string& eid : evicted) retire_market(eid);
+
+  MarketState& state = state_of(request.market_id);
+  state.shards.assign(static_cast<std::size_t>(num_workers()), Shard{});
+  state.consolidated = -1;
+  reconcile_safe(request.market_id, *entry, state, nullptr, /*initial=*/true);
+
+  std::ostringstream out;
+  out << "ok create " << request.market_id
+      << " M=" << entry->market.num_channels()
+      << " N=" << entry->market.num_buyers() << " evicted=" << evicted.size();
+  return ok_response(request, out.str());
+}
+
+Response Coordinator::process_solve(MarketEntry& entry,
+                                    const Request& request) {
+  MarketState& state = state_of(request.market_id);
+  // A worker died since this market last reconciled: collapse before
+  // scattering (no-op when the market is already pinned to a live worker).
+  if (deaths_ > 0)
+    reconcile_safe(request.market_id, entry, state, nullptr,
+                   /*initial=*/false);
+
+  std::ostringstream out;
+  out << "ok solve " << request.market_id
+      << (request.warm ? " warm" : " cold");
+  const char* fallback_tag = nullptr;
+
+  if (request.warm && entry.has_matching) {
+    const double carried_welfare = entry.last.social_welfare(entry.market);
+    const bool restricted = !config_.serve.warm_full && entry.dirty_valid;
+    matching::Matching candidate(entry.market.num_channels(),
+                                 entry.market.num_buyers());
+    const ScatterRounds rounds = scatter_reliable(
+        request.market_id, /*warm=*/true, restricted, entry, state, candidate);
+    const double welfare = candidate.social_welfare(entry.market);
+    if (welfare >= carried_welfare - 1e-9) {
+      entry.last = std::move(candidate);
+      ++entry.solves_warm;
+      entry.dirty.clear();
+      entry.dirty_valid = true;
+      if (restricted) metrics::count("serve.warm_restricted");
+      if (config_.serve.check_warm) {
+        SPECMATCH_CHECK_MSG(
+            matching::is_interference_free(entry.market, entry.last),
+            "warm solve produced an interfering matching: "
+                << request.market_id);
+        SPECMATCH_CHECK_MSG(
+            matching::is_individual_rational(entry.market, entry.last),
+            "warm solve violated individual rationality: "
+                << request.market_id);
+      }
+      out << " welfare=" << format_double(welfare)
+          << " matched=" << entry.last.num_matched()
+          << " rounds=" << (rounds.p1 + rounds.p2);
+      return ok_response(request, out.str());
+    }
+    fallback_tag = "cold_invariant";
+    ++entry.warm_fallbacks_invariant;
+    metrics::count("serve.warm_fallbacks_invariant");
+  } else if (request.warm) {
+    fallback_tag = "cold_start";
+    ++entry.warm_fallbacks_cold_start;
+    metrics::count("serve.warm_fallbacks_cold_start");
+  }
+
+  matching::Matching merged(entry.market.num_channels(),
+                            entry.market.num_buyers());
+  const ScatterRounds rounds =
+      scatter_reliable(request.market_id, /*warm=*/false, /*restricted=*/false,
+                       entry, state, merged);
+  entry.last = std::move(merged);
+  entry.has_matching = true;
+  entry.dirty.clear();
+  entry.dirty_valid = true;
+  const double welfare = entry.last.social_welfare(entry.market);
+  if (request.warm) {
+    ++entry.solves_warm;
+    ++entry.warm_fallbacks;
+    metrics::count("serve.warm_fallbacks");
+  } else {
+    ++entry.solves_cold;
+  }
+  out << " welfare=" << format_double(welfare)
+      << " matched=" << entry.last.num_matched()
+      << " rounds=" << (rounds.s1 + rounds.p1 + rounds.p2);
+  if (fallback_tag != nullptr) out << " fallback=" << fallback_tag;
+  return ok_response(request, out.str());
+}
+
+// --- sharding / routing ----------------------------------------------------
+
+Coordinator::MarketState& Coordinator::state_of(const std::string& id) {
+  MarketState& state = states_[id];
+  if (state.shards.size() != static_cast<std::size_t>(num_workers()))
+    state.shards.assign(static_cast<std::size_t>(num_workers()), Shard{});
+  return state;
+}
+
+void Coordinator::reconcile_safe(const std::string& id, MarketEntry& entry,
+                                 MarketState& state, const Request* mutation,
+                                 bool initial) {
+  // Terminates: every retry buried a live worker, and with none left the
+  // plan degenerates to kLocalOnly, which cannot throw.
+  while (true) {
+    try {
+      reconcile(id, entry, state, mutation, initial);
+      return;
+    } catch (const WorkerIoError& e) {
+      bury(e.worker);
+    }
+  }
+}
+
+void Coordinator::reconcile(const std::string& id, MarketEntry& entry,
+                            MarketState& state, const Request* mutation,
+                            bool initial) {
+  const int workers = num_workers();
+  if (deaths_ > 0) {
+    // Degraded mode: the static hash still maps groups onto dead workers,
+    // so every market collapses onto one live worker on first touch and
+    // stays pinned (deltas keep routing; solves scatter to one).
+    const int c = state.consolidated;
+    if (c == kLocalOnly && live_workers() == 0) return;
+    if (c >= 0 && alive_[static_cast<std::size_t>(c)] &&
+        state.shards[static_cast<std::size_t>(c)].deployed) {
+      if (mutation != nullptr)
+        route_consolidated(c, id, entry,
+                           state.shards[static_cast<std::size_t>(c)],
+                           *mutation);
+      return;
+    }
+    consolidate(id, entry, state);
+    return;
+  }
+
+  const bool single_group =
+      config_.serve.coalition_policy == graph::MwisAlgorithm::kExact;
+  Placement plan = plan_placement(entry, id, workers, single_group);
+  for (int w = 0; w < workers; ++w) {
+    Shard& shard = state.shards[static_cast<std::size_t>(w)];
+    std::vector<BuyerId>& want_active = plan.active[static_cast<std::size_t>(w)];
+    std::vector<BuyerId>& want_vertices =
+        plan.vertices[static_cast<std::size_t>(w)];
+    if (!shard.deployed) {
+      if (want_active.empty()) continue;
+      deploy_shard(w, id, entry, shard, std::move(want_vertices),
+                   std::move(want_active));
+      if (!initial) {
+        ++migrations_;
+        metrics::count("cluster.migrations");
+      }
+      continue;
+    }
+    const bool covered =
+        std::includes(shard.vertices.begin(), shard.vertices.end(),
+                      want_vertices.begin(), want_vertices.end());
+    if (want_active == shard.active && covered) {
+      // Topology unchanged here. A price update still flows to the owner so
+      // the worker's live column (and seat invalidation) tracks the mirror.
+      if (mutation != nullptr &&
+          mutation->type == RequestType::kUpdatePrice &&
+          contains_sorted(shard.active, mutation->buyer))
+        route_price(w, id, shard, *mutation);
+      continue;
+    }
+    if (mutation != nullptr && mutation->type == RequestType::kJoin &&
+        is_plus_one(shard.active, want_active, mutation->buyer) && covered &&
+        contains_sorted(shard.vertices, mutation->buyer)) {
+      // The joiner was already a (ghost) vertex of this shard and her group
+      // stayed put: re-activate in place with her current price column.
+      route_xset(w, id, entry, shard, mutation->buyer);
+      shard.active = std::move(want_active);
+      continue;
+    }
+    if (mutation != nullptr && mutation->type == RequestType::kLeave &&
+        is_plus_one(want_active, shard.active, mutation->buyer)) {
+      // Pure departure (no group moved away): deactivate in place. The
+      // shard keeps its extra ghost vertices — inert — and empty shards
+      // stay deployed as a warm cache for re-joins.
+      route_leave(w, id, shard, mutation->buyer);
+      shard.active = std::move(want_active);
+      continue;
+    }
+    // Ownership moved (a join bridged groups onto this worker, a leave
+    // split one away, or a whole group re-hashed): rebuild from the mirror.
+    drop_shard(w, id, shard);
+    if (!want_active.empty()) {
+      deploy_shard(w, id, entry, shard, std::move(want_vertices),
+                   std::move(want_active));
+      if (!initial) {
+        ++migrations_;
+        metrics::count("cluster.migrations");
+      }
+    }
+  }
+}
+
+void Coordinator::route_consolidated(int w, const std::string& id,
+                                     MarketEntry& entry, Shard& shard,
+                                     const Request& mutation) {
+  switch (mutation.type) {
+    case RequestType::kJoin: {
+      route_xset(w, id, entry, shard, mutation.buyer);
+      const auto it = std::lower_bound(shard.active.begin(),
+                                       shard.active.end(), mutation.buyer);
+      if (it == shard.active.end() || *it != mutation.buyer)
+        shard.active.insert(it, mutation.buyer);
+      break;
+    }
+    case RequestType::kLeave: {
+      route_leave(w, id, shard, mutation.buyer);
+      const auto it = std::lower_bound(shard.active.begin(),
+                                       shard.active.end(), mutation.buyer);
+      if (it != shard.active.end() && *it == mutation.buyer)
+        shard.active.erase(it);
+      break;
+    }
+    case RequestType::kUpdatePrice:
+      if (entry.active[static_cast<std::size_t>(mutation.buyer)])
+        route_price(w, id, shard, mutation);
+      break;
+    default:
+      SPECMATCH_CHECK_MSG(false, "unroutable mutation");
+  }
+}
+
+void Coordinator::route_xset(int w, const std::string& id,
+                             const MarketEntry& entry, const Shard& shard,
+                             BuyerId buyer) {
+  const int num_channels = entry.market.num_channels();
+  const std::size_t n =
+      static_cast<std::size_t>(entry.market.num_buyers());
+  auto column = std::make_shared<std::vector<double>>();
+  column->reserve(static_cast<std::size_t>(num_channels));
+  for (ChannelId i = 0; i < num_channels; ++i)
+    column->push_back(entry.base_prices[static_cast<std::size_t>(i) * n +
+                                        static_cast<std::size_t>(buyer)]);
+  Request xset;
+  xset.type = RequestType::kXset;
+  xset.market_id = id;
+  xset.buyer = index_sorted(shard.vertices, buyer);
+  xset.column = std::move(column);
+  roundtrip(w, format_request(xset));
+}
+
+void Coordinator::route_leave(int w, const std::string& id,
+                              const Shard& shard, BuyerId buyer) {
+  Request leave;
+  leave.type = RequestType::kLeave;
+  leave.market_id = id;
+  leave.buyer = index_sorted(shard.vertices, buyer);
+  roundtrip(w, format_request(leave));
+}
+
+void Coordinator::route_price(int w, const std::string& id,
+                              const Shard& shard, const Request& request) {
+  Request price;
+  price.type = RequestType::kUpdatePrice;
+  price.market_id = id;
+  price.buyer = index_sorted(shard.vertices, request.buyer);
+  price.channel = request.channel;
+  price.value = request.value;
+  roundtrip(w, format_request(price));
+}
+
+void Coordinator::drop_shard(int w, const std::string& id, Shard& shard) {
+  Request drop;
+  drop.type = RequestType::kXdrop;
+  drop.market_id = id;
+  roundtrip(w, format_request(drop));
+  shard = Shard{};
+}
+
+void Coordinator::deploy_shard(int w, const std::string& id,
+                               const MarketEntry& entry, Shard& shard,
+                               std::vector<BuyerId> vertices,
+                               std::vector<BuyerId> active) {
+  Request create;
+  create.type = RequestType::kCreate;
+  create.market_id = id;
+  create.scenario = make_sub_scenario(entry, vertices);
+  roundtrip(w, format_request(create));
+  Request import;
+  import.type = RequestType::kXimport;
+  import.market_id = id;
+  import.payload = build_state_payload(entry, vertices);
+  metrics::observe("cluster.migration_bytes",
+                   static_cast<double>(import.payload.size() / 2));
+  roundtrip(w, format_request(import));
+  shard.deployed = true;
+  shard.has_matching = entry.has_matching;
+  shard.vertices = std::move(vertices);
+  shard.active = std::move(active);
+}
+
+int Coordinator::consolidate(const std::string& id, const MarketEntry& entry,
+                             MarketState& state) {
+  ++consolidations_;
+  metrics::count("cluster.consolidations");
+  const int workers = num_workers();
+  for (int w = 0; w < workers; ++w) {
+    Shard& shard = state.shards[static_cast<std::size_t>(w)];
+    if (!shard.deployed) continue;
+    if (alive_[static_cast<std::size_t>(w)]) {
+      try {
+        drop_shard(w, id, shard);
+      } catch (const WorkerIoError& e) {
+        bury(e.worker);
+      }
+    }
+    shard = Shard{};
+  }
+
+  const int num_buyers = entry.market.num_buyers();
+  std::vector<BuyerId> vertices(static_cast<std::size_t>(num_buyers));
+  std::iota(vertices.begin(), vertices.end(), 0);
+  std::vector<BuyerId> active;
+  for (BuyerId v = 0; v < num_buyers; ++v)
+    if (entry.active[static_cast<std::size_t>(v)]) active.push_back(v);
+
+  for (int w = 0; w < workers; ++w) {
+    if (!alive_[static_cast<std::size_t>(w)]) continue;
+    try {
+      deploy_shard(w, id, entry, state.shards[static_cast<std::size_t>(w)],
+                   vertices, active);
+      state.consolidated = w;
+      return w;
+    } catch (const WorkerIoError& e) {
+      bury(e.worker);
+    }
+  }
+  state.consolidated = kLocalOnly;
+  return kLocalOnly;
+}
+
+void Coordinator::retire_market(const std::string& id) {
+  const auto it = states_.find(id);
+  if (it == states_.end()) return;
+  for (int w = 0; w < num_workers(); ++w) {
+    Shard& shard = it->second.shards[static_cast<std::size_t>(w)];
+    if (!shard.deployed || !alive_[static_cast<std::size_t>(w)]) continue;
+    try {
+      drop_shard(w, id, shard);
+    } catch (const WorkerIoError& e) {
+      bury(e.worker);
+    }
+  }
+  states_.erase(it);
+}
+
+void Coordinator::bury(int worker) {
+  const std::size_t ww = static_cast<std::size_t>(worker);
+  if (!alive_[ww]) return;
+  alive_[ww] = 0;
+  ++deaths_;
+  metrics::count("cluster.worker_deaths");
+  if (conns_[ww]) conns_[ww]->close();
+  for (auto& [id, state] : states_) {
+    state.shards[ww] = Shard{};
+    if (state.consolidated == worker) state.consolidated = -1;
+  }
+}
+
+// --- scatter / gather ------------------------------------------------------
+
+Coordinator::ScatterRounds Coordinator::solve_on_mirror(
+    MarketEntry& entry, bool warm, bool restricted,
+    matching::Matching& merged) {
+  ScatterRounds rounds;
+  if (warm) {
+    matching::StageIIConfig stage2;
+    stage2.coalition_policy = config_.serve.coalition_policy;
+    if (restricted) stage2.participants = &entry.dirty;
+    matching::StageIIResult result = matching::run_transfer_invitation(
+        entry.market, entry.last, stage2, workspace_);
+    merged = std::move(result.matching);
+    rounds.p1 = result.phase1_rounds;
+    rounds.p2 = result.phase2_rounds;
+  } else {
+    matching::TwoStageConfig cfg;
+    cfg.coalition_policy = config_.serve.coalition_policy;
+    matching::TwoStageResult result =
+        matching::run_two_stage(entry.market, cfg, workspace_);
+    merged = result.final_matching();
+    rounds.s1 = result.stage1.rounds;
+    rounds.p1 = result.stage2.phase1_rounds;
+    rounds.p2 = result.stage2.phase2_rounds;
+  }
+  return rounds;
+}
+
+Coordinator::ScatterRounds Coordinator::scatter_reliable(
+    const std::string& id, bool warm, bool restricted, MarketEntry& entry,
+    MarketState& state, matching::Matching& merged) {
+  while (true) {
+    // (Re)derive targets from the live shard layout: deployed shards with
+    // active buyers; a restricted warm pass additionally needs a dirty
+    // active (a clean shard's restricted re-solve is a 0-round no-op).
+    std::vector<int> targets;
+    for (int w = 0; w < num_workers(); ++w) {
+      const Shard& shard = state.shards[static_cast<std::size_t>(w)];
+      if (!shard.deployed || shard.active.empty()) continue;
+      if (warm && restricted) {
+        bool dirty = false;
+        for (const BuyerId v : shard.active)
+          if (entry.dirty.test(static_cast<std::size_t>(v))) {
+            dirty = true;
+            break;
+          }
+        if (!dirty) continue;
+      }
+      targets.push_back(w);
+    }
+    if (targets.empty()) {
+      // No active buyers anywhere, or no workers left: the sub-solve runs
+      // in-process on the mirror — the same computation by construction.
+      return solve_on_mirror(entry, warm, restricted, merged);
+    }
+    try {
+      if (warm) {
+        // A warm xsolve needs the worker's copy to carry a matching; a
+        // shard deployed before the market's first solve may not. Resync it
+        // from the mirror (whose has_matching is true on this path).
+        for (const int w : targets) {
+          Shard& shard = state.shards[static_cast<std::size_t>(w)];
+          if (shard.has_matching) continue;
+          std::vector<BuyerId> vertices = shard.vertices;
+          std::vector<BuyerId> active = shard.active;
+          drop_shard(w, id, shard);
+          deploy_shard(w, id, entry, shard, std::move(vertices),
+                       std::move(active));
+        }
+        merged = entry.last;
+      } else {
+        merged = matching::Matching(entry.market.num_channels(),
+                                    entry.market.num_buyers());
+      }
+      return scatter_solve(id, warm, entry, state, targets, merged);
+    } catch (const WorkerIoError& e) {
+      // Partial gathers never leak: merged is rebuilt from the mirror on
+      // every attempt, and the mirror itself is untouched until commit.
+      bury(e.worker);
+      reconcile_safe(id, entry, state, nullptr, /*initial=*/false);
+    }
+  }
+}
+
+Coordinator::ScatterRounds Coordinator::scatter_solve(
+    const std::string& id, bool warm, const MarketEntry& entry,
+    MarketState& state, const std::vector<int>& targets,
+    matching::Matching& merged) {
+  ++scatters_;
+  metrics::count("cluster.scatters");
+  Request xsolve;
+  xsolve.type = RequestType::kXsolve;
+  xsolve.market_id = id;
+  xsolve.warm = warm;
+  const std::string wire = format_request(xsolve);
+
+  const bool timed = metrics::enabled();
+  auto mark = timed ? std::chrono::steady_clock::now()
+                    : std::chrono::steady_clock::time_point{};
+  std::vector<int> sent;
+  sent.reserve(targets.size());
+  for (const int w : targets) {
+    try {
+      send_to(w, wire);
+    } catch (const WorkerIoError&) {
+      drain_pending(sent, w);
+      throw;
+    }
+    sent.push_back(w);
+  }
+  if (timed) {
+    metrics::observe("cluster.scatter_ms", ms_since(mark));
+    mark = std::chrono::steady_clock::now();
+  }
+
+  ScatterRounds rounds;
+  for (std::size_t k = 0; k < targets.size(); ++k) {
+    const int w = targets[k];
+    std::string line;
+    try {
+      line = read_from(w);
+    } catch (const WorkerIoError&) {
+      // Every target after this one was sent the xsolve and still owes a
+      // response; consume those before recovery reuses the connections.
+      drain_pending({targets.begin() + static_cast<std::ptrdiff_t>(k) + 1,
+                     targets.end()},
+                    w);
+      throw;
+    }
+    Shard& shard = state.shards[static_cast<std::size_t>(w)];
+    // ok xsolve <id> <mode> s1=A p1=B p2=C matched=K matching=<csv>
+    std::istringstream in(line);
+    std::string tok_ok, tok_verb, tok_id, tok_mode, tok_s1, tok_p1, tok_p2,
+        tok_matched, tok_csv;
+    in >> tok_ok >> tok_verb >> tok_id >> tok_mode >> tok_s1 >> tok_p1 >>
+        tok_p2 >> tok_matched >> tok_csv;
+    SPECMATCH_CHECK_MSG(tok_ok == "ok" && tok_verb == "xsolve" &&
+                            tok_id == id && tok_csv.rfind("matching=", 0) == 0,
+                        "worker " << w << " answered malformed xsolve: "
+                                  << line);
+    const auto field = [&](const std::string& tok, const char* key) {
+      const std::string prefix = std::string(key) + "=";
+      SPECMATCH_CHECK_MSG(tok.rfind(prefix, 0) == 0,
+                          "worker " << w << " answered malformed xsolve: "
+                                    << line);
+      return static_cast<std::int64_t>(std::stoll(tok.substr(prefix.size())));
+    };
+    rounds.s1 = std::max(rounds.s1, field(tok_s1, "s1"));
+    rounds.p1 = std::max(rounds.p1, field(tok_p1, "p1"));
+    rounds.p2 = std::max(rounds.p2, field(tok_p2, "p2"));
+
+    // The CSV is in shard-local buyer order; project each owned (active)
+    // buyer's seat onto the global matching. Ghost rows are "-" by
+    // construction (inactive buyers never match) and are skipped.
+    std::string csv = tok_csv.substr(std::string("matching=").size());
+    std::size_t local = 0;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+      const std::size_t comma = csv.find(',', pos);
+      const std::string cell =
+          csv.substr(pos, comma == std::string::npos ? std::string::npos
+                                                     : comma - pos);
+      SPECMATCH_CHECK_MSG(local < shard.vertices.size(),
+                          "worker " << w << " xsolve row count exceeds shard: "
+                                    << line);
+      const BuyerId j = shard.vertices[local];
+      if (entry.active[static_cast<std::size_t>(j)]) {
+        const SellerId seat =
+            cell == "-" ? kUnmatched
+                        : static_cast<SellerId>(std::stol(cell));
+        set_seat(merged, j, seat);
+      }
+      ++local;
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+    SPECMATCH_CHECK_MSG(local == shard.vertices.size(),
+                        "worker " << w << " xsolve row count short of shard: "
+                                  << line);
+    shard.has_matching = true;
+  }
+  if (timed) metrics::observe("cluster.gather_ms", ms_since(mark));
+  return rounds;
+}
+
+// --- worker transport ------------------------------------------------------
+
+std::string Coordinator::roundtrip(int w, const std::string& line) {
+  send_to(w, line);
+  std::string reply = read_from(w);
+  // An "err" on a routed/internal verb is not a transport failure: the
+  // coordinator's mirror and the worker disagree about state, which is a
+  // bug, not something consolidation can repair.
+  SPECMATCH_CHECK_MSG(reply.rfind("ok ", 0) == 0,
+                      "worker " << w << " rejected a routed request: "
+                                << reply);
+  return reply;
+}
+
+void Coordinator::send_to(int w, const std::string& line) {
+  const std::size_t ww = static_cast<std::size_t>(w);
+  if (!alive_[ww] || !conns_[ww] || !conns_[ww]->connected())
+    throw WorkerIoError(w, "worker " + std::to_string(w) + " is down");
+  try {
+    conns_[ww]->send_all(line);
+  } catch (const CheckError& e) {
+    throw WorkerIoError(w, e.what());
+  }
+}
+
+void Coordinator::drain_pending(const std::vector<int>& workers, int except) {
+  for (const int w : workers) {
+    if (w == except) continue;
+    try {
+      (void)read_from(w);
+    } catch (const WorkerIoError&) {
+      // This worker is likely dead too; the next send to it fails fast and
+      // scatter_reliable buries it then.
+    }
+  }
+}
+
+std::string Coordinator::read_from(int w) {
+  const std::size_t ww = static_cast<std::size_t>(w);
+  if (!alive_[ww] || !conns_[ww] || !conns_[ww]->connected())
+    throw WorkerIoError(w, "worker " + std::to_string(w) + " is down");
+  try {
+    std::string line;
+    if (!conns_[ww]->read_line(line))
+      throw WorkerIoError(w, "worker " + std::to_string(w) +
+                                 " closed the connection");
+    return line;
+  } catch (const CheckError& e) {
+    throw WorkerIoError(w, e.what());
+  }
+}
+
+}  // namespace specmatch::serve::cluster

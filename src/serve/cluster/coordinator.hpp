@@ -1,0 +1,247 @@
+// Cluster coordinator: the client-facing brain of the multi-process serving
+// tier.
+//
+// The Coordinator fronts N workers (MatchServer processes in `--worker`
+// mode, each behind its own NetServer) while speaking the unchanged client
+// protocol itself: it is a RequestSink, so the same NetServer front-end
+// serves either a MatchServer or a Coordinator. It keeps a full *mirror*
+// registry — real MarketEntry objects that absorb every mutation exactly
+// like a single-process server, including LRU eviction under the same byte
+// budget — but never runs whole-market solves. Instead it:
+//
+//   * places supergroups of components onto workers (serve/cluster/
+//     placement.hpp) and keeps each worker's shard in sync with routed
+//     single-buyer deltas (leave / price / internal xset) when ownership is
+//     unchanged, or a rebuild (xdrop + create + ximport migration payload,
+//     serve/cluster/migration.hpp) when it moved;
+//   * on `solve`, scatters internal `xsolve` sub-solves to the owning
+//     workers, gathers the per-shard matchings in ascending worker order,
+//     merges them seat-by-seat into the mirror's carried matching, and
+//     recomputes welfare / round counts so the response is byte-identical
+//     to the single-process server (per-stage rounds combine as maxima —
+//     components evolve independently, so the global round count is the
+//     slowest component's);
+//   * enforces the warm welfare invariant on the *merged* matching and
+//     re-scatters cold on failure, reproducing the single-process
+//     fallback=cold_invariant path, counters and all;
+//   * on a worker transport failure or scatter timeout, consolidates the
+//     whole market onto one live worker and keeps answering — a dead worker
+//     degrades throughput, never correctness (docs/CLUSTER.md).
+//
+// The coordinator is single-threaded: submit() processes inline in
+// admission order, which trivially satisfies the determinism contract
+// (response content is a function of the per-market request prefix).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "matching/workspace.hpp"
+#include "serve/net_client.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+
+namespace specmatch::serve::cluster {
+
+struct ClusterConfig {
+  /// Loopback ports of the worker servers, in worker-index order. The
+  /// worker count is worker_ports.size(); placement hashes mod it.
+  std::vector<int> worker_ports;
+  /// Connect retry budget per worker at construction:
+  /// SPECMATCH_CLUSTER_CONNECT_ATTEMPTS (10) tries, exponentially doubling
+  /// from SPECMATCH_CLUSTER_CONNECT_BACKOFF_MS (20) between tries.
+  int connect_attempts = 10;
+  int connect_backoff_ms = 20;
+  /// Bound on every worker read: a scatter (or routed mutation) that takes
+  /// longer counts as a worker failure and triggers consolidation.
+  /// SPECMATCH_CLUSTER_SCATTER_TIMEOUT_MS (10000).
+  int scatter_timeout_ms = 10000;
+  /// Escape hatch: append cluster_workers= / cluster_scatters= /
+  /// cluster_migrations= / cluster_consolidations= to `stats` responses.
+  /// Off by default — the transcript stays byte-identical to a
+  /// single-process server. SPECMATCH_CLUSTER_STATS.
+  bool cluster_stats = false;
+  /// Mirror-registry + policy knobs (queue capacity, byte budget, coalition
+  /// policy, warm_full/check_warm). The store is ignored: the coordinator
+  /// is storeless and snapshot/restore answer the storeless error.
+  ServeConfig serve;
+
+  /// Defaults with the SPECMATCH_CLUSTER_* environment overrides applied
+  /// (worker_ports stays empty — it comes from the command line).
+  static ClusterConfig from_env();
+};
+
+class Coordinator : public RequestSink {
+ public:
+  /// Connects to every worker (retry + exponential backoff per
+  /// ClusterConfig); throws CheckError when a worker never comes up.
+  explicit Coordinator(ClusterConfig config);
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  // RequestSink: inline, single-threaded processing in admission order.
+  bool submit(Request request, ResponseCallback callback) override;
+  void drain() override {}
+  int pending() const override { return 0; }
+  int queue_capacity() const override { return config_.serve.queue_capacity; }
+  bool overflow_blocks() const override {
+    return config_.serve.overflow == ServeConfig::Overflow::kBlock;
+  }
+
+  /// Synchronous convenience: submit + return the response.
+  Response handle(Request request);
+
+  // --- introspection (tests / stats tail) ---------------------------------
+  int num_workers() const { return static_cast<int>(conns_.size()); }
+  int live_workers() const;
+  std::int64_t scatters() const { return scatters_; }
+  std::int64_t migrations() const { return migrations_; }
+  std::int64_t consolidations() const { return consolidations_; }
+  std::size_t resident_markets() const { return registry_.size(); }
+
+  const ClusterConfig& config() const { return config_; }
+
+ private:
+  /// A worker transport failure (send, timeout, EOF) tagged with the worker
+  /// index so recovery knows whom to bury.
+  struct WorkerIoError : std::runtime_error {
+    WorkerIoError(int worker, const std::string& what)
+        : std::runtime_error(what), worker(worker) {}
+    int worker;
+  };
+
+  /// One worker's deployed shard of one market.
+  struct Shard {
+    bool deployed = false;
+    /// True once the worker's copy carries a matching a warm xsolve can
+    /// re-solve on top of (an ximport with the has_matching flag, or any
+    /// completed xsolve). A warm scatter redeploys stale shards first.
+    bool has_matching = false;
+    std::vector<BuyerId> vertices;  ///< sub-market buyers, sorted (global ids)
+    std::vector<BuyerId> active;    ///< active subset, sorted
+  };
+
+  /// consolidated == kLocalOnly: every worker is dead; the coordinator
+  /// answers from the mirror alone, running solves in-process.
+  static constexpr int kLocalOnly = -2;
+
+  struct MarketState {
+    std::vector<Shard> shards;  ///< one per worker
+    int consolidated = -1;      ///< >= 0: whole market pinned to this worker
+  };
+
+  Response process(Request& request);
+  Response process_create(const Request& request);
+  Response process_solve(MarketEntry& entry, const Request& request);
+
+  /// Rebuilds / routes worker shards to match the mirror after `mutation`
+  /// (nullptr = structural resync: initial deploy, or a post-death topology
+  /// check). Throws WorkerIoError on a transport failure; reconcile_safe
+  /// buries the dead worker and retries until the plan (possibly collapsed
+  /// to one worker, or to local-only) succeeds.
+  void reconcile(const std::string& id, MarketEntry& entry,
+                 MarketState& state, const Request* mutation, bool initial);
+  void reconcile_safe(const std::string& id, MarketEntry& entry,
+                      MarketState& state, const Request* mutation,
+                      bool initial);
+
+  /// Routed single-buyer deltas against worker `w` (global -> shard-local
+  /// buyer ids resolved here).
+  void route_xset(int w, const std::string& id, const MarketEntry& entry,
+                  const Shard& shard, BuyerId buyer);
+  void route_leave(int w, const std::string& id, const Shard& shard,
+                   BuyerId buyer);
+  void route_price(int w, const std::string& id, const Shard& shard,
+                   const Request& request);
+  /// Delta routing for a market pinned to worker `w` by consolidation.
+  void route_consolidated(int w, const std::string& id, MarketEntry& entry,
+                          Shard& shard, const Request& mutation);
+
+  /// Tears a market's shard on worker `w` down (xdrop) / deploys V,A as a
+  /// sub-scenario create + ximport state payload.
+  void drop_shard(int w, const std::string& id, Shard& shard);
+  void deploy_shard(int w, const std::string& id, const MarketEntry& entry,
+                    Shard& shard, std::vector<BuyerId> vertices,
+                    std::vector<BuyerId> active);
+
+  /// Moves the whole market onto one live worker (the lowest-index one that
+  /// accepts it), retiring every other shard; falls back to kLocalOnly when
+  /// none is left. Never throws.
+  int consolidate(const std::string& id, const MarketEntry& entry,
+                  MarketState& state);
+
+  /// Drops a market cluster-wide (mirror eviction teardown).
+  void retire_market(const std::string& id);
+
+  /// Marks `worker` dead: closes its connection and forgets every shard on
+  /// it; consolidated markets pinned there re-consolidate on next touch.
+  void bury(int worker);
+
+  /// Per-stage round counters of a scatter, combined as per-worker maxima
+  /// (components evolve independently; the global round count is the
+  /// slowest component's, which per-worker counts already max locally).
+  struct ScatterRounds {
+    std::int64_t s1 = 0;
+    std::int64_t p1 = 0;
+    std::int64_t p2 = 0;
+  };
+
+  /// One scatter pass: sends `xsolve` to every target, gathers in ascending
+  /// worker order, overwrites each target's owned seats in `merged`.
+  /// Throws WorkerIoError on transport failure.
+  ScatterRounds scatter_solve(const std::string& id, bool warm,
+                              const MarketEntry& entry, MarketState& state,
+                              const std::vector<int>& targets,
+                              matching::Matching& merged);
+
+  /// scatter_solve with recovery: recomputes targets from the live shard
+  /// layout, and on a worker failure buries it, collapses the market onto a
+  /// survivor, and retries from the (unchanged) mirror state. With no
+  /// targets — no active buyers, or no workers left — the sub-solve runs
+  /// in-process on the mirror, which is the same computation by
+  /// construction. Never throws.
+  ScatterRounds scatter_reliable(const std::string& id, bool warm,
+                                 bool restricted, MarketEntry& entry,
+                                 MarketState& state,
+                                 matching::Matching& merged);
+
+  /// The worker xsolve, executed locally on the mirror entry.
+  ScatterRounds solve_on_mirror(MarketEntry& entry, bool warm,
+                                bool restricted, matching::Matching& merged);
+
+  /// One request/response round trip on worker `w`; a worker-side "err" on
+  /// an internal verb means coordinator and worker state diverged and is a
+  /// CheckError, not a WorkerIoError.
+  std::string roundtrip(int w, const std::string& line);
+  void send_to(int w, const std::string& line);
+  std::string read_from(int w);
+
+  /// Reads and discards one pending response line from each listed worker
+  /// (skipping `except`). Used when a scatter fails partway: the other
+  /// targets were already sent their request, and leaving those responses
+  /// unread would desynchronize every later exchange on the connection.
+  /// Drain failures are swallowed — that worker's own death surfaces on
+  /// the next send to it.
+  void drain_pending(const std::vector<int>& workers, int except);
+
+  MarketState& state_of(const std::string& id);
+
+  ClusterConfig config_;
+  MarketRegistry registry_;  ///< the mirror: storeless, same byte budget
+  std::map<std::string, MarketState> states_;
+  std::vector<std::optional<ClientConnection>> conns_;
+  std::vector<char> alive_;  ///< per worker; cleared by bury()
+  int deaths_ = 0;           ///< buried workers (0 = fully sharded mode)
+  matching::MatchWorkspace workspace_;  ///< local-solve scratch
+  std::uint64_t next_seq_ = 0;
+  std::int64_t scatters_ = 0;
+  std::int64_t migrations_ = 0;
+  std::int64_t consolidations_ = 0;
+};
+
+}  // namespace specmatch::serve::cluster

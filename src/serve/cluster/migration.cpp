@@ -1,0 +1,214 @@
+#include "serve/cluster/migration.hpp"
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/check.hpp"
+#include "store/snapshot.hpp"
+
+namespace specmatch::serve::cluster {
+
+namespace {
+
+using store::SectionEntry;
+using store::SectionKind;
+using store::SnapshotError;
+using store::SnapshotHeader;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw SnapshotError("cluster state payload: " + what);
+}
+
+/// An in-memory view of one snapshot image with the same fail-loud checks
+/// MappedSnapshot runs on files: nothing is interpreted before the magic,
+/// version, endianness stamp, declared length, checksum and section bounds
+/// all pass.
+class PayloadView {
+ public:
+  explicit PayloadView(std::span<const std::byte> bytes) : bytes_(bytes) {
+    if (bytes_.size() < sizeof(SnapshotHeader))
+      fail("truncated header (" + std::to_string(bytes_.size()) + " bytes)");
+    std::memcpy(&header_, bytes_.data(), sizeof(SnapshotHeader));
+    if (header_.magic != store::kSnapshotMagic) fail("bad magic");
+    if (header_.version != store::kSnapshotVersion)
+      fail("unsupported version " + std::to_string(header_.version));
+    if (header_.endian != store::kEndianStamp) fail("endianness mismatch");
+    if (header_.file_bytes != bytes_.size())
+      fail("declared " + std::to_string(header_.file_bytes) + " bytes, got " +
+           std::to_string(bytes_.size()));
+    const std::uint64_t checksum = store::fnv1a64(
+        bytes_.data() + sizeof(SnapshotHeader),
+        bytes_.size() - sizeof(SnapshotHeader));
+    if (checksum != header_.checksum) fail("checksum mismatch");
+    const std::size_t table_bytes =
+        static_cast<std::size_t>(header_.section_count) * sizeof(SectionEntry);
+    if (sizeof(SnapshotHeader) + table_bytes > bytes_.size())
+      fail("section table overruns the payload");
+    sections_.resize(header_.section_count);
+    std::memcpy(sections_.data(), bytes_.data() + sizeof(SnapshotHeader),
+                table_bytes);
+    for (const SectionEntry& entry : sections_) {
+      if (entry.offset % store::kSectionAlign != 0)
+        fail("misaligned section " + std::to_string(entry.kind));
+      if (entry.offset > bytes_.size() ||
+          entry.bytes > bytes_.size() - entry.offset)
+        fail("section " + std::to_string(entry.kind) +
+             " overruns the payload");
+    }
+  }
+
+  const SnapshotHeader& header() const { return header_; }
+
+  template <typename T>
+  std::span<const T> require_array(SectionKind kind) const {
+    for (const SectionEntry& entry : sections_) {
+      if (entry.kind != static_cast<std::uint32_t>(kind)) continue;
+      if (entry.bytes != entry.count * sizeof(T))
+        fail("section " + std::to_string(entry.kind) +
+             " has inconsistent element size");
+      return {reinterpret_cast<const T*>(bytes_.data() + entry.offset),
+              static_cast<std::size_t>(entry.count)};
+    }
+    fail("missing section " +
+         std::to_string(static_cast<std::uint32_t>(kind)));
+  }
+
+ private:
+  std::span<const std::byte> bytes_;
+  SnapshotHeader header_;
+  std::vector<SectionEntry> sections_;
+};
+
+}  // namespace
+
+std::string hex_encode(std::span<const std::byte> bytes) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const std::byte b : bytes) {
+    const unsigned v = std::to_integer<unsigned>(b);
+    out.push_back(kDigits[v >> 4]);
+    out.push_back(kDigits[v & 0xF]);
+  }
+  return out;
+}
+
+std::vector<std::byte> hex_decode(const std::string& hex) {
+  if (hex.size() % 2 != 0) fail("odd hex length");
+  const auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    fail(std::string("non-hex digit '") + c + "'");
+  };
+  std::vector<std::byte> out(hex.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<std::byte>((nibble(hex[2 * i]) << 4) |
+                                    nibble(hex[2 * i + 1]));
+  return out;
+}
+
+std::shared_ptr<const market::Scenario> make_sub_scenario(
+    const MarketEntry& entry, std::span<const BuyerId> vertices) {
+  SPECMATCH_CHECK_MSG(entry.scenario != nullptr,
+                      "mirror entry retains no scenario");
+  const market::Scenario& parent = *entry.scenario;
+  const std::size_t n =
+      static_cast<std::size_t>(entry.market.num_buyers());
+  const int num_channels = entry.market.num_channels();
+
+  auto sub = std::make_shared<market::Scenario>();
+  sub->seller_channel_counts = parent.seller_channel_counts;
+  sub->channel_ranges = parent.channel_ranges;
+  sub->channel_reserves = parent.channel_reserves;
+  sub->buyer_demands.assign(vertices.size(), 1);
+  sub->buyer_locations.reserve(vertices.size());
+  for (const BuyerId v : vertices)
+    sub->buyer_locations.push_back(
+        parent.buyer_locations[static_cast<std::size_t>(
+            entry.market.buyer_parent(v))]);
+  sub->utilities.resize(static_cast<std::size_t>(num_channels) *
+                        vertices.size());
+  for (ChannelId i = 0; i < num_channels; ++i)
+    for (std::size_t k = 0; k < vertices.size(); ++k)
+      sub->utilities[static_cast<std::size_t>(i) * vertices.size() + k] =
+          entry.base_prices[static_cast<std::size_t>(i) * n +
+                            static_cast<std::size_t>(vertices[k])];
+  return sub;
+}
+
+std::string build_state_payload(const MarketEntry& entry,
+                                std::span<const BuyerId> vertices) {
+  std::vector<std::uint8_t> active(vertices.size());
+  std::vector<std::uint8_t> dirty(vertices.size());
+  std::vector<std::int32_t> matching(vertices.size());
+  for (std::size_t k = 0; k < vertices.size(); ++k) {
+    const std::size_t v = static_cast<std::size_t>(vertices[k]);
+    active[k] = entry.active[v] ? 1 : 0;
+    dirty[k] = entry.dirty.test(v) ? 1 : 0;
+    matching[k] = static_cast<std::int32_t>(entry.last.seller_of(vertices[k]));
+  }
+  std::uint32_t flags = 0;
+  if (entry.has_matching) flags |= store::kFlagHasMatching;
+  if (entry.dirty_valid) flags |= store::kFlagDirtyValid;
+  store::SnapshotBuilder builder;
+  builder.add_array<std::uint8_t>(SectionKind::kActive, active);
+  builder.add_array<std::uint8_t>(SectionKind::kDirty, dirty);
+  builder.add_array<std::int32_t>(SectionKind::kMatching, matching);
+  const std::vector<std::byte> image = builder.finish(
+      static_cast<std::uint32_t>(entry.market.num_channels()),
+      static_cast<std::uint32_t>(vertices.size()), flags);
+  return hex_encode(image);
+}
+
+void apply_state_payload(MarketEntry& entry, const std::string& hex) {
+  const std::vector<std::byte> image = hex_decode(hex);
+  const PayloadView view(image);
+  const int num_buyers = entry.market.num_buyers();
+  const int num_channels = entry.market.num_channels();
+  if (view.header().num_buyers != static_cast<std::uint32_t>(num_buyers))
+    fail("payload has " + std::to_string(view.header().num_buyers) +
+         " buyer(s), market has " + std::to_string(num_buyers));
+  if (view.header().num_channels != static_cast<std::uint32_t>(num_channels))
+    fail("payload has " + std::to_string(view.header().num_channels) +
+         " channel(s), market has " + std::to_string(num_channels));
+  const std::span<const std::uint8_t> active =
+      view.require_array<std::uint8_t>(SectionKind::kActive);
+  const std::span<const std::uint8_t> dirty =
+      view.require_array<std::uint8_t>(SectionKind::kDirty);
+  const std::span<const std::int32_t> matching =
+      view.require_array<std::int32_t>(SectionKind::kMatching);
+  if (active.size() != static_cast<std::size_t>(num_buyers) ||
+      dirty.size() != active.size() || matching.size() != active.size())
+    fail("section length does not match the buyer count");
+  for (const std::int32_t seat : matching)
+    if (seat != kUnmatched && (seat < 0 || seat >= num_channels))
+      fail("matching seat " + std::to_string(seat) + " out of range");
+
+  // Everything verified; inject. Live columns are rewritten directly (base
+  // when active, zero when masked) so no apply_* side effects run.
+  const std::size_t n = static_cast<std::size_t>(num_buyers);
+  for (BuyerId j = 0; j < num_buyers; ++j) {
+    const bool on = active[static_cast<std::size_t>(j)] != 0;
+    entry.active[static_cast<std::size_t>(j)] = on;
+    for (ChannelId i = 0; i < num_channels; ++i)
+      entry.market.set_utility(
+          i, j,
+          on ? entry.base_prices[static_cast<std::size_t>(i) * n +
+                                 static_cast<std::size_t>(j)]
+             : 0.0);
+  }
+  entry.last = matching::Matching(num_channels, num_buyers);
+  for (BuyerId j = 0; j < num_buyers; ++j) {
+    const std::int32_t seat = matching[static_cast<std::size_t>(j)];
+    if (seat != kUnmatched) entry.last.match(j, seat);
+  }
+  entry.dirty.assign_zero(n);
+  for (std::size_t j = 0; j < n; ++j)
+    if (dirty[j] != 0) entry.dirty.set(j);
+  entry.has_matching =
+      (view.header().flags & store::kFlagHasMatching) != 0;
+  entry.dirty_valid = (view.header().flags & store::kFlagDirtyValid) != 0;
+}
+
+}  // namespace specmatch::serve::cluster

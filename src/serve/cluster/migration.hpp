@@ -1,0 +1,61 @@
+// Cluster state migration: the coordinator <-> worker transfer payload.
+//
+// A worker's sub-market is rebuilt (never mutated into shape) whenever its
+// owned vertex set changes: the coordinator sends `xdrop`, a fresh `create`
+// with the sub-scenario below, then `ximport` with the state payload — the
+// projection of the mirror entry's active mask, dirty set and carried
+// matching onto the worker's vertices, wrapped in PR 9's snapshot sections
+// (store/snapshot.hpp) and hex-encoded into a single wire token. Import is
+// verbatim state injection: it bypasses apply_join/apply_leave so no
+// dirty-marking side effects can diverge from the coordinator's mirror.
+//
+// The sub-scenario trick: every selected virtual buyer becomes its own
+// parent with demand 1, placed at its parent's location, with utilities
+// sliced from the coordinator's *base* price matrix. Same-parent dummies
+// share a location and transmission ranges are strictly positive, so the
+// distance-0 geometric edges reproduce the global dummy cliques — the
+// rebuilt interference graphs are exactly the induced subgraphs of the
+// global ones, and their ComponentIndex matches the global component
+// structure on the shipped vertices (docs/CLUSTER.md).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "market/scenario.hpp"
+#include "serve/registry.hpp"
+
+namespace specmatch::serve::cluster {
+
+/// Lowercase hex of `bytes` (2 chars per byte).
+std::string hex_encode(std::span<const std::byte> bytes);
+
+/// Inverse of hex_encode; throws store::SnapshotError on odd length or a
+/// non-hex digit.
+std::vector<std::byte> hex_decode(const std::string& hex);
+
+/// The sub-scenario a worker builds its shard from: buyers `vertices`
+/// (sorted ascending global ids; local id = rank), all M channels with the
+/// global ranges/reserves, utilities = the mirror's current base prices.
+std::shared_ptr<const market::Scenario> make_sub_scenario(
+    const MarketEntry& entry, std::span<const BuyerId> vertices);
+
+/// The `ximport` payload: active/dirty/matching of `vertices` projected to
+/// local ids as snapshot sections (kActive/kDirty/kMatching), flags
+/// kFlagHasMatching/kFlagDirtyValid from the mirror, hex-encoded.
+std::string build_state_payload(const MarketEntry& entry,
+                                std::span<const BuyerId> vertices);
+
+/// Worker side: decode + verify (magic, version, endianness stamp, declared
+/// length, FNV-1a64 checksum, section bounds) and inject the state into
+/// `entry`: activity mask applied by rewriting live price columns from base
+/// (zeroed when inactive), carried matching rebuilt from seats, dirty set
+/// and flags adopted verbatim. Throws store::SnapshotError on any mismatch;
+/// the entry is only mutated after every check passed.
+void apply_state_payload(MarketEntry& entry, const std::string& hex);
+
+}  // namespace specmatch::serve::cluster

@@ -1,0 +1,161 @@
+#include "serve/cluster/placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "graph/components.hpp"
+
+namespace specmatch::serve::cluster {
+
+namespace {
+
+/// Minimal union-find over buyer ids (path halving + union by root id: the
+/// smaller root wins, so a class's root is also its minimum member).
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::size_t find(std::size_t v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (a < b)
+      parent_[b] = a;
+    else
+      parent_[a] = b;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+std::uint64_t fnv1a64_chain(std::uint64_t h, const void* data,
+                            std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t k = 0; k < bytes; ++k) {
+    h ^= p[k];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+int worker_of_group(const std::string& market_id, BuyerId group_id,
+                    int num_workers) {
+  SPECMATCH_CHECK_MSG(num_workers > 0, "cluster needs at least one worker");
+  std::uint64_t h = 1469598103934665603ull;
+  h = fnv1a64_chain(h, market_id.data(), market_id.size());
+  const std::uint64_t id = static_cast<std::uint64_t>(group_id);
+  unsigned char le[8];
+  for (int k = 0; k < 8; ++k)
+    le[k] = static_cast<unsigned char>((id >> (8 * k)) & 0xFF);
+  h = fnv1a64_chain(h, le, sizeof(le));
+  return static_cast<int>(h % static_cast<std::uint64_t>(num_workers));
+}
+
+Placement plan_placement(const MarketEntry& entry,
+                         const std::string& market_id, int num_workers,
+                         bool single_group) {
+  const int num_buyers = entry.market.num_buyers();
+  const int num_channels = entry.market.num_channels();
+  const std::size_t n = static_cast<std::size_t>(num_buyers);
+
+  Placement out;
+  out.group_of.assign(n, kUnmatched);
+  out.active.resize(static_cast<std::size_t>(num_workers));
+  out.vertices.resize(static_cast<std::size_t>(num_workers));
+
+  UnionFind uf(n);
+  if (single_group) {
+    BuyerId first = kUnmatched;
+    for (BuyerId v = 0; v < num_buyers; ++v) {
+      if (!entry.active[static_cast<std::size_t>(v)]) continue;
+      if (first == kUnmatched)
+        first = v;
+      else
+        uf.unite(static_cast<std::size_t>(first), static_cast<std::size_t>(v));
+    }
+  } else {
+    // Union the active vertices of every static channel component: cheap
+    // (O(M * N) over the cached ComponentIndex, no edge iteration) and
+    // exactly the closure the engine's component granularity requires.
+    for (ChannelId i = 0; i < num_channels; ++i) {
+      const graph::ComponentIndex& index =
+          entry.market.graph(i).components();
+      for (std::uint32_t c = 0; c < index.num_components(); ++c) {
+        BuyerId first = kUnmatched;
+        for (const BuyerId v : index.vertices(c)) {
+          if (!entry.active[static_cast<std::size_t>(v)]) continue;
+          if (first == kUnmatched)
+            first = v;
+          else
+            uf.unite(static_cast<std::size_t>(first),
+                     static_cast<std::size_t>(v));
+        }
+      }
+    }
+  }
+
+  // Ascending scan: a class's root is its minimum member, so group ids come
+  // out ascending and group numbering is partition-invariant.
+  std::vector<int> group_index(n, -1);
+  for (BuyerId v = 0; v < num_buyers; ++v) {
+    if (!entry.active[static_cast<std::size_t>(v)]) continue;
+    const std::size_t root = uf.find(static_cast<std::size_t>(v));
+    if (group_index[root] < 0) {
+      group_index[root] = static_cast<int>(out.group_ids.size());
+      out.group_ids.push_back(static_cast<BuyerId>(root));
+      out.group_worker.push_back(
+          worker_of_group(market_id, static_cast<BuyerId>(root), num_workers));
+    }
+    out.group_of[static_cast<std::size_t>(v)] =
+        static_cast<BuyerId>(root);
+    const int w = out.group_worker[static_cast<std::size_t>(group_index[root])];
+    out.active[static_cast<std::size_t>(w)].push_back(v);
+  }
+
+  // Close each worker's active set under static channel components so the
+  // shard keeps the inactive connector vertices its component structure
+  // needs. `seen` stamps (channel, component) pairs; `member` dedupes
+  // vertices pulled in via several channels.
+  std::vector<char> member(n);
+  std::vector<char> seen;
+  for (int w = 0; w < num_workers; ++w) {
+    const std::vector<BuyerId>& owned =
+        out.active[static_cast<std::size_t>(w)];
+    if (owned.empty()) continue;
+    std::fill(member.begin(), member.end(), 0);
+    std::vector<BuyerId>& verts = out.vertices[static_cast<std::size_t>(w)];
+    for (ChannelId i = 0; i < num_channels; ++i) {
+      const graph::ComponentIndex& index =
+          entry.market.graph(i).components();
+      seen.assign(index.num_components(), 0);
+      for (const BuyerId v : owned) {
+        const std::uint32_t c = index.component_of(v);
+        if (seen[c]) continue;
+        seen[c] = 1;
+        for (const BuyerId u : index.vertices(c)) {
+          if (member[static_cast<std::size_t>(u)]) continue;
+          member[static_cast<std::size_t>(u)] = 1;
+          verts.push_back(u);
+        }
+      }
+    }
+    std::sort(verts.begin(), verts.end());
+  }
+  return out;
+}
+
+}  // namespace specmatch::serve::cluster

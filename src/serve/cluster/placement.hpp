@@ -1,0 +1,63 @@
+// Deterministic component placement for the cluster serving tier.
+//
+// The placement unit is a *supergroup*: the transitive closure, over all
+// channels, of "these active buyers share a channel's static interference
+// component". Two active buyers connected through a channel component — even
+// via currently-inactive vertices inside it — always colocate, which is
+// exactly the granularity the engine's per-(channel, component) decisions
+// (Stage I seller guard, Stage II Phase 2 invitations) need to make a
+// sharded solve project bit-for-bit onto the single-process one. Activity
+// changes move the boundaries: a join can bridge supergroups (triggering a
+// migration of the merged group onto its hashed worker), a leave can split
+// one into several.
+//
+// A group's id is its minimum active vertex; its worker is a pure stable
+// hash of (market id, group id) mod the worker count — the same topology
+// always lands on the same workers, at any worker count, regardless of
+// request history (docs/CLUSTER.md).
+//
+// A worker's sub-market vertex set is the closure of its assigned active
+// vertices under "include the whole static channel component": inactive
+// connector vertices ride along (inert, zero-priced) so each shard's
+// per-channel ComponentIndex reproduces the global component structure on
+// the vertices it owns. An inactive vertex may appear on several workers;
+// an active vertex appears on exactly one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "serve/registry.hpp"
+
+namespace specmatch::serve::cluster {
+
+struct Placement {
+  /// Per buyer: her group's id (the group's minimum active vertex), or
+  /// kUnmatched when she is inactive.
+  std::vector<BuyerId> group_of;
+  /// Group ids, ascending.
+  std::vector<BuyerId> group_ids;
+  /// Assigned worker per group, parallel to group_ids.
+  std::vector<int> group_worker;
+  /// Per worker: its assigned active vertices, sorted ascending.
+  std::vector<std::vector<BuyerId>> active;
+  /// Per worker: its sub-market vertex set (active vertices closed under
+  /// static channel components), sorted ascending.
+  std::vector<std::vector<BuyerId>> vertices;
+};
+
+/// Stable worker index for a group: FNV-1a64 over the market id's bytes
+/// then the group id's 8 little-endian bytes, mod `num_workers`.
+int worker_of_group(const std::string& market_id, BuyerId group_id,
+                    int num_workers);
+
+/// Computes supergroups of `entry`'s current active set and assigns them to
+/// workers. `single_group` (the kExact coalition policy, whose coalition
+/// decisions are whole-channel) collapses every active buyer into one group.
+Placement plan_placement(const MarketEntry& entry,
+                         const std::string& market_id, int num_workers,
+                         bool single_group);
+
+}  // namespace specmatch::serve::cluster

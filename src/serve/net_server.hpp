@@ -78,10 +78,11 @@ struct NetStats {
 
 class NetServer {
  public:
-  /// Serves `server` over TCP. The MatchServer outlives the NetServer; the
+  /// Serves `server` over TCP. The sink — a MatchServer (single-process or
+  /// cluster worker) or a cluster Coordinator — outlives the NetServer; the
   /// NetServer never creates or destroys it (several front-ends could share
   /// one engine).
-  NetServer(MatchServer& server, NetConfig config = NetConfig::from_env());
+  NetServer(RequestSink& server, NetConfig config = NetConfig::from_env());
   ~NetServer();
 
   NetServer(const NetServer&) = delete;
@@ -150,7 +151,7 @@ class NetServer {
   bool wants_read(const Connection& conn) const;
   void wake();
 
-  MatchServer& match_;
+  RequestSink& match_;
   NetConfig config_;
   int listen_fd_ = -1;
   int port_ = 0;

@@ -1,0 +1,376 @@
+// Cluster serving tier: placement determinism, coordinator transcripts
+// byte-identical to a single-process server at any worker count and worker
+// thread count (including streams that force cross-worker migrations), and
+// worker-death degradation that answers every admitted request.
+#include "serve/cluster/coordinator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "serve/cluster/placement.hpp"
+#include "serve/net_server.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+#include "workload/generator.hpp"
+
+namespace specmatch::serve::cluster {
+namespace {
+
+std::shared_ptr<const market::Scenario> random_scenario(std::uint64_t seed,
+                                                        int sellers,
+                                                        int buyers) {
+  Rng rng(seed);
+  workload::WorkloadParams params;
+  params.num_sellers = sellers;
+  params.num_buyers = buyers;
+  // Short interference ranges on the 10x10 area keep the channel graphs
+  // sparse, so markets decompose into several placement groups — the
+  // multi-worker layouts (and the migrations between them) under test.
+  params.max_range = 1.5;
+  return std::make_shared<const market::Scenario>(
+      workload::generate_scenario(params, rng));
+}
+
+/// The policy config shared by the reference server and the coordinator's
+/// mirror, environment-free.
+ServeConfig test_config() {
+  ServeConfig config;
+  config.drain_lanes = 1;
+  config.queue_capacity = 1024;
+  config.mem_budget_mb = 4096;
+  config.check_warm = true;
+  return config;
+}
+
+Request make_request(RequestType type, const std::string& id) {
+  Request request;
+  request.type = type;
+  request.market_id = id;
+  return request;
+}
+
+Request create_request(const std::string& id,
+                       std::shared_ptr<const market::Scenario> scenario) {
+  Request request = make_request(RequestType::kCreate, id);
+  request.scenario = std::move(scenario);
+  return request;
+}
+
+Request solve_request(const std::string& id, bool warm) {
+  Request request = make_request(RequestType::kSolve, id);
+  request.warm = warm;
+  return request;
+}
+
+Request buyer_request(RequestType type, const std::string& id, BuyerId j) {
+  Request request = make_request(type, id);
+  request.buyer = j;
+  return request;
+}
+
+Request price_request(const std::string& id, BuyerId j, ChannelId i,
+                      double value) {
+  Request request = make_request(RequestType::kUpdatePrice, id);
+  request.buyer = j;
+  request.channel = i;
+  request.value = value;
+  return request;
+}
+
+// --- placement -------------------------------------------------------------
+
+TEST(PlacementTest, PartitionsActivesExactlyOnceAtAnyWorkerCount) {
+  MarketEntry entry(random_scenario(31, 4, 14));
+  const int n = entry.market.num_buyers();
+  entry.apply_leave(2);
+  entry.apply_leave(7);
+
+  for (const int workers : {1, 2, 3, 5, 8}) {
+    const Placement plan = plan_placement(entry, "m", workers, false);
+    ASSERT_EQ(static_cast<int>(plan.active.size()), workers);
+    ASSERT_EQ(static_cast<int>(plan.vertices.size()), workers);
+
+    // Every active buyer is assigned to exactly one worker; inactive ones
+    // to none.
+    std::vector<int> owners(static_cast<std::size_t>(n), 0);
+    for (int w = 0; w < workers; ++w) {
+      const auto& assigned = plan.active[static_cast<std::size_t>(w)];
+      EXPECT_TRUE(std::is_sorted(assigned.begin(), assigned.end()));
+      for (const BuyerId j : assigned) ++owners[static_cast<std::size_t>(j)];
+      // The shard's vertex set contains its active set and is sorted.
+      const auto& verts = plan.vertices[static_cast<std::size_t>(w)];
+      EXPECT_TRUE(std::is_sorted(verts.begin(), verts.end()));
+      for (const BuyerId j : assigned) {
+        EXPECT_TRUE(
+            std::binary_search(verts.begin(), verts.end(), j));
+      }
+    }
+    for (BuyerId j = 0; j < n; ++j) {
+      EXPECT_EQ(owners[static_cast<std::size_t>(j)],
+                entry.active[static_cast<std::size_t>(j)] ? 1 : 0)
+          << "buyer " << j << " at " << workers << " workers";
+    }
+
+    // Group ids ascend and each group's worker is the stable hash.
+    EXPECT_TRUE(std::is_sorted(plan.group_ids.begin(), plan.group_ids.end()));
+    ASSERT_EQ(plan.group_ids.size(), plan.group_worker.size());
+    for (std::size_t g = 0; g < plan.group_ids.size(); ++g) {
+      EXPECT_EQ(plan.group_worker[g],
+                worker_of_group("m", plan.group_ids[g], workers));
+    }
+
+    // Pure function of (entry, id, workers): replanning changes nothing.
+    const Placement again = plan_placement(entry, "m", workers, false);
+    EXPECT_EQ(plan.group_of, again.group_of);
+    EXPECT_EQ(plan.group_ids, again.group_ids);
+    EXPECT_EQ(plan.active, again.active);
+    EXPECT_EQ(plan.vertices, again.vertices);
+  }
+}
+
+TEST(PlacementTest, ExactPolicyCollapsesToOneGroup) {
+  MarketEntry entry(random_scenario(32, 3, 9));
+  const Placement plan = plan_placement(entry, "m", 4, true);
+  EXPECT_EQ(plan.group_ids.size(), 1u);
+  int nonempty = 0;
+  for (const auto& assigned : plan.active)
+    if (!assigned.empty()) ++nonempty;
+  EXPECT_EQ(nonempty, 1);
+}
+
+// --- the coordinator harness ------------------------------------------------
+
+/// One worker process, in-process: a worker-mode MatchServer behind a
+/// NetServer event loop on its own thread.
+struct WorkerHarness {
+  explicit WorkerHarness(int lanes)
+      : server(worker_config(lanes)), net(server, NetConfig{}) {
+    port = net.listen_on_loopback();
+    loop = std::thread([this] { net.run(); });
+  }
+  ~WorkerHarness() { shutdown(); }
+
+  static ServeConfig worker_config(int lanes) {
+    ServeConfig config = test_config();
+    config.drain_lanes = lanes;
+    config.worker_mode = true;
+    return config;
+  }
+
+  void shutdown() {
+    if (loop.joinable()) {
+      net.request_shutdown();
+      loop.join();
+    }
+  }
+
+  MatchServer server;
+  NetServer net;
+  std::thread loop;
+  int port = 0;
+};
+
+struct ClusterHarness {
+  ClusterHarness(int num_workers, int lanes) {
+    for (int w = 0; w < num_workers; ++w)
+      workers.push_back(std::make_unique<WorkerHarness>(lanes));
+    ClusterConfig config;
+    for (const auto& worker : workers)
+      config.worker_ports.push_back(worker->port);
+    config.serve = test_config();
+    coordinator = std::make_unique<Coordinator>(std::move(config));
+  }
+
+  std::vector<std::unique_ptr<WorkerHarness>> workers;
+  // Declared after (destroyed before) the workers: the coordinator's
+  // connections close before the worker loops drain.
+  std::unique_ptr<Coordinator> coordinator;
+};
+
+/// A deterministic request stream over two markets with enough join/leave
+/// churn to split and re-merge placement groups (re-merges across workers
+/// are the migration path under test).
+std::vector<Request> canned_stream() {
+  std::vector<Request> requests;
+  requests.push_back(create_request("x", random_scenario(51, 3, 10)));
+  requests.push_back(create_request("y", random_scenario(52, 4, 12)));
+  requests.push_back(solve_request("x", false));
+  requests.push_back(solve_request("y", false));
+  Rng rng(500);
+  for (int step = 0; step < 80; ++step) {
+    const std::string id = rng.bernoulli(0.5) ? "x" : "y";
+    const int n = id == "x" ? 10 : 12;
+    const int m = id == "x" ? 3 : 4;
+    const int roll = rng.uniform_int(0, 9);
+    if (roll < 3) {
+      requests.push_back(solve_request(id, rng.bernoulli(0.7)));
+    } else if (roll < 6) {
+      requests.push_back(
+          price_request(id, static_cast<BuyerId>(rng.uniform_int(0, n - 1)),
+                        static_cast<ChannelId>(rng.uniform_int(0, m - 1)),
+                        rng.uniform(0.0, 1.0)));
+    } else if (roll < 8) {
+      requests.push_back(buyer_request(
+          RequestType::kLeave, id,
+          static_cast<BuyerId>(rng.uniform_int(0, n - 1))));
+    } else {
+      requests.push_back(buyer_request(
+          RequestType::kJoin, id,
+          static_cast<BuyerId>(rng.uniform_int(0, n - 1))));
+    }
+    // Out-of-range indices must answer the same error text either way.
+    if (step == 40) {
+      requests.push_back(buyer_request(RequestType::kJoin, id,
+                                       static_cast<BuyerId>(n)));
+      requests.push_back(price_request(id, 0, static_cast<ChannelId>(m),
+                                       0.5));
+    }
+  }
+  requests.push_back(make_request(RequestType::kQuery, "x"));
+  requests.push_back(make_request(RequestType::kQuery, "y"));
+  requests.push_back(make_request(RequestType::kStats, "x"));
+  requests.push_back(make_request(RequestType::kStats, "y"));
+  return requests;
+}
+
+std::vector<std::string> reference_transcript(
+    const std::vector<Request>& stream) {
+  MatchServer server(test_config());
+  std::vector<std::string> transcript;
+  for (const Request& request : stream)
+    transcript.push_back(server.handle(request).text);
+  return transcript;
+}
+
+// --- transcript identity ----------------------------------------------------
+
+TEST(ClusterTest, TranscriptMatchesSingleProcessAtAnyWorkerAndThreadCount) {
+  const std::vector<Request> stream = canned_stream();
+  const std::vector<std::string> reference = reference_transcript(stream);
+
+  std::int64_t total_migrations = 0;
+  for (const int workers : {1, 2, 4}) {
+    for (const int lanes : {1, 4}) {
+      ClusterHarness cluster(workers, lanes);
+      for (std::size_t k = 0; k < stream.size(); ++k) {
+        const Response response = cluster.coordinator->handle(stream[k]);
+        ASSERT_EQ(response.text, reference[k])
+            << "request " << k << " (" << stream[k].line << ") diverged at "
+            << workers << " workers x " << lanes << " lanes";
+      }
+      EXPECT_GT(cluster.coordinator->scatters(), 0);
+      EXPECT_EQ(cluster.coordinator->live_workers(), workers);
+      if (workers > 1)
+        total_migrations += cluster.coordinator->migrations();
+    }
+  }
+  // The stream's join/leave churn re-merged groups across workers at least
+  // once — the cross-worker migration path ran, not just initial deploys.
+  EXPECT_GT(total_migrations, 0);
+}
+
+TEST(ClusterTest, CrossWorkerMergeCarriesWarmStateExactly) {
+  // Split one market into several groups via leaves, solve (scattering the
+  // carried matching across workers), re-join (forcing the merged group to
+  // migrate onto one worker), and warm-solve: the migrated state must
+  // reproduce the single-process warm result byte-for-byte.
+  std::vector<Request> stream;
+  stream.push_back(create_request("m", random_scenario(77, 4, 16)));
+  for (const BuyerId j : {1, 4, 9, 13})
+    stream.push_back(buyer_request(RequestType::kLeave, "m", j));
+  stream.push_back(solve_request("m", false));
+  for (const BuyerId j : {4, 9})
+    stream.push_back(buyer_request(RequestType::kJoin, "m", j));
+  stream.push_back(solve_request("m", true));
+  stream.push_back(price_request("m", 3, 1, 0.9));
+  stream.push_back(solve_request("m", true));
+  stream.push_back(make_request(RequestType::kQuery, "m"));
+  stream.push_back(make_request(RequestType::kStats, "m"));
+
+  const std::vector<std::string> reference = reference_transcript(stream);
+  for (const int workers : {2, 3, 4}) {
+    ClusterHarness cluster(workers, 1);
+    for (std::size_t k = 0; k < stream.size(); ++k) {
+      const Response response = cluster.coordinator->handle(stream[k]);
+      ASSERT_EQ(response.text, reference[k])
+          << "request " << k << " diverged at " << workers << " workers";
+    }
+  }
+}
+
+// --- worker death -----------------------------------------------------------
+
+TEST(ClusterTest, WorkerDeathMidStreamStillAnswersEveryRequest) {
+  const std::vector<Request> stream = canned_stream();
+  const std::vector<std::string> reference = reference_transcript(stream);
+
+  ClusterHarness cluster(2, 1);
+  const std::size_t half = stream.size() / 2;
+  for (std::size_t k = 0; k < half; ++k) {
+    ASSERT_EQ(cluster.coordinator->handle(stream[k]).text, reference[k])
+        << "request " << k << " diverged before the kill";
+  }
+
+  // Kill worker 1 under the coordinator's feet. Every remaining request is
+  // still admitted and still answers with the single-process bytes — the
+  // dead worker costs parallelism, never transcript content.
+  cluster.workers[1]->shutdown();
+  for (std::size_t k = half; k < stream.size(); ++k) {
+    ASSERT_EQ(cluster.coordinator->handle(stream[k]).text, reference[k])
+        << "request " << k << " diverged after the kill";
+  }
+  EXPECT_EQ(cluster.coordinator->live_workers(), 1);
+  EXPECT_GT(cluster.coordinator->consolidations(), 0);
+}
+
+TEST(ClusterTest, LowestWorkerDeathDrainsPendingSurvivorResponses) {
+  // Regression: a scatter sends xsolve to every target before reading any,
+  // and gathers in ascending worker order. When worker 0 dies, worker 1 has
+  // already been sent its xsolve and still owes a response; the recovery
+  // path must drain it before consolidating onto worker 1, or every later
+  // exchange on that connection is off by one line.
+  const std::vector<Request> stream = canned_stream();
+  const std::vector<std::string> reference = reference_transcript(stream);
+
+  ClusterHarness cluster(2, 1);
+  const std::size_t half = stream.size() / 2;
+  for (std::size_t k = 0; k < half; ++k) {
+    ASSERT_EQ(cluster.coordinator->handle(stream[k]).text, reference[k])
+        << "request " << k << " diverged before the kill";
+  }
+
+  cluster.workers[0]->shutdown();
+  for (std::size_t k = half; k < stream.size(); ++k) {
+    ASSERT_EQ(cluster.coordinator->handle(stream[k]).text, reference[k])
+        << "request " << k << " diverged after the kill";
+  }
+  EXPECT_EQ(cluster.coordinator->live_workers(), 1);
+  EXPECT_GT(cluster.coordinator->consolidations(), 0);
+}
+
+TEST(ClusterTest, AllWorkersDeadFallsBackToLocalSolves) {
+  const std::vector<Request> stream = canned_stream();
+  const std::vector<std::string> reference = reference_transcript(stream);
+
+  ClusterHarness cluster(2, 1);
+  const std::size_t quarter = stream.size() / 4;
+  for (std::size_t k = 0; k < quarter; ++k)
+    ASSERT_EQ(cluster.coordinator->handle(stream[k]).text, reference[k]);
+  cluster.workers[0]->shutdown();
+  cluster.workers[1]->shutdown();
+  for (std::size_t k = quarter; k < stream.size(); ++k) {
+    ASSERT_EQ(cluster.coordinator->handle(stream[k]).text, reference[k])
+        << "request " << k << " diverged with no workers left";
+  }
+  EXPECT_EQ(cluster.coordinator->live_workers(), 0);
+}
+
+}  // namespace
+}  // namespace specmatch::serve::cluster

@@ -1,0 +1,166 @@
+#!/usr/bin/env bash
+# cluster_smoke: pins the cluster serving contract (docs/CLUSTER.md).
+#
+# Boots a coordinator in front of {1, 2, 4} loopback workers (worker drain
+# lanes {1, 4}) and replays tools/cluster_smoke.req + cluster_smoke_tail.req
+# over TCP; every transcript must be byte-identical to the in-process
+# `specmatch_cli serve FILE` transcript of the same concatenated stream.
+# The request mix splits and re-merges placement supergroups, so at 2+
+# workers the cross-worker migration path runs (asserted via the
+# coordinator's final stats line). A separate leg SIGKILLs one of two
+# workers between the phases and requires the phase-two transcript to stay
+# byte-identical anyway — with the coordinator reporting the death and the
+# consolidation.
+#
+# The same script is the TSan leg: run it from a
+# `-DSPECMATCH_SANITIZE=thread` build tree and the sanitizer covers every
+# process it spawns (README "Sanitizers").
+#
+# Usage: cluster_smoke.sh <path-to-specmatch_cli> <tools-dir>
+set -euo pipefail
+
+CLI="$1"
+HERE="$2"
+REQ="$HERE/cluster_smoke.req"
+TAIL_REQ="$HERE/cluster_smoke_tail.req"
+TMP="$(mktemp -d)"
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+cat "$REQ" "$TAIL_REQ" > "$TMP/full.req"
+
+# The reference transcript: the in-process replay path.
+"$CLI" serve "$TMP/full.req" --out "$TMP/ref.out" 2>/dev/null
+# The phase split (in response lines) for the worker-kill leg.
+"$CLI" serve "$REQ" --out "$TMP/ref_head.out" 2>/dev/null
+head_lines="$(wc -l < "$TMP/ref_head.out")"
+total_lines="$(wc -l < "$TMP/ref.out")"
+if ! head -n "$head_lines" "$TMP/ref.out" | cmp -s - "$TMP/ref_head.out"; then
+  echo "FAIL: phase-one reference is not a prefix of the full reference" >&2
+  exit 1
+fi
+
+wait_for_port() { # <port-file>
+  for _ in $(seq 1 200); do
+    [[ -s "$1" ]] && return 0
+    sleep 0.05
+  done
+  echo "FAIL: server never wrote its port file" >&2
+  exit 1
+}
+
+boot_workers() { # <count> <lanes> -> sets ports= and appends to PIDS
+  ports=""
+  for w in $(seq 1 "$1"); do
+    rm -f "$TMP/w$w.port"
+    SPECMATCH_THREADS="$2" SPECMATCH_SERVE_THREADS="$2" \
+      "$CLI" serve --listen 0 --worker --port-file "$TMP/w$w.port" \
+      2>"$TMP/w$w.err" &
+    PIDS+=($!)
+    wait_for_port "$TMP/w$w.port"
+    ports="$ports,$(cat "$TMP/w$w.port")"
+  done
+  ports="${ports#,}"
+}
+
+stop_all() {
+  for pid in "${PIDS[@]:-}"; do
+    kill -TERM "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+  done
+  PIDS=()
+}
+
+# --- transcript identity at workers {1,2,4} x worker lanes {1,4} ------------
+migrations_total=0
+for workers in 1 2 4; do
+  for lanes in 1 4; do
+    tag="w${workers}_l${lanes}"
+    boot_workers "$workers" "$lanes"
+    rm -f "$TMP/coord.port"
+    "$CLI" serve --listen 0 --coordinator --workers "$ports" \
+      --port-file "$TMP/coord.port" 2>"$TMP/$tag.coord.err" &
+    PIDS+=($!)
+    COORD_PID=$!
+    wait_for_port "$TMP/coord.port"
+
+    "$CLI" serve "$TMP/full.req" --connect "$(cat "$TMP/coord.port")" \
+      --conns 2 --out "$TMP/$tag.out" 2>/dev/null
+
+    kill -TERM "$COORD_PID"
+    wait "$COORD_PID" || {
+      echo "FAIL: $tag coordinator exited nonzero:" >&2
+      cat "$TMP/$tag.coord.err" >&2
+      exit 1
+    }
+    stop_all
+
+    if ! cmp -s "$TMP/ref.out" "$TMP/$tag.out"; then
+      echo "FAIL: $tag cluster transcript diverged from the in-process path:" >&2
+      diff "$TMP/ref.out" "$TMP/$tag.out" >&2 || true
+      exit 1
+    fi
+    stats_line="$(grep 'serve: cluster' "$TMP/$tag.coord.err")"
+    live="$(sed -nE 's/.* live=([0-9]+).*/\1/p' <<< "$stats_line")"
+    if [[ "$live" != "$workers" ]]; then
+      echo "FAIL: $tag lost a worker without being killed: $stats_line" >&2
+      exit 1
+    fi
+    migrations_total=$((migrations_total + $(sed -nE \
+        's/.* migrations=([0-9]+).*/\1/p' <<< "$stats_line")))
+  done
+done
+if [[ "$migrations_total" -eq 0 ]]; then
+  echo "FAIL: no run migrated state across workers (stream too tame?)" >&2
+  exit 1
+fi
+
+# --- kill one of two workers between the phases ------------------------------
+boot_workers 2 1
+victim="${PIDS[0]}"
+rm -f "$TMP/coord.port"
+"$CLI" serve --listen 0 --coordinator --workers "$ports" \
+  --port-file "$TMP/coord.port" 2>"$TMP/kill.coord.err" &
+PIDS+=($!)
+COORD_PID=$!
+wait_for_port "$TMP/coord.port"
+coord_port="$(cat "$TMP/coord.port")"
+
+"$CLI" serve "$REQ" --connect "$coord_port" --out "$TMP/kill.head.out" \
+  2>/dev/null
+kill -KILL "$victim"
+wait "$victim" 2>/dev/null || true
+"$CLI" serve "$TAIL_REQ" --connect "$coord_port" --out "$TMP/kill.tail.out" \
+  2>/dev/null
+
+kill -TERM "$COORD_PID"
+wait "$COORD_PID" || {
+  echo "FAIL: coordinator exited nonzero after the worker kill:" >&2
+  cat "$TMP/kill.coord.err" >&2
+  exit 1
+}
+stop_all
+
+if ! cmp -s "$TMP/ref_head.out" "$TMP/kill.head.out"; then
+  echo "FAIL: pre-kill transcript diverged:" >&2
+  diff "$TMP/ref_head.out" "$TMP/kill.head.out" >&2 || true
+  exit 1
+fi
+if ! tail -n "$((total_lines - head_lines))" "$TMP/ref.out" \
+    | cmp -s - "$TMP/kill.tail.out"; then
+  echo "FAIL: post-kill transcript diverged from the in-process path:" >&2
+  tail -n "$((total_lines - head_lines))" "$TMP/ref.out" \
+    | diff - "$TMP/kill.tail.out" >&2 || true
+  exit 1
+fi
+stats_line="$(grep 'serve: cluster' "$TMP/kill.coord.err")"
+if ! grep -q ' live=1 ' <<< "$stats_line"; then
+  echo "FAIL: coordinator never noticed the killed worker: $stats_line" >&2
+  exit 1
+fi
+
+echo "cluster_smoke OK: transcripts identical to in-process at workers {1,2,4} x lanes {1,4} (migrations=$migrations_total), and byte-identical through a worker kill"

@@ -11,6 +11,9 @@
 #    switch in src/serve/protocol.cpp) must be documented in
 #    docs/PROTOCOL.md, so the protocol spec cannot silently fall behind the
 #    implementation.
+# 4. Every `stats` response tail key (the kStatsTailKeys registry between
+#    the stats-tail-keys markers in src/serve/protocol.cpp) must be
+#    documented in docs/SERVING.md.
 #
 # Usage: tools/docs_check.sh [repo_root]
 set -uo pipefail
@@ -74,6 +77,27 @@ else
   for verb in $verbs; do
     if ! grep -qE "(^|[\` ])$verb([\` ]|$)" "$protocol_doc"; then
       echo "docs_check: verb '$verb' ($protocol_src) undocumented in $protocol_doc" >&2
+      status=1
+    fi
+  done
+fi
+
+# ---- 4. Every stats tail key appears in docs/SERVING.md ---------------------
+serving_doc=docs/SERVING.md
+if [[ ! -f "$serving_doc" ]]; then
+  echo "docs_check: MISSING $serving_doc" >&2
+  status=1
+else
+  keys="$(sed -n '/stats-tail-keys-begin/,/stats-tail-keys-end/p' \
+              "$protocol_src" \
+          | grep -oE '"[a-z_]+"' | tr -d '"')"
+  if [[ -z "$keys" ]]; then
+    echo "docs_check: no stats tail keys extracted from $protocol_src (markers moved?)" >&2
+    status=1
+  fi
+  for key in $keys; do
+    if ! grep -qE "(^|[\`| ])$key(=|\`)" "$serving_doc"; then
+      echo "docs_check: stats key '$key' ($protocol_src) undocumented in $serving_doc" >&2
       status=1
     fi
   done
